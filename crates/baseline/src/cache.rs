@@ -1,0 +1,247 @@
+//! Set-associative LRU cache-hierarchy simulator.
+//!
+//! Backs the Table 2 characterization (L2/L3 MPKI, DRAM bytes per op) and
+//! the locality benefit of the shard-partitioned algorithm variant: the
+//! hierarchy is run over the *actual* access trace of the Aggregation
+//! phase (see [`crate::trace`]), not an analytic approximation.
+//!
+//! Geometry defaults follow the Xeon E5-2680 v3: 32 KB/8-way L1D,
+//! 256 KB/8-way L2 per core, 30 MB/20-way shared L3 (one socket; the trace
+//! is single-threaded, matching PyG's mostly-serial scatter kernel).
+
+/// One inclusive cache level with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    /// `sets[s]` holds up to `assoc` tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line_bytes: u64,
+    num_sets: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    /// Creates a cache of `capacity_bytes` with `assoc` ways and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is zero.
+    pub fn new(capacity_bytes: usize, assoc: usize, line_bytes: u64) -> Self {
+        assert!(assoc > 0 && line_bytes > 0, "cache geometry must be nonzero");
+        let lines = capacity_bytes as u64 / line_bytes;
+        assert!(lines >= assoc as u64, "capacity smaller than one set");
+        let num_sets = lines / assoc as u64;
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(assoc); num_sets as usize],
+            assoc,
+            line_bytes,
+            num_sets,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let tag = addr / self.line_bytes;
+        let set = &mut self.sets[(tag % self.num_sets) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.push(t);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0);
+            }
+            set.push(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+}
+
+/// A three-level hierarchy (L1D → L2 → L3 → DRAM).
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    l3: CacheLevel,
+    dram_bytes: u64,
+}
+
+impl Hierarchy {
+    /// Xeon E5-2680 v3 single-core view with the shared L3.
+    pub fn xeon() -> Self {
+        Self::new(
+            CacheLevel::new(32 << 10, 8, 64),
+            CacheLevel::new(256 << 10, 8, 64),
+            CacheLevel::new(30 << 20, 30, 64), // 30 MB, 30-way → 16384 sets
+        )
+    }
+
+    /// Creates a hierarchy from explicit levels.
+    pub fn new(l1: CacheLevel, l2: CacheLevel, l3: CacheLevel) -> Self {
+        Self {
+            l1,
+            l2,
+            l3,
+            dram_bytes: 0,
+        }
+    }
+
+    /// Accesses one address (whole line); misses propagate down and DRAM
+    /// traffic accumulates on an L3 miss.
+    pub fn access(&mut self, addr: u64) {
+        if self.l1.access(addr) {
+            return;
+        }
+        if self.l2.access(addr) {
+            return;
+        }
+        if !self.l3.access(addr) {
+            self.dram_bytes += self.l3.line_bytes();
+        }
+    }
+
+    /// Accesses every line of `[addr, addr + bytes)`.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        let line = self.l1.line_bytes();
+        let mut a = addr / line * line;
+        while a < addr + bytes {
+            self.access(a);
+            a += line;
+        }
+    }
+
+    /// L2 misses so far.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses()
+    }
+
+    /// L3 misses so far.
+    pub fn l3_misses(&self) -> u64 {
+        self.l3.misses()
+    }
+
+    /// Bytes fetched from DRAM so far.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_bytes
+    }
+
+    /// Misses per kilo-instruction for a run of `instructions`.
+    pub fn mpki(misses: u64, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheLevel::new(1024, 2, 64);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(32)); // same line
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2 ways, 64 B lines, 2 sets (256 B capacity).
+        let mut c = CacheLevel::new(256, 2, 64);
+        // Set 0 gets tags 0, 2, 4 (addresses 0, 128, 256).
+        c.access(0);
+        c.access(128);
+        c.access(256); // evicts tag of addr 0
+        assert!(!c.access(0), "addr 0 should have been evicted");
+        assert!(c.access(256));
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut c = CacheLevel::new(256, 2, 64);
+        c.access(0);
+        c.access(128);
+        c.access(0); // refresh 0
+        c.access(256); // should evict 128, not 0
+        assert!(c.access(0));
+        assert!(!c.access(128));
+    }
+
+    #[test]
+    fn hierarchy_counts_dram_once_per_cold_line() {
+        let mut h = Hierarchy::new(
+            CacheLevel::new(1024, 2, 64),
+            CacheLevel::new(2048, 2, 64),
+            CacheLevel::new(4096, 2, 64),
+        );
+        h.access_range(0, 512);
+        assert_eq!(h.dram_bytes(), 512);
+        // Re-access: everything fits in L1, no new DRAM traffic.
+        h.access_range(0, 512);
+        assert_eq!(h.dram_bytes(), 512);
+    }
+
+    #[test]
+    fn working_set_larger_than_l3_streams_from_dram() {
+        let mut h = Hierarchy::new(
+            CacheLevel::new(1024, 2, 64),
+            CacheLevel::new(2048, 2, 64),
+            CacheLevel::new(4096, 2, 64),
+        );
+        // Two passes over 64 KB >> 4 KB L3.
+        h.access_range(0, 65536);
+        h.access_range(0, 65536);
+        assert_eq!(h.dram_bytes(), 2 * 65536);
+    }
+
+    #[test]
+    fn xeon_geometry_constructs() {
+        let h = Hierarchy::xeon();
+        assert_eq!(h.dram_bytes(), 0);
+    }
+
+    #[test]
+    fn mpki_math() {
+        assert_eq!(Hierarchy::mpki(10, 1000), 10.0);
+        assert_eq!(Hierarchy::mpki(10, 0), 0.0);
+    }
+
+    #[test]
+    fn access_range_handles_unaligned() {
+        let mut h = Hierarchy::new(
+            CacheLevel::new(1024, 2, 64),
+            CacheLevel::new(2048, 2, 64),
+            CacheLevel::new(4096, 2, 64),
+        );
+        h.access_range(60, 8); // straddles two lines
+        assert_eq!(h.dram_bytes(), 128);
+    }
+}

@@ -1,0 +1,193 @@
+//! PyG-CPU performance and energy model.
+//!
+//! Two variants, matching §5.2 of the paper:
+//!
+//! * **naive** — PyG as shipped: coarse-grained gather/scatter aggregation
+//!   (materialized temporaries, latency-bound scatter-reduce) + MKL GEMM
+//!   combination with the measured 36% synchronization overhead.
+//! * **optimized** ("PyG-CPU-OP") — the paper's shard-partitioned variant
+//!   keeping source features and accumulators L2-resident; this is the
+//!   baseline used for all HyGCN comparisons (Fig. 10c onward).
+
+use hygcn_gcn::model::GcnModel;
+use hygcn_gcn::workload::LayerWorkload;
+use hygcn_graph::Graph;
+
+use crate::params::CpuParams;
+use crate::report::{PhaseBreakdown, PlatformReport};
+
+/// Which algorithm variant the model executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuVariant {
+    /// Stock PyG (coarse-grained gather + scatter).
+    Naive,
+    /// Shard-partitioned aggregation (PyG-CPU-OP).
+    Optimized,
+}
+
+/// The PyG-CPU platform model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    params: CpuParams,
+    variant: CpuVariant,
+}
+
+impl CpuModel {
+    /// Stock PyG with default calibrated parameters.
+    pub fn naive() -> Self {
+        Self {
+            params: CpuParams::default(),
+            variant: CpuVariant::Naive,
+        }
+    }
+
+    /// Shard-optimized PyG (the paper's comparison baseline).
+    pub fn optimized() -> Self {
+        Self {
+            params: CpuParams::default(),
+            variant: CpuVariant::Optimized,
+        }
+    }
+
+    /// Custom parameters.
+    pub fn with_params(params: CpuParams, variant: CpuVariant) -> Self {
+        Self { params, variant }
+    }
+
+    /// The variant.
+    pub fn variant(&self) -> CpuVariant {
+        self.variant
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &CpuParams {
+        &self.params
+    }
+
+    /// Models one layer of `model` over `graph`.
+    pub fn run(&self, graph: &Graph, model: &GcnModel) -> PlatformReport {
+        let w = LayerWorkload::of(graph, model, 0);
+        self.run_workload(&w)
+    }
+
+    /// Models a precomputed workload (lets callers share the descriptor
+    /// across platforms).
+    pub fn run_workload(&self, w: &LayerWorkload) -> PlatformReport {
+        let p = &self.params;
+        let (per_elem_ns, agg_dram_factor) = match self.variant {
+            // Naive: materialized temporary streams through DRAM twice
+            // (write + re-read) on top of the source-row gather misses.
+            CpuVariant::Naive => (p.agg_elem_ns, 3.0),
+            // Optimized: fused, L2-resident shards — features stream from
+            // DRAM roughly once per shard column.
+            CpuVariant::Optimized => (p.agg_elem_opt_ns, 1.3),
+        };
+
+        // --- Aggregation phase ---
+        let effective_edges = w.agg_elem_ops as f64 / w.agg_width.max(1) as f64;
+        let agg_compute_s = effective_edges * p.per_edge_ns * 1e-9
+            + w.agg_elem_ops as f64 * per_elem_ns * 1e-9
+            + w.num_vertices as f64 * w.f_in as f64 * p.tensor_elem_ns * 1e-9;
+        let agg_bytes =
+            (w.agg_elem_ops as f64 * 4.0 * agg_dram_factor) + w.edge_bytes as f64
+                + w.input_feature_bytes as f64;
+        let agg_mem_s = agg_bytes / (p.dram_bw_gbs * 1e9);
+        let aggregation_s = agg_compute_s.max(agg_mem_s);
+
+        // --- Combination phase ---
+        let gemm_s = w.combine_macs as f64 * 2.0 / (p.gemm_gflops * 1e9);
+        let tensor_s =
+            w.num_vertices as f64 * (w.f_in + w.f_out) as f64 * p.tensor_elem_ns * 1e-9;
+        let comb_bytes = w.weight_bytes as f64
+            + w.input_feature_bytes as f64
+            + w.output_feature_bytes as f64;
+        let comb_mem_s = comb_bytes / (p.dram_bw_gbs * 1e9);
+        let combination_s = (gemm_s * p.sync_factor() + tensor_s).max(comb_mem_s);
+
+        let phases = PhaseBreakdown {
+            aggregation_s,
+            combination_s,
+        };
+        let time_s = phases.total_s();
+        let dram_bytes = (agg_bytes + comb_bytes) as u64;
+        let energy_j = p.power_w * time_s + dram_bytes as f64 * p.dram_j_per_byte;
+        let bandwidth_utilization =
+            (dram_bytes as f64 / time_s.max(1e-12) / (p.dram_peak_gbs * 1e9)).min(1.0);
+
+        PlatformReport {
+            time_s,
+            phases,
+            dram_bytes,
+            energy_j,
+            bandwidth_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygcn_gcn::model::ModelKind;
+    use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
+
+    fn dataset(key: DatasetKey) -> Graph {
+        DatasetSpec::get(key)
+            .instantiate(0.25, 7)
+            .expect("dataset instantiation")
+    }
+
+    #[test]
+    fn optimized_is_faster_than_naive() {
+        let g = dataset(DatasetKey::Pb);
+        let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+        let naive = CpuModel::naive().run(&g, &m);
+        let opt = CpuModel::optimized().run(&g, &m);
+        let speedup = opt.speedup_over(&naive);
+        assert!(
+            speedup > 1.2 && speedup < 5.0,
+            "fig 10a regime: speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn aggregation_dominates_on_edge_heavy_collab() {
+        let g = dataset(DatasetKey::Cl);
+        let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+        let r = CpuModel::naive().run(&g, &m);
+        assert!(
+            r.phases.aggregation_share() > 0.9,
+            "share {}",
+            r.phases.aggregation_share()
+        );
+    }
+
+    #[test]
+    fn long_features_shift_time_to_combination() {
+        let cl = dataset(DatasetKey::Cl);
+        let cs = dataset(DatasetKey::Cs);
+        let m_cl = GcnModel::new(ModelKind::Gcn, cl.feature_len(), 1).unwrap();
+        let m_cs = GcnModel::new(ModelKind::Gcn, cs.feature_len(), 1).unwrap();
+        let share_cl = CpuModel::naive().run(&cl, &m_cl).phases.aggregation_share();
+        let share_cs = CpuModel::naive().run(&cs, &m_cs).phases.aggregation_share();
+        assert!(share_cs < share_cl, "CS {share_cs} vs CL {share_cl}");
+    }
+
+    #[test]
+    fn gin_pays_full_width_aggregation() {
+        let g = dataset(DatasetKey::Pb);
+        let gcn = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+        let gin = GcnModel::new(ModelKind::Gin, g.feature_len(), 1).unwrap();
+        let t_gcn = CpuModel::naive().run(&g, &gcn).phases.aggregation_s;
+        let t_gin = CpuModel::naive().run(&g, &gin).phases.aggregation_s;
+        assert!(t_gin > 2.0 * t_gcn, "gin {t_gin} vs gcn {t_gcn}");
+    }
+
+    #[test]
+    fn energy_includes_static_and_dram_terms() {
+        let g = dataset(DatasetKey::Cr);
+        let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+        let r = CpuModel::naive().run(&g, &m);
+        assert!(r.energy_j > CpuParams::default().power_w * r.time_s * 0.99);
+        assert!(r.bandwidth_utilization > 0.0 && r.bandwidth_utilization <= 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Calibrated platform parameters.
+//!
+//! One global set of constants per platform, calibrated against the
+//! paper's published measurements (Fig. 2 phase shares, Table 2 traffic
+//! and sync ratios) — never tuned per experiment. Sources for each value
+//! are noted inline.
+
+/// PyG-CPU: dual Xeon E5-2680 v3, 378 GB DDR4 (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuParams {
+    /// Fixed cost per aggregated edge: index load, bounds logic, operator
+    /// dispatch amortization. Calibrated to Fig. 2's aggregation
+    /// domination on edge-heavy datasets.
+    pub per_edge_ns: f64,
+    /// Cost per feature element accumulated by scatter-reduce with poor
+    /// locality (latency-bound; includes average cache-miss stalls —
+    /// cross-checked against the measured L2/L3 MPKI of Table 2).
+    pub agg_elem_ns: f64,
+    /// Same, under the shard-partitioned algorithm variant where source
+    /// features stay L2-resident (Fig. 10a shows ~2.3x aggregate benefit).
+    pub agg_elem_opt_ns: f64,
+    /// Per-element cost of coarse-grained tensor materialization at
+    /// operator boundaries (PyG gathers/copies full tensors).
+    pub tensor_elem_ns: f64,
+    /// Effective end-to-end GEMM throughput of the PyG Combination
+    /// operator, GFLOP/s. Far below MKL peak: inference-sized matrices,
+    /// framework dispatch, and tensor reshaping dominate — calibrated so
+    /// absolute layer times reproduce the paper's reported speedup
+    /// magnitudes (Fig. 10c).
+    pub gemm_gflops: f64,
+    /// Fraction of Combination time spent on shared-data copy and thread
+    /// synchronization: 36% measured in Table 2.
+    pub sync_fraction: f64,
+    /// Effective DRAM bandwidth for streaming phases, GB/s (of the
+    /// 136.5 GB/s peak in Table 6).
+    pub dram_bw_gbs: f64,
+    /// Peak DRAM bandwidth, GB/s (Table 6).
+    pub dram_peak_gbs: f64,
+    /// Marginal package power attributable to the workload, watts — the
+    /// RAPL-style dynamic increment over idle, which is what the paper's
+    /// normalized-energy figures (Fig. 11) imply rather than full TDP.
+    pub power_w: f64,
+    /// DRAM device+IO energy per byte moved, joules.
+    pub dram_j_per_byte: f64,
+}
+
+impl Default for CpuParams {
+    fn default() -> Self {
+        Self {
+            per_edge_ns: 1500.0,
+            agg_elem_ns: 45.0,
+            agg_elem_opt_ns: 8.0,
+            tensor_elem_ns: 8.0,
+            gemm_gflops: 8.0,
+            sync_fraction: 0.36,
+            dram_bw_gbs: 60.0,
+            dram_peak_gbs: 136.5,
+            power_w: 25.0,
+            dram_j_per_byte: 2e-9,
+        }
+    }
+}
+
+impl CpuParams {
+    /// Multiplier converting pure GEMM time into wall time including the
+    /// measured synchronization overhead.
+    pub fn sync_factor(&self) -> f64 {
+        1.0 / (1.0 - self.sync_fraction)
+    }
+}
+
+/// PyG-GPU: NVIDIA V100 (Table 6: 5120 cores @ 1.25 GHz, ~900 GB/s HBM2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuParams {
+    /// Effective dense throughput for Combination GEMMs, GFLOP/s
+    /// (FP32 peak ~14 TFLOP/s, derated for inference-sized tiles).
+    pub gemm_gflops: f64,
+    /// Effective element throughput for gather/scatter aggregation,
+    /// Gelem/s (bounded by irregular-access efficiency).
+    pub agg_gelems: f64,
+    /// Effective DRAM bandwidth for the irregular Aggregation phase, GB/s
+    /// (derated from the ~900 GB/s peak by random-access inefficiency).
+    pub irregular_bw_gbs: f64,
+    /// Effective DRAM bandwidth for regular streaming, GB/s.
+    pub stream_bw_gbs: f64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub dram_peak_gbs: f64,
+    /// Kernel launch + framework overhead per coarse operator, seconds.
+    pub launch_s: f64,
+    /// Number of coarse operators launched per layer (gather, scatter,
+    /// GEMM, activation, ...).
+    pub ops_per_layer: f64,
+    /// Vertices needed to saturate the GPU; smaller working sets derate
+    /// utilization linearly (the Fig. 10b effect: shard-partitioned
+    /// execution cannot fill 5120 cores).
+    pub saturation_vertices: f64,
+    /// Marginal board power attributable to the workload, watts (see
+    /// the CPU counterpart: Fig. 11-implied dynamic increment).
+    pub power_w: f64,
+    /// HBM2 energy per byte (~4 pJ/bit).
+    pub dram_j_per_byte: f64,
+}
+
+impl Default for GpuParams {
+    fn default() -> Self {
+        Self {
+            gemm_gflops: 7000.0,
+            agg_gelems: 60.0,
+            irregular_bw_gbs: 270.0,
+            stream_bw_gbs: 750.0,
+            dram_peak_gbs: 900.0,
+            launch_s: 15e-6,
+            ops_per_layer: 8.0,
+            saturation_vertices: 8192.0,
+            power_w: 35.0,
+            dram_j_per_byte: 0.5e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_factor_from_measured_fraction() {
+        let p = CpuParams::default();
+        assert!((p.sync_factor() - 1.0 / 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimized_aggregation_is_faster() {
+        let p = CpuParams::default();
+        assert!(p.agg_elem_opt_ns < p.agg_elem_ns);
+    }
+
+    #[test]
+    fn gpu_is_rooflined_below_peak() {
+        let g = GpuParams::default();
+        assert!(g.irregular_bw_gbs < g.dram_peak_gbs);
+        assert!(g.stream_bw_gbs < g.dram_peak_gbs);
+    }
+
+    #[test]
+    fn marginal_powers_are_modest() {
+        // Fig. 11's ratios imply marginal (not TDP) energy accounting.
+        assert!(CpuParams::default().power_w < 50.0);
+        assert!(GpuParams::default().power_w < 60.0);
+    }
+}

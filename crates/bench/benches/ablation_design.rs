@@ -1,0 +1,161 @@
+//! Design-choice ablations beyond the paper's figures — one bench per
+//! decision called out in DESIGN.md:
+//!
+//! 1. vertex-disperse vs vertex-concentrated SIMD scheduling (Fig. 4's
+//!    argument, quantified);
+//! 2. the two halves of memory coordination in isolation (priority
+//!    batching vs low-bit channel remap);
+//! 3. Input Buffer (window height) sweep — the knob Fig. 18 does not
+//!    cover;
+//! 4. systolic working mode with and without the matching pipeline.
+
+use hygcn_bench::{bench_graph, bench_model, header};
+use hygcn_core::config::{AggregationMode, HyGcnConfig, PipelineMode};
+use hygcn_core::Simulator;
+use hygcn_gcn::model::ModelKind;
+use hygcn_graph::datasets::DatasetKey;
+use hygcn_mem::hbm::HbmConfig;
+use hygcn_mem::scheduler::CoordinationMode;
+
+fn main() {
+    let graph = bench_graph(DatasetKey::Pb);
+    let model = bench_model(ModelKind::Gcn, &graph);
+    let run = |cfg: HyGcnConfig| {
+        Simulator::new(cfg)
+            .simulate(&graph, &model)
+            .expect("bench config simulates")
+    };
+
+    header("Ablation 1: SIMD work distribution (GCN on reduced Reddit)");
+    // Reddit's heavy-tailed degrees expose the imbalance; the effect
+    // lives in the Aggregation Engine's busy cycles (end-to-end it is
+    // masked whenever HBM is the bottleneck — exactly why the paper
+    // pairs vertex-disperse with the memory optimizations).
+    let rd = bench_graph(DatasetKey::Rd);
+    let rd_model = bench_model(ModelKind::Gcn, &rd);
+    let run_rd = |mode: AggregationMode| {
+        Simulator::new(HyGcnConfig {
+            aggregation_mode: mode,
+            ..HyGcnConfig::default()
+        })
+        .simulate(&rd, &rd_model)
+        .expect("bench config simulates")
+    };
+    let disperse = run_rd(AggregationMode::VertexDisperse);
+    let concentrated = run_rd(AggregationMode::VertexConcentrated);
+    println!(
+        "vertex-disperse     {:>12} engine-busy cycles, {:>12} total",
+        disperse.agg_compute_cycles, disperse.cycles
+    );
+    println!(
+        "vertex-concentrated {:>12} engine-busy cycles, {:>12} total ({:.2}x busier engine)",
+        concentrated.agg_compute_cycles,
+        concentrated.cycles,
+        concentrated.agg_compute_cycles as f64 / disperse.agg_compute_cycles as f64
+    );
+
+    header("Ablation 2: coordination decomposed (GCN on PB)");
+    let full = run(HyGcnConfig::default());
+    let priority_only = run(HyGcnConfig {
+        hbm: HbmConfig::hbm1_uncoordinated(),
+        ..HyGcnConfig::default()
+    });
+    let remap_only = run(HyGcnConfig {
+        coordination: CoordinationMode::Fcfs,
+        ..HyGcnConfig::default()
+    });
+    let neither = run(HyGcnConfig {
+        coordination: CoordinationMode::Fcfs,
+        hbm: HbmConfig::hbm1_uncoordinated(),
+        ..HyGcnConfig::default()
+    });
+    // How much of the damage can a row-hit-first controller undo on its
+    // own, without HyGCN's coordination?
+    let frfcfs_rescue = run(HyGcnConfig {
+        coordination: CoordinationMode::Fcfs,
+        hbm: HbmConfig {
+            controller: hygcn_mem::hbm::ControllerPolicy::FrFcfs { window: 32 },
+            ..HbmConfig::hbm1_uncoordinated()
+        },
+        ..HyGcnConfig::default()
+    });
+    for (name, r) in [
+        ("priority + remap (full)", &full),
+        ("priority batching only", &priority_only),
+        ("channel/bank remap only", &remap_only),
+        ("neither", &neither),
+        ("neither + FR-FCFS controller", &frfcfs_rescue),
+    ] {
+        println!(
+            "{:<26} {:>12} cycles, {:>5.1}% bandwidth",
+            name,
+            r.cycles,
+            r.bandwidth_utilization * 100.0
+        );
+    }
+
+    header("Ablation 3: Input Buffer (window height) sweep (GCN on PB)");
+    println!("{:>8} {:>12} {:>12} {:>16}", "KB", "cycles", "DRAM MB", "sparsity red.");
+    for kb in [32usize, 64, 128, 256, 512] {
+        let r = run(HyGcnConfig {
+            input_buffer_bytes: kb << 10,
+            ..HyGcnConfig::default()
+        });
+        println!(
+            "{:>8} {:>12} {:>12.1} {:>15.1}%",
+            kb,
+            r.cycles,
+            r.dram_bytes() as f64 / 1e6,
+            r.sparsity_reduction * 100.0
+        );
+    }
+
+    header("Ablation 5: vertex ordering vs sparsity elimination (GCN on PB)");
+    // Window sliding+shrinking depends on id-space locality; random
+    // relabeling destroys it, BFS relabeling restores it.
+    {
+        use hygcn_graph::reorder::{reorder, Ordering};
+        let natural = run(HyGcnConfig::default());
+        let shuffled_g = reorder(&graph, Ordering::Random(7)).graph;
+        let bfs_g = reorder(&shuffled_g, Ordering::Bfs).graph;
+        let run_on = |g: &hygcn_graph::Graph| {
+            Simulator::new(HyGcnConfig::default())
+                .simulate(g, &model)
+                .expect("bench config simulates")
+        };
+        let shuffled = run_on(&shuffled_g);
+        let recovered = run_on(&bfs_g);
+        for (name, r) in [
+            ("natural (community) order", &natural),
+            ("random relabeling", &shuffled),
+            ("BFS re-relabeling", &recovered),
+        ] {
+            println!(
+                "{:<28} {:>12} cycles, {:>7.1} MB DRAM, sparsity red. {:>5.1}%",
+                name,
+                r.cycles,
+                r.dram_bytes() as f64 / 1e6,
+                r.sparsity_reduction * 100.0
+            );
+        }
+    }
+
+    header("Ablation 4: systolic mode x pipeline (GCN on PB)");
+    for (name, pipeline) in [
+        ("latency-aware (independent modules)", PipelineMode::LatencyAware),
+        ("energy-aware (cooperative modules)", PipelineMode::EnergyAware),
+        ("no pipeline (spill to DRAM)", PipelineMode::None),
+    ] {
+        let r = run(HyGcnConfig {
+            pipeline,
+            ..HyGcnConfig::default()
+        });
+        println!(
+            "{:<38} {:>11} cycles, latency {:>9.0} cyc, comb {:>7.1} uJ",
+            name,
+            r.cycles,
+            r.avg_vertex_latency_cycles,
+            r.energy.combination_j * 1e6
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the hot kernels underlying the
+//! simulator and substrates: interval partitioning, window planning,
+//! neighbor sampling, gather aggregation, dense MVM, fixed-point MVM,
+//! HBM batch service, and an end-to-end simulation per model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hygcn_core::{HyGcnConfig, Simulator};
+use hygcn_gcn::aggregate::{aggregate_all, Aggregator, SelfTerm};
+use hygcn_gcn::model::{GcnModel, ModelKind};
+use hygcn_graph::generator::{rmat, RmatParams};
+use hygcn_graph::partition::{Interval, PartitionSpec};
+use hygcn_graph::sampling::{SamplePolicy, Sampler};
+use hygcn_graph::window::WindowPlanner;
+use hygcn_graph::Graph;
+use hygcn_mem::request::{MemRequest, RequestKind};
+use hygcn_mem::{Hbm, HbmConfig};
+use hygcn_tensor::{linalg, Matrix};
+
+fn test_graph() -> Graph {
+    rmat(8192, 120_000, RmatParams::default(), 7)
+        .expect("valid rmat parameters")
+        .with_feature_len(128)
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let g = test_graph();
+    c.bench_function("partition/interval_shard_8192v", |b| {
+        b.iter(|| {
+            let p = PartitionSpec::new(1024, 128).partition(black_box(&g));
+            black_box(p.total_edges(&g))
+        })
+    });
+}
+
+fn bench_window_planning(c: &mut Criterion) {
+    let g = test_graph();
+    let planner = WindowPlanner::new(128);
+    c.bench_function("window/slide_shrink_chunk", |b| {
+        b.iter(|| black_box(planner.plan(&g, Interval::new(0, 2048))))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = test_graph();
+    let sampler = Sampler::new(1);
+    c.bench_function("sampling/max25_120k_edges", |b| {
+        b.iter(|| black_box(sampler.sample(&g, SamplePolicy::MaxNeighbors(25))))
+    });
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let g = test_graph();
+    let x = Matrix::random(g.num_vertices(), 128, 1.0, 3);
+    c.bench_function("aggregate/add_120k_edges_x128", |b| {
+        b.iter(|| black_box(aggregate_all(&g, &x, Aggregator::Add, SelfTerm::Include)))
+    });
+}
+
+fn bench_mvm(c: &mut Criterion) {
+    let w = Matrix::random(128, 1433, 0.1, 5);
+    let x: Vec<f32> = (0..1433).map(|i| i as f32 * 1e-3).collect();
+    c.bench_function("mvm/1433x128_f32", |b| {
+        b.iter(|| black_box(linalg::mvm(&w, &x).expect("shapes agree")))
+    });
+}
+
+fn bench_fixed_mvm(c: &mut Criterion) {
+    use hygcn_tensor::fixed::{mvm_fixed, quantize};
+    let w = Matrix::random(128, 1433, 0.1, 5);
+    let rows: Vec<Vec<_>> = (0..128).map(|r| quantize(w.row(r))).collect();
+    let x = quantize(&(0..1433).map(|i| i as f32 * 1e-3).collect::<Vec<_>>());
+    c.bench_function("mvm/1433x128_q16.16", |b| {
+        b.iter(|| black_box(mvm_fixed(&rows, &x)))
+    });
+}
+
+fn bench_hbm(c: &mut Criterion) {
+    let reqs: Vec<MemRequest> = (0..256)
+        .map(|i| MemRequest::read(RequestKind::InputFeatures, i * 4096, 4096))
+        .collect();
+    c.bench_function("hbm/service_1mb_batch", |b| {
+        b.iter(|| {
+            let mut hbm = Hbm::new(HbmConfig::hbm1());
+            black_box(hbm.service_batch(&reqs, 0))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let g = test_graph();
+    let sim = Simulator::new(HyGcnConfig::default());
+    let mut group = c.benchmark_group("simulate");
+    for kind in ModelKind::ALL {
+        let model = GcnModel::new(kind, 128, 1).expect("valid model");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &model, |b, m| {
+            b.iter(|| black_box(sim.simulate(&g, m).expect("valid config")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partition,
+        bench_window_planning,
+        bench_sampling,
+        bench_aggregate,
+        bench_mvm,
+        bench_fixed_mvm,
+        bench_hbm,
+        bench_end_to_end
+);
+criterion_main!(kernels);

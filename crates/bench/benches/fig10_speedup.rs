@@ -1,0 +1,74 @@
+//! Fig. 10 — The overall performance comparison:
+//!
+//! * (a) speedup of the shard-optimized algorithm on the CPU (PyG-CPU-OP
+//!   over naive PyG-CPU); paper average 2.3x.
+//! * (b) the same optimization on the GPU (degrades: values < 1).
+//! * (c) HyGCN speedup over the optimized PyG-CPU and naive PyG-GPU;
+//!   paper averages 1509x and 6.5x.
+
+use hygcn_baseline::{CpuModel, GpuModel};
+use hygcn_bench::{bench_graph, bench_model, evaluation_grid, fmt_x, geomean, header, TriRun};
+
+fn main() {
+    // --- (a) + (b): algorithm optimization on CPU and GPU. ---
+    header("Fig. 10(a): shard-optimization speedup on CPU (paper avg 2.3x)");
+    println!("{:<6} {:<4} {:>10}", "model", "ds", "speedup");
+    let mut cpu_gains = Vec::new();
+    for (kind, key) in evaluation_grid() {
+        let graph = bench_graph(key);
+        let model = bench_model(kind, &graph);
+        let naive = CpuModel::naive().run(&graph, &model);
+        let opt = CpuModel::optimized().run(&graph, &model);
+        let s = opt.speedup_over(&naive);
+        cpu_gains.push(s);
+        println!("{:<6} {:<4} {:>10}", kind.abbrev(), key.abbrev(), fmt_x(s));
+    }
+    println!("average: {}", fmt_x(geomean(&cpu_gains)));
+
+    header("Fig. 10(b): shard optimization on GPU (paper: slowdown, <1)");
+    println!("{:<6} {:<4} {:>10}", "model", "ds", "ratio");
+    let mut gpu_ratios = Vec::new();
+    for (kind, key) in evaluation_grid() {
+        let graph = bench_graph(key);
+        let model = bench_model(kind, &graph);
+        let naive = GpuModel::naive().run(&graph, &model);
+        // GPU shard interval from its 6 MB L2 and the aggregation width.
+        let interval = ((6 << 20) / 2 / (graph.feature_len().max(1) * 4)).max(32);
+        let sharded = GpuModel::sharded(interval).run(&graph, &model);
+        let ratio = naive.time_s / sharded.time_s;
+        gpu_ratios.push(ratio);
+        println!(
+            "{:<6} {:<4} {:>10.2}",
+            kind.abbrev(),
+            key.abbrev(),
+            ratio
+        );
+    }
+    println!("average: {:.2} (values < 1 mean the optimization hurts)", geomean(&gpu_ratios));
+
+    // --- (c): HyGCN vs both baselines. ---
+    header("Fig. 10(c): HyGCN speedup (paper avg: 1509x over CPU, 6.5x over GPU)");
+    println!(
+        "{:<6} {:<4} {:>12} {:>12}",
+        "model", "ds", "vs PyG-CPU", "vs PyG-GPU"
+    );
+    let mut s_cpu = Vec::new();
+    let mut s_gpu = Vec::new();
+    for (kind, key) in evaluation_grid() {
+        let tri = TriRun::run(kind, key);
+        s_cpu.push(tri.speedup_cpu());
+        s_gpu.push(tri.speedup_gpu());
+        println!(
+            "{:<6} {:<4} {:>12} {:>12}",
+            kind.abbrev(),
+            key.abbrev(),
+            fmt_x(tri.speedup_cpu()),
+            fmt_x(tri.speedup_gpu())
+        );
+    }
+    println!(
+        "average: {} over CPU, {} over GPU",
+        fmt_x(geomean(&s_cpu)),
+        fmt_x(geomean(&s_gpu))
+    );
+}

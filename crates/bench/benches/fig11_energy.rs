@@ -1,0 +1,43 @@
+//! Fig. 11 — Energy consumption normalized to PyG-CPU, for PyG-GPU and
+//! HyGCN (all platforms include off-chip memory energy).
+//!
+//! Paper: HyGCN consumes on average 0.04% of the CPU's energy (2500x
+//! reduction) and 10% of the GPU's.
+
+use hygcn_bench::{evaluation_grid, fmt_x, geomean, header, TriRun};
+
+fn main() {
+    header("Fig. 11: energy normalized to PyG-CPU (%)");
+    println!(
+        "{:<6} {:<4} {:>12} {:>12} {:>14}",
+        "model", "ds", "PyG-GPU %", "HyGCN %", "HyGCN/GPU"
+    );
+    let mut cpu_ratios = Vec::new();
+    let mut gpu_ratios = Vec::new();
+    for (kind, key) in evaluation_grid() {
+        let tri = TriRun::run(kind, key);
+        let e_h = tri.hygcn.energy_j();
+        let r_cpu = e_h / tri.cpu.energy_j;
+        let r_gpu = e_h / tri.gpu.energy_j;
+        cpu_ratios.push(r_cpu);
+        gpu_ratios.push(r_gpu);
+        println!(
+            "{:<6} {:<4} {:>11.3}% {:>11.4}% {:>13.3}",
+            kind.abbrev(),
+            key.abbrev(),
+            tri.gpu.energy_j / tri.cpu.energy_j * 100.0,
+            r_cpu * 100.0,
+            r_gpu
+        );
+    }
+    println!(
+        "\naverage: HyGCN uses {:.4}% of CPU energy ({} reduction; paper 2500x)",
+        geomean(&cpu_ratios) * 100.0,
+        fmt_x(1.0 / geomean(&cpu_ratios))
+    );
+    println!(
+        "average: HyGCN uses {:.1}% of GPU energy ({} reduction; paper 10x)",
+        geomean(&gpu_ratios) * 100.0,
+        fmt_x(1.0 / geomean(&gpu_ratios))
+    );
+}

@@ -1,0 +1,30 @@
+//! Fig. 12 — Energy breakdown of HyGCN across Aggregation Engine,
+//! Combination Engine, and Coordinator (on-chip, as in Table 7).
+//!
+//! Paper shape: the Combination Engine consumes most of the energy
+//! (MVM-intensive), while the Aggregation Engine's share rises on
+//! high-degree datasets (CL, RD).
+
+use hygcn_bench::{evaluation_grid, header, TriRun};
+
+fn main() {
+    header("Fig. 12: HyGCN on-chip energy breakdown (%)");
+    println!(
+        "{:<6} {:<4} {:>10} {:>12} {:>12}",
+        "model", "ds", "AggEngine", "CombEngine", "Coordinator"
+    );
+    for (kind, key) in evaluation_grid() {
+        let tri = TriRun::run(kind, key);
+        let (a, c, k) = tri.hygcn.energy.shares();
+        println!(
+            "{:<6} {:<4} {:>9.1}% {:>11.1}% {:>11.1}%",
+            kind.abbrev(),
+            key.abbrev(),
+            a * 100.0,
+            c * 100.0,
+            k * 100.0
+        );
+    }
+    println!("\nshape check: CombEngine dominates on long-feature/citation graphs;");
+    println!("AggEngine's share rises on high-degree datasets (CL, RD).");
+}

@@ -1,0 +1,36 @@
+//! Fig. 13 — DRAM bandwidth utilization of PyG-CPU, PyG-GPU, and HyGCN.
+//!
+//! Paper: HyGCN improves utilization 16x over the CPU and 1.5x over the
+//! GPU on average; HyGCN's utilization dips on CL thanks to higher data
+//! reuse (denser connections).
+
+use hygcn_bench::{evaluation_grid, geomean, header, TriRun};
+
+fn main() {
+    header("Fig. 13: DRAM bandwidth utilization (%)");
+    println!(
+        "{:<6} {:<4} {:>10} {:>10} {:>10}",
+        "model", "ds", "PyG-CPU", "PyG-GPU", "HyGCN"
+    );
+    let mut vs_cpu = Vec::new();
+    let mut vs_gpu = Vec::new();
+    for (kind, key) in evaluation_grid() {
+        let tri = TriRun::run(kind, key);
+        let h = tri.hygcn.bandwidth_utilization;
+        vs_cpu.push(h / tri.cpu.bandwidth_utilization.max(1e-9));
+        vs_gpu.push(h / tri.gpu.bandwidth_utilization.max(1e-9));
+        println!(
+            "{:<6} {:<4} {:>9.1}% {:>9.1}% {:>9.1}%",
+            kind.abbrev(),
+            key.abbrev(),
+            tri.cpu.bandwidth_utilization * 100.0,
+            tri.gpu.bandwidth_utilization * 100.0,
+            h * 100.0
+        );
+    }
+    println!(
+        "\naverage improvement: {:.1}x over CPU (paper 16x), {:.1}x over GPU (paper 1.5x)",
+        geomean(&vs_cpu),
+        geomean(&vs_gpu)
+    );
+}

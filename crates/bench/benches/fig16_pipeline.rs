@@ -1,0 +1,66 @@
+//! Fig. 16 — Inter-engine pipeline ablation (GCN on CR/CS/PB):
+//!
+//! * (a) execution time with vs without the pipeline (paper: 27–53%
+//!   reduction);
+//! * (b) DRAM accesses (paper: reduced to 50–73% — the intermediate
+//!   aggregation results stop spilling to DRAM);
+//! * (c) vertex latency, latency-aware vs energy-aware pipeline (paper:
+//!   Lpipe cuts 7–29%);
+//! * (d) Combination Engine energy (paper: Epipe saves ~35%).
+
+use hygcn_bench::{bench_graph, bench_model, header};
+use hygcn_core::config::PipelineMode;
+use hygcn_core::{HyGcnConfig, SimReport, Simulator};
+use hygcn_gcn::model::ModelKind;
+use hygcn_graph::datasets::DatasetKey;
+
+fn run(key: DatasetKey, pipeline: PipelineMode) -> SimReport {
+    let graph = bench_graph(key);
+    let model = bench_model(ModelKind::Gcn, &graph);
+    let cfg = HyGcnConfig {
+        pipeline,
+        // A smaller Aggregation Buffer forces several chunks so the
+        // pipeline has something to overlap (as the paper's datasets do
+        // at full feature length).
+        aggregation_buffer_bytes: 4 << 20,
+        ..HyGcnConfig::default()
+    };
+    Simulator::new(cfg).simulate(&graph, &model).expect("bench config simulates")
+}
+
+fn main() {
+    header("Fig. 16(a)/(b): pipeline (PP) vs no pipeline (N-PP), GCN");
+    println!(
+        "{:<4} {:>14} {:>14} {:>14}",
+        "ds", "exec time %", "time saved", "DRAM access %"
+    );
+    for key in [DatasetKey::Cr, DatasetKey::Cs, DatasetKey::Pb] {
+        let pp = run(key, PipelineMode::LatencyAware);
+        let npp = run(key, PipelineMode::None);
+        println!(
+            "{:<4} {:>13.1}% {:>13.1}% {:>13.1}%",
+            key.abbrev(),
+            pp.cycles as f64 / npp.cycles as f64 * 100.0,
+            (1.0 - pp.cycles as f64 / npp.cycles as f64) * 100.0,
+            pp.dram_bytes() as f64 / npp.dram_bytes() as f64 * 100.0
+        );
+    }
+    println!("paper: 27-53% time saved; DRAM reduced to 50-73%.");
+
+    header("Fig. 16(c)/(d): latency-aware (Lpipe) vs energy-aware (Epipe)");
+    println!(
+        "{:<4} {:>20} {:>22}",
+        "ds", "vertex latency %", "CombEngine energy %"
+    );
+    for key in [DatasetKey::Cr, DatasetKey::Cs, DatasetKey::Pb] {
+        let lpipe = run(key, PipelineMode::LatencyAware);
+        let epipe = run(key, PipelineMode::EnergyAware);
+        println!(
+            "{:<4} {:>19.1}% {:>21.1}%",
+            key.abbrev(),
+            lpipe.avg_vertex_latency_cycles / epipe.avg_vertex_latency_cycles * 100.0,
+            epipe.energy.combination_j / lpipe.energy.combination_j * 100.0
+        );
+    }
+    println!("paper: Lpipe latency 71-93% of Epipe; Epipe CombEngine energy ~65% of Lpipe.");
+}

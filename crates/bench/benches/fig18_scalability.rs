@@ -1,0 +1,121 @@
+//! Fig. 18 — Scalability exploration (GSC model, CR/CS/PB):
+//!
+//! * (a–c) sparsity elimination under a sampling-factor sweep 1..16:
+//!   execution time, DRAM access, sparsity reduction;
+//! * (d–f) Aggregation Buffer capacity sweep 2–32 MB;
+//! * (g) systolic-module granularity: 32 modules of 1x128 assembled into
+//!   fewer, larger modules at fixed total PEs — vertex latency rises,
+//!   Combination Engine energy falls.
+
+use hygcn_bench::{bench_graph, bench_model, header};
+use hygcn_core::config::PipelineMode;
+use hygcn_core::{HyGcnConfig, SimReport, Simulator};
+use hygcn_gcn::model::ModelKind;
+use hygcn_graph::datasets::DatasetKey;
+use hygcn_graph::sampling::SamplePolicy;
+
+const DATASETS: [DatasetKey; 3] = [DatasetKey::Cr, DatasetKey::Cs, DatasetKey::Pb];
+
+fn run(key: DatasetKey, cfg: HyGcnConfig) -> SimReport {
+    let graph = bench_graph(key);
+    let model = bench_model(ModelKind::GraphSage, &graph);
+    Simulator::new(cfg).simulate(&graph, &model).expect("bench config simulates")
+}
+
+fn main() {
+    header("Fig. 18(a-c): sampling-factor sweep (GSC, sparsity elimination on)");
+    println!(
+        "{:<4} {:>7} {:>14} {:>14} {:>16}",
+        "ds", "factor", "exec time %", "DRAM access %", "sparsity reduct."
+    );
+    for key in DATASETS {
+        let base = run(
+            key,
+            HyGcnConfig {
+                sample_policy_override: Some(SamplePolicy::Factor(1)),
+                ..HyGcnConfig::default()
+            },
+        );
+        for factor in [1usize, 2, 4, 8, 16] {
+            let r = run(
+                key,
+                HyGcnConfig {
+                    sample_policy_override: Some(SamplePolicy::Factor(factor)),
+                    ..HyGcnConfig::default()
+                },
+            );
+            println!(
+                "{:<4} {:>7} {:>13.1}% {:>13.1}% {:>15.1}%",
+                key.abbrev(),
+                factor,
+                r.cycles as f64 / base.cycles as f64 * 100.0,
+                r.dram_bytes() as f64 / base.dram_bytes() as f64 * 100.0,
+                r.sparsity_reduction * 100.0
+            );
+        }
+    }
+
+    header("Fig. 18(d-f): Aggregation Buffer capacity sweep (GSC)");
+    println!(
+        "{:<4} {:>6} {:>14} {:>14} {:>16} {:>8}",
+        "ds", "MB", "exec time %", "DRAM access %", "sparsity reduct.", "chunks"
+    );
+    for key in DATASETS {
+        let base = run(
+            key,
+            HyGcnConfig {
+                aggregation_buffer_bytes: 2 << 20,
+                ..HyGcnConfig::default()
+            },
+        );
+        for mb in [2usize, 4, 8, 16, 32] {
+            let r = run(
+                key,
+                HyGcnConfig {
+                    aggregation_buffer_bytes: mb << 20,
+                    ..HyGcnConfig::default()
+                },
+            );
+            println!(
+                "{:<4} {:>6} {:>13.1}% {:>13.1}% {:>15.1}% {:>8}",
+                key.abbrev(),
+                mb,
+                r.cycles as f64 / base.cycles as f64 * 100.0,
+                r.dram_bytes() as f64 / base.dram_bytes() as f64 * 100.0,
+                r.sparsity_reduction * 100.0,
+                r.chunks
+            );
+        }
+    }
+
+    header("Fig. 18(g): systolic-module granularity at fixed 4096 PEs (GSC)");
+    println!(
+        "{:<4} {:>8} {:>12} {:>18} {:>20}",
+        "ds", "modules", "rows each", "vertex latency %", "CombEngine energy %"
+    );
+    // (modules, rows, group vertices): 32 basic 1x128 arrays re-assembled.
+    let sweeps = [(32usize, 1usize, 4usize), (16, 2, 8), (8, 4, 16), (4, 8, 32), (2, 16, 64), (1, 32, 128)];
+    for key in DATASETS {
+        let mk = |(m, r, g): (usize, usize, usize)| HyGcnConfig {
+            systolic_modules: m,
+            module_rows: r,
+            module_group_vertices: g,
+            pipeline: PipelineMode::LatencyAware,
+            ..HyGcnConfig::default()
+        };
+        let base = run(key, mk(sweeps[0]));
+        for s in sweeps {
+            let r = run(key, mk(s));
+            println!(
+                "{:<4} {:>8} {:>12} {:>17.1}% {:>19.1}%",
+                key.abbrev(),
+                s.0,
+                s.1,
+                r.avg_vertex_latency_cycles / base.avg_vertex_latency_cycles * 100.0,
+                r.energy.combination_j / base.energy.combination_j * 100.0
+            );
+        }
+    }
+    println!("\npaper: latency grows and energy falls as modules coarsen;");
+    println!("the 8x(4x128) point is the chosen latency/energy trade-off.");
+}

@@ -1,0 +1,51 @@
+//! Table 2 — Quantitative characterization of GCN on COLLAB on the CPU:
+//! DRAM bytes per op, DRAM access energy per op, L2/L3 cache MPKI, and
+//! the synchronization-time ratio.
+//!
+//! Paper reference values: Aggregation 11.6 B/op, 170 nJ/op, L2 MPKI 11,
+//! L3 MPKI 10; Combination 0.06 B/op, 0.5 nJ/op, L2 MPKI 1.5,
+//! L3 MPKI 0.9; sync ratio 36%.
+
+use hygcn_baseline::characterize::characterize;
+use hygcn_baseline::params::CpuParams;
+use hygcn_bench::{bench_graph, bench_model, header};
+use hygcn_gcn::model::ModelKind;
+use hygcn_graph::datasets::DatasetKey;
+
+fn main() {
+    header("Table 2: CPU characterization (GCN on COLLAB)");
+    let graph = bench_graph(DatasetKey::Cl);
+    let model = bench_model(ModelKind::Gcn, &graph);
+    let c = characterize(&graph, &model, &CpuParams::default(), 2_000_000);
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>16}",
+        "metric", "aggregation", "combination", "paper (agg/comb)"
+    );
+    println!(
+        "{:<34} {:>12.2} {:>12.3} {:>16}",
+        "DRAM bytes per op",
+        c.aggregation.dram_bytes_per_op,
+        c.combination.dram_bytes_per_op,
+        "11.6 / 0.06"
+    );
+    println!(
+        "{:<34} {:>11.1}n {:>11.2}n {:>16}",
+        "DRAM access energy per op (J)",
+        c.aggregation.dram_energy_per_op_j * 1e9,
+        c.combination.dram_energy_per_op_j * 1e9,
+        "170n / 0.5n"
+    );
+    println!(
+        "{:<34} {:>12.1} {:>12.2} {:>16}",
+        "L2 cache MPKI", c.aggregation.l2_mpki, c.combination.l2_mpki, "11 / 1.5"
+    );
+    println!(
+        "{:<34} {:>12.1} {:>12.2} {:>16}",
+        "L3 cache MPKI", c.aggregation.l3_mpki, c.combination.l3_mpki, "10 / 0.9"
+    );
+    println!(
+        "{:<34} {:>12} {:>11.0}% {:>16}",
+        "ratio of synchronization time", "-", c.sync_ratio * 100.0, "- / 36%"
+    );
+}

@@ -1,0 +1,30 @@
+//! Table 7 — Layout characteristics of HyGCN: per-component power and
+//! area shares from the TSMC 12 nm synthesis, with absolute values
+//! derived from the 6.7 W / 7.8 mm² totals.
+
+use hygcn_bench::header;
+use hygcn_core::energy::AreaPowerModel;
+
+fn main() {
+    header("Table 7: HyGCN layout characteristics (TSMC 12 nm @ 1 GHz)");
+    let model = AreaPowerModel::default();
+    println!(
+        "{:<22} {:<14} {:>9} {:>9} {:>10} {:>11}",
+        "module", "component", "power %", "area %", "power mW", "area mm2"
+    );
+    for c in AreaPowerModel::breakdown() {
+        println!(
+            "{:<22} {:<14} {:>8.2}% {:>8.2}% {:>10.1} {:>11.3}",
+            c.module,
+            c.component,
+            c.power_pct,
+            c.area_pct,
+            model.component_power_w(&c) * 1e3,
+            model.component_area_mm2(&c)
+        );
+    }
+    println!(
+        "\ntotal: {:.1} W, {:.1} mm2 (paper: 6.7 W, 7.8 mm2)",
+        model.total_power_w, model.total_area_mm2
+    );
+}

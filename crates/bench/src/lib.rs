@@ -1,0 +1,157 @@
+//! # hygcn-bench
+//!
+//! Shared harness for the benchmark binaries that regenerate every table
+//! and figure of the paper's evaluation (§5). Each `benches/figNN_*.rs`
+//! target prints the same rows/series the paper reports; this library
+//! holds the common plumbing: dataset instantiation at bench scales,
+//! platform runners, and table formatting.
+//!
+//! ## Scales
+//!
+//! Datasets instantiate at [`bench_scale`]: full size for everything but
+//! Reddit, which defaults to 1/16 (its statistics — average degree,
+//! feature length, skew — are preserved; see DESIGN.md). Set
+//! `HYGCN_SCALE` (a multiplier in `(0, 1]`) to shrink everything for a
+//! smoke run, or `HYGCN_FULL=1` to force full-scale Reddit.
+
+use hygcn_baseline::{CpuModel, GpuModel, PlatformReport};
+use hygcn_core::{HyGcnConfig, SimReport, Simulator};
+use hygcn_gcn::model::{GcnModel, ModelKind};
+use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
+use hygcn_graph::Graph;
+
+/// The model × dataset grid of the paper's overall evaluation: GCN, GSC,
+/// and GIN on all six datasets; DiffPool on IB and CL only (Fig. 10–14).
+pub fn evaluation_grid() -> Vec<(ModelKind, DatasetKey)> {
+    let mut grid = Vec::new();
+    for kind in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gin] {
+        for key in DatasetKey::ALL {
+            grid.push((kind, key));
+        }
+    }
+    grid.push((ModelKind::DiffPool, DatasetKey::Ib));
+    grid.push((ModelKind::DiffPool, DatasetKey::Cl));
+    grid
+}
+
+/// The scale a dataset instantiates at for benchmarking, honoring the
+/// `HYGCN_SCALE` / `HYGCN_FULL` environment variables.
+pub fn bench_scale(spec: &DatasetSpec) -> f64 {
+    let base = if std::env::var("HYGCN_FULL").is_ok() {
+        1.0
+    } else {
+        spec.default_bench_scale()
+    };
+    let mult = std::env::var("HYGCN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(1e-3, 1.0);
+    (base * mult).min(1.0)
+}
+
+/// Instantiates a benchmark dataset at its bench scale.
+pub fn bench_graph(key: DatasetKey) -> Graph {
+    let spec = DatasetSpec::get(key);
+    spec.instantiate(bench_scale(&spec), 0x5EED)
+        .expect("dataset instantiation cannot fail at valid scales")
+}
+
+/// Builds the Table 5 model for a graph's feature length.
+pub fn bench_model(kind: ModelKind, graph: &Graph) -> GcnModel {
+    GcnModel::new(kind, graph.feature_len(), 0xC0DE).expect("nonzero feature length")
+}
+
+/// One workload's results on all three platforms.
+#[derive(Debug, Clone)]
+pub struct TriRun {
+    /// HyGCN simulation.
+    pub hygcn: SimReport,
+    /// PyG-CPU (shard-optimized — the paper's comparison baseline).
+    pub cpu: PlatformReport,
+    /// PyG-GPU (stock).
+    pub gpu: PlatformReport,
+}
+
+impl TriRun {
+    /// Runs `kind` on `key` across the three platforms.
+    pub fn run(kind: ModelKind, key: DatasetKey) -> Self {
+        let graph = bench_graph(key);
+        let model = bench_model(kind, &graph);
+        let hygcn = Simulator::new(HyGcnConfig::default())
+            .simulate(&graph, &model)
+            .expect("default config simulates all bench datasets");
+        let cpu = CpuModel::optimized().run(&graph, &model);
+        let gpu = GpuModel::naive().run(&graph, &model);
+        Self { hygcn, cpu, gpu }
+    }
+
+    /// HyGCN speedup over the CPU baseline.
+    pub fn speedup_cpu(&self) -> f64 {
+        self.cpu.time_s / self.hygcn.time_s
+    }
+
+    /// HyGCN speedup over the GPU baseline.
+    pub fn speedup_gpu(&self) -> f64 {
+        self.gpu.time_s / self.hygcn.time_s
+    }
+}
+
+/// Geometric mean (the paper reports average speedups across a grid).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Prints a figure/table header in a uniform style.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a ratio as the paper does (e.g. `1660.9x`).
+pub fn fmt_x(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else if x >= 10.0 {
+        format!("{x:.1}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_20_workloads() {
+        // 3 models x 6 datasets + DFP on 2 = 20 bars per figure.
+        assert_eq!(evaluation_grid().len(), 20);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fmt_x_styles() {
+        assert_eq!(fmt_x(1660.9), "1661x");
+        assert_eq!(fmt_x(17.14), "17.1x");
+        assert_eq!(fmt_x(6.5), "6.50x");
+    }
+
+    #[test]
+    fn bench_scale_reduces_reddit_only() {
+        // Guard against env leakage: only check when no overrides are set.
+        if std::env::var("HYGCN_FULL").is_err() && std::env::var("HYGCN_SCALE").is_err() {
+            let rd = DatasetSpec::get(DatasetKey::Rd);
+            let cr = DatasetSpec::get(DatasetKey::Cr);
+            assert!(bench_scale(&rd) < bench_scale(&cr));
+            assert_eq!(bench_scale(&cr), 1.0);
+        }
+    }
+}

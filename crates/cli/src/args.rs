@@ -1,0 +1,172 @@
+//! Minimal hand-rolled argument parsing (no external dependencies).
+//!
+//! Grammar: `hygcn <command> [--flag value]...`. Flags are typed at the
+//! call site via the accessor methods; unknown flags are rejected
+//! up front so typos fail loudly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus `--key value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Parse/validation errors, printable as user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A flag without a value, or a bare value without a flag.
+    Malformed(String),
+    /// A flag not in the accepted set.
+    UnknownFlag(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing command (try `hygcn help`)"),
+            ArgError::Malformed(tok) => write!(f, "malformed argument near '{tok}'"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag '--{flag}'"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value '{value}' for --{flag}: expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name), accepting only
+    /// flags listed in `allowed`.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut it = raw.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError::Malformed(tok));
+            };
+            if !allowed.contains(&name) {
+                return Err(ArgError::UnknownFlag(name.to_string()));
+            }
+            let value = it.next().ok_or_else(|| ArgError::Malformed(tok.clone()))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A raw string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.get(flag).unwrap_or(default)
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(toks: &[&str], allowed: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(toks.iter().map(|s| s.to_string()), allowed)
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(
+            &["simulate", "--dataset", "CR", "--model", "GCN"],
+            &["dataset", "model"],
+        )
+        .unwrap();
+        assert_eq!(a.command(), "simulate");
+        assert_eq!(a.get("dataset"), Some("CR"));
+        assert_eq!(a.get_or("model", "GIN"), "GCN");
+        assert_eq!(a.get_or("missing", "x"), "x");
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let e = parse(&["simulate", "--oops", "1"], &["dataset"]).unwrap_err();
+        assert!(matches!(e, ArgError::UnknownFlag(f) if f == "oops"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let e = parse(&["simulate", "--dataset"], &["dataset"]).unwrap_err();
+        assert!(matches!(e, ArgError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_bare_value() {
+        let e = parse(&["simulate", "CR"], &["dataset"]).unwrap_err();
+        assert!(matches!(e, ArgError::Malformed(_)));
+    }
+
+    #[test]
+    fn numeric_parsing() {
+        let a = parse(&["x", "--scale", "0.5"], &["scale"]).unwrap();
+        assert_eq!(a.get_parsed("scale", 1.0, "a float").unwrap(), 0.5);
+        assert_eq!(a.get_parsed("seed", 7u64, "an int").unwrap(), 7);
+        let a = parse(&["x", "--scale", "abc"], &["scale"]).unwrap();
+        assert!(a.get_parsed("scale", 1.0, "a float").is_err());
+    }
+
+    #[test]
+    fn empty_is_missing_command() {
+        assert_eq!(parse(&[], &[]).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ArgError::BadValue {
+            flag: "scale".into(),
+            value: "zz".into(),
+            expected: "a float in (0,1]",
+        };
+        assert!(e.to_string().contains("--scale"));
+    }
+}

@@ -1,0 +1,392 @@
+//! CLI subcommand implementations.
+
+use hygcn_baseline::{CpuModel, GpuModel};
+use hygcn_core::config::{HyGcnConfig, PipelineMode};
+use hygcn_core::Simulator;
+use hygcn_gcn::model::{GcnModel, ModelKind};
+use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
+use hygcn_graph::Graph;
+use hygcn_mem::hbm::HbmConfig;
+use hygcn_mem::scheduler::CoordinationMode;
+
+use crate::args::{ArgError, Args};
+
+/// Flags accepted by the workload-running commands.
+pub const WORKLOAD_FLAGS: &[&str] = &[
+    "dataset", "model", "scale", "seed", "layers", "pipeline", "coordination", "sparsity",
+    "aggbuf-mb", "inputbuf-kb", "knob", "edges", "feature-len",
+];
+
+/// Top-level error for command execution.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// Unknown dataset/model/enum value.
+    Unknown(String),
+    /// A substrate error.
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Unknown(msg) => write!(f, "{msg}"),
+            CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Resolves a dataset key from its paper abbreviation.
+pub fn dataset_key(name: &str) -> Result<DatasetKey, CliError> {
+    DatasetKey::ALL
+        .into_iter()
+        .find(|k| k.abbrev().eq_ignore_ascii_case(name))
+        .ok_or_else(|| CliError::Unknown(format!("unknown dataset '{name}' (IB/CR/CS/CL/PB/RD)")))
+}
+
+/// Resolves a model kind from its paper abbreviation.
+pub fn model_kind(name: &str) -> Result<ModelKind, CliError> {
+    ModelKind::ALL
+        .into_iter()
+        .find(|m| m.abbrev().eq_ignore_ascii_case(name))
+        .ok_or_else(|| CliError::Unknown(format!("unknown model '{name}' (GCN/GSC/GIN/DFP)")))
+}
+
+fn build_graph(args: &Args) -> Result<Graph, CliError> {
+    if let Some(path) = args.get("edges") {
+        // A user-supplied edge list (undirected, `src dst` per line).
+        let f: usize = args.get_parsed("feature-len", 128, "an integer >= 1")?;
+        return hygcn_graph::io::read_edge_list_file(path, f.max(1), true)
+            .map_err(|e| CliError::Runtime(e.to_string()));
+    }
+    let key = dataset_key(args.get_or("dataset", "CR"))?;
+    let spec = DatasetSpec::get(key);
+    let scale = args.get_parsed("scale", spec.default_bench_scale(), "a float in (0,1]")?;
+    let seed = args.get_parsed("seed", 0x5EEDu64, "an integer")?;
+    spec.instantiate(scale, seed)
+        .map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+fn build_config(args: &Args) -> Result<HyGcnConfig, CliError> {
+    let mut cfg = HyGcnConfig::default();
+    match args.get_or("pipeline", "latency") {
+        "latency" => cfg.pipeline = PipelineMode::LatencyAware,
+        "energy" => cfg.pipeline = PipelineMode::EnergyAware,
+        "none" => cfg.pipeline = PipelineMode::None,
+        other => return Err(CliError::Unknown(format!("unknown pipeline '{other}'"))),
+    }
+    match args.get_or("coordination", "on") {
+        "on" => {}
+        "off" => {
+            cfg.coordination = CoordinationMode::Fcfs;
+            cfg.hbm = HbmConfig::hbm1_uncoordinated();
+        }
+        other => return Err(CliError::Unknown(format!("unknown coordination '{other}'"))),
+    }
+    match args.get_or("sparsity", "on") {
+        "on" => {}
+        "off" => cfg.sparsity_elimination = false,
+        other => return Err(CliError::Unknown(format!("unknown sparsity '{other}'"))),
+    }
+    let agg_mb: usize = args.get_parsed("aggbuf-mb", 16, "an integer (MB)")?;
+    cfg.aggregation_buffer_bytes = agg_mb << 20;
+    let in_kb: usize = args.get_parsed("inputbuf-kb", 128, "an integer (KB)")?;
+    cfg.input_buffer_bytes = in_kb << 10;
+    Ok(cfg)
+}
+
+/// `hygcn simulate` — run one workload on the accelerator.
+pub fn simulate(args: &Args) -> Result<String, CliError> {
+    let graph = build_graph(args)?;
+    let kind = model_kind(args.get_or("model", "GCN"))?;
+    let cfg = build_config(args)?;
+    let layers: usize = args.get_parsed("layers", 1, "an integer >= 1")?;
+    let sim = Simulator::new(cfg);
+    let stack = sim
+        .simulate_stack(&graph, kind, layers.max(1), false)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let mut out = format!(
+        "{} on {} ({} vertices, {} edges, f={})\n",
+        kind.abbrev(),
+        graph.name(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.feature_len()
+    );
+    for (i, layer) in stack.layers.iter().enumerate() {
+        out += &format!(
+            "layer {}: {:>12} cycles  {:>8.3} ms  {:>9.3} mJ  {:>7.1} MB DRAM  bw {:>5.1}%  sparsity red. {:>5.1}%\n",
+            i + 1,
+            layer.cycles,
+            layer.time_s * 1e3,
+            layer.energy_j() * 1e3,
+            layer.dram_bytes() as f64 / 1e6,
+            layer.bandwidth_utilization * 100.0,
+            layer.sparsity_reduction * 100.0,
+        );
+    }
+    out += &format!(
+        "total:   {:>12} cycles  {:>8.3} ms  {:>9.3} mJ\n",
+        stack.total_cycles(),
+        stack.total_time_s() * 1e3,
+        stack.total_energy_j() * 1e3
+    );
+    Ok(out)
+}
+
+/// `hygcn compare` — HyGCN vs PyG-CPU vs PyG-GPU on one workload.
+pub fn compare(args: &Args) -> Result<String, CliError> {
+    let graph = build_graph(args)?;
+    let kind = model_kind(args.get_or("model", "GCN"))?;
+    let model = GcnModel::new(kind, graph.feature_len(), 0xC0DE)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let hygcn = Simulator::new(build_config(args)?)
+        .simulate(&graph, &model)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let cpu = CpuModel::optimized().run(&graph, &model);
+    let gpu = GpuModel::naive().run(&graph, &model);
+    let mut out = format!(
+        "{} on {}:\n{:<10} {:>12} {:>12} {:>12}\n",
+        kind.abbrev(),
+        graph.name(),
+        "platform",
+        "time",
+        "energy",
+        "DRAM"
+    );
+    for (name, t, e, d) in [
+        ("PyG-CPU", cpu.time_s, cpu.energy_j, cpu.dram_bytes),
+        ("PyG-GPU", gpu.time_s, gpu.energy_j, gpu.dram_bytes),
+        ("HyGCN", hygcn.time_s, hygcn.energy_j(), hygcn.dram_bytes()),
+    ] {
+        out += &format!(
+            "{:<10} {:>10.3}ms {:>10.3}mJ {:>10.1}MB\n",
+            name,
+            t * 1e3,
+            e * 1e3,
+            d as f64 / 1e6
+        );
+    }
+    out += &format!(
+        "speedup: {:.0}x vs CPU, {:.1}x vs GPU; energy: {:.0}x vs CPU, {:.1}x vs GPU\n",
+        cpu.time_s / hygcn.time_s,
+        gpu.time_s / hygcn.time_s,
+        cpu.energy_j / hygcn.energy_j(),
+        gpu.energy_j / hygcn.energy_j()
+    );
+    Ok(out)
+}
+
+/// `hygcn sweep --knob aggbuf|window|factor` — a design-space sweep.
+pub fn sweep(args: &Args) -> Result<String, CliError> {
+    let graph = build_graph(args)?;
+    let kind = model_kind(args.get_or("model", "GCN"))?;
+    let model = GcnModel::new(kind, graph.feature_len(), 0xC0DE)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let knob = args.get_or("knob", "aggbuf").to_string();
+    let mut out = format!("sweep '{knob}' of {} on {}:\n", kind.abbrev(), graph.name());
+    let run = |cfg: HyGcnConfig| {
+        Simulator::new(cfg)
+            .simulate(&graph, &model)
+            .map_err(|e| CliError::Runtime(e.to_string()))
+    };
+    match knob.as_str() {
+        "aggbuf" => {
+            for mb in [2usize, 4, 8, 16, 32] {
+                let r = run(HyGcnConfig {
+                    aggregation_buffer_bytes: mb << 20,
+                    ..HyGcnConfig::default()
+                })?;
+                out += &format!(
+                    "  {:>2} MB: {:>12} cycles, {:>8.1} MB DRAM, {:>3} chunks\n",
+                    mb,
+                    r.cycles,
+                    r.dram_bytes() as f64 / 1e6,
+                    r.chunks
+                );
+            }
+        }
+        "window" => {
+            for kb in [32usize, 64, 128, 256, 512] {
+                let r = run(HyGcnConfig {
+                    input_buffer_bytes: kb << 10,
+                    ..HyGcnConfig::default()
+                })?;
+                out += &format!(
+                    "  {:>3} KB input buffer: {:>12} cycles, sparsity red. {:>5.1}%\n",
+                    kb,
+                    r.cycles,
+                    r.sparsity_reduction * 100.0
+                );
+            }
+        }
+        "factor" => {
+            use hygcn_graph::sampling::SamplePolicy;
+            for f in [1usize, 2, 4, 8, 16] {
+                let r = run(HyGcnConfig {
+                    sample_policy_override: Some(SamplePolicy::Factor(f)),
+                    ..HyGcnConfig::default()
+                })?;
+                out += &format!(
+                    "  1/{:<2} sampling: {:>12} cycles, {:>8.1} MB DRAM\n",
+                    f,
+                    r.cycles,
+                    r.dram_bytes() as f64 / 1e6
+                );
+            }
+        }
+        other => {
+            return Err(CliError::Unknown(format!(
+                "unknown knob '{other}' (aggbuf/window/factor)"
+            )))
+        }
+    }
+    Ok(out)
+}
+
+/// `hygcn datasets` — the Table 4 registry.
+pub fn datasets() -> String {
+    let mut out = format!(
+        "{:<4} {:<10} {:>10} {:>9} {:>13} {:>10}\n",
+        "key", "name", "vertices", "feat.len", "edges", "avg.deg"
+    );
+    for spec in DatasetSpec::all() {
+        out += &format!(
+            "{:<4} {:<10} {:>10} {:>9} {:>13} {:>10.1}\n",
+            spec.key.abbrev(),
+            spec.name,
+            spec.vertices,
+            spec.feature_len,
+            spec.edges,
+            spec.avg_degree()
+        );
+    }
+    out
+}
+
+/// `hygcn help`.
+pub fn help() -> String {
+    "hygcn — HyGCN (HPCA 2020) accelerator simulator
+
+usage: hygcn <command> [--flag value]...
+
+commands:
+  simulate   run one workload on the accelerator
+             --dataset IB|CR|CS|CL|PB|RD   --model GCN|GSC|GIN|DFP
+             --layers N  --scale F  --seed N
+             --pipeline latency|energy|none  --coordination on|off
+             --sparsity on|off  --aggbuf-mb N  --inputbuf-kb N
+  compare    HyGCN vs PyG-CPU vs PyG-GPU on one workload (same flags)
+  sweep      design-space sweep: --knob aggbuf|window|factor (same flags)
+  datasets   list the Table 4 benchmark datasets
+  help       this text
+
+any workload command also accepts a user graph instead of --dataset:
+  --edges FILE (whitespace `src dst` edge list)  --feature-len N
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(toks: &[&str]) -> Args {
+        Args::parse(toks.iter().map(|s| s.to_string()), WORKLOAD_FLAGS).unwrap()
+    }
+
+    #[test]
+    fn resolves_names_case_insensitively() {
+        assert_eq!(dataset_key("cr").unwrap(), DatasetKey::Cr);
+        assert_eq!(model_kind("gin").unwrap(), ModelKind::Gin);
+        assert!(dataset_key("XX").is_err());
+        assert!(model_kind("MLP").is_err());
+    }
+
+    #[test]
+    fn simulate_small_workload() {
+        let out = simulate(&args(&["simulate", "--dataset", "IB", "--scale", "0.1"])).unwrap();
+        assert!(out.contains("GCN on IMDB-BIN"));
+        assert!(out.contains("layer 1"));
+        assert!(out.contains("total:"));
+    }
+
+    #[test]
+    fn simulate_multi_layer() {
+        let out = simulate(&args(&[
+            "simulate", "--dataset", "IB", "--scale", "0.1", "--layers", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("layer 2"));
+    }
+
+    #[test]
+    fn compare_reports_all_platforms() {
+        let out = compare(&args(&["compare", "--dataset", "IB", "--scale", "0.1"])).unwrap();
+        assert!(out.contains("PyG-CPU"));
+        assert!(out.contains("PyG-GPU"));
+        assert!(out.contains("HyGCN"));
+        assert!(out.contains("speedup:"));
+    }
+
+    #[test]
+    fn sweep_knobs() {
+        for knob in ["aggbuf", "window", "factor"] {
+            let out = sweep(&args(&[
+                "sweep", "--dataset", "IB", "--scale", "0.1", "--knob", knob,
+            ]))
+            .unwrap();
+            assert!(out.contains("sweep"), "{knob}");
+        }
+        assert!(sweep(&args(&["sweep", "--knob", "bogus", "--scale", "0.1"])).is_err());
+    }
+
+    #[test]
+    fn datasets_lists_all_six() {
+        let out = datasets();
+        for key in ["IB", "CR", "CS", "CL", "PB", "RD"] {
+            assert!(out.contains(key));
+        }
+    }
+
+    #[test]
+    fn config_flags_apply() {
+        let out = simulate(&args(&[
+            "simulate", "--dataset", "IB", "--scale", "0.1", "--pipeline", "none",
+            "--coordination", "off", "--sparsity", "off", "--aggbuf-mb", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("sparsity red.   0.0%"));
+    }
+
+    #[test]
+    fn user_edge_list_loads() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 3\n3 0\n").unwrap();
+        let out = simulate(&args(&[
+            "simulate", "--edges", path.to_str().unwrap(), "--feature-len", "32",
+        ]))
+        .unwrap();
+        assert!(out.contains("4 vertices"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_enum_values_error() {
+        assert!(simulate(&args(&["simulate", "--pipeline", "warp", "--scale", "0.1"])).is_err());
+        assert!(simulate(&args(&["simulate", "--dataset", "nope"])).is_err());
+    }
+}

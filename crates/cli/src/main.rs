@@ -1,0 +1,42 @@
+//! `hygcn` — command-line driver for the HyGCN (HPCA 2020) reproduction.
+//!
+//! ```text
+//! hygcn simulate --dataset CR --model GCN
+//! hygcn compare  --dataset PB --model GIN
+//! hygcn sweep    --dataset PB --knob aggbuf
+//! hygcn datasets
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use commands::{compare, datasets, help, simulate, sweep, CliError, WORKLOAD_FLAGS};
+
+fn run() -> Result<String, CliError> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return Ok(help());
+    }
+    let parsed = Args::parse(raw, WORKLOAD_FLAGS)?;
+    match parsed.command() {
+        "simulate" => simulate(&parsed),
+        "compare" => compare(&parsed),
+        "sweep" => sweep(&parsed),
+        "datasets" => Ok(datasets()),
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(CliError::Unknown(format!(
+            "unknown command '{other}' (try `hygcn help`)"
+        ))),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! HyGCN configuration (paper Table 6 defaults).
+
+use hygcn_graph::sampling::SamplePolicy;
+use hygcn_mem::hbm::HbmConfig;
+use hygcn_mem::scheduler::CoordinationMode;
+
+/// How the Aggregation Engine's eSched distributes edge work over the
+/// SIMD cores (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationMode {
+    /// Feature elements of each vertex spread across *all* cores; cores
+    /// never idle and vertex latency is minimal (HyGCN's choice).
+    #[default]
+    VertexDisperse,
+    /// Each vertex pinned to a single SIMD core; fast vertices wait for
+    /// slow ones (ablation baseline).
+    VertexConcentrated,
+}
+
+/// Inter-engine pipeline mode (paper §4.5.1, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Systolic modules independent; combination starts per small vertex
+    /// group as soon as its aggregation lands (lowest vertex latency).
+    #[default]
+    LatencyAware,
+    /// Systolic modules cooperate on large assembled groups; weights are
+    /// reused aggressively (lowest energy).
+    EnergyAware,
+    /// Ablation: no inter-engine pipeline — aggregation results spill to
+    /// DRAM and the Combination Engine reloads them phase-by-phase.
+    None,
+}
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyGcnConfig {
+    /// Clock frequency in GHz (1 GHz from synthesis, §5.1).
+    pub clock_ghz: f64,
+    /// Number of SIMD cores in the Aggregation Engine.
+    pub simd_cores: usize,
+    /// SIMD lanes per core.
+    pub simd_width: usize,
+    /// Number of systolic modules in the Combination Engine.
+    pub systolic_modules: usize,
+    /// PE rows per systolic module.
+    pub module_rows: usize,
+    /// PE columns per systolic module.
+    pub module_cols: usize,
+    /// Vertices a systolic module batches per independent-mode group.
+    pub module_group_vertices: usize,
+    /// Input Buffer capacity in bytes (double-buffered).
+    pub input_buffer_bytes: usize,
+    /// Edge Buffer capacity in bytes (double-buffered).
+    pub edge_buffer_bytes: usize,
+    /// Weight Buffer capacity in bytes (double-buffered).
+    pub weight_buffer_bytes: usize,
+    /// Output Buffer capacity in bytes (double-buffered).
+    pub output_buffer_bytes: usize,
+    /// Aggregation Buffer capacity in bytes (ping-pong halves).
+    pub aggregation_buffer_bytes: usize,
+    /// Off-chip memory model.
+    pub hbm: HbmConfig,
+    /// Off-chip access coordination mode.
+    pub coordination: CoordinationMode,
+    /// Inter-engine pipeline mode.
+    pub pipeline: PipelineMode,
+    /// Whether window sliding+shrinking sparsity elimination is enabled.
+    pub sparsity_elimination: bool,
+    /// SIMD work-distribution mode.
+    pub aggregation_mode: AggregationMode,
+    /// Seed for the runtime Sampler.
+    pub sample_seed: u64,
+    /// When set, overrides the model's sampling policy — used by the
+    /// sampling-factor sweep of Fig. 18(a–c).
+    pub sample_policy_override: Option<SamplePolicy>,
+    /// Record a per-step [`crate::timeline::ChunkTrace`] in the report.
+    pub record_timeline: bool,
+}
+
+impl Default for HyGcnConfig {
+    /// The Table 6 configuration: 1 GHz, 32 SIMD16 cores, 8 systolic
+    /// modules of 4x128 PEs, 128 KB Input / 2 MB Edge / 2 MB Weight /
+    /// 4 MB Output / 16 MB Aggregation buffers, HBM 1.0 at 256 GB/s,
+    /// all optimizations on.
+    fn default() -> Self {
+        Self {
+            clock_ghz: 1.0,
+            simd_cores: 32,
+            simd_width: 16,
+            systolic_modules: 8,
+            module_rows: 4,
+            module_cols: 128,
+            module_group_vertices: 16,
+            input_buffer_bytes: 128 << 10,
+            edge_buffer_bytes: 2 << 20,
+            weight_buffer_bytes: 2 << 20,
+            output_buffer_bytes: 4 << 20,
+            aggregation_buffer_bytes: 16 << 20,
+            hbm: HbmConfig::hbm1(),
+            coordination: CoordinationMode::PriorityBatched,
+            pipeline: PipelineMode::LatencyAware,
+            sparsity_elimination: true,
+            aggregation_mode: AggregationMode::VertexDisperse,
+            sample_seed: 0x4759,
+            sample_policy_override: None,
+            record_timeline: false,
+        }
+    }
+}
+
+impl HyGcnConfig {
+    /// Total SIMD lanes (`cores x width`).
+    pub fn simd_lanes(&self) -> usize {
+        self.simd_cores * self.simd_width
+    }
+
+    /// PEs per systolic module.
+    pub fn module_pes(&self) -> usize {
+        self.module_rows * self.module_cols
+    }
+
+    /// Total PEs in the Combination Engine.
+    pub fn total_pes(&self) -> usize {
+        self.systolic_modules * self.module_pes()
+    }
+
+    /// Source-feature rows that fit one working half of the Input Buffer —
+    /// the window height for features of `feature_len`.
+    pub fn window_height(&self, feature_len: usize) -> usize {
+        ((self.input_buffer_bytes / 2) / (feature_len.max(1) * 4)).max(1)
+    }
+
+    /// Destination vertices whose `feature_len`-wide partial results fit
+    /// one ping-pong half of the Aggregation Buffer — the chunk width.
+    pub fn chunk_width(&self, feature_len: usize) -> usize {
+        ((self.aggregation_buffer_bytes / 2) / (feature_len.max(1) * 4)).max(1)
+    }
+
+    /// Cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// The no-optimization ablation used as an internal baseline: FCFS
+    /// memory handling, no sparsity elimination, no pipeline.
+    pub fn ablated() -> Self {
+        Self {
+            hbm: HbmConfig::hbm1_uncoordinated(),
+            coordination: CoordinationMode::Fcfs,
+            pipeline: PipelineMode::None,
+            sparsity_elimination: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_defaults() {
+        let c = HyGcnConfig::default();
+        assert_eq!(c.simd_lanes(), 512);
+        assert_eq!(c.total_pes(), 4096);
+        assert_eq!(c.aggregation_buffer_bytes, 16 << 20);
+        assert_eq!(c.hbm.channels, 8);
+    }
+
+    #[test]
+    fn window_height_scales_inversely_with_feature_len() {
+        let c = HyGcnConfig::default();
+        // 64 KB working half / (1433 * 4 B) = 11 rows for Cora.
+        assert_eq!(c.window_height(1433), 11);
+        assert!(c.window_height(136) > c.window_height(1433));
+        assert_eq!(c.window_height(0), c.window_height(1));
+    }
+
+    #[test]
+    fn chunk_width_uses_half_buffer() {
+        let c = HyGcnConfig::default();
+        assert_eq!(c.chunk_width(128), (8 << 20) / (128 * 4));
+    }
+
+    #[test]
+    fn cycle_conversion_at_1ghz() {
+        let c = HyGcnConfig::default();
+        assert!((c.cycles_to_seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablated_turns_everything_off() {
+        let a = HyGcnConfig::ablated();
+        assert!(!a.sparsity_elimination);
+        assert_eq!(a.pipeline, PipelineMode::None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Dynamic energy model and the Table 7 area/power breakdown.
+//!
+//! Datapath energies are 12 nm-scaled estimates (32-bit fixed point);
+//! buffer energy comes from [`hygcn_mem::energy`]; HBM is 7 pJ/bit. The
+//! static [`AreaPowerModel`] reproduces Table 7's synthesis results, which
+//! downstream analyses (total power 6.7 W, area 7.8 mm²) consume directly.
+
+use hygcn_mem::energy::{edram_energy_j, hbm_energy_j};
+
+/// Energy of one 32-bit fixed-point MAC in a systolic PE, joules.
+pub const MAC_J: f64 = 0.5e-12;
+/// Energy of one SIMD accumulate element-op, joules.
+pub const SIMD_OP_J: f64 = 0.3e-12;
+
+/// Per-component dynamic energy of a simulated run.
+///
+/// The three engine components are *on-chip* energies (datapath +
+/// eDRAM buffers) — the basis of the Fig. 12 breakdown, which, like the
+/// Table 7 budget, covers the chip. Off-chip HBM energy is carried
+/// separately in [`EnergyBreakdown::hbm_j`] and included in totals
+/// (Fig. 11 compares platform energy including off-chip memory).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Aggregation Engine: SIMD datapath + Edge/Input buffers.
+    pub aggregation_j: f64,
+    /// Combination Engine: systolic datapath + Weight/Output buffers.
+    pub combination_j: f64,
+    /// Coordinator: the ping-pong Aggregation Buffer traffic.
+    pub coordinator_j: f64,
+    /// Off-chip HBM access energy (7 pJ/bit over all traffic).
+    pub hbm_j: f64,
+    /// Baseline chip power over the runtime (clock tree, leakage, idle
+    /// lanes): the synthesized 6.7 W envelope × execution time, matching
+    /// the paper's power×time methodology. Excluded from the Fig. 12
+    /// activity shares.
+    pub static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules, off-chip memory and chip baseline included.
+    pub fn total_j(&self) -> f64 {
+        self.aggregation_j + self.combination_j + self.coordinator_j + self.hbm_j + self.static_j
+    }
+
+    /// On-chip total (the Fig. 12 denominator).
+    pub fn on_chip_j(&self) -> f64 {
+        self.aggregation_j + self.combination_j + self.coordinator_j
+    }
+
+    /// Each on-chip component's share, in paper order
+    /// `(aggregation, combination, coordinator)`.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let t = self.on_chip_j();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.aggregation_j / t,
+            self.combination_j / t,
+            self.coordinator_j / t,
+        )
+    }
+}
+
+/// Raw activity counters the simulator accumulates; converted to joules
+/// by [`EnergyBreakdown::from_activity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Activity {
+    /// SIMD element ops in the Aggregation Engine.
+    pub simd_ops: u64,
+    /// Systolic MACs in the Combination Engine.
+    pub macs: u64,
+    /// Edge + Input buffer eDRAM traffic, bytes.
+    pub agg_buffer_traffic: u64,
+    /// Weight + Output buffer eDRAM traffic, bytes.
+    pub comb_buffer_traffic: u64,
+    /// Aggregation (ping-pong) buffer eDRAM traffic, bytes.
+    pub coordinator_buffer_traffic: u64,
+    /// HBM bytes issued by the Aggregation Engine (edges + features).
+    pub agg_hbm_bytes: u64,
+    /// HBM bytes issued by the Combination Engine (weights + outputs).
+    pub comb_hbm_bytes: u64,
+    /// HBM bytes for intermediate-result spills (no-pipeline ablation).
+    pub spill_hbm_bytes: u64,
+}
+
+impl EnergyBreakdown {
+    /// Converts activity counters to joules.
+    pub fn from_activity(a: &Activity) -> Self {
+        Self {
+            aggregation_j: a.simd_ops as f64 * SIMD_OP_J
+                + edram_energy_j(a.agg_buffer_traffic),
+            combination_j: a.macs as f64 * MAC_J
+                + edram_energy_j(a.comb_buffer_traffic),
+            coordinator_j: edram_energy_j(a.coordinator_buffer_traffic),
+            hbm_j: hbm_energy_j(a.agg_hbm_bytes + a.comb_hbm_bytes + a.spill_hbm_bytes),
+            static_j: 0.0,
+        }
+    }
+
+    /// Adds the chip's baseline power envelope over `time_s` seconds.
+    pub fn with_static(mut self, time_s: f64) -> Self {
+        self.static_j = AreaPowerModel::default().total_power_w * time_s;
+        self
+    }
+}
+
+/// One row of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentBudget {
+    /// Module ("Aggregation Engine", ...).
+    pub module: &'static str,
+    /// Component within the module ("Buffer", "Computation", "Control").
+    pub component: &'static str,
+    /// Share of total power, percent.
+    pub power_pct: f64,
+    /// Share of total area, percent.
+    pub area_pct: f64,
+}
+
+/// The synthesized area/power budget of HyGCN (Table 7; TSMC 12 nm,
+/// 1 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaPowerModel {
+    /// Total power in watts.
+    pub total_power_w: f64,
+    /// Total area in mm².
+    pub total_area_mm2: f64,
+}
+
+impl Default for AreaPowerModel {
+    fn default() -> Self {
+        Self {
+            total_power_w: 6.7,
+            total_area_mm2: 7.8,
+        }
+    }
+}
+
+impl AreaPowerModel {
+    /// The Table 7 breakdown rows.
+    pub fn breakdown() -> [ComponentBudget; 8] {
+        [
+            ComponentBudget { module: "Aggregation Engine", component: "Buffer", power_pct: 2.37, area_pct: 5.41 },
+            ComponentBudget { module: "Aggregation Engine", component: "Computation", power_pct: 3.85, area_pct: 1.43 },
+            ComponentBudget { module: "Aggregation Engine", component: "Control", power_pct: 0.48, area_pct: 0.18 },
+            ComponentBudget { module: "Combination Engine", component: "Buffer", power_pct: 14.4, area_pct: 15.13 },
+            ComponentBudget { module: "Combination Engine", component: "Computation", power_pct: 60.52, area_pct: 42.96 },
+            ComponentBudget { module: "Combination Engine", component: "Control", power_pct: 0.31, area_pct: 0.07 },
+            ComponentBudget { module: "Coordinator", component: "Buffer", power_pct: 17.66, area_pct: 34.64 },
+            ComponentBudget { module: "Coordinator", component: "Control", power_pct: 0.41, area_pct: 0.19 },
+        ]
+    }
+
+    /// Absolute power of one component, watts.
+    pub fn component_power_w(&self, c: &ComponentBudget) -> f64 {
+        self.total_power_w * c.power_pct / 100.0
+    }
+
+    /// Absolute area of one component, mm².
+    pub fn component_area_mm2(&self, c: &ComponentBudget) -> f64 {
+        self.total_area_mm2 * c.area_pct / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_to_roughly_100_percent() {
+        let p: f64 = AreaPowerModel::breakdown().iter().map(|c| c.power_pct).sum();
+        let a: f64 = AreaPowerModel::breakdown().iter().map(|c| c.area_pct).sum();
+        assert!((p - 100.0).abs() < 1.0, "power {p}%");
+        assert!((a - 100.0).abs() < 1.0, "area {a}%");
+    }
+
+    #[test]
+    fn combination_compute_dominates_power() {
+        let rows = AreaPowerModel::breakdown();
+        let comb_compute = rows
+            .iter()
+            .find(|c| c.module == "Combination Engine" && c.component == "Computation")
+            .unwrap();
+        assert!(rows.iter().all(|c| c.power_pct <= comb_compute.power_pct));
+    }
+
+    #[test]
+    fn coordinator_area_is_large() {
+        // The Aggregation Buffer gives the Coordinator ~35% of the area.
+        let coord_buffer = AreaPowerModel::breakdown()
+            .into_iter()
+            .find(|c| c.module == "Coordinator" && c.component == "Buffer")
+            .unwrap();
+        assert!(coord_buffer.area_pct > 30.0);
+    }
+
+    #[test]
+    fn energy_from_activity_attributes_correctly() {
+        let a = Activity {
+            simd_ops: 1_000_000,
+            macs: 1_000_000,
+            ..Default::default()
+        };
+        let e = EnergyBreakdown::from_activity(&a);
+        assert!(e.combination_j > e.aggregation_j); // MAC_J > SIMD_OP_J
+        assert_eq!(e.coordinator_j, 0.0);
+        let (sa, sc, _) = e.shares();
+        assert!((sa + sc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_component_values() {
+        let m = AreaPowerModel::default();
+        let rows = AreaPowerModel::breakdown();
+        let total_w: f64 = rows.iter().map(|c| m.component_power_w(c)).sum();
+        assert!((total_w - 6.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_breakdown_shares_are_zero() {
+        assert_eq!(EnergyBreakdown::default().shares(), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,296 @@
+//! The Aggregation Engine (paper §4.3).
+//!
+//! Executes the edge-centric half of the programming model: for each
+//! destination interval (chunk), the Sparsity Eliminator plans effectual
+//! windows over the source dimension (Fig. 5), the prefetcher issues the
+//! edge and feature loads, and eSched disperses the element-wise
+//! accumulations over the 32 SIMD16 cores (Fig. 4). The engine emits a
+//! per-chunk cost record; actual DRAM timing is resolved by the shared
+//! memory handler in [`crate::sim`].
+
+use hygcn_graph::partition::Interval;
+use hygcn_graph::window::WindowPlanner;
+use hygcn_graph::{Graph, VertexId};
+use hygcn_mem::request::{MemRequest, RequestKind};
+
+use crate::config::{AggregationMode, HyGcnConfig};
+
+/// Cost record for aggregating one destination chunk.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkAggregation {
+    /// SIMD compute cycles (including eSched issue and Sampler filtering).
+    pub compute_cycles: u64,
+    /// Element-wise accumulate operations executed.
+    pub elem_ops: u64,
+    /// Edges aggregated in this chunk.
+    pub edges: u64,
+    /// Source feature rows loaded from DRAM.
+    pub feature_rows_loaded: u64,
+    /// DRAM requests (edge array + effectual feature windows).
+    pub requests: Vec<MemRequest>,
+    /// Edge Buffer eDRAM traffic in bytes (fill + read).
+    pub edge_buffer_bytes: u64,
+    /// Input Buffer eDRAM traffic in bytes (fill + per-edge reads).
+    pub input_buffer_bytes: u64,
+    /// Aggregation Buffer write traffic in bytes (accumulator updates).
+    pub agg_buffer_bytes: u64,
+}
+
+/// The Aggregation Engine model.
+#[derive(Debug, Clone)]
+pub struct AggregationEngine {
+    lanes: u64,
+    cores: u64,
+    simd_width: u64,
+    mode: AggregationMode,
+    sparsity_elimination: bool,
+    window_height: usize,
+    /// Base address of the (sampled) feature matrix `X^{k-1}` in DRAM.
+    feature_base: u64,
+    /// Base address of the edge array in DRAM.
+    edge_base: u64,
+}
+
+impl AggregationEngine {
+    /// Builds the engine for features of `feature_len` elements.
+    ///
+    /// `feature_base`/`edge_base` position the data structures in the
+    /// physical address space (the memory handler's layout).
+    pub fn new(
+        config: &HyGcnConfig,
+        feature_len: usize,
+        feature_base: u64,
+        edge_base: u64,
+    ) -> Self {
+        Self {
+            lanes: config.simd_lanes() as u64,
+            cores: config.simd_cores as u64,
+            simd_width: config.simd_width as u64,
+            mode: config.aggregation_mode,
+            sparsity_elimination: config.sparsity_elimination,
+            window_height: config.window_height(feature_len),
+            feature_base,
+            edge_base,
+        }
+    }
+
+    /// The planned window height in source rows.
+    pub fn window_height(&self) -> usize {
+        self.window_height
+    }
+
+    /// Aggregates destination interval `dst` of `graph` (features of
+    /// `feature_len`), including the self-term element work when
+    /// `include_self`. `sampler_edges` is the count of *pre-sampling*
+    /// edges the runtime Sampler had to filter (zero when not sampling).
+    /// `paths` is the number of aggregation passes (2 for DiffPool).
+    pub fn process_chunk(
+        &self,
+        graph: &Graph,
+        dst: Interval,
+        feature_len: usize,
+        include_self: bool,
+        sampler_edges: u64,
+        paths: u64,
+    ) -> ChunkAggregation {
+        let row_bytes = (feature_len * 4) as u64;
+        let mut out = ChunkAggregation::default();
+
+        // --- Sparsity Eliminator: plan the effectual windows. ---
+        let planner = WindowPlanner::new(self.window_height);
+        if self.sparsity_elimination {
+            for w in planner.plan(graph, dst) {
+                let rows = w.rows.len() as u64;
+                out.feature_rows_loaded += rows;
+                out.edges += w.edge_count as u64;
+                out.requests.push(MemRequest::read(
+                    RequestKind::InputFeatures,
+                    self.feature_base + u64::from(w.rows.start) * row_bytes,
+                    (rows * row_bytes) as u32,
+                ));
+            }
+        } else {
+            // Full sweep: every source interval is loaded whole.
+            let n = graph.num_vertices() as u64;
+            let h = self.window_height as u64;
+            let mut row = 0u64;
+            while row < n {
+                let rows = h.min(n - row);
+                out.feature_rows_loaded += rows;
+                out.requests.push(MemRequest::read(
+                    RequestKind::InputFeatures,
+                    self.feature_base + row * row_bytes,
+                    (rows * row_bytes) as u32,
+                ));
+                row += rows;
+            }
+            out.edges = dst
+                .iter()
+                .map(|v| graph.in_degree(v) as u64)
+                .sum::<u64>();
+        }
+
+        // --- Edge loads: the chunk's CSC columns are contiguous. ---
+        let offsets = graph.csc().offsets();
+        let e_start = offsets[dst.start as usize] as u64;
+        let e_end = offsets[dst.end as usize] as u64;
+        debug_assert_eq!(e_end - e_start, out.edges, "edge accounting");
+        if out.edges > 0 {
+            out.requests.push(MemRequest::read(
+                RequestKind::Edges,
+                self.edge_base + e_start * 4,
+                ((e_end - e_start) * 4) as u32,
+            ));
+        }
+
+        // --- Compute: eSched dispatch + SIMD accumulation. ---
+        let self_ops = if include_self {
+            dst.len() as u64 * feature_len as u64
+        } else {
+            0
+        };
+        out.elem_ops = (out.edges * feature_len as u64 + self_ops) * paths;
+        let issue_cycles = out.edges * paths / self.cores.max(1) + 1;
+        let sampler_cycles = sampler_edges / self.cores.max(1);
+        let accumulate_cycles = match self.mode {
+            AggregationMode::VertexDisperse => out.elem_ops.div_ceil(self.lanes),
+            AggregationMode::VertexConcentrated => {
+                self.concentrated_cycles(graph, dst, feature_len) * paths
+            }
+        };
+        out.compute_cycles = accumulate_cycles + issue_cycles + sampler_cycles;
+
+        // --- On-chip buffer traffic. ---
+        out.edge_buffer_bytes = 2 * out.edges * 4 * paths;
+        out.input_buffer_bytes =
+            out.feature_rows_loaded * row_bytes + out.edges * row_bytes * paths;
+        // Accumulators are read-modify-written per element op.
+        out.agg_buffer_bytes = 2 * out.elem_ops * 4;
+
+        out
+    }
+
+    /// Vertex-concentrated mode: each vertex's whole reduction runs on one
+    /// SIMD core (round-robin assignment); the chunk takes as long as the
+    /// most loaded core (Fig. 4's workload-imbalance argument).
+    fn concentrated_cycles(&self, graph: &Graph, dst: Interval, feature_len: usize) -> u64 {
+        let cores = self.cores as usize;
+        let mut loads = vec![0u64; cores];
+        let per_edge = (feature_len as u64).div_ceil(self.simd_width);
+        for (i, v) in dst.iter().enumerate() {
+            let deg = graph.in_degree(v as VertexId) as u64;
+            loads[i % cores] += deg.max(1) * per_edge;
+        }
+        loads.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygcn_graph::GraphBuilder;
+
+    fn engine(cfg: &HyGcnConfig, f: usize) -> AggregationEngine {
+        AggregationEngine::new(cfg, f, 0, 1 << 30)
+    }
+
+    fn star_graph() -> Graph {
+        // Hub vertex 0 with 64 spokes; spokes also chained.
+        let mut b = GraphBuilder::new(65).feature_len(32);
+        for v in 1..=64u32 {
+            b = b.edge(v, 0).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn covers_all_chunk_edges() {
+        let g = star_graph();
+        let cfg = HyGcnConfig::default();
+        let c = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        assert_eq!(c.edges, 64);
+        assert_eq!(c.elem_ops, 64 * 32);
+    }
+
+    #[test]
+    fn sparsity_elimination_reduces_feature_loads() {
+        let g = star_graph();
+        let mut cfg = HyGcnConfig::default();
+        cfg.sparsity_elimination = true;
+        let with = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 1), 32, false, 0, 1);
+        cfg.sparsity_elimination = false;
+        let without = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 1), 32, false, 0, 1);
+        assert!(with.feature_rows_loaded <= without.feature_rows_loaded);
+        assert_eq!(with.edges, without.edges);
+        // Vertex 0's sources are rows 1..=64: a contiguous window, so
+        // elimination loads exactly those.
+        assert_eq!(with.feature_rows_loaded, 64);
+        assert_eq!(without.feature_rows_loaded, 65);
+    }
+
+    #[test]
+    fn disperse_beats_concentrated_on_skewed_degrees() {
+        let g = star_graph();
+        let mut cfg = HyGcnConfig::default();
+        cfg.aggregation_mode = AggregationMode::VertexDisperse;
+        let d = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        cfg.aggregation_mode = AggregationMode::VertexConcentrated;
+        let c = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        assert!(
+            c.compute_cycles > d.compute_cycles,
+            "concentrated {} vs disperse {}",
+            c.compute_cycles,
+            d.compute_cycles
+        );
+    }
+
+    #[test]
+    fn self_term_adds_vertex_ops() {
+        let g = star_graph();
+        let cfg = HyGcnConfig::default();
+        let no_self = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        let with_self = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, true, 0, 1);
+        assert_eq!(with_self.elem_ops - no_self.elem_ops, 65 * 32);
+    }
+
+    #[test]
+    fn sampler_adds_filter_cycles() {
+        let g = star_graph();
+        let cfg = HyGcnConfig::default();
+        let plain = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        let sampled =
+            engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 64_000, 1);
+        assert!(sampled.compute_cycles > plain.compute_cycles);
+    }
+
+    #[test]
+    fn diffpool_paths_double_work() {
+        let g = star_graph();
+        let cfg = HyGcnConfig::default();
+        let one = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        let two = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 2);
+        assert_eq!(two.elem_ops, 2 * one.elem_ops);
+    }
+
+    #[test]
+    fn requests_use_priority_classes() {
+        let g = star_graph();
+        let cfg = HyGcnConfig::default();
+        let c = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        assert!(c
+            .requests
+            .iter()
+            .any(|r| r.kind == RequestKind::InputFeatures));
+        assert!(c.requests.iter().any(|r| r.kind == RequestKind::Edges));
+        assert!(c.requests.iter().all(|r| !r.is_write));
+    }
+
+    #[test]
+    fn empty_interval_is_cheap() {
+        let g = GraphBuilder::new(8).feature_len(16).build();
+        let cfg = HyGcnConfig::default();
+        let c = engine(&cfg, 16).process_chunk(&g, Interval::new(0, 8), 16, false, 0, 1);
+        assert_eq!(c.edges, 0);
+        assert_eq!(c.elem_ops, 0);
+    }
+}

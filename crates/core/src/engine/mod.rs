@@ -1,0 +1,10 @@
+//! The two processing engines of the hybrid architecture.
+//!
+//! The Aggregation Engine ([`aggregation`]) absorbs the dynamic, irregular
+//! phase; the Combination Engine ([`combination`]) exploits the static,
+//! regular phase. Each produces per-chunk cost records (compute cycles,
+//! buffer traffic, DRAM requests) that the top-level simulator
+//! ([`crate::sim`]) schedules through the shared memory access handler.
+
+pub mod aggregation;
+pub mod combination;

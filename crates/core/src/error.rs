@@ -1,0 +1,87 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use hygcn_gcn::GcnError;
+use hygcn_graph::GraphError;
+
+/// Errors produced by the accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Buffer configuration cannot hold even one feature vector.
+    BufferTooSmall {
+        /// Which buffer.
+        buffer: &'static str,
+        /// Bytes required for a single vector.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Model/graph mismatch or functional failure.
+    Gcn(GcnError),
+    /// Graph-side failure.
+    Graph(GraphError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BufferTooSmall {
+                buffer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{buffer} buffer too small: one vector needs {needed} bytes, only {available} available"
+            ),
+            SimError::Gcn(e) => write!(f, "model error: {e}"),
+            SimError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Gcn(e) => Some(e),
+            SimError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GcnError> for SimError {
+    fn from(e: GcnError) -> Self {
+        SimError::Gcn(e)
+    }
+}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BufferTooSmall {
+            buffer: "input",
+            needed: 5732,
+            available: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("input"));
+        assert!(s.contains("5732"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SimError = GcnError::InvalidModel("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

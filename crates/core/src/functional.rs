@@ -1,0 +1,241 @@
+//! Functional execution on the 32-bit fixed-point datapath.
+//!
+//! HyGCN computes in 32-bit fixed point, which the paper states "is
+//! enough to maintain the accuracy of GCN inference" (§5.2.1). This
+//! module executes one model layer entirely in Q16.16 — aggregation
+//! accumulates and systolic MACs — and is validated against the `f32`
+//! golden model of [`hygcn_gcn::reference`]. It doubles as the
+//! correctness oracle for the cycle model's operation counting.
+
+use hygcn_gcn::aggregate::{norm_coeff, Aggregator, SelfTerm};
+use hygcn_gcn::model::{GcnModel, PhaseOrder};
+use hygcn_gcn::GcnError;
+use hygcn_graph::sampling::Sampler;
+use hygcn_graph::Graph;
+use hygcn_tensor::fixed::{quantize, Fixed32};
+use hygcn_tensor::Matrix;
+
+/// Executes one layer of `model` in fixed point and returns the result
+/// converted back to `f32`.
+///
+/// Follows the same phase order and sampling seed as the reference
+/// executor so outputs are directly comparable.
+///
+/// # Errors
+///
+/// Returns [`GcnError::FeatureShape`] if `x` does not match.
+pub fn run_fixed(
+    graph: &Graph,
+    x: &Matrix,
+    model: &GcnModel,
+    sample_seed: u64,
+) -> Result<Matrix, GcnError> {
+    let expected = (graph.num_vertices(), model.feature_len());
+    if x.shape() != expected {
+        return Err(GcnError::FeatureShape {
+            expected,
+            found: x.shape(),
+        });
+    }
+    let policy = model.kind().sample_policy();
+    let sampled;
+    let g = if policy.is_sampling() {
+        sampled = Sampler::new(sample_seed).sample(graph, policy);
+        &sampled
+    } else {
+        graph
+    };
+
+    let qx = quantize_matrix(x);
+    let out = match model.kind().phase_order() {
+        PhaseOrder::CombineFirst => {
+            let combined = combine_fixed(&qx, model)?;
+            aggregate_fixed(g, &combined, model)
+        }
+        PhaseOrder::AggregateFirst => {
+            let aggregated = aggregate_fixed(g, &qx, model);
+            combine_fixed(&aggregated, model)?
+        }
+    };
+    Ok(dequantize_matrix(&out, graph.num_vertices()))
+}
+
+type QMatrix = Vec<Vec<Fixed32>>;
+
+fn quantize_matrix(x: &Matrix) -> QMatrix {
+    (0..x.rows()).map(|r| quantize(x.row(r))).collect()
+}
+
+fn dequantize_matrix(q: &QMatrix, rows: usize) -> Matrix {
+    let cols = q.first().map_or(0, Vec::len);
+    let mut m = Matrix::zeros(rows, cols);
+    for (r, row) in q.iter().enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            m[(r, c)] = v.to_f32();
+        }
+    }
+    m
+}
+
+fn aggregate_fixed(g: &Graph, x: &QMatrix, model: &GcnModel) -> QMatrix {
+    let agg = model.kind().aggregator();
+    let self_term = model.kind().self_term();
+    let f = x.first().map_or(0, Vec::len);
+    let mut out = Vec::with_capacity(g.num_vertices());
+    for v in 0..g.num_vertices() as u32 {
+        let neighbors = g.in_neighbors(v);
+        let mut count = neighbors.len();
+        let mut acc = vec![init_value(agg); f];
+        for &u in neighbors {
+            let w = edge_weight(g, agg, u, v);
+            fold_fixed(agg, &mut acc, &x[u as usize], w);
+        }
+        match self_term {
+            SelfTerm::None => {}
+            SelfTerm::Include => {
+                let w = edge_weight(g, agg, v, v);
+                fold_fixed(agg, &mut acc, &x[v as usize], w);
+                count += 1;
+            }
+            SelfTerm::Weighted(s) => {
+                let s = Fixed32::from_f32(s);
+                for (a, &b) in acc.iter_mut().zip(&x[v as usize]) {
+                    *a = a.mac(s, b);
+                }
+                count += 1;
+            }
+        }
+        if count == 0 {
+            acc.iter_mut().for_each(|a| *a = Fixed32::ZERO);
+        } else if agg == Aggregator::Mean {
+            let inv = Fixed32::from_f32(1.0 / count as f32);
+            for a in acc.iter_mut() {
+                *a = *a * inv;
+            }
+        }
+        out.push(acc);
+    }
+    out
+}
+
+fn init_value(agg: Aggregator) -> Fixed32 {
+    match agg {
+        Aggregator::Max => Fixed32::MIN,
+        Aggregator::Min => Fixed32::MAX,
+        _ => Fixed32::ZERO,
+    }
+}
+
+fn edge_weight(g: &Graph, agg: Aggregator, u: u32, v: u32) -> Fixed32 {
+    if agg.needs_norm() {
+        Fixed32::from_f32(norm_coeff(g, u, v))
+    } else {
+        Fixed32::ONE
+    }
+}
+
+fn fold_fixed(agg: Aggregator, acc: &mut [Fixed32], x: &[Fixed32], w: Fixed32) {
+    match agg {
+        Aggregator::Add | Aggregator::Mean => {
+            for (a, &b) in acc.iter_mut().zip(x) {
+                *a = *a + b;
+            }
+        }
+        Aggregator::NormalizedAdd => {
+            for (a, &b) in acc.iter_mut().zip(x) {
+                *a = a.mac(w, b);
+            }
+        }
+        Aggregator::Max => {
+            for (a, &b) in acc.iter_mut().zip(x) {
+                *a = (*a).max(b);
+            }
+        }
+        Aggregator::Min => {
+            for (a, &b) in acc.iter_mut().zip(x) {
+                *a = (*a).min(b);
+            }
+        }
+    }
+}
+
+fn combine_fixed(x: &QMatrix, model: &GcnModel) -> Result<QMatrix, GcnError> {
+    let mut out = Vec::with_capacity(x.len());
+    for row in x {
+        let mut cur: Vec<Fixed32> = row.clone();
+        for layer in model.combine().mlp().layers() {
+            let w = layer.weight();
+            let qb = quantize(layer.bias());
+            let mut next = Vec::with_capacity(w.rows());
+            for (r, &bias) in qb.iter().enumerate() {
+                let qrow = quantize(w.row(r));
+                let mut acc = bias;
+                for (&a, &b) in qrow.iter().zip(&cur) {
+                    acc = acc.mac(a, b);
+                }
+                next.push(acc.relu());
+            }
+            cur = next;
+        }
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygcn_gcn::model::ModelKind;
+    use hygcn_gcn::reference::ReferenceExecutor;
+    use hygcn_graph::generator::preferential_attachment;
+
+    fn setup(kind: ModelKind, f: usize) -> (Graph, Matrix, GcnModel) {
+        let g = preferential_attachment(64, 3, 1).unwrap().with_feature_len(f);
+        let x = Matrix::random(64, f, 0.5, 2);
+        let m = GcnModel::new(kind, f, 3).unwrap();
+        (g, x, m)
+    }
+
+    #[test]
+    fn fixed_matches_float_for_gcn() {
+        let (g, x, m) = setup(ModelKind::Gcn, 32);
+        let golden = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        let fixed = run_fixed(&g, &x, &m, 0x4759).unwrap();
+        let diff = golden.features.max_abs_diff(&fixed).unwrap();
+        assert!(diff < 0.05, "max diff {diff}");
+    }
+
+    #[test]
+    fn fixed_matches_float_for_gin() {
+        let (g, x, m) = setup(ModelKind::Gin, 24);
+        let golden = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        let fixed = run_fixed(&g, &x, &m, 0x4759).unwrap();
+        let diff = golden.features.max_abs_diff(&fixed).unwrap();
+        assert!(diff < 0.1, "max diff {diff}");
+    }
+
+    #[test]
+    fn fixed_matches_float_for_graphsage() {
+        let (g, x, m) = setup(ModelKind::GraphSage, 16);
+        // Same sampling seed as the reference's default.
+        let seed = ReferenceExecutor::new().sample_seed();
+        let golden = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        let fixed = run_fixed(&g, &x, &m, seed).unwrap();
+        let diff = golden.features.max_abs_diff(&fixed).unwrap();
+        assert!(diff < 0.05, "max diff {diff}");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (g, _, m) = setup(ModelKind::Gcn, 32);
+        let bad = Matrix::zeros(64, 16);
+        assert!(run_fixed(&g, &bad, &m, 0).is_err());
+    }
+
+    #[test]
+    fn output_shape_is_vertices_by_outlen() {
+        let (g, x, m) = setup(ModelKind::Gcn, 32);
+        let fixed = run_fixed(&g, &x, &m, 0).unwrap();
+        assert_eq!(fixed.shape(), (64, 128));
+    }
+}

@@ -1,0 +1,87 @@
+//! Simulation result record.
+
+use hygcn_mem::MemStats;
+
+use crate::energy::EnergyBreakdown;
+use crate::timeline::ChunkTrace;
+
+/// Everything a simulated run produced; the benchmark harness derives the
+/// paper's figures from these fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimReport {
+    /// End-to-end cycles at the accelerator clock.
+    pub cycles: u64,
+    /// End-to-end time in seconds.
+    pub time_s: f64,
+    /// Aggregation Engine busy cycles (compute only).
+    pub agg_compute_cycles: u64,
+    /// Combination Engine busy cycles (compute only).
+    pub comb_compute_cycles: u64,
+    /// Off-chip memory statistics.
+    pub mem: MemStats,
+    /// Achieved fraction of peak HBM bandwidth, in `[0, 1]`.
+    pub bandwidth_utilization: f64,
+    /// Dynamic energy per component.
+    pub energy: EnergyBreakdown,
+    /// Average per-vertex latency in cycles (aggregation start to
+    /// combination finish — the Fig. 16(c)/18(g) metric).
+    pub avg_vertex_latency_cycles: f64,
+    /// Fraction of redundant source-feature row loads eliminated by
+    /// window sliding+shrinking (0 when disabled).
+    pub sparsity_reduction: f64,
+    /// Number of destination chunks processed.
+    pub chunks: usize,
+    /// SIMD element operations executed.
+    pub elem_ops: u64,
+    /// Systolic MACs executed.
+    pub macs: u64,
+    /// Per-step timeline (only when the config enables recording).
+    pub timeline: Vec<ChunkTrace>,
+}
+
+impl SimReport {
+    /// Total dynamic energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.mem.total_bytes()
+    }
+
+    /// Speedup of this run over another (their time / ours).
+    pub fn speedup_over_time(&self, other_time_s: f64) -> f64 {
+        if self.time_s <= 0.0 {
+            f64::INFINITY
+        } else {
+            other_time_s / self.time_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = SimReport {
+            time_s: 0.002,
+            mem: MemStats {
+                bytes_read: 100,
+                bytes_written: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(r.dram_bytes(), 150);
+        assert!((r.speedup_over_time(1.0) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_speedup_is_infinite() {
+        let r = SimReport::default();
+        assert!(r.speedup_over_time(1.0).is_infinite());
+    }
+}

@@ -1,0 +1,492 @@
+//! Execution-driven top-level simulation.
+//!
+//! The simulator walks the (sampled) graph chunk by chunk — a chunk being
+//! the destination interval whose partial aggregation results fill one
+//! ping-pong half of the Aggregation Buffer — and schedules the two
+//! engines' compute and the shared HBM through the configured pipeline
+//! mode. HyGCN executes Aggregation before Combination within each chunk
+//! (the edge- and MVM-centric programming model of Algorithm 1), unlike
+//! the Combine-first lowering frameworks use on CPU/GPU.
+
+use hygcn_gcn::aggregate::SelfTerm;
+use hygcn_gcn::model::{GcnModel, ModelKind, DIFFPOOL_CLUSTERS};
+use hygcn_graph::partition::Interval;
+use hygcn_graph::sampling::Sampler;
+use hygcn_graph::Graph;
+use hygcn_mem::request::{MemRequest, RequestKind};
+use hygcn_mem::scheduler::AccessScheduler;
+use hygcn_mem::Hbm;
+
+use crate::config::{HyGcnConfig, PipelineMode};
+use crate::energy::{Activity, EnergyBreakdown};
+use crate::engine::aggregation::{AggregationEngine, ChunkAggregation};
+use crate::engine::combination::{ChunkCombination, CombinationEngine, SystolicMode};
+use crate::error::SimError;
+use crate::report::SimReport;
+use crate::timeline::ChunkTrace;
+
+/// The HyGCN accelerator simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: HyGcnConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: HyGcnConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HyGcnConfig {
+        &self.config
+    }
+
+    /// Simulates one layer of `model` over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BufferTooSmall`] when a buffer cannot hold a single
+    ///   feature vector of the model's input length.
+    /// * [`SimError::Gcn`] when the graph's feature length disagrees with
+    ///   the model's.
+    pub fn simulate(&self, graph: &Graph, model: &GcnModel) -> Result<SimReport, SimError> {
+        let cfg = &self.config;
+        let f_in = model.feature_len();
+        if graph.feature_len() != f_in {
+            return Err(SimError::Gcn(hygcn_gcn::GcnError::FeatureShape {
+                expected: (graph.num_vertices(), f_in),
+                found: (graph.num_vertices(), graph.feature_len()),
+            }));
+        }
+        let row_bytes = f_in * 4;
+        if cfg.input_buffer_bytes / 2 < row_bytes {
+            return Err(SimError::BufferTooSmall {
+                buffer: "input",
+                needed: row_bytes,
+                available: cfg.input_buffer_bytes / 2,
+            });
+        }
+        if cfg.aggregation_buffer_bytes / 2 < row_bytes {
+            return Err(SimError::BufferTooSmall {
+                buffer: "aggregation",
+                needed: row_bytes,
+                available: cfg.aggregation_buffer_bytes / 2,
+            });
+        }
+
+        // --- Sampling (runs on the engine's Sampler at runtime). ---
+        let kind = model.kind();
+        let policy = cfg.sample_policy_override.unwrap_or(kind.sample_policy());
+        let sampled_storage;
+        let (g, presample_edges) = if policy.is_sampling() {
+            sampled_storage = Sampler::new(cfg.sample_seed).sample(graph, policy);
+            (&sampled_storage, graph.num_edges() as u64)
+        } else {
+            (graph, 0)
+        };
+
+        // --- Physical layout (all regions page-aligned). ---
+        let n = g.num_vertices() as u64;
+        let align = |x: u64| x.div_ceil(4096) * 4096;
+        let feature_base = 0u64;
+        let edge_base = align(feature_base + n * row_bytes as u64);
+        let weight_base = align(edge_base + g.num_edges() as u64 * 4);
+        let dims = kind.mlp_dims(f_in);
+        let agg_engine = AggregationEngine::new(cfg, f_in, feature_base, edge_base);
+        let comb_engine = CombinationEngine::new(cfg, &dims, weight_base, 0);
+        let output_base = align(weight_base + comb_engine.weight_bytes());
+        let comb_engine = CombinationEngine::new(cfg, &dims, weight_base, output_base);
+        let spill_base = align(output_base + n * comb_engine.out_len() * 4);
+
+        // --- Per-chunk engine records. ---
+        let include_self = !matches!(kind.self_term(), SelfTerm::None);
+        let paths: u64 = if kind == ModelKind::DiffPool { 2 } else { 1 };
+        let chunk_w = cfg.chunk_width(f_in) as u32;
+        let mut intervals = Vec::new();
+        let mut start = 0u32;
+        while u64::from(start) < n {
+            let end = (start + chunk_w).min(n as u32);
+            intervals.push(Interval::new(start, end));
+            start = end;
+        }
+        let num_chunks = intervals.len().max(1) as u64;
+        let presample_per_chunk = presample_edges / num_chunks;
+
+        let mode = match cfg.pipeline {
+            PipelineMode::LatencyAware => SystolicMode::Independent,
+            PipelineMode::EnergyAware | PipelineMode::None => SystolicMode::Cooperative,
+        };
+        let weights_resident = comb_engine.weights_resident();
+        let clusters = DIFFPOOL_CLUSTERS as u64;
+
+        let mut aggs: Vec<ChunkAggregation> = Vec::with_capacity(intervals.len());
+        let mut combs: Vec<ChunkCombination> = Vec::with_capacity(intervals.len());
+        for (i, &dst) in intervals.iter().enumerate() {
+            let a = agg_engine.process_chunk(g, dst, f_in, include_self, presample_per_chunk, paths);
+            let extra_macs = if kind == ModelKind::DiffPool {
+                // Pool-path MLP + the coarsening products of Eq. 8.
+                dst.len() as u64 * f_in as u64 * clusters
+                    + dst.len() as u64 * clusters * comb_engine.out_len()
+                    + a.edges * clusters * clusters / 64 // CᵀAC tiled on the array
+            } else {
+                0
+            };
+            let c = comb_engine.process_chunk(
+                dst.len() as u64,
+                mode,
+                i == 0 || !weights_resident,
+                extra_macs,
+                i as u64,
+            );
+            aggs.push(a);
+            combs.push(c);
+        }
+
+        // --- Activity accounting (energy). ---
+        let mut act = Activity::default();
+        for a in &aggs {
+            act.simd_ops += a.elem_ops;
+            act.agg_buffer_traffic += a.edge_buffer_bytes + a.input_buffer_bytes;
+            act.coordinator_buffer_traffic += a.agg_buffer_bytes;
+            for r in &a.requests {
+                act.agg_hbm_bytes += u64::from(r.bytes);
+            }
+        }
+        for c in &combs {
+            act.macs += c.macs;
+            act.comb_buffer_traffic += c.weight_buffer_bytes + c.output_buffer_bytes;
+            act.coordinator_buffer_traffic += c.agg_buffer_bytes;
+            for r in &c.requests {
+                act.comb_hbm_bytes += u64::from(r.bytes);
+            }
+        }
+
+        // --- Timeline through the shared memory handler. ---
+        let scheduler = AccessScheduler::new(cfg.coordination);
+        let mut hbm = Hbm::new(cfg.hbm);
+        let mut now = 0u64;
+        let mut vertex_latency_weighted = 0f64;
+        let nchunks = intervals.len();
+        let mut timeline: Vec<ChunkTrace> = Vec::new();
+
+        match cfg.pipeline {
+            PipelineMode::None => {
+                // Phase-by-phase: aggregation results spill to DRAM and
+                // are reloaded by the Combination Engine.
+                for (i, dst) in intervals.iter().enumerate() {
+                    let spill_bytes = (dst.len() * row_bytes) as u64 * paths;
+                    let spill_addr = spill_base + u64::from(dst.start) * row_bytes as u64;
+
+                    let mut batch_a = aggs[i].requests.clone();
+                    batch_a.push(MemRequest::write(
+                        RequestKind::OutputFeatures,
+                        spill_addr,
+                        spill_bytes as u32,
+                    ));
+                    let mem_a = hbm.service_batch(&scheduler.order(batch_a), now);
+                    let step_a = aggs[i].compute_cycles.max(mem_a.saturating_sub(now));
+                    if cfg.record_timeline {
+                        timeline.push(ChunkTrace {
+                            step: 2 * i,
+                            agg_cycles: aggs[i].compute_cycles,
+                            comb_cycles: 0,
+                            mem_cycles: mem_a.saturating_sub(now),
+                            step_cycles: step_a,
+                        });
+                    }
+                    now += step_a;
+
+                    let mut batch_b = combs[i].requests.clone();
+                    batch_b.push(MemRequest::read(
+                        RequestKind::InputFeatures,
+                        spill_addr,
+                        spill_bytes as u32,
+                    ));
+                    let mem_b = hbm.service_batch(&scheduler.order(batch_b), now);
+                    let step_b = combs[i].compute_cycles.max(mem_b.saturating_sub(now));
+                    if cfg.record_timeline {
+                        timeline.push(ChunkTrace {
+                            step: 2 * i + 1,
+                            agg_cycles: 0,
+                            comb_cycles: combs[i].compute_cycles,
+                            mem_cycles: mem_b.saturating_sub(now),
+                            step_cycles: step_b,
+                        });
+                    }
+                    now += step_b;
+
+                    act.spill_hbm_bytes += 2 * spill_bytes;
+                    vertex_latency_weighted += (step_a + step_b) as f64 * dst.len() as f64;
+                }
+            }
+            PipelineMode::LatencyAware | PipelineMode::EnergyAware => {
+                // Latency-aware: small groups combine *while the same
+                // chunk's remaining vertices aggregate* (Fig. 8a), so the
+                // two engines overlap within a step. Energy-aware: burst
+                // mode — the Combination Engine works on chunk s-1 while
+                // chunk s aggregates (Fig. 8b), one chunk behind.
+                let same_chunk = cfg.pipeline == PipelineMode::LatencyAware;
+                let steps = if same_chunk { nchunks } else { nchunks + 1 };
+                let mut agg_step_time = vec![0u64; nchunks];
+                for s in 0..steps {
+                    let comb_idx = if same_chunk {
+                        Some(s)
+                    } else {
+                        s.checked_sub(1)
+                    };
+                    let mut batch: Vec<MemRequest> = Vec::new();
+                    if s < nchunks {
+                        batch.extend_from_slice(&aggs[s].requests);
+                    }
+                    if let Some(c) = comb_idx {
+                        batch.extend_from_slice(&combs[c].requests);
+                    }
+                    let mem_done = if batch.is_empty() {
+                        now
+                    } else {
+                        hbm.service_batch(&scheduler.order(batch), now)
+                    };
+                    let compute_a = if s < nchunks { aggs[s].compute_cycles } else { 0 };
+                    let compute_b = comb_idx.map_or(0, |c| combs[c].compute_cycles);
+                    let step = compute_a.max(compute_b).max(mem_done.saturating_sub(now));
+                    if s < nchunks {
+                        agg_step_time[s] = step;
+                    }
+                    if cfg.record_timeline {
+                        timeline.push(ChunkTrace {
+                            step: s,
+                            agg_cycles: compute_a,
+                            comb_cycles: compute_b,
+                            mem_cycles: mem_done.saturating_sub(now),
+                            step_cycles: step,
+                        });
+                    }
+                    now += step;
+                }
+                for (i, dst) in intervals.iter().enumerate() {
+                    let latency = match mode {
+                        SystolicMode::Independent => {
+                            // Vertices finish aggregating staggered through
+                            // the chunk (3/4 of the step on average, since
+                            // the window sweep revisits vertices), wait for
+                            // their small group to assemble, and combine
+                            // immediately — the Fig. 8(a) timing. Larger
+                            // module groups wait longer (Fig. 18g).
+                            let assembly = cfg.module_group_vertices as u64
+                                * agg_step_time[i]
+                                / dst.len().max(1) as u64;
+                            agg_step_time[i] * 3 / 4 + assembly + combs[i].first_group_cycles
+                        }
+                        SystolicMode::Cooperative => {
+                            // Burst mode: every vertex waits for the whole
+                            // chunk to aggregate, then for the assembled
+                            // cooperative pass — Fig. 8(b).
+                            agg_step_time[i] + combs[i].compute_cycles
+                        }
+                    };
+                    vertex_latency_weighted += latency as f64 * dst.len() as f64;
+                }
+            }
+        }
+
+        // --- Report. ---
+        let total_rows_loaded: u64 = aggs.iter().map(|a| a.feature_rows_loaded).sum();
+        let baseline_rows = n * nchunks as u64;
+        let sparsity_reduction = if baseline_rows > 0 {
+            1.0 - total_rows_loaded as f64 / baseline_rows as f64
+        } else {
+            0.0
+        };
+        let stats = *hbm.stats();
+        let cycles = now.max(1);
+        let time_s = cfg.cycles_to_seconds(cycles);
+        Ok(SimReport {
+            cycles,
+            time_s,
+            agg_compute_cycles: aggs.iter().map(|a| a.compute_cycles).sum(),
+            comb_compute_cycles: combs.iter().map(|c| c.compute_cycles).sum(),
+            mem: stats,
+            bandwidth_utilization: stats
+                .bandwidth_utilization(cycles, cfg.hbm.peak_bytes_per_cycle()),
+            energy: EnergyBreakdown::from_activity(&act).with_static(time_s),
+            avg_vertex_latency_cycles: vertex_latency_weighted / n.max(1) as f64,
+            sparsity_reduction: sparsity_reduction.max(0.0),
+            chunks: nchunks,
+            elem_ops: act.simd_ops,
+            macs: act.macs,
+            timeline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygcn_graph::generator::{preferential_attachment, rmat, RmatParams};
+
+    fn graph(n: usize, f: usize) -> Graph {
+        preferential_attachment(n, 4, 1)
+            .unwrap()
+            .with_feature_len(f)
+    }
+
+    fn sim(cfg: HyGcnConfig) -> Simulator {
+        Simulator::new(cfg)
+    }
+
+    #[test]
+    fn basic_run_produces_consistent_report() {
+        let g = graph(512, 64);
+        let m = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        let r = sim(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+        assert!(r.cycles > 0);
+        assert!(r.time_s > 0.0);
+        assert_eq!(r.macs, 512 * 64 * 128);
+        // Directed edges + self terms, at width 64.
+        assert_eq!(r.elem_ops, (g.num_edges() as u64 + 512) * 64);
+        assert!(r.energy_j() > 0.0);
+        assert!(r.dram_bytes() > 0);
+        assert!(r.bandwidth_utilization > 0.0 && r.bandwidth_utilization <= 1.0);
+    }
+
+    #[test]
+    fn feature_len_mismatch_rejected() {
+        let g = graph(64, 32);
+        let m = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        assert!(matches!(
+            sim(HyGcnConfig::default()).simulate(&g, &m),
+            Err(SimError::Gcn(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_buffer_rejected() {
+        let g = graph(64, 4096);
+        let m = GcnModel::new(ModelKind::Gcn, 4096, 1).unwrap();
+        let cfg = HyGcnConfig {
+            input_buffer_bytes: 8 << 10, // half = 4 KB < 16 KB row
+            ..HyGcnConfig::default()
+        };
+        assert!(matches!(
+            sim(cfg).simulate(&g, &m),
+            Err(SimError::BufferTooSmall { buffer: "input", .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_beats_no_pipeline() {
+        let g = rmat(2048, 30_000, RmatParams::default(), 2)
+            .unwrap()
+            .with_feature_len(256);
+        let m = GcnModel::new(ModelKind::Gcn, 256, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        // Force multiple chunks so the pipeline can overlap.
+        cfg.aggregation_buffer_bytes = 1 << 20;
+        let piped = sim(cfg.clone()).simulate(&g, &m).unwrap();
+        cfg.pipeline = PipelineMode::None;
+        let serial = sim(cfg).simulate(&g, &m).unwrap();
+        assert!(
+            piped.cycles < serial.cycles,
+            "pipelined {} vs serial {}",
+            piped.cycles,
+            serial.cycles
+        );
+        // No-pipeline also pays DRAM spills.
+        assert!(serial.dram_bytes() > piped.dram_bytes());
+    }
+
+    #[test]
+    fn sparsity_elimination_reduces_dram() {
+        let g = rmat(4096, 20_000, RmatParams::default(), 3)
+            .unwrap()
+            .with_feature_len(128);
+        let m = GcnModel::new(ModelKind::Gcn, 128, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.aggregation_buffer_bytes = 1 << 20; // several chunks
+        let with = sim(cfg.clone()).simulate(&g, &m).unwrap();
+        cfg.sparsity_elimination = false;
+        let without = sim(cfg).simulate(&g, &m).unwrap();
+        assert!(with.dram_bytes() < without.dram_bytes());
+        assert!(with.sparsity_reduction > 0.0);
+        assert!(without.sparsity_reduction.abs() < 1e-9);
+        assert!(with.cycles <= without.cycles);
+    }
+
+    #[test]
+    fn latency_pipeline_has_lower_vertex_latency_than_energy() {
+        let g = graph(4096, 128);
+        let m = GcnModel::new(ModelKind::Gcn, 128, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.pipeline = PipelineMode::LatencyAware;
+        let lat = sim(cfg.clone()).simulate(&g, &m).unwrap();
+        cfg.pipeline = PipelineMode::EnergyAware;
+        let en = sim(cfg).simulate(&g, &m).unwrap();
+        assert!(
+            lat.avg_vertex_latency_cycles < en.avg_vertex_latency_cycles,
+            "latency {} vs energy {}",
+            lat.avg_vertex_latency_cycles,
+            en.avg_vertex_latency_cycles
+        );
+        // Energy-aware reuses weights: lower combination energy.
+        assert!(en.energy.combination_j < lat.energy.combination_j);
+    }
+
+    #[test]
+    fn graphsage_sampling_reduces_work() {
+        // A hub-heavy graph where sampling caps degree at 25.
+        let g = rmat(1024, 60_000, RmatParams::default(), 5)
+            .unwrap()
+            .with_feature_len(64);
+        let gcn = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        let gsc = GcnModel::new(ModelKind::GraphSage, 64, 1).unwrap();
+        let r_gcn = sim(HyGcnConfig::default()).simulate(&g, &gcn).unwrap();
+        let r_gsc = sim(HyGcnConfig::default()).simulate(&g, &gsc).unwrap();
+        assert!(r_gsc.elem_ops < r_gcn.elem_ops);
+    }
+
+    #[test]
+    fn diffpool_does_more_work_than_gcn() {
+        let g = graph(512, 64);
+        let gcn = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        let dfp = GcnModel::new(ModelKind::DiffPool, 64, 1).unwrap();
+        let r_gcn = sim(HyGcnConfig::default()).simulate(&g, &gcn).unwrap();
+        let r_dfp = sim(HyGcnConfig::default()).simulate(&g, &dfp).unwrap();
+        assert!(r_dfp.macs > r_gcn.macs);
+        assert!(r_dfp.elem_ops > r_gcn.elem_ops);
+    }
+
+    #[test]
+    fn coordination_improves_bandwidth() {
+        use hygcn_mem::scheduler::CoordinationMode;
+        let g = rmat(4096, 40_000, RmatParams::default(), 7)
+            .unwrap()
+            .with_feature_len(256);
+        let m = GcnModel::new(ModelKind::Gcn, 256, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.aggregation_buffer_bytes = 1 << 20;
+        let coord = sim(cfg.clone()).simulate(&g, &m).unwrap();
+        cfg.coordination = CoordinationMode::Fcfs;
+        cfg.hbm = hygcn_mem::HbmConfig::hbm1_uncoordinated();
+        let fcfs = sim(cfg).simulate(&g, &m).unwrap();
+        assert!(
+            coord.cycles <= fcfs.cycles,
+            "coordinated {} vs fcfs {}",
+            coord.cycles,
+            fcfs.cycles
+        );
+    }
+
+    #[test]
+    fn larger_aggregation_buffer_fewer_chunks() {
+        let g = graph(8192, 256);
+        let m = GcnModel::new(ModelKind::Gcn, 256, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.aggregation_buffer_bytes = 2 << 20;
+        let small = sim(cfg.clone()).simulate(&g, &m).unwrap();
+        cfg.aggregation_buffer_bytes = 32 << 20;
+        let large = sim(cfg).simulate(&g, &m).unwrap();
+        assert!(large.chunks < small.chunks);
+        assert!(large.dram_bytes() <= small.dram_bytes());
+    }
+}

@@ -1,0 +1,134 @@
+//! Training-cost extension (paper §6).
+//!
+//! The paper scopes HyGCN to inference but notes that "training
+//! accelerators can leverage our architecture to design the forward
+//! pass, and would need specialized blocks for other passes". This
+//! module implements that projection: it costs one training iteration by
+//! simulating the forward pass on the real HyGCN model and deriving the
+//! backward and update passes from it with the standard dataflow
+//! identities:
+//!
+//! * **backward** — the gradient flows through the *transposed* graph
+//!   (same undirected adjacency, so the same aggregation volume) and the
+//!   transposed weights (an MVM of the same MAC count), plus one extra
+//!   MVM per vertex for the weight-gradient outer products
+//!   (`∇W = Σ_v a_v · δ_vᵀ`, again the same MAC count);
+//! * **update** — one read-modify-write pass over the shared parameters.
+//!
+//! The result is an *estimate* with clearly stated assumptions, not a
+//! cycle-accurate backward pass — exactly the scoping of §6.
+
+use hygcn_gcn::model::GcnModel;
+use hygcn_graph::Graph;
+
+use crate::error::SimError;
+use crate::report::SimReport;
+use crate::sim::Simulator;
+
+/// Cost projection of one training iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingEstimate {
+    /// The simulated forward pass.
+    pub forward: SimReport,
+    /// Estimated backward-pass cycles (input-gradient + weight-gradient).
+    pub backward_cycles: u64,
+    /// Estimated parameter-update cycles.
+    pub update_cycles: u64,
+}
+
+impl TrainingEstimate {
+    /// Total estimated cycles per training iteration.
+    pub fn total_cycles(&self) -> u64 {
+        self.forward.cycles + self.backward_cycles + self.update_cycles
+    }
+
+    /// Backward-to-forward cycle ratio (classically ~2x for dense nets).
+    pub fn backward_ratio(&self) -> f64 {
+        self.backward_cycles as f64 / self.forward.cycles.max(1) as f64
+    }
+}
+
+impl Simulator {
+    /// Projects the cost of one training iteration of `model` on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the forward simulation.
+    pub fn estimate_training_iteration(
+        &self,
+        graph: &Graph,
+        model: &GcnModel,
+    ) -> Result<TrainingEstimate, SimError> {
+        let forward = self.simulate(graph, model)?;
+        let cfg = self.config();
+
+        // Input-gradient pass: transposed aggregation (same volume on an
+        // undirected graph) + transposed-weight MVMs (same MACs).
+        let agg_cycles = forward.elem_ops.div_ceil(cfg.simd_lanes() as u64);
+        let mvm_cycles = forward.macs.div_ceil(cfg.total_pes() as u64);
+        // Weight-gradient pass: one outer-product MVM of the same MAC
+        // count, plus re-streaming the activations (memory bound like the
+        // forward's feature traffic).
+        let wgrad_cycles = forward.macs.div_ceil(cfg.total_pes() as u64);
+        let mem_cycles =
+            (forward.dram_bytes() as f64 / cfg.hbm.peak_bytes_per_cycle()) as u64;
+        // Compute and memory overlap as in the forward engine pair.
+        let backward_cycles = (agg_cycles + mvm_cycles + wgrad_cycles).max(mem_cycles);
+
+        // Update: stream every parameter once through the datapath.
+        let param_bytes = model.param_bytes() as u64;
+        let update_cycles = (param_bytes / 4)
+            .div_ceil(cfg.simd_lanes() as u64)
+            .max((param_bytes as f64 / cfg.hbm.peak_bytes_per_cycle()) as u64);
+
+        Ok(TrainingEstimate {
+            forward,
+            backward_cycles,
+            update_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HyGcnConfig;
+    use hygcn_gcn::model::ModelKind;
+    use hygcn_graph::generator::preferential_attachment;
+
+    fn setup() -> (Graph, GcnModel) {
+        let g = preferential_attachment(512, 3, 1)
+            .unwrap()
+            .with_feature_len(128);
+        let m = GcnModel::new(ModelKind::Gcn, 128, 2).unwrap();
+        (g, m)
+    }
+
+    #[test]
+    fn training_costs_more_than_inference() {
+        let (g, m) = setup();
+        let sim = Simulator::new(HyGcnConfig::default());
+        let t = sim.estimate_training_iteration(&g, &m).unwrap();
+        assert!(t.total_cycles() > t.forward.cycles);
+        assert!(t.backward_cycles > 0);
+        assert!(t.update_cycles > 0);
+    }
+
+    #[test]
+    fn backward_ratio_is_plausible() {
+        let (g, m) = setup();
+        let sim = Simulator::new(HyGcnConfig::default());
+        let t = sim.estimate_training_iteration(&g, &m).unwrap();
+        // Between 0.3x and 3x of the forward pass: the classic regime.
+        let r = t.backward_ratio();
+        assert!((0.3..=3.0).contains(&r), "backward ratio {r}");
+    }
+
+    #[test]
+    fn update_is_cheap_relative_to_passes() {
+        let (g, m) = setup();
+        let sim = Simulator::new(HyGcnConfig::default());
+        let t = sim.estimate_training_iteration(&g, &m).unwrap();
+        assert!(t.update_cycles * 10 < t.forward.cycles + t.backward_cycles);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of simulator invariants: determinism, operation
+//! accounting, and the directionality of every optimization.
+
+use hygcn_core::config::{HyGcnConfig, PipelineMode};
+use hygcn_core::Simulator;
+use hygcn_gcn::model::{GcnModel, ModelKind};
+use hygcn_gcn::workload::LayerWorkload;
+use hygcn_graph::{Coo, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (Graph, usize)> {
+    (8usize..64, 4usize..48).prop_flat_map(|(n, f)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..256).prop_map(
+            move |pairs| {
+                let mut coo = Coo::new(n);
+                for (a, b) in pairs {
+                    if a != b {
+                        coo.push_undirected(a, b).expect("ids in range");
+                    }
+                }
+                coo.dedup();
+                (Graph::from_coo(&coo, f), f)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulator is a pure function of (config, graph, model).
+    #[test]
+    fn deterministic((g, f) in arb_graph(), kind_idx in 0usize..4) {
+        let kind = ModelKind::ALL[kind_idx];
+        let m = GcnModel::new(kind, f, 7).expect("valid");
+        let sim = Simulator::new(HyGcnConfig::default());
+        let a = sim.simulate(&g, &m).expect("simulates");
+        let b = sim.simulate(&g, &m).expect("simulates");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Simulated MAC counts agree exactly with the workload descriptor
+    /// for non-sampling, non-pooling models.
+    #[test]
+    fn macs_match_workload((g, f) in arb_graph()) {
+        for kind in [ModelKind::Gcn, ModelKind::Gin] {
+            let m = GcnModel::new(kind, f, 7).expect("valid");
+            let w = LayerWorkload::of(&g, &m, 0);
+            let r = Simulator::new(HyGcnConfig::default())
+                .simulate(&g, &m)
+                .expect("simulates");
+            prop_assert_eq!(r.macs, w.combine_macs, "{}", kind);
+        }
+    }
+
+    /// GCN element-op accounting: (edges + |V| self terms) x f_in.
+    #[test]
+    fn elem_ops_exact((g, f) in arb_graph()) {
+        let m = GcnModel::new(ModelKind::Gcn, f, 7).expect("valid");
+        let r = Simulator::new(HyGcnConfig::default())
+            .simulate(&g, &m)
+            .expect("simulates");
+        let expect = (g.num_edges() as u64 + g.num_vertices() as u64) * f as u64;
+        prop_assert_eq!(r.elem_ops, expect);
+    }
+
+    /// Adding an edge never reduces simulated work.
+    #[test]
+    fn monotone_in_edges((g, f) in arb_graph(), a in 0u32..8, b in 8u32..16) {
+        let m = GcnModel::new(ModelKind::Gcn, f, 7).expect("valid");
+        let sim = Simulator::new(HyGcnConfig::default());
+        let before = sim.simulate(&g, &m).expect("simulates");
+        let mut coo = Coo::from_pairs(g.num_vertices(), g.edges()).expect("in range");
+        coo.push_undirected(a % g.num_vertices() as u32, b % g.num_vertices() as u32)
+            .expect("in range");
+        coo.dedup();
+        let bigger = Graph::from_coo(&coo, f);
+        let after = sim.simulate(&bigger, &m).expect("simulates");
+        prop_assert!(after.elem_ops >= before.elem_ops);
+    }
+
+    /// The pipeline never loses to the no-pipeline ablation, and the
+    /// ablation's DRAM traffic is never smaller (it spills intermediates).
+    #[test]
+    fn pipeline_directionality((g, f) in arb_graph()) {
+        let m = GcnModel::new(ModelKind::Gcn, f, 7).expect("valid");
+        let mut cfg = HyGcnConfig::default();
+        cfg.aggregation_buffer_bytes = 64 << 10; // force several chunks
+        let piped = Simulator::new(cfg.clone()).simulate(&g, &m).expect("simulates");
+        cfg.pipeline = PipelineMode::None;
+        let serial = Simulator::new(cfg).simulate(&g, &m).expect("simulates");
+        prop_assert!(piped.cycles <= serial.cycles);
+        prop_assert!(piped.dram_bytes() <= serial.dram_bytes());
+    }
+
+    /// Sparsity elimination never increases DRAM traffic or cycles.
+    #[test]
+    fn sparsity_elimination_directionality((g, f) in arb_graph()) {
+        let m = GcnModel::new(ModelKind::Gcn, f, 7).expect("valid");
+        let mut cfg = HyGcnConfig::default();
+        cfg.aggregation_buffer_bytes = 64 << 10;
+        let with = Simulator::new(cfg.clone()).simulate(&g, &m).expect("simulates");
+        cfg.sparsity_elimination = false;
+        let without = Simulator::new(cfg).simulate(&g, &m).expect("simulates");
+        prop_assert!(with.dram_bytes() <= without.dram_bytes());
+        prop_assert!(with.sparsity_reduction >= -1e-9);
+        prop_assert!(without.sparsity_reduction.abs() < 1e-9);
+    }
+
+    /// Energy, time, and utilization are finite, positive, and bounded.
+    #[test]
+    fn report_sanity((g, f) in arb_graph(), kind_idx in 0usize..4) {
+        let kind = ModelKind::ALL[kind_idx];
+        let m = GcnModel::new(kind, f, 7).expect("valid");
+        let r = Simulator::new(HyGcnConfig::default())
+            .simulate(&g, &m)
+            .expect("simulates");
+        prop_assert!(r.cycles > 0);
+        prop_assert!(r.time_s > 0.0 && r.time_s.is_finite());
+        prop_assert!(r.energy_j() > 0.0 && r.energy_j().is_finite());
+        prop_assert!((0.0..=1.0).contains(&r.bandwidth_utilization));
+        prop_assert!((-1e-9..=1.0).contains(&r.sparsity_reduction));
+        prop_assert!(r.avg_vertex_latency_cycles >= 0.0);
+        let (a, c, k) = r.energy.shares();
+        prop_assert!((a + c + k - 1.0).abs() < 1e-6 || (a + c + k).abs() < 1e-9);
+    }
+
+    /// A bigger aggregation buffer never increases chunk count or DRAM
+    /// traffic (feature reloads amortize over wider intervals).
+    #[test]
+    fn buffer_capacity_monotone((g, f) in arb_graph()) {
+        let m = GcnModel::new(ModelKind::Gcn, f, 7).expect("valid");
+        let mk = |bytes: usize| {
+            Simulator::new(HyGcnConfig {
+                aggregation_buffer_bytes: bytes,
+                ..HyGcnConfig::default()
+            })
+            .simulate(&g, &m)
+            .expect("simulates")
+        };
+        let small = mk(32 << 10);
+        let large = mk(4 << 20);
+        prop_assert!(large.chunks <= small.chunks);
+    }
+}

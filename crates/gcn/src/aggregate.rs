@@ -1,0 +1,224 @@
+//! The `Aggregate` function (paper Eq. 1): reduce neighbor feature vectors
+//! into a single aggregation vector per destination vertex.
+//!
+//! The reduction is element-wise, which is the source of the intra-vertex
+//! parallelism the Aggregation Engine exploits (vertex-disperse mode,
+//! Fig. 4): every element of the running accumulator can be updated
+//! independently.
+
+use hygcn_graph::{Graph, VertexId};
+use hygcn_tensor::{linalg, Matrix};
+
+/// Element-wise reduction applied across neighbor features.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregator {
+    /// Plain sum (GINConv).
+    Add,
+    /// Degree-normalized sum with coefficients `1/√(Dv·Du)` (GCN, Eq. 4);
+    /// degrees are `D+1` per the renormalization trick (self loop).
+    NormalizedAdd,
+    /// Arithmetic mean over `{v} ∪ N(v)` (GraphSage, Eq. 5).
+    Mean,
+    /// Element-wise max (GraphSage variant of Table 5).
+    Max,
+    /// Element-wise min (DiffPool rows of Table 5).
+    Min,
+}
+
+impl Aggregator {
+    /// The accumulator's identity element.
+    pub fn identity(&self) -> f32 {
+        match self {
+            Aggregator::Add | Aggregator::NormalizedAdd | Aggregator::Mean => 0.0,
+            Aggregator::Max => f32::NEG_INFINITY,
+            Aggregator::Min => f32::INFINITY,
+        }
+    }
+
+    /// Folds `x` into the accumulator `acc` with edge weight `w` (used only
+    /// by [`Aggregator::NormalizedAdd`]).
+    pub fn fold(&self, acc: &mut [f32], x: &[f32], w: f32) {
+        match self {
+            Aggregator::Add | Aggregator::Mean => linalg::axpy(acc, x),
+            Aggregator::NormalizedAdd => linalg::axpy_scaled(acc, w, x),
+            Aggregator::Max => linalg::emax(acc, x),
+            Aggregator::Min => linalg::emin(acc, x),
+        }
+    }
+
+    /// Whether the aggregator needs the `1/√(Dv·Du)` edge coefficients.
+    pub fn needs_norm(&self) -> bool {
+        matches!(self, Aggregator::NormalizedAdd)
+    }
+}
+
+/// How a vertex's own feature enters its aggregation (`{N(v)} ∪ {v}`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelfTerm {
+    /// The self feature is not aggregated (DiffPool rows of Table 5).
+    None,
+    /// The self feature participates like a neighbor (GCN, GraphSage).
+    Include,
+    /// The self feature is scaled by `1 + ε` (GINConv, Eq. 6).
+    Weighted(f32),
+}
+
+/// Aggregates the features of every vertex's in-neighbors.
+///
+/// `x` has one row per vertex. Returns a matrix of the same shape holding
+/// `a_v` for every `v`. Isolated vertices with no self term produce zeros
+/// (also for Max/Min, where an empty reduction has no witness).
+///
+/// # Panics
+///
+/// Panics if `x.rows() != graph.num_vertices()` (callers validate via
+/// [`crate::reference::ReferenceExecutor`]).
+pub fn aggregate_all(graph: &Graph, x: &Matrix, agg: Aggregator, self_term: SelfTerm) -> Matrix {
+    assert_eq!(x.rows(), graph.num_vertices(), "feature row count");
+    let f = x.cols();
+    let mut out = Matrix::zeros(x.rows(), f);
+    let mut acc = vec![0.0f32; f];
+    for v in 0..graph.num_vertices() as VertexId {
+        let neighbors = graph.in_neighbors(v);
+        let mut contributions = neighbors.len();
+        acc.iter_mut().for_each(|a| *a = agg.identity());
+        for &u in neighbors {
+            let w = if agg.needs_norm() {
+                norm_coeff(graph, u, v)
+            } else {
+                1.0
+            };
+            agg.fold(&mut acc, x.row(u as usize), w);
+        }
+        match self_term {
+            SelfTerm::None => {}
+            SelfTerm::Include => {
+                let w = if agg.needs_norm() {
+                    norm_coeff(graph, v, v)
+                } else {
+                    1.0
+                };
+                agg.fold(&mut acc, x.row(v as usize), w);
+                contributions += 1;
+            }
+            SelfTerm::Weighted(one_plus_eps) => {
+                // GIN adds the scaled self term outside the reduction.
+                linalg::axpy_scaled(&mut acc, one_plus_eps, x.row(v as usize));
+                contributions += 1;
+            }
+        }
+        if contributions == 0 {
+            acc.iter_mut().for_each(|a| *a = 0.0);
+        } else if agg == Aggregator::Mean {
+            let inv = 1.0 / contributions as f32;
+            acc.iter_mut().for_each(|a| *a *= inv);
+        }
+        out.set_row(v as usize, &acc);
+    }
+    out
+}
+
+/// The GCN renormalized coefficient `1/√((Du+1)(Dv+1))`.
+pub fn norm_coeff(graph: &Graph, u: VertexId, v: VertexId) -> f32 {
+    let du = graph.in_degree(u) as f32 + 1.0;
+    let dv = graph.in_degree(v) as f32 + 1.0;
+    1.0 / (du * dv).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygcn_graph::GraphBuilder;
+
+    fn path3() -> Graph {
+        // 0 - 1 - 2
+        GraphBuilder::new(3)
+            .feature_len(2)
+            .undirected_edge(0, 1)
+            .unwrap()
+            .undirected_edge(1, 2)
+            .unwrap()
+            .build()
+    }
+
+    fn feats() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn add_without_self() {
+        let out = aggregate_all(&path3(), &feats(), Aggregator::Add, SelfTerm::None);
+        assert_eq!(out.row(0), &[3.0, 4.0]);
+        assert_eq!(out.row(1), &[6.0, 8.0]); // rows 0 + 2
+        assert_eq!(out.row(2), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_with_self() {
+        let out = aggregate_all(&path3(), &feats(), Aggregator::Add, SelfTerm::Include);
+        assert_eq!(out.row(0), &[4.0, 6.0]);
+        assert_eq!(out.row(1), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn gin_weighted_self() {
+        let out = aggregate_all(
+            &path3(),
+            &feats(),
+            Aggregator::Add,
+            SelfTerm::Weighted(1.5),
+        );
+        // v0: 1.5*[1,2] + [3,4] = [4.5, 7]
+        assert_eq!(out.row(0), &[4.5, 7.0]);
+    }
+
+    #[test]
+    fn mean_divides_by_count() {
+        let out = aggregate_all(&path3(), &feats(), Aggregator::Mean, SelfTerm::Include);
+        // v1: mean of rows 0,1,2 = [3,4]
+        assert_eq!(out.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn max_min_elementwise() {
+        let g = path3();
+        let x = Matrix::from_rows(&[vec![1.0, 9.0], vec![5.0, 5.0], vec![9.0, 1.0]]).unwrap();
+        let mx = aggregate_all(&g, &x, Aggregator::Max, SelfTerm::None);
+        assert_eq!(mx.row(1), &[9.0, 9.0]);
+        let mn = aggregate_all(&g, &x, Aggregator::Min, SelfTerm::None);
+        assert_eq!(mn.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn isolated_vertex_yields_zeros() {
+        let g = GraphBuilder::new(2).feature_len(2).build();
+        let x = Matrix::from_rows(&[vec![7.0, 8.0], vec![1.0, 1.0]]).unwrap();
+        for agg in [Aggregator::Add, Aggregator::Max, Aggregator::Min, Aggregator::Mean] {
+            let out = aggregate_all(&g, &x, agg, SelfTerm::None);
+            assert_eq!(out.row(0), &[0.0, 0.0], "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn normalized_add_matches_formula() {
+        let g = path3();
+        let x = feats();
+        let out = aggregate_all(&g, &x, Aggregator::NormalizedAdd, SelfTerm::Include);
+        // v0: deg+1 = 2; neighbor v1: deg+1 = 3; self coeff 1/2, edge 1/sqrt(6)
+        let expect0 = 1.0 / 2.0 * 1.0 + 1.0 / 6.0f32.sqrt() * 3.0;
+        assert!((out[(0, 0)] - expect0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn norm_coeff_symmetry() {
+        let g = path3();
+        assert_eq!(norm_coeff(&g, 0, 1), norm_coeff(&g, 1, 0));
+    }
+
+    #[test]
+    fn identity_elements() {
+        assert_eq!(Aggregator::Add.identity(), 0.0);
+        assert_eq!(Aggregator::Max.identity(), f32::NEG_INFINITY);
+        assert_eq!(Aggregator::Min.identity(), f32::INFINITY);
+    }
+}

@@ -1,0 +1,108 @@
+//! The `Combine` function (paper Eq. 1): transform each vertex's
+//! aggregation vector through the shared MLP.
+
+use hygcn_tensor::{Matrix, Mlp, TensorError};
+
+/// Shared-parameter Combine stage: one MLP applied to every vertex row.
+///
+/// The weights being *shared across vertices* — unlike conventional MLP
+/// workloads — is the property that makes the Combination Engine's weight
+/// reuse (cooperative systolic mode) profitable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Combine {
+    mlp: Mlp,
+}
+
+impl Combine {
+    /// Wraps an MLP as a Combine stage.
+    pub fn new(mlp: Mlp) -> Self {
+        Self { mlp }
+    }
+
+    /// Reproducible random Combine through `dims` (e.g. `[1433, 128]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ZeroDimension`] for fewer than two dims.
+    pub fn random(dims: &[usize], seed: u64) -> Result<Self, TensorError> {
+        Ok(Self::new(Mlp::random(dims, seed)?))
+    }
+
+    /// The underlying MLP.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Input feature length.
+    pub fn in_dim(&self) -> usize {
+        self.mlp.in_dim()
+    }
+
+    /// Output feature length.
+    pub fn out_dim(&self) -> usize {
+        self.mlp.out_dim()
+    }
+
+    /// Applies the MLP to one vertex's aggregation vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a wrong input length.
+    pub fn forward(&self, a_v: &[f32]) -> Result<Vec<f32>, TensorError> {
+        self.mlp.forward(a_v)
+    }
+
+    /// Applies the MLP to every row of `a` (all vertices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != in_dim`.
+    pub fn forward_all(&self, a: &Matrix) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(a.rows(), self.out_dim());
+        for r in 0..a.rows() {
+            let y = self.mlp.forward(a.row(r))?;
+            out.set_row(r, &y);
+        }
+        Ok(out)
+    }
+
+    /// MACs per vertex.
+    pub fn macs_per_vertex(&self) -> usize {
+        self.mlp.macs()
+    }
+
+    /// Bytes of shared parameters.
+    pub fn param_bytes(&self) -> usize {
+        self.mlp.param_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_all_matches_row_by_row() {
+        let c = Combine::random(&[6, 4], 3).unwrap();
+        let a = Matrix::random(5, 6, 1.0, 9);
+        let all = c.forward_all(&a).unwrap();
+        for r in 0..5 {
+            assert_eq!(all.row(r), c.forward(a.row(r)).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn dims_exposed() {
+        let c = Combine::random(&[16, 128, 128], 0).unwrap();
+        assert_eq!(c.in_dim(), 16);
+        assert_eq!(c.out_dim(), 128);
+        assert_eq!(c.macs_per_vertex(), 16 * 128 + 128 * 128);
+    }
+
+    #[test]
+    fn shape_error_propagates() {
+        let c = Combine::random(&[4, 2], 0).unwrap();
+        let a = Matrix::zeros(3, 5);
+        assert!(c.forward_all(&a).is_err());
+    }
+}

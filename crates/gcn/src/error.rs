@@ -1,0 +1,85 @@
+//! Error type for GCN model construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use hygcn_graph::GraphError;
+use hygcn_tensor::TensorError;
+
+/// Errors produced by model configuration and the reference executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcnError {
+    /// The feature matrix does not match the graph (`|V|` rows, feature
+    /// length columns).
+    FeatureShape {
+        /// Expected `(vertices, feature_len)`.
+        expected: (usize, usize),
+        /// Found shape.
+        found: (usize, usize),
+    },
+    /// Underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Underlying graph operation failed.
+    Graph(GraphError),
+    /// Invalid model configuration.
+    InvalidModel(String),
+}
+
+impl fmt::Display for GcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcnError::FeatureShape { expected, found } => write!(
+                f,
+                "feature matrix shape {}x{} does not match expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            GcnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GcnError::Graph(e) => write!(f, "graph error: {e}"),
+            GcnError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl Error for GcnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GcnError::Tensor(e) => Some(e),
+            GcnError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GcnError {
+    fn from(e: TensorError) -> Self {
+        GcnError::Tensor(e)
+    }
+}
+
+impl From<GraphError> for GcnError {
+    fn from(e: GraphError) -> Self {
+        GcnError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GcnError::from(TensorError::ZeroDimension("rows"));
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn feature_shape_message() {
+        let e = GcnError::FeatureShape {
+            expected: (4, 8),
+            found: (3, 8),
+        };
+        assert!(e.to_string().contains("3x8"));
+        assert!(e.to_string().contains("4x8"));
+    }
+}

@@ -1,0 +1,255 @@
+//! The four benchmark models of Table 5 and their layer configurations.
+
+use hygcn_graph::sampling::SamplePolicy;
+
+use crate::aggregate::{Aggregator, SelfTerm};
+use crate::combine::Combine;
+use crate::GcnError;
+
+/// GIN's learnable ε, fixed for reproducibility (inference only).
+pub const GIN_EPSILON: f32 = 0.1;
+
+/// Number of DiffPool clusters — the output width of `GCN_pool`
+/// (`|a|–128` in Table 5).
+pub const DIFFPOOL_CLUSTERS: usize = 128;
+
+/// Hidden width of every Combine MLP in Table 5.
+pub const HIDDEN_DIM: usize = 128;
+
+/// Which of the four benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// GCN (Kipf & Welling), Eq. 4.
+    Gcn,
+    /// GraphSage with 25-neighbor uniform sampling and Max aggregation,
+    /// Eq. 5 / Table 5.
+    GraphSage,
+    /// GINConv with `(1+ε)` self term and a two-layer MLP, Eq. 6.
+    Gin,
+    /// DiffPool: two internal GCNs (pool + embedding) and the coarsening
+    /// matrix products, Eq. 8.
+    DiffPool,
+}
+
+impl ModelKind {
+    /// All four, in paper order.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Gcn,
+        ModelKind::GraphSage,
+        ModelKind::Gin,
+        ModelKind::DiffPool,
+    ];
+
+    /// Paper abbreviation (GCN / GSC / GIN / DFP).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::GraphSage => "GSC",
+            ModelKind::Gin => "GIN",
+            ModelKind::DiffPool => "DFP",
+        }
+    }
+
+    /// Phase order on CPU/GPU frameworks (§5.2): every model lowers
+    /// Combination first — shrinking the feature length before the costly
+    /// Aggregation — except GINConv, whose formulation aggregates the raw
+    /// features first.
+    pub fn phase_order(&self) -> PhaseOrder {
+        match self {
+            ModelKind::Gin => PhaseOrder::AggregateFirst,
+            _ => PhaseOrder::CombineFirst,
+        }
+    }
+
+    /// Neighbor sampling policy (Table 5: GraphSage samples 25).
+    pub fn sample_policy(&self) -> SamplePolicy {
+        match self {
+            ModelKind::GraphSage => SamplePolicy::MaxNeighbors(25),
+            _ => SamplePolicy::All,
+        }
+    }
+
+    /// Element-wise aggregator (Table 5).
+    pub fn aggregator(&self) -> Aggregator {
+        match self {
+            ModelKind::Gcn => Aggregator::NormalizedAdd,
+            ModelKind::GraphSage => Aggregator::Max,
+            ModelKind::Gin => Aggregator::Add,
+            ModelKind::DiffPool => Aggregator::Min,
+        }
+    }
+
+    /// Self-feature treatment.
+    pub fn self_term(&self) -> SelfTerm {
+        match self {
+            ModelKind::Gcn | ModelKind::GraphSage => SelfTerm::Include,
+            ModelKind::Gin => SelfTerm::Weighted(1.0 + GIN_EPSILON),
+            ModelKind::DiffPool => SelfTerm::Include,
+        }
+    }
+
+    /// Combine MLP dimension chain for input feature length `f`.
+    pub fn mlp_dims(&self, feature_len: usize) -> Vec<usize> {
+        match self {
+            ModelKind::Gin => vec![feature_len, HIDDEN_DIM, HIDDEN_DIM],
+            _ => vec![feature_len, HIDDEN_DIM],
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Whether Combination runs before or after Aggregation within a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOrder {
+    /// Transform features first (shrinks the aggregation width to 128).
+    CombineFirst,
+    /// Aggregate raw features first (GINConv).
+    AggregateFirst,
+}
+
+/// A fully-instantiated benchmark model: configuration plus shared MLP
+/// weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnModel {
+    kind: ModelKind,
+    feature_len: usize,
+    combine: Combine,
+    /// DiffPool's second internal GCN (`GCN_pool`), producing the
+    /// assignment matrix; `None` for the other models.
+    pool_combine: Option<Combine>,
+}
+
+impl GcnModel {
+    /// Instantiates `kind` for graphs with `feature_len`-long features,
+    /// with reproducible random weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GcnError::InvalidModel`] if `feature_len == 0`.
+    pub fn new(kind: ModelKind, feature_len: usize, seed: u64) -> Result<Self, GcnError> {
+        if feature_len == 0 {
+            return Err(GcnError::InvalidModel(
+                "feature length must be nonzero".into(),
+            ));
+        }
+        let combine = Combine::random(&kind.mlp_dims(feature_len), seed)?;
+        let pool_combine = match kind {
+            ModelKind::DiffPool => Some(Combine::random(
+                &[feature_len, DIFFPOOL_CLUSTERS],
+                seed.wrapping_add(101),
+            )?),
+            _ => None,
+        };
+        Ok(Self {
+            kind,
+            feature_len,
+            combine,
+            pool_combine,
+        })
+    }
+
+    /// Which model this is.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Expected input feature length.
+    pub fn feature_len(&self) -> usize {
+        self.feature_len
+    }
+
+    /// Output feature length after the layer.
+    pub fn out_len(&self) -> usize {
+        self.combine.out_dim()
+    }
+
+    /// The (embedding) Combine stage.
+    pub fn combine(&self) -> &Combine {
+        &self.combine
+    }
+
+    /// DiffPool's pool Combine stage, if any.
+    pub fn pool_combine(&self) -> Option<&Combine> {
+        self.pool_combine.as_ref()
+    }
+
+    /// Bytes of shared parameters across all Combine stages.
+    pub fn param_bytes(&self) -> usize {
+        self.combine.param_bytes()
+            + self
+                .pool_combine
+                .as_ref()
+                .map_or(0, Combine::param_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_configurations() {
+        assert_eq!(ModelKind::Gcn.aggregator(), Aggregator::NormalizedAdd);
+        assert_eq!(ModelKind::GraphSage.aggregator(), Aggregator::Max);
+        assert_eq!(ModelKind::Gin.aggregator(), Aggregator::Add);
+        assert_eq!(ModelKind::DiffPool.aggregator(), Aggregator::Min);
+
+        assert_eq!(
+            ModelKind::GraphSage.sample_policy(),
+            SamplePolicy::MaxNeighbors(25)
+        );
+        assert_eq!(ModelKind::Gcn.sample_policy(), SamplePolicy::All);
+
+        assert_eq!(ModelKind::Gin.mlp_dims(300), vec![300, 128, 128]);
+        assert_eq!(ModelKind::Gcn.mlp_dims(300), vec![300, 128]);
+    }
+
+    #[test]
+    fn gin_aggregates_first_others_combine_first() {
+        assert_eq!(ModelKind::Gin.phase_order(), PhaseOrder::AggregateFirst);
+        for k in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::DiffPool] {
+            assert_eq!(k.phase_order(), PhaseOrder::CombineFirst);
+        }
+    }
+
+    #[test]
+    fn model_instantiation() {
+        let m = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        assert_eq!(m.feature_len(), 64);
+        assert_eq!(m.out_len(), 128);
+        assert!(m.pool_combine().is_none());
+    }
+
+    #[test]
+    fn diffpool_has_two_mlps() {
+        let m = GcnModel::new(ModelKind::DiffPool, 64, 1).unwrap();
+        assert!(m.pool_combine().is_some());
+        assert_eq!(m.pool_combine().unwrap().out_dim(), DIFFPOOL_CLUSTERS);
+        assert!(m.param_bytes() > m.combine().param_bytes());
+    }
+
+    #[test]
+    fn zero_feature_len_rejected() {
+        assert!(GcnModel::new(ModelKind::Gcn, 0, 1).is_err());
+    }
+
+    #[test]
+    fn abbrevs() {
+        let abbrevs: Vec<_> = ModelKind::ALL.iter().map(|m| m.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["GCN", "GSC", "GIN", "DFP"]);
+    }
+
+    #[test]
+    fn self_terms() {
+        assert_eq!(ModelKind::Gcn.self_term(), SelfTerm::Include);
+        match ModelKind::Gin.self_term() {
+            SelfTerm::Weighted(w) => assert!((w - 1.1).abs() < 1e-6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The `Readout` function (paper Eq. 3/7): reduce all vertex features to a
+//! single graph-level representation.
+//!
+//! The paper notes Readout "can be viewed as an extreme Aggregation" —
+//! a virtual vertex connected to every vertex in the graph — which is how
+//! the Aggregation Engine executes it.
+
+use hygcn_tensor::Matrix;
+
+/// Sums the feature vectors of every vertex: `h_G = Σ_v h_v`.
+pub fn sum_readout(features: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; features.cols()];
+    for r in 0..features.rows() {
+        for (o, &x) in out.iter_mut().zip(features.row(r)) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Mean of all vertex features.
+pub fn mean_readout(features: &Matrix) -> Vec<f32> {
+    let mut out = sum_readout(features);
+    if features.rows() > 0 {
+        let inv = 1.0 / features.rows() as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// GIN's graph representation (Eq. 7): concatenation of the per-iteration
+/// sum readouts, `h_G = Concat(Σ_v h^k_v | k = 1..K)`.
+pub fn concat_readout(per_iteration: &[Matrix]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for m in per_iteration {
+        out.extend(sum_readout(m));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_readout_adds_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(sum_readout(&m), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_readout_divides() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(mean_readout(&m), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_empty_not_nan() {
+        let m = Matrix::zeros(0, 3);
+        assert_eq!(mean_readout(&m), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_readout_concatenates_iterations() {
+        let k1 = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let k2 = Matrix::from_rows(&[vec![10.0], vec![20.0]]).unwrap();
+        assert_eq!(concat_readout(&[k1, k2]), vec![3.0, 30.0]);
+    }
+}

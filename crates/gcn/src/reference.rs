@@ -1,0 +1,228 @@
+//! Software reference executor — the functional golden model.
+//!
+//! Implements the edge- and MVM-centric programming model of Algorithm 1
+//! directly in software: gather-based aggregation over each vertex's
+//! (sampled) in-edges, then the shared-MLP combination — or the reverse
+//! order for Combine-first models. The accelerator simulator's functional
+//! path and both platform baselines are validated against this executor.
+
+use hygcn_graph::sampling::Sampler;
+use hygcn_graph::Graph;
+use hygcn_tensor::Matrix;
+
+use crate::aggregate::aggregate_all;
+use crate::model::{GcnModel, ModelKind, PhaseOrder};
+use crate::pool::{coarsen, DiffPoolOutput};
+use crate::GcnError;
+
+/// Result of running one model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerOutput {
+    /// Per-vertex output features (`|V| x out_len`). For DiffPool this is
+    /// the embedding matrix `Z`.
+    pub features: Matrix,
+    /// DiffPool's coarsened graph, when the model pools.
+    pub pooled: Option<DiffPoolOutput>,
+}
+
+/// Deterministic reference executor.
+#[derive(Debug, Clone)]
+pub struct ReferenceExecutor {
+    sample_seed: u64,
+}
+
+impl Default for ReferenceExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReferenceExecutor {
+    /// Creates an executor with the default sampling seed.
+    pub fn new() -> Self {
+        Self { sample_seed: 0x4759 }
+    }
+
+    /// Overrides the neighbor-sampling seed (GraphSage runs).
+    pub fn with_sample_seed(seed: u64) -> Self {
+        Self { sample_seed: seed }
+    }
+
+    /// The sampling seed in use.
+    pub fn sample_seed(&self) -> u64 {
+        self.sample_seed
+    }
+
+    /// Runs one layer of `model` over `graph` with input features `x`
+    /// (`|V| x feature_len`).
+    ///
+    /// # Errors
+    ///
+    /// * [`GcnError::FeatureShape`] if `x` does not match the graph/model.
+    /// * [`GcnError::Tensor`] on internal dimension mismatches.
+    pub fn run(&self, graph: &Graph, x: &Matrix, model: &GcnModel) -> Result<LayerOutput, GcnError> {
+        let expected = (graph.num_vertices(), model.feature_len());
+        if x.shape() != expected {
+            return Err(GcnError::FeatureShape {
+                expected,
+                found: x.shape(),
+            });
+        }
+
+        // Sample step (Eq. 2). HyGCN performs this at runtime in the
+        // Aggregation Engine's Sampler; functionally it yields a subgraph.
+        let policy = model.kind().sample_policy();
+        let sampled;
+        let g = if policy.is_sampling() {
+            sampled = Sampler::new(self.sample_seed).sample(graph, policy);
+            &sampled
+        } else {
+            graph
+        };
+
+        let kind = model.kind();
+        let features = self.run_path(g, x, model, PathRole::Embedding)?;
+        let pooled = if kind == ModelKind::DiffPool {
+            let scores = self.run_path(g, x, model, PathRole::Pool)?;
+            Some(coarsen(&scores, &features, g.edges())?)
+        } else {
+            None
+        };
+        Ok(LayerOutput { features, pooled })
+    }
+
+    /// Runs one aggregation+combination path (the embedding path for all
+    /// models; the pool path only for DiffPool).
+    fn run_path(
+        &self,
+        g: &Graph,
+        x: &Matrix,
+        model: &GcnModel,
+        role: PathRole,
+    ) -> Result<Matrix, GcnError> {
+        let combine = match role {
+            PathRole::Embedding => model.combine(),
+            PathRole::Pool => model
+                .pool_combine()
+                .expect("pool path only runs for DiffPool"),
+        };
+        let kind = model.kind();
+        let out = match kind.phase_order() {
+            PhaseOrder::CombineFirst => {
+                let transformed = combine.forward_all(x)?;
+                aggregate_all(g, &transformed, kind.aggregator(), kind.self_term())
+            }
+            PhaseOrder::AggregateFirst => {
+                let aggregated = aggregate_all(g, x, kind.aggregator(), kind.self_term());
+                combine.forward_all(&aggregated)?
+            }
+        };
+        Ok(out)
+    }
+}
+
+enum PathRole {
+    Embedding,
+    Pool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DIFFPOOL_CLUSTERS;
+    use hygcn_graph::GraphBuilder;
+
+    fn ring(n: usize, f: usize) -> Graph {
+        let mut b = GraphBuilder::new(n).feature_len(f);
+        for v in 0..n as u32 {
+            b = b.undirected_edge(v, ((v + 1) as usize % n) as u32).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn gcn_layer_shapes() {
+        let g = ring(6, 16);
+        let m = GcnModel::new(ModelKind::Gcn, 16, 1).unwrap();
+        let x = Matrix::random(6, 16, 1.0, 2);
+        let out = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        assert_eq!(out.features.shape(), (6, 128));
+        assert!(out.pooled.is_none());
+    }
+
+    #[test]
+    fn gin_layer_shapes() {
+        let g = ring(5, 12);
+        let m = GcnModel::new(ModelKind::Gin, 12, 1).unwrap();
+        let x = Matrix::random(5, 12, 1.0, 2);
+        let out = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        assert_eq!(out.features.shape(), (5, 128));
+    }
+
+    #[test]
+    fn diffpool_produces_coarse_graph() {
+        let g = ring(10, 8);
+        let m = GcnModel::new(ModelKind::DiffPool, 8, 1).unwrap();
+        let x = Matrix::random(10, 8, 1.0, 3);
+        let out = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        let pooled = out.pooled.expect("diffpool pools");
+        assert_eq!(pooled.features.shape(), (DIFFPOOL_CLUSTERS, 128));
+        assert_eq!(pooled.adjacency.shape(), (DIFFPOOL_CLUSTERS, DIFFPOOL_CLUSTERS));
+        assert_eq!(pooled.assignment.shape(), (10, DIFFPOOL_CLUSTERS));
+    }
+
+    #[test]
+    fn graphsage_sampling_is_deterministic() {
+        let g = ring(8, 8);
+        let m = GcnModel::new(ModelKind::GraphSage, 8, 1).unwrap();
+        let x = Matrix::random(8, 8, 1.0, 4);
+        let a = ReferenceExecutor::with_sample_seed(5).run(&g, &x, &m).unwrap();
+        let b = ReferenceExecutor::with_sample_seed(5).run(&g, &x, &m).unwrap();
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn wrong_feature_shape_rejected() {
+        let g = ring(4, 8);
+        let m = GcnModel::new(ModelKind::Gcn, 8, 1).unwrap();
+        let x = Matrix::zeros(4, 9);
+        assert!(matches!(
+            ReferenceExecutor::new().run(&g, &x, &m),
+            Err(GcnError::FeatureShape { .. })
+        ));
+    }
+
+    #[test]
+    fn combine_first_equals_manual_composition_for_gcn() {
+        use crate::aggregate::{aggregate_all, Aggregator, SelfTerm};
+        let g = ring(6, 10);
+        let m = GcnModel::new(ModelKind::Gcn, 10, 7).unwrap();
+        let x = Matrix::random(6, 10, 1.0, 8);
+        let out = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        let manual = aggregate_all(
+            &g,
+            &m.combine().forward_all(&x).unwrap(),
+            Aggregator::NormalizedAdd,
+            SelfTerm::Include,
+        );
+        assert_eq!(out.features, manual);
+    }
+
+    #[test]
+    fn gin_aggregate_first_composition() {
+        use crate::aggregate::{aggregate_all, Aggregator, SelfTerm};
+        use crate::model::GIN_EPSILON;
+        let g = ring(6, 10);
+        let m = GcnModel::new(ModelKind::Gin, 10, 7).unwrap();
+        let x = Matrix::random(6, 10, 1.0, 8);
+        let out = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
+        let agg = aggregate_all(
+            &g,
+            &x,
+            Aggregator::Add,
+            SelfTerm::Weighted(1.0 + GIN_EPSILON),
+        );
+        let manual = m.combine().forward_all(&agg).unwrap();
+        assert_eq!(out.features, manual);
+    }
+}

@@ -1,0 +1,155 @@
+//! Compressed sparse column adjacency — HyGCN's native input format.
+//!
+//! The paper (§4.3.2) takes CSC directly so the interval–shard partition
+//! requires no explicit preprocessing: the sources of each destination
+//! vertex are contiguous and sorted, so a shard `S(i, j)` is a binary-search
+//! range inside each destination column.
+
+use crate::{Coo, VertexId};
+
+/// In-edge adjacency: for each destination vertex, the sorted list of source
+/// vertices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csc {
+    /// `offsets[v]..offsets[v+1]` indexes `sources` for destination `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-destination-sorted source vertex ids.
+    sources: Vec<VertexId>,
+}
+
+impl Csc {
+    /// Builds CSC from an edge list via counting sort; `O(V + E)`.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let n = coo.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for &(_, dst) in coo.pairs() {
+            counts[dst as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut sources = vec![0 as VertexId; coo.num_edges()];
+        for &(src, dst) in coo.pairs() {
+            sources[cursor[dst as usize]] = src;
+            cursor[dst as usize] += 1;
+        }
+        // Sort each column so shard lookups can binary-search.
+        for v in 0..n {
+            sources[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Self { offsets, sources }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Sorted sources (in-neighbors) of destination `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn sources(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.sources[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Sources of `v` restricted to the half-open id range
+    /// `[lo, hi)` — the edges of shard rows `lo..hi` for column `v`.
+    ///
+    /// Runs in `O(log d + k)` where `d` is the degree of `v` and `k` the
+    /// number of matching edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn sources_in_range(&self, v: VertexId, lo: VertexId, hi: VertexId) -> &[VertexId] {
+        let all = self.sources(v);
+        let start = all.partition_point(|&s| s < lo);
+        let end = all.partition_point(|&s| s < hi);
+        &all[start..end]
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.sources(v).len()
+    }
+
+    /// Raw offset array (length `num_vertices + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw concatenated sources array.
+    pub fn raw_sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csc {
+        // dst 0: sources {3, 1}; dst 1: {0}; dst 2: {}; dst 3: {0, 1, 2}
+        let coo =
+            Coo::from_pairs(4, [(3, 0), (1, 0), (0, 1), (2, 3), (0, 3), (1, 3)]).unwrap();
+        Csc::from_coo(&coo)
+    }
+
+    #[test]
+    fn columns_are_sorted() {
+        let csc = sample();
+        assert_eq!(csc.sources(0), &[1, 3]);
+        assert_eq!(csc.sources(3), &[0, 1, 2]);
+        assert!(csc.sources(2).is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let csc = sample();
+        assert_eq!(csc.num_vertices(), 4);
+        assert_eq!(csc.num_edges(), 6);
+        assert_eq!(csc.degree(3), 3);
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let csc = sample();
+        assert_eq!(csc.sources_in_range(3, 1, 3), &[1, 2]);
+        assert_eq!(csc.sources_in_range(3, 0, 1), &[0]);
+        assert!(csc.sources_in_range(3, 3, 4).is_empty());
+    }
+
+    #[test]
+    fn range_query_empty_range() {
+        let csc = sample();
+        assert!(csc.sources_in_range(0, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csc = Csc::from_coo(&Coo::new(0));
+        assert_eq!(csc.num_vertices(), 0);
+        assert_eq!(csc.num_edges(), 0);
+    }
+
+    #[test]
+    fn offsets_are_monotonic() {
+        let csc = sample();
+        assert!(csc.offsets().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*csc.offsets().last().unwrap(), csc.num_edges());
+    }
+}

@@ -1,0 +1,110 @@
+//! Compressed sparse row adjacency (out-edges).
+//!
+//! The mirror of [`crate::Csc`]; used by generators, statistics, and the
+//! scatter-based reference aggregation that the paper argues against in §4.1
+//! (we keep it for correctness cross-checks).
+
+use crate::{Coo, VertexId};
+
+/// Out-edge adjacency: for each source vertex, the sorted list of
+/// destination vertices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds CSR from an edge list via counting sort; `O(V + E)`.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let n = coo.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for &(src, _) in coo.pairs() {
+            counts[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; coo.num_edges()];
+        for &(src, dst) in coo.pairs() {
+            targets[cursor[src as usize]] = dst;
+            cursor[src as usize] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted destinations (out-neighbors) of source `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn targets(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.targets(v).len()
+    }
+
+    /// Raw offset array (length `num_vertices + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_sorted() {
+        let coo = Coo::from_pairs(3, [(0, 2), (0, 1), (2, 0)]).unwrap();
+        let csr = Csr::from_coo(&coo);
+        assert_eq!(csr.targets(0), &[1, 2]);
+        assert_eq!(csr.targets(2), &[0]);
+        assert!(csr.targets(1).is_empty());
+    }
+
+    #[test]
+    fn csr_and_csc_are_mirrors_for_symmetric_input() {
+        let mut coo = Coo::new(5);
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (0, 4)] {
+            coo.push_undirected(a, b).unwrap();
+        }
+        let csr = Csr::from_coo(&coo);
+        let csc = crate::Csc::from_coo(&coo);
+        for v in 0..5 {
+            assert_eq!(csr.targets(v), csc.sources(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn degree_counts() {
+        let coo = Coo::from_pairs(3, [(0, 1), (0, 2), (1, 2)]).unwrap();
+        let csr = Csr::from_coo(&coo);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 1);
+        assert_eq!(csr.degree(2), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for graph construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::VertexId;
+
+/// Errors produced while constructing or transforming graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= num_vertices`.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A graph with zero vertices was requested where at least one is needed.
+    EmptyGraph,
+    /// A generator was asked for more edges than the topology can hold.
+    TooManyEdges {
+        /// Requested number of edges.
+        requested: usize,
+        /// Maximum representable for the vertex count.
+        capacity: usize,
+    },
+    /// A parameter outside its valid domain (e.g. zero interval size).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} out of bounds for graph with {num_vertices} vertices"
+            ),
+            GraphError::EmptyGraph => write!(f, "graph must contain at least one vertex"),
+            GraphError::TooManyEdges {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "requested {requested} edges but the topology holds at most {capacity}"
+            ),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("9"));
+        assert!(msg.contains("4"));
+        assert!(msg.starts_with("vertex"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn invalid_parameter_display() {
+        let e = GraphError::InvalidParameter("interval size must be nonzero".into());
+        assert!(e.to_string().contains("interval size"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Plain-text edge-list I/O.
+//!
+//! Lets users run the simulator on *real* datasets (e.g. the SNAP or
+//! Planetoid edge lists the paper's Table 4 datasets come from) instead
+//! of the synthetic generators. The format is the de-facto standard:
+//! one `src dst` pair per line, whitespace-separated, `#`-prefixed
+//! comment lines ignored. Vertex ids are dense non-negative integers;
+//! the vertex count is `max id + 1` unless a larger count is given.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Coo, Graph, GraphError, VertexId};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a `src dst` pair.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Graph-level validation failure.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: '{content}'")
+            }
+            IoError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Reads a directed edge list from `reader`.
+///
+/// `feature_len` sets the graph's feature length (a model property the
+/// file does not carry). Pass `undirected = true` to mirror every edge.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] on malformed lines.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    feature_len: usize,
+    undirected: bool,
+) -> Result<Graph, IoError> {
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: VertexId = 0;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        match (parse(it.next()), parse(it.next()), it.next()) {
+            (Some(s), Some(d), None) => {
+                max_id = max_id.max(s).max(d);
+                pairs.push((s, d));
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    let n = if pairs.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut coo = Coo::new(n);
+    for (s, d) in pairs {
+        if undirected {
+            coo.push_undirected(s, d)?;
+        } else {
+            coo.push(s, d)?;
+        }
+    }
+    coo.dedup();
+    Ok(Graph::from_coo(&coo, feature_len))
+}
+
+/// Reads an edge list from a file path (see [`read_edge_list`]).
+///
+/// # Errors
+///
+/// Propagates file and parse errors.
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    feature_len: usize,
+    undirected: bool,
+) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, feature_len, undirected)
+}
+
+/// Writes `graph` as a directed edge list with a descriptive header.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> Result<(), IoError> {
+    writeln!(
+        writer,
+        "# {} vertices={} edges={} feature_len={}",
+        graph.name(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.feature_len()
+    )?;
+    for (s, d) in graph.edges() {
+        writeln!(writer, "{s} {d}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = GraphBuilder::new(5)
+            .feature_len(16)
+            .undirected_edge(0, 1)
+            .unwrap()
+            .undirected_edge(2, 4)
+            .unwrap()
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), 16, false).unwrap();
+        assert_eq!(back.num_vertices(), 5);
+        assert_eq!(back.num_edges(), g.num_edges());
+        for v in 0..5u32 {
+            assert_eq!(back.in_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a comment\n\n0 1\n  # indented comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 4, false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_flag_mirrors() {
+        let text = "0 1\n";
+        let g = read_edge_list(text.as_bytes(), 1, true).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.in_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes(), 1, false) {
+            Err(IoError::Parse { line, content }) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not an edge");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_column_rejected() {
+        let text = "0 1 5.0\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes(), 1, false),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes(), 8, false).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_deduplicated() {
+        let text = "0 1\n0 1\n1 1\n";
+        let g = read_edge_list(text.as_bytes(), 1, false).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hygcn-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        let g = GraphBuilder::new(4)
+            .feature_len(2)
+            .edges([(0, 1), (2, 3)])
+            .unwrap()
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let back = read_edge_list_file(&path, 2, false).unwrap();
+        assert_eq!(back.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

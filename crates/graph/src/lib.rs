@@ -1,0 +1,256 @@
+//! # hygcn-graph
+//!
+//! Graph storage and preprocessing substrate for the HyGCN (HPCA 2020)
+//! reproduction.
+//!
+//! HyGCN's Aggregation Engine consumes graphs in compressed sparse column
+//! (CSC) form and relies on three graph-side mechanisms that this crate
+//! implements from scratch:
+//!
+//! * **Interval–shard partitioning** ([`partition`]) — the static
+//!   locality-enhancing decomposition of Fig. 5(a)/(b) of the paper, where
+//!   destination vertices are grouped into *intervals* and edges into
+//!   *shards*.
+//! * **Window sliding and shrinking** ([`window`]) — the dynamic, data-aware
+//!   sparsity elimination of Fig. 5(c)/(d) and Algorithm 4, which skips
+//!   loading feature rows of source vertices that share no edge with the
+//!   current destination interval.
+//! * **Neighbor sampling** ([`sampling`]) — the uniform `Sample` operator
+//!   used by GraphSage-style models (Eq. 2), including the sampling-factor
+//!   sweep of Fig. 18(a–c).
+//!
+//! The crate also ships synthetic generators ([`generator`]) and a registry
+//! of the six benchmark datasets of Table 4 ([`datasets`]), so every
+//! experiment in the paper can be regenerated without proprietary data.
+//!
+//! ## Example
+//!
+//! ```
+//! use hygcn_graph::{GraphBuilder, partition::PartitionSpec};
+//!
+//! # fn main() -> Result<(), hygcn_graph::GraphError> {
+//! let graph = GraphBuilder::new(6)
+//!     .feature_len(16)
+//!     .undirected_edge(0, 1)?
+//!     .undirected_edge(1, 2)?
+//!     .undirected_edge(2, 3)?
+//!     .undirected_edge(4, 5)?
+//!     .build();
+//! let plan = PartitionSpec::new(2, 2).partition(&graph);
+//! assert_eq!(plan.num_dst_intervals(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod builder;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod datasets;
+pub mod error;
+pub mod generator;
+pub mod io;
+pub mod partition;
+pub mod reorder;
+pub mod sampling;
+pub mod stats;
+pub mod window;
+
+pub use builder::GraphBuilder;
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use error::GraphError;
+
+/// Identifier of a vertex. Graphs in this crate are limited to `u32::MAX`
+/// vertices, matching the index width used by the accelerator's edge format.
+pub type VertexId = u32;
+
+/// An in-memory property graph: symmetric adjacency in CSC and CSR form plus
+/// the length of the per-vertex feature vector (the paper's `|h_v|`).
+///
+/// The adjacency is stored twice (by source and by destination) because the
+/// Aggregation Engine traverses in-edges (gather) while generators and
+/// statistics naturally traverse out-edges. For the undirected graphs the
+/// paper evaluates, the two are mirror images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    csc: Csc,
+    csr: Csr,
+    feature_len: usize,
+    name: String,
+}
+
+impl Graph {
+    /// Builds a graph from a directed edge list (COO). Every `(src, dst)`
+    /// pair becomes one in-edge of `dst`.
+    ///
+    /// Prefer [`GraphBuilder`] for hand-constructed graphs.
+    pub fn from_coo(coo: &Coo, feature_len: usize) -> Self {
+        Self {
+            csc: Csc::from_coo(coo),
+            csr: Csr::from_coo(coo),
+            feature_len,
+            name: String::from("unnamed"),
+        }
+    }
+
+    /// Sets the human-readable dataset name used in reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Dataset name (e.g. `"Cora"`); `"unnamed"` when not set.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.csc.num_vertices()
+    }
+
+    /// Number of directed edges stored (an undirected edge counts twice).
+    pub fn num_edges(&self) -> usize {
+        self.csc.num_edges()
+    }
+
+    /// Length of each vertex feature vector (elements, not bytes).
+    pub fn feature_len(&self) -> usize {
+        self.feature_len
+    }
+
+    /// Returns a copy of the graph with a different feature length. Used by
+    /// multi-layer models where layer `k` consumes features of length
+    /// `|a^k_v|` produced by layer `k-1`.
+    pub fn with_feature_len(&self, feature_len: usize) -> Self {
+        Self {
+            feature_len,
+            ..self.clone()
+        }
+    }
+
+    /// In-neighbors (sources) of `v`, i.e. the vertices whose features are
+    /// aggregated into `v` (the paper's `N(v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csc.sources(v)
+    }
+
+    /// Out-neighbors (destinations) of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.targets(v)
+    }
+
+    /// In-degree of `v` (the paper's `D_v` for undirected graphs).
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Borrow the CSC adjacency (the accelerator's native input format).
+    pub fn csc(&self) -> &Csc {
+        &self.csc
+    }
+
+    /// Borrow the CSR adjacency.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Storage footprint in bytes of adjacency plus the dense feature matrix
+    /// at 4 bytes per element, mirroring the "Storage" column of Table 4.
+    pub fn storage_bytes(&self) -> usize {
+        let adjacency = self.num_edges() * std::mem::size_of::<VertexId>();
+        let features = self.num_vertices() * self.feature_len * 4;
+        adjacency + features
+    }
+
+    /// Iterate over all directed edges as `(src, dst)` pairs in CSC order
+    /// (grouped by destination).
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |dst| {
+            self.csc
+                .sources(dst)
+                .iter()
+                .map(move |&src| (src, dst))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        // 0 -> 1, 2 -> 1, 1 -> 3
+        let coo = Coo::from_pairs(4, [(0, 1), (2, 1), (1, 3)]).unwrap();
+        Graph::from_coo(&coo, 8)
+    }
+
+    #[test]
+    fn from_coo_counts() {
+        let g = toy();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.feature_len(), 8);
+    }
+
+    #[test]
+    fn in_neighbors_are_sorted_sources() {
+        let g = toy();
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_neighbors(3), &[1]);
+        assert!(g.in_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn out_neighbors_mirror() {
+        let g = toy();
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[3]);
+        assert_eq!(g.out_neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = toy();
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn edges_iterator_is_complete() {
+        let g = toy();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn storage_accounts_features_and_adjacency() {
+        let g = toy();
+        assert_eq!(g.storage_bytes(), 3 * 4 + 4 * 8 * 4);
+    }
+
+    #[test]
+    fn with_feature_len_overrides() {
+        let g = toy().with_feature_len(128);
+        assert_eq!(g.feature_len(), 128);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let g = toy().with_name("Cora");
+        assert_eq!(g.name(), "Cora");
+    }
+}

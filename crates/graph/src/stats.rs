@@ -1,0 +1,158 @@
+//! Degree and structure statistics used for generator validation and
+//! workload reporting.
+
+use crate::Graph;
+
+/// Summary of a graph's in-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum in-degree.
+    pub min: usize,
+    /// Maximum in-degree.
+    pub max: usize,
+    /// Mean in-degree (directed edges / vertices).
+    pub mean: f64,
+    /// Coefficient of variation (stddev / mean); 0 for regular graphs,
+    /// large for hub-dominated graphs.
+    pub cv: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics over all vertices.
+    ///
+    /// Returns zeros for an empty graph.
+    pub fn of(graph: &Graph) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Self {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                cv: 0.0,
+            };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut sum_sq = 0f64;
+        for v in 0..n as u32 {
+            let d = graph.in_degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            sum_sq += (d * d) as f64;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        Self { min, max, mean, cv }
+    }
+}
+
+/// Fraction of adjacency-matrix cells that are nonzero, `E / V^2`.
+pub fn density(graph: &Graph) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    graph.num_edges() as f64 / (n as f64 * n as f64)
+}
+
+/// Average number of *distinct* source vertices per destination interval of
+/// the given size, divided by interval edge count — a reuse proxy: values
+/// below 1 mean neighbors are shared between destinations in the interval,
+/// so loaded features are reused (paper §4.3.2 benefit 1).
+pub fn neighbor_sharing_ratio(graph: &Graph, interval_size: usize) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 || graph.num_edges() == 0 {
+        return 1.0;
+    }
+    let mut distinct_total = 0usize;
+    let mut edge_total = 0usize;
+    let mut start = 0usize;
+    let mut scratch: Vec<u32> = Vec::new();
+    while start < n {
+        let end = (start + interval_size).min(n);
+        scratch.clear();
+        for v in start..end {
+            scratch.extend_from_slice(graph.in_neighbors(v as u32));
+        }
+        edge_total += scratch.len();
+        scratch.sort_unstable();
+        scratch.dedup();
+        distinct_total += scratch.len();
+        start = end;
+    }
+    if edge_total == 0 {
+        1.0
+    } else {
+        distinct_total as f64 / edge_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_star() {
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5u32 {
+            b = b.edge(v, 0).unwrap();
+        }
+        let g = b.build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 0);
+        assert!((s.mean - 0.8).abs() < 1e-12);
+        assert!(s.cv > 1.0);
+    }
+
+    #[test]
+    fn stats_of_regular_ring() {
+        let mut b = GraphBuilder::new(8);
+        for v in 0..8u32 {
+            b = b.undirected_edge(v, (v + 1) % 8).unwrap();
+        }
+        let g = b.build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!(s.cv.abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_complete_graph() {
+        let mut b = GraphBuilder::new(4);
+        for a in 0..4u32 {
+            for c in (a + 1)..4u32 {
+                b = b.undirected_edge(a, c).unwrap();
+            }
+        }
+        let g = b.build();
+        assert!((density(&g) - 12.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_ratio_detects_overlap() {
+        // Two destinations share both sources: 4 edges, 2 distinct sources.
+        let g = GraphBuilder::new(4)
+            .edges([(2, 0), (3, 0), (2, 1), (3, 1)])
+            .unwrap()
+            .build();
+        let r = neighbor_sharing_ratio(&g, 2);
+        assert!((r - 0.5).abs() < 1e-12);
+        // Interval size 1: no sharing possible.
+        assert!((neighbor_sharing_ratio(&g, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = GraphBuilder::new(0).build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(density(&g), 0.0);
+        assert_eq!(neighbor_sharing_ratio(&g, 4), 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Data-aware sparsity elimination: window sliding and shrinking
+//! (paper §4.3.3, Fig. 5(c)/(d), Algorithm 4).
+//!
+//! For each destination interval, a window of the shard height slides down
+//! the source dimension until an edge appears in its top row, then its
+//! bottom edge shrinks upward to the last row that holds an edge. The
+//! recorded *effectual windows* are the only source-feature rows the
+//! Aggregation Engine loads from DRAM, eliminating loads for source
+//! vertices that share no edge with the interval.
+
+use crate::partition::Interval;
+use crate::{Graph, VertexId};
+
+/// One effectual shard discovered by sliding+shrinking: a contiguous range
+/// of source rows plus the number of edges it contains for the destination
+/// interval it was planned for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffectualWindow {
+    /// Source-row range `[start, end)` whose features must be loaded.
+    pub rows: Interval,
+    /// Edges between `rows` and the destination interval.
+    pub edge_count: usize,
+}
+
+/// Plans effectual windows for destination intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPlanner {
+    window_height: usize,
+}
+
+impl WindowPlanner {
+    /// Creates a planner whose windows are `window_height` source rows tall
+    /// (the shard height, i.e. the Input Buffer capacity in vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_height` is zero.
+    pub fn new(window_height: usize) -> Self {
+        assert!(window_height > 0, "window height must be nonzero");
+        Self { window_height }
+    }
+
+    /// Window height in source rows.
+    pub fn window_height(&self) -> usize {
+        self.window_height
+    }
+
+    /// Returns the effectual windows for destination interval `dst`,
+    /// implementing Algorithm 4 exactly: slide until the top row is
+    /// occupied, provisionally extend by the window height, then shrink the
+    /// bottom to the last occupied row.
+    pub fn plan(&self, graph: &Graph, dst: Interval) -> Vec<EffectualWindow> {
+        // Multiset of source rows with an edge into `dst`, sorted.
+        let mut rows: Vec<VertexId> = Vec::new();
+        for d in dst.iter() {
+            rows.extend_from_slice(graph.in_neighbors(d));
+        }
+        rows.sort_unstable();
+
+        let mut windows = Vec::new();
+        let mut idx = 0; // cursor into `rows`
+        let h = self.window_height as u64;
+        while idx < rows.len() {
+            // Window Sliding: jump to the next occupied row.
+            let win_start = rows[idx];
+            let pre_end = ((win_start as u64 + h - 1).min(u64::from(VertexId::MAX))) as VertexId;
+            // All edges with source row <= pre_end belong to this window.
+            let end_idx = rows.partition_point(|&r| r <= pre_end);
+            // Window Shrinking: bottom moves up to the last occupied row.
+            let win_end = rows[end_idx - 1];
+            windows.push(EffectualWindow {
+                rows: Interval::new(win_start, win_end + 1),
+                edge_count: end_idx - idx,
+            });
+            idx = end_idx;
+        }
+        windows
+    }
+
+    /// Aggregate sparsity statistics across all destination intervals.
+    pub fn stats(&self, graph: &Graph, dst_intervals: &[Interval]) -> SparsityStats {
+        let n = graph.num_vertices();
+        let mut effectual_rows = 0usize;
+        let mut window_count = 0usize;
+        let mut edge_total = 0usize;
+        for &dst in dst_intervals {
+            for w in self.plan(graph, dst) {
+                effectual_rows += w.rows.len();
+                edge_total += w.edge_count;
+                window_count += 1;
+            }
+        }
+        SparsityStats {
+            baseline_rows: n * dst_intervals.len(),
+            effectual_rows,
+            window_count,
+            edge_total,
+        }
+    }
+}
+
+/// Row-load accounting with and without sparsity elimination, feeding
+/// Fig. 15(c) and Fig. 18(c)/(f).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SparsityStats {
+    /// Source-feature rows loaded without elimination: every destination
+    /// interval scans the full source dimension.
+    pub baseline_rows: usize,
+    /// Source-feature rows loaded with sliding+shrinking.
+    pub effectual_rows: usize,
+    /// Number of effectual windows recorded.
+    pub window_count: usize,
+    /// Total edges covered (must equal the graph's edge count).
+    pub edge_total: usize,
+}
+
+impl SparsityStats {
+    /// Fraction of row loads eliminated, in `[0, 1]`.
+    pub fn reduction(&self) -> f64 {
+        if self.baseline_rows == 0 {
+            return 0.0;
+        }
+        1.0 - self.effectual_rows as f64 / self.baseline_rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// dst interval {0..4}; sources at rows 2, 3, 10, 11, 40.
+    fn sparse_graph() -> Graph {
+        GraphBuilder::new(64)
+            .feature_len(8)
+            .edges([(2, 0), (3, 1), (10, 0), (11, 2), (40, 3)])
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn windows_start_on_occupied_rows() {
+        let g = sparse_graph();
+        let planner = WindowPlanner::new(8);
+        let ws = planner.plan(&g, Interval::new(0, 4));
+        assert_eq!(ws.len(), 3);
+        // First window slides to row 2, provisionally covers 2..=9,
+        // shrinks to 2..=3.
+        assert_eq!(ws[0].rows, Interval::new(2, 4));
+        assert_eq!(ws[0].edge_count, 2);
+        // Second window covers rows 10..=11.
+        assert_eq!(ws[1].rows, Interval::new(10, 12));
+        assert_eq!(ws[1].edge_count, 2);
+        // Third: the lone row 40.
+        assert_eq!(ws[2].rows, Interval::new(40, 41));
+        assert_eq!(ws[2].edge_count, 1);
+    }
+
+    #[test]
+    fn window_never_exceeds_height() {
+        let g = sparse_graph();
+        for h in [1, 2, 4, 16] {
+            let ws = WindowPlanner::new(h).plan(&g, Interval::new(0, 64));
+            for w in ws {
+                assert!(w.rows.len() <= h, "height {h}, window {:?}", w.rows);
+            }
+        }
+    }
+
+    #[test]
+    fn windows_cover_all_edges() {
+        let g = sparse_graph();
+        let planner = WindowPlanner::new(4);
+        let total: usize = planner
+            .plan(&g, Interval::new(0, 64))
+            .iter()
+            .map(|w| w.edge_count)
+            .sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn empty_interval_yields_no_windows() {
+        let g = sparse_graph();
+        let ws = WindowPlanner::new(4).plan(&g, Interval::new(60, 64));
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn height_one_degenerates_to_occupied_rows() {
+        let g = sparse_graph();
+        let ws = WindowPlanner::new(1).plan(&g, Interval::new(0, 4));
+        let rows: Vec<_> = ws.iter().map(|w| w.rows.start).collect();
+        assert_eq!(rows, vec![2, 3, 10, 11, 40]);
+        assert!(ws.iter().all(|w| w.rows.len() == 1));
+    }
+
+    #[test]
+    fn stats_reduction_positive_for_sparse_graph() {
+        let g = sparse_graph();
+        let planner = WindowPlanner::new(8);
+        let stats = planner.stats(&g, &[Interval::new(0, 32), Interval::new(32, 64)]);
+        assert_eq!(stats.edge_total, g.num_edges());
+        assert!(stats.reduction() > 0.8, "reduction {}", stats.reduction());
+        assert!(stats.effectual_rows < stats.baseline_rows);
+    }
+
+    #[test]
+    fn dense_graph_has_low_reduction() {
+        // Fully connected K8: every row occupied for every interval.
+        let mut b = GraphBuilder::new(8).feature_len(4);
+        for a in 0..8u32 {
+            for c in 0..8u32 {
+                if a != c {
+                    b = b.edge(a, c).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        let stats = WindowPlanner::new(8).stats(&g, &[Interval::new(0, 8)]);
+        assert!(stats.reduction() < 0.01);
+    }
+
+    #[test]
+    fn reduction_zero_for_empty_baseline() {
+        assert_eq!(SparsityStats::default().reduction(), 0.0);
+    }
+}

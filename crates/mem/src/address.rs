@@ -1,0 +1,177 @@
+//! Physical address mapping.
+//!
+//! The coordination optimization (paper §4.5.2) remaps addresses so that
+//! "the channel and bank [are indexed] using low bits", spreading a
+//! contiguous stream across channels and banks. The uncoordinated baseline
+//! places the channel bits high, so a contiguous stream hammers one
+//! channel serially.
+
+/// Where in the address the channel/bank bits sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingScheme {
+    /// `row : bank : channel : offset` — channel and bank in the low bits
+    /// (above the burst offset). Contiguous streams exploit channel- and
+    /// bank-level parallelism. This is the coordinated mapping.
+    ChannelInterleaved,
+    /// `channel : row : bank : offset` — channel in the *high* bits
+    /// (128 MB per channel span). A working set smaller than the channel
+    /// span serializes on one channel, which is exactly the parallelism
+    /// loss the paper's low-bit remap fixes (§4.5.2). Banks rotate per
+    /// row, so single streams still overlap activates.
+    RowInterleaved,
+}
+
+/// Decoded location of a burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+/// Address decoder for a given geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    scheme: MappingScheme,
+    channels: usize,
+    banks: usize,
+    /// Row-buffer (page) size in bytes.
+    row_bytes: u64,
+    /// Burst size in bytes (the offset field).
+    burst_bytes: u64,
+}
+
+impl AddressMap {
+    /// Creates a decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry parameter is zero or not a power of two.
+    pub fn new(
+        scheme: MappingScheme,
+        channels: usize,
+        banks: usize,
+        row_bytes: u64,
+        burst_bytes: u64,
+    ) -> Self {
+        for (name, v) in [
+            ("channels", channels as u64),
+            ("banks", banks as u64),
+            ("row_bytes", row_bytes),
+            ("burst_bytes", burst_bytes),
+        ] {
+            assert!(v > 0 && v.is_power_of_two(), "{name} must be a power of two");
+        }
+        Self {
+            scheme,
+            channels,
+            banks,
+            row_bytes,
+            burst_bytes,
+        }
+    }
+
+    /// The mapping scheme.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// Decodes a byte address into `(channel, bank, row)`.
+    pub fn decode(&self, addr: u64) -> Location {
+        let burst = addr / self.burst_bytes;
+        match self.scheme {
+            MappingScheme::ChannelInterleaved => {
+                let channel = (burst % self.channels as u64) as usize;
+                let rest = burst / self.channels as u64;
+                let bank = (rest % self.banks as u64) as usize;
+                let rest = rest / self.banks as u64;
+                // Row = which page this burst falls in within its bank.
+                let bursts_per_row = self.row_bytes / self.burst_bytes;
+                let row = rest / bursts_per_row;
+                Location { channel, bank, row }
+            }
+            MappingScheme::RowInterleaved => {
+                const CHANNEL_SPAN: u64 = 128 << 20;
+                let channel = ((addr / CHANNEL_SPAN) % self.channels as u64) as usize;
+                let within = addr % CHANNEL_SPAN;
+                let page = within / self.row_bytes;
+                let bank = (page % self.banks as u64) as usize;
+                let row = page / self.banks as u64;
+                Location { channel, bank, row }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maps() -> (AddressMap, AddressMap) {
+        (
+            AddressMap::new(MappingScheme::ChannelInterleaved, 8, 16, 2048, 32),
+            AddressMap::new(MappingScheme::RowInterleaved, 8, 16, 2048, 32),
+        )
+    }
+
+    #[test]
+    fn channel_interleaved_spreads_consecutive_bursts() {
+        let (ci, _) = maps();
+        let channels: Vec<usize> = (0..8).map(|i| ci.decode(i * 32).channel).collect();
+        let mut sorted = channels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn row_interleaved_serializes_on_one_channel() {
+        let (_, ri) = maps();
+        let first = ri.decode(0);
+        // A multi-megabyte working set stays entirely on channel 0.
+        for addr in (0..(32u64 << 20)).step_by(1 << 16) {
+            assert_eq!(ri.decode(addr).channel, first.channel);
+        }
+        // Bursts within one 2 KB page share bank and row.
+        for i in 1..64u64 {
+            let loc = ri.decode(i * 32);
+            assert_eq!(loc.bank, first.bank);
+            assert_eq!(loc.row, first.row);
+        }
+        // The next page rotates banks.
+        assert_ne!(ri.decode(2048).bank, first.bank);
+    }
+
+    #[test]
+    fn same_address_same_location() {
+        let (ci, _) = maps();
+        assert_eq!(ci.decode(12345), ci.decode(12345));
+    }
+
+    #[test]
+    fn sub_burst_offsets_share_location() {
+        let (ci, _) = maps();
+        assert_eq!(ci.decode(0), ci.decode(31));
+        assert_ne!(ci.decode(0), ci.decode(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = AddressMap::new(MappingScheme::ChannelInterleaved, 6, 16, 2048, 32);
+    }
+
+    #[test]
+    fn decode_within_geometry_bounds() {
+        let (ci, ri) = maps();
+        for addr in (0..1_000_000u64).step_by(4093) {
+            for m in [&ci, &ri] {
+                let loc = m.decode(addr);
+                assert!(loc.channel < 8);
+                assert!(loc.bank < 16);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! On-chip eDRAM buffer models.
+//!
+//! HyGCN's buffers (Table 6): Input 128 KB, Edge 2 MB, Weight 2 MB, Output
+//! 4 MB, Aggregation 16 MB. Edge/Input/Weight/Output use double buffering
+//! to hide DRAM latency; the Aggregation Buffer is split into two
+//! ping-pong halves that decouple the engines (§4.5.1).
+//!
+//! These models track capacity and access traffic (for energy accounting);
+//! contents are tracked only as byte occupancy — the functional data lives
+//! in the executor.
+
+/// A capacity-tracked on-chip buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferModel {
+    name: &'static str,
+    capacity: usize,
+    double_buffered: bool,
+    occupied: usize,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl BufferModel {
+    /// Creates a buffer of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(name: &'static str, capacity: usize, double_buffered: bool) -> Self {
+        assert!(capacity > 0, "buffer capacity must be nonzero");
+        Self {
+            name,
+            capacity,
+            double_buffered,
+            occupied: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Buffer name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Capacity usable by one working set: half when double-buffered.
+    pub fn working_capacity(&self) -> usize {
+        if self.double_buffered {
+            self.capacity / 2
+        } else {
+            self.capacity
+        }
+    }
+
+    /// Whether the double-buffer technique is enabled.
+    pub fn is_double_buffered(&self) -> bool {
+        self.double_buffered
+    }
+
+    /// Records a fill of `bytes` (written into the buffer). Returns `false`
+    /// if it would overflow the working capacity (the caller should drain
+    /// or split).
+    pub fn fill(&mut self, bytes: usize) -> bool {
+        if self.occupied + bytes > self.working_capacity() {
+            return false;
+        }
+        self.occupied += bytes;
+        self.bytes_written += bytes as u64;
+        true
+    }
+
+    /// Records reads of `bytes` served from the buffer (contents remain).
+    pub fn read(&mut self, bytes: usize) {
+        self.bytes_read += bytes as u64;
+    }
+
+    /// Empties the buffer (swap to the shadow copy / consume the tile).
+    pub fn drain(&mut self) {
+        self.occupied = 0;
+    }
+
+    /// Bytes currently resident.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Lifetime bytes read from this buffer (for energy accounting).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Lifetime bytes written into this buffer.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Lifetime total traffic.
+    pub fn total_traffic(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// The ping-pong Aggregation Buffer: two halves, one written by the
+/// Aggregation Engine while the other is read by the Combination Engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PingPongBuffer {
+    halves: [BufferModel; 2],
+    /// Index of the half currently written by the producer.
+    producer: usize,
+    swaps: u64,
+}
+
+impl PingPongBuffer {
+    /// Creates a ping-pong buffer of `total_capacity` bytes (each half gets
+    /// half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_capacity < 2`.
+    pub fn new(total_capacity: usize) -> Self {
+        assert!(total_capacity >= 2, "ping-pong buffer needs >= 2 bytes");
+        let half = total_capacity / 2;
+        Self {
+            halves: [
+                BufferModel::new("aggregation[0]", half, false),
+                BufferModel::new("aggregation[1]", half, false),
+            ],
+            producer: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Capacity of one half — the chunk size the pipeline works in.
+    pub fn half_capacity(&self) -> usize {
+        self.halves[0].capacity()
+    }
+
+    /// The half the Aggregation Engine writes.
+    pub fn producer_half(&mut self) -> &mut BufferModel {
+        &mut self.halves[self.producer]
+    }
+
+    /// The half the Combination Engine reads.
+    pub fn consumer_half(&mut self) -> &mut BufferModel {
+        &mut self.halves[1 - self.producer]
+    }
+
+    /// Swaps roles: the filled half becomes the consumer side and the
+    /// (drained) other half becomes the producer side.
+    pub fn swap(&mut self) {
+        self.halves[1 - self.producer].drain();
+        self.producer = 1 - self.producer;
+        self.swaps += 1;
+    }
+
+    /// Number of swaps so far (pipeline chunks).
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Lifetime traffic across both halves.
+    pub fn total_traffic(&self) -> u64 {
+        self.halves[0].total_traffic() + self.halves[1].total_traffic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_respects_working_capacity() {
+        let mut b = BufferModel::new("input", 128, true);
+        assert_eq!(b.working_capacity(), 64);
+        assert!(b.fill(64));
+        assert!(!b.fill(1));
+        b.drain();
+        assert!(b.fill(32));
+    }
+
+    #[test]
+    fn single_buffered_uses_full_capacity() {
+        let mut b = BufferModel::new("agg", 128, false);
+        assert!(b.fill(128));
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut b = BufferModel::new("w", 1024, false);
+        b.fill(100);
+        b.read(40);
+        b.read(60);
+        assert_eq!(b.bytes_written(), 100);
+        assert_eq!(b.bytes_read(), 100);
+        assert_eq!(b.total_traffic(), 200);
+    }
+
+    #[test]
+    fn ping_pong_swaps_roles() {
+        let mut p = PingPongBuffer::new(256);
+        assert_eq!(p.half_capacity(), 128);
+        assert!(p.producer_half().fill(100));
+        p.swap();
+        // The filled half is now the consumer side.
+        assert_eq!(p.consumer_half().occupied(), 100);
+        assert_eq!(p.producer_half().occupied(), 0);
+        assert_eq!(p.swaps(), 1);
+    }
+
+    #[test]
+    fn ping_pong_drains_stale_half_on_swap() {
+        let mut p = PingPongBuffer::new(256);
+        p.producer_half().fill(50);
+        p.swap(); // 50 now on consumer side
+        p.producer_half().fill(80);
+        p.swap(); // old consumer (50) drained, 80 becomes consumer
+        assert_eq!(p.consumer_half().occupied(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = BufferModel::new("x", 0, false);
+    }
+}

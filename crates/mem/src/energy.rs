@@ -1,0 +1,45 @@
+//! Memory energy constants and accounting.
+//!
+//! Off-chip: the paper estimates HBM 1.0 at 7 pJ/bit (§5.1). On-chip:
+//! eDRAM access energy scaled to 12 nm; the constant below is chosen so
+//! the Table 7 buffer-versus-compute power shares are reproduced by the
+//! accelerator's energy model in `hygcn-core`.
+
+/// HBM access energy, joules per bit (paper §5.1).
+pub const HBM_PJ_PER_BIT: f64 = 7.0;
+
+/// eDRAM access energy, picojoules per byte (12 nm-scaled estimate).
+pub const EDRAM_PJ_PER_BYTE: f64 = 0.5;
+
+/// Energy of moving `bytes` across the HBM interface, in joules.
+pub fn hbm_energy_j(bytes: u64) -> f64 {
+    bytes as f64 * 8.0 * HBM_PJ_PER_BIT * 1e-12
+}
+
+/// Energy of `bytes` of on-chip eDRAM buffer traffic, in joules.
+pub fn edram_energy_j(bytes: u64) -> f64 {
+    bytes as f64 * EDRAM_PJ_PER_BYTE * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_energy_matches_7pj_per_bit() {
+        // 1 GB = 8e9 bits * 7 pJ = 0.056 J.
+        let e = hbm_energy_j(1_000_000_000);
+        assert!((e - 0.056).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn edram_much_cheaper_than_hbm() {
+        assert!(edram_energy_j(1 << 20) < hbm_energy_j(1 << 20) / 10.0);
+    }
+
+    #[test]
+    fn zero_bytes_zero_energy() {
+        assert_eq!(hbm_energy_j(0), 0.0);
+        assert_eq!(edram_energy_j(0), 0.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Cycle-level HBM timing model — the Ramulator substitute.
+//!
+//! Geometry and rates follow HBM 1.0 as configured in Table 6: 8 channels
+//! at 32 GB/s each (256 GB/s aggregate), 1 GHz accelerator clock, 32 B
+//! bursts, 2 KB row buffers, 16 banks per channel.
+//!
+//! The model tracks, per channel, the data-bus availability and, per bank,
+//! the open row. A burst run that stays in an open row streams at one
+//! burst per cycle; touching a closed row exposes an activate+precharge
+//! penalty. Requests are serviced in the order given — the scheduler
+//! upstream ([`crate::scheduler`]) decides that order, which is exactly
+//! where the paper's memory-access coordination acts.
+
+use crate::address::{AddressMap, MappingScheme};
+use crate::request::MemRequest;
+use crate::stats::MemStats;
+
+/// How the memory controller orders segments within a service window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControllerPolicy {
+    /// Service strictly in the order given (the scheduler upstream fully
+    /// determines locality).
+    #[default]
+    InOrder,
+    /// First-Ready FCFS: within a lookahead window per channel, segments
+    /// that hit an open row are served before older row-miss segments —
+    /// the standard row-hit-first policy of real controllers.
+    FrFcfs {
+        /// Per-channel lookahead window in segments.
+        window: usize,
+    },
+}
+
+/// Static configuration of the HBM stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Burst granularity in bytes.
+    pub burst_bytes: u64,
+    /// Cycles to transfer one burst on a channel's data bus.
+    pub t_burst: u64,
+    /// Exposed row activate + precharge penalty in cycles.
+    pub t_row: u64,
+    /// Column access latency (affects completion, not throughput).
+    pub t_cas: u64,
+    /// Address mapping scheme.
+    pub mapping: MappingScheme,
+    /// Controller reordering policy.
+    pub controller: ControllerPolicy,
+}
+
+impl HbmConfig {
+    /// HBM 1.0 at 256 GB/s with the coordinated (channel-interleaved)
+    /// mapping — HyGCN's configuration.
+    pub fn hbm1() -> Self {
+        Self {
+            channels: 8,
+            banks: 16,
+            row_bytes: 2048,
+            burst_bytes: 32,
+            t_burst: 1,
+            t_row: 28,
+            t_cas: 14,
+            mapping: MappingScheme::ChannelInterleaved,
+            controller: ControllerPolicy::InOrder,
+        }
+    }
+
+    /// The same stack with the baseline (row-interleaved) mapping used by
+    /// the no-coordination ablation (Fig. 17).
+    pub fn hbm1_uncoordinated() -> Self {
+        Self {
+            mapping: MappingScheme::RowInterleaved,
+            ..Self::hbm1()
+        }
+    }
+
+    /// Peak bandwidth in bytes per cycle (all channels).
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        (self.channels as u64 * self.burst_bytes / self.t_burst) as f64
+    }
+
+    /// The address decoder for this geometry.
+    pub fn address_map(&self) -> AddressMap {
+        AddressMap::new(
+            self.mapping,
+            self.channels,
+            self.banks,
+            self.row_bytes,
+            self.row_bytes, // page-granular interleave
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    ready: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    bus_free: u64,
+    banks: Vec<Bank>,
+}
+
+/// The HBM device model.
+#[derive(Debug, Clone)]
+pub struct Hbm {
+    config: HbmConfig,
+    map: AddressMap,
+    channels: Vec<Channel>,
+    stats: MemStats,
+}
+
+impl Hbm {
+    /// Creates an idle HBM stack.
+    pub fn new(config: HbmConfig) -> Self {
+        let channels = (0..config.channels)
+            .map(|_| Channel {
+                bus_free: 0,
+                banks: vec![Bank::default(); config.banks],
+            })
+            .collect();
+        Self {
+            map: config.address_map(),
+            config,
+            channels,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HbmConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Services one request starting no earlier than `now`; returns the
+    /// cycle at which its last data beat (plus CAS latency) arrives.
+    ///
+    /// The request is split into row-aligned segments; each segment is a
+    /// same-(channel, bank, row) burst run. Channels progress
+    /// independently, so a multi-row request naturally overlaps across
+    /// channels under the interleaved mapping.
+    pub fn access(&mut self, req: &MemRequest, now: u64) -> u64 {
+        debug_assert!(req.bytes > 0, "zero-length request");
+        let mut addr = req.addr;
+        let end = req.addr + u64::from(req.bytes);
+        let mut completion = now;
+        while addr < end {
+            let row_end = (addr / self.config.row_bytes + 1) * self.config.row_bytes;
+            let seg_end = row_end.min(end);
+            let seg_bytes = seg_end - addr;
+            let done = self.service_segment(addr, seg_bytes, now);
+            completion = completion.max(done);
+            addr = seg_end;
+        }
+        self.stats.requests += 1;
+        if req.is_write {
+            self.stats.bytes_written += u64::from(req.bytes);
+        } else {
+            self.stats.bytes_read += u64::from(req.bytes);
+        }
+        self.stats.last_completion = self.stats.last_completion.max(completion);
+        completion
+    }
+
+    /// Services a batch; returns the completion cycle of the last request.
+    ///
+    /// Under [`ControllerPolicy::InOrder`] requests are serviced exactly
+    /// in the given order. Under [`ControllerPolicy::FrFcfs`] the batch is
+    /// decomposed into row segments, distributed to per-channel queues,
+    /// and each channel serves row hits ahead of older row misses within
+    /// its lookahead window.
+    pub fn service_batch(&mut self, reqs: &[MemRequest], now: u64) -> u64 {
+        match self.config.controller {
+            ControllerPolicy::InOrder => {
+                let mut completion = now;
+                for r in reqs {
+                    completion = completion.max(self.access(r, now));
+                }
+                completion
+            }
+            ControllerPolicy::FrFcfs { window } => self.service_frfcfs(reqs, now, window.max(1)),
+        }
+    }
+
+    fn service_frfcfs(&mut self, reqs: &[MemRequest], now: u64, window: usize) -> u64 {
+        #[derive(Clone, Copy)]
+        struct Seg {
+            addr: u64,
+            bytes: u64,
+            bank: usize,
+            row: u64,
+        }
+        // Decompose into per-channel segment queues, preserving order.
+        let mut queues: Vec<Vec<Seg>> = vec![Vec::new(); self.config.channels];
+        for r in reqs {
+            let mut addr = r.addr;
+            let end = r.addr + u64::from(r.bytes);
+            while addr < end {
+                let row_end = (addr / self.config.row_bytes + 1) * self.config.row_bytes;
+                let seg_end = row_end.min(end);
+                let loc = self.map.decode(addr);
+                queues[loc.channel].push(Seg {
+                    addr,
+                    bytes: seg_end - addr,
+                    bank: loc.bank,
+                    row: loc.row,
+                });
+                addr = seg_end;
+            }
+            self.stats.requests += 1;
+            if r.is_write {
+                self.stats.bytes_written += u64::from(r.bytes);
+            } else {
+                self.stats.bytes_read += u64::from(r.bytes);
+            }
+        }
+        // Per channel: row-hit-first within the lookahead window.
+        let mut completion = now;
+        for (ch_idx, queue) in queues.into_iter().enumerate() {
+            let mut head = 0usize;
+            let mut pending: Vec<Seg> = Vec::new();
+            loop {
+                while pending.len() < window && head < queue.len() {
+                    pending.push(queue[head]);
+                    head += 1;
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                // Oldest row hit, else oldest.
+                let pick = pending
+                    .iter()
+                    .position(|s| {
+                        self.channels[ch_idx].banks[s.bank].open_row == Some(s.row)
+                    })
+                    .unwrap_or(0);
+                let seg = pending.remove(pick);
+                let done = self.service_segment(seg.addr, seg.bytes, now);
+                completion = completion.max(done);
+            }
+        }
+        self.stats.last_completion = self.stats.last_completion.max(completion);
+        completion
+    }
+
+    /// The cycle at which all channels become idle.
+    pub fn drain_cycle(&self) -> u64 {
+        self.channels.iter().map(|c| c.bus_free).max().unwrap_or(0)
+    }
+
+    fn service_segment(&mut self, addr: u64, bytes: u64, now: u64) -> u64 {
+        let loc = self.map.decode(addr);
+        let bursts = bytes.div_ceil(self.config.burst_bytes);
+        let ch = &mut self.channels[loc.channel];
+        let bank = &mut ch.banks[loc.bank];
+
+        let mut ready = bank.ready.max(now);
+        if bank.open_row != Some(loc.row) {
+            // Activate (and precharge the old row) before the transfer.
+            ready += self.config.t_row;
+            bank.open_row = Some(loc.row);
+            self.stats.row_misses += 1;
+        } else {
+            self.stats.row_hits += 1;
+        }
+        let start = ready.max(ch.bus_free);
+        let finish = start + bursts * self.config.t_burst;
+        ch.bus_free = finish;
+        bank.ready = finish;
+        finish + self.config.t_cas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    fn read(addr: u64, bytes: u32) -> MemRequest {
+        MemRequest::read(RequestKind::InputFeatures, addr, bytes)
+    }
+
+    #[test]
+    fn single_burst_latency() {
+        let mut hbm = Hbm::new(HbmConfig::hbm1());
+        let done = hbm.access(&read(0, 32), 0);
+        // One miss: t_row + t_burst + t_cas.
+        assert_eq!(done, 28 + 1 + 14);
+        assert_eq!(hbm.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn open_row_streams_at_burst_rate() {
+        let mut hbm = Hbm::new(HbmConfig::hbm1());
+        let first = hbm.access(&read(0, 32), 0);
+        let second = hbm.access(&read(32, 32), 0);
+        // Same row: only one extra burst cycle.
+        assert_eq!(second, first + 1);
+        assert_eq!(hbm.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_activate() {
+        let cfg = HbmConfig::hbm1();
+        let mut hbm = Hbm::new(cfg);
+        hbm.access(&read(0, 32), 0);
+        // Same bank, different row: with channel-interleaved page mapping,
+        // rows of a bank are row_bytes * channels * banks apart.
+        let stride = cfg.row_bytes * cfg.channels as u64 * cfg.banks as u64;
+        hbm.access(&read(stride, 32), 0);
+        assert_eq!(hbm.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn large_request_spreads_across_channels() {
+        let cfg = HbmConfig::hbm1();
+        let mut hbm = Hbm::new(cfg);
+        // 16 KB = 8 rows = one per channel under interleaved mapping.
+        let done = hbm.access(&read(0, 16 * 1024), 0);
+        // Each channel: t_row + 64 bursts, in parallel, + CAS.
+        assert_eq!(done, 28 + 64 + 14);
+        assert_eq!(hbm.stats().row_misses, 8);
+    }
+
+    #[test]
+    fn row_interleaved_serializes_large_request() {
+        let mut hbm = Hbm::new(HbmConfig::hbm1_uncoordinated());
+        // 16 KB touches 8 consecutive rows; baseline maps them to 8 banks
+        // of ONE channel: the shared bus serializes the transfers.
+        let done = hbm.access(&read(0, 16 * 1024), 0);
+        assert!(done >= 8 * 64, "got {done}");
+    }
+
+    #[test]
+    fn utilization_reflects_streaming() {
+        let cfg = HbmConfig::hbm1();
+        let mut hbm = Hbm::new(cfg);
+        // Stream 1 MB contiguously.
+        let done = hbm.access(&read(0, 1 << 20), 0);
+        let util = hbm
+            .stats()
+            .bandwidth_utilization(done, cfg.peak_bytes_per_cycle());
+        assert!(util > 0.8, "utilization {util}");
+    }
+
+    #[test]
+    fn interleaved_streams_thrash_rows() {
+        // Two fine-grained streams in the same bank region: alternating
+        // rows force misses; the coordinated order avoids them.
+        let cfg = HbmConfig::hbm1();
+        let bank_stride = cfg.row_bytes * cfg.channels as u64 * cfg.banks as u64;
+        let interleaved: Vec<MemRequest> = (0..32u64)
+            .flat_map(|i| {
+                [
+                    read(i * 32, 32),
+                    read(bank_stride + i * 32, 32),
+                ]
+            })
+            .collect();
+        let mut a = Hbm::new(cfg);
+        let t_thrash = a.service_batch(&interleaved, 0);
+
+        let mut sorted = interleaved.clone();
+        sorted.sort_by_key(|r| r.addr);
+        let mut b = Hbm::new(cfg);
+        let t_sorted = b.service_batch(&sorted, 0);
+        assert!(
+            t_thrash > 2 * t_sorted,
+            "thrash {t_thrash} vs sorted {t_sorted}"
+        );
+        assert!(a.stats().row_hit_rate() < b.stats().row_hit_rate());
+    }
+
+    #[test]
+    fn writes_counted_separately() {
+        let mut hbm = Hbm::new(HbmConfig::hbm1());
+        hbm.access(&MemRequest::write(RequestKind::OutputFeatures, 0, 64), 0);
+        assert_eq!(hbm.stats().bytes_written, 64);
+        assert_eq!(hbm.stats().bytes_read, 0);
+    }
+
+    #[test]
+    fn peak_bandwidth_is_256_bytes_per_cycle() {
+        assert_eq!(HbmConfig::hbm1().peak_bytes_per_cycle(), 256.0);
+    }
+
+    #[test]
+    fn arrival_time_respected() {
+        let mut hbm = Hbm::new(HbmConfig::hbm1());
+        let done = hbm.access(&read(0, 32), 1000);
+        assert!(done >= 1000 + 28 + 1);
+    }
+
+    #[test]
+    fn frfcfs_rescues_interleaved_thrash() {
+        // Two bank-conflicting fine-grained streams: in-order thrashes,
+        // FR-FCFS groups the row hits within its window.
+        let cfg = HbmConfig::hbm1();
+        let bank_stride = cfg.row_bytes * cfg.channels as u64 * cfg.banks as u64;
+        let interleaved: Vec<MemRequest> = (0..64u64)
+            .flat_map(|i| [read(i * 32, 32), read(bank_stride + i * 32, 32)])
+            .collect();
+        let mut in_order = Hbm::new(cfg);
+        let t_inorder = in_order.service_batch(&interleaved, 0);
+
+        let frcfg = HbmConfig {
+            controller: ControllerPolicy::FrFcfs { window: 32 },
+            ..cfg
+        };
+        let mut fr = Hbm::new(frcfg);
+        let t_fr = fr.service_batch(&interleaved, 0);
+        assert!(t_fr < t_inorder, "frfcfs {t_fr} vs in-order {t_inorder}");
+        assert!(fr.stats().row_hit_rate() > in_order.stats().row_hit_rate());
+    }
+
+    #[test]
+    fn frfcfs_preserves_byte_accounting() {
+        let cfg = HbmConfig {
+            controller: ControllerPolicy::FrFcfs { window: 8 },
+            ..HbmConfig::hbm1()
+        };
+        let mut hbm = Hbm::new(cfg);
+        let reqs = vec![read(0, 5000), MemRequest::write(RequestKind::OutputFeatures, 1 << 20, 3000)];
+        hbm.service_batch(&reqs, 0);
+        assert_eq!(hbm.stats().bytes_read, 5000);
+        assert_eq!(hbm.stats().bytes_written, 3000);
+        assert_eq!(hbm.stats().requests, 2);
+    }
+
+    #[test]
+    fn frfcfs_matches_inorder_on_sorted_stream() {
+        // A single contiguous stream has nothing to reorder.
+        let reqs: Vec<MemRequest> = (0..32u64).map(|i| read(i * 2048, 2048)).collect();
+        let mut a = Hbm::new(HbmConfig::hbm1());
+        let t_a = a.service_batch(&reqs, 0);
+        let cfg = HbmConfig {
+            controller: ControllerPolicy::FrFcfs { window: 16 },
+            ..HbmConfig::hbm1()
+        };
+        let mut b = Hbm::new(cfg);
+        let t_b = b.service_batch(&reqs, 0);
+        assert_eq!(t_a, t_b);
+    }
+}

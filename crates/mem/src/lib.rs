@@ -1,0 +1,47 @@
+//! # hygcn-mem
+//!
+//! Off-chip and on-chip memory substrate for the HyGCN (HPCA 2020)
+//! reproduction — the stand-in for the Ramulator + HBM 1.0 stack the paper
+//! integrates with its microarchitectural simulator (§5.1).
+//!
+//! * [`hbm`] — a cycle-level banked-DRAM timing model: 8 channels,
+//!   per-bank open rows, row activate/precharge penalties, 32 B bursts,
+//!   256 GB/s peak. Row-buffer locality and channel-/bank-level
+//!   parallelism — the two effects the paper's memory-access coordination
+//!   optimizes (Fig. 9/17) — fall out of the model rather than being
+//!   assumed.
+//! * [`address`] — physical address mapping schemes; the coordination
+//!   optimization remaps "the channel and bank using low bits".
+//! * [`scheduler`] — request-batch ordering: FCFS (the uncoordinated
+//!   baseline of Fig. 9(a)) vs the priority order
+//!   `edges > input features > weights > output features` of Fig. 9(b),
+//!   drained batch-by-batch.
+//! * [`buffer`] — on-chip eDRAM buffer accounting (Edge, Input, Weight,
+//!   Output, and the ping-pong Aggregation Buffer).
+//! * [`energy`] — HBM energy at 7 pJ/bit (paper §5.1) and eDRAM access
+//!   energy constants.
+//! * [`stats`] — traffic, row-hit, and bandwidth-utilization counters.
+//!
+//! ## Example
+//!
+//! ```
+//! use hygcn_mem::hbm::{Hbm, HbmConfig};
+//! use hygcn_mem::request::{MemRequest, RequestKind};
+//!
+//! let mut hbm = Hbm::new(HbmConfig::hbm1());
+//! let done = hbm.access(&MemRequest::read(RequestKind::InputFeatures, 0, 128), 0);
+//! assert!(done > 0);
+//! assert_eq!(hbm.stats().bytes_read, 128);
+//! ```
+
+pub mod address;
+pub mod buffer;
+pub mod energy;
+pub mod hbm;
+pub mod request;
+pub mod scheduler;
+pub mod stats;
+
+pub use hbm::{Hbm, HbmConfig};
+pub use request::{MemRequest, RequestKind};
+pub use stats::MemStats;

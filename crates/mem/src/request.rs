@@ -1,0 +1,93 @@
+//! Memory request records.
+
+/// Which on-chip buffer a request serves — also its coordination priority
+/// class (paper Fig. 9: `edges > input features > weights > output
+/// features`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RequestKind {
+    /// Edge array reads for the Edge Buffer (highest priority).
+    Edges,
+    /// Source feature reads for the Input Buffer.
+    InputFeatures,
+    /// MLP parameter reads for the Weight Buffer.
+    Weights,
+    /// Final feature writes from the Output Buffer (lowest priority).
+    OutputFeatures,
+}
+
+impl RequestKind {
+    /// Coordination priority; lower is more urgent.
+    pub fn priority(&self) -> u8 {
+        match self {
+            RequestKind::Edges => 0,
+            RequestKind::InputFeatures => 1,
+            RequestKind::Weights => 2,
+            RequestKind::OutputFeatures => 3,
+        }
+    }
+
+    /// All kinds in priority order.
+    pub const ALL: [RequestKind; 4] = [
+        RequestKind::Edges,
+        RequestKind::InputFeatures,
+        RequestKind::Weights,
+        RequestKind::OutputFeatures,
+    ];
+}
+
+/// One off-chip access: a contiguous byte range with a direction and a
+/// priority class. The HBM model splits it into 32 B bursts internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Priority/traffic class.
+    pub kind: RequestKind,
+    /// Starting physical byte address.
+    pub addr: u64,
+    /// Length in bytes (nonzero).
+    pub bytes: u32,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+}
+
+impl MemRequest {
+    /// A read of `bytes` at `addr`.
+    pub fn read(kind: RequestKind, addr: u64, bytes: u32) -> Self {
+        Self {
+            kind,
+            addr,
+            bytes,
+            is_write: false,
+        }
+    }
+
+    /// A write of `bytes` at `addr`.
+    pub fn write(kind: RequestKind, addr: u64, bytes: u32) -> Self {
+        Self {
+            kind,
+            addr,
+            bytes,
+            is_write: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_matches_figure9() {
+        let ps: Vec<u8> = RequestKind::ALL.iter().map(|k| k.priority()).collect();
+        assert_eq!(ps, vec![0, 1, 2, 3]);
+        assert!(RequestKind::Edges.priority() < RequestKind::OutputFeatures.priority());
+    }
+
+    #[test]
+    fn constructors_set_direction() {
+        let r = MemRequest::read(RequestKind::Weights, 64, 256);
+        assert!(!r.is_write);
+        let w = MemRequest::write(RequestKind::OutputFeatures, 0, 32);
+        assert!(w.is_write);
+        assert_eq!(w.bytes, 32);
+    }
+}

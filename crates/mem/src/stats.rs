@@ -1,0 +1,109 @@
+//! Traffic and utilization counters.
+
+/// Accumulated off-chip memory statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Bytes read from DRAM.
+    pub bytes_read: u64,
+    /// Bytes written to DRAM.
+    pub bytes_written: u64,
+    /// Bursts that hit an open row.
+    pub row_hits: u64,
+    /// Bursts that required activate (+precharge).
+    pub row_misses: u64,
+    /// Number of requests serviced.
+    pub requests: u64,
+    /// Cycle at which the last burst completed.
+    pub last_completion: u64,
+}
+
+impl MemStats {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Achieved bandwidth utilization over `elapsed_cycles`, given the
+    /// peak of `peak_bytes_per_cycle`, in `[0, 1]`.
+    pub fn bandwidth_utilization(&self, elapsed_cycles: u64, peak_bytes_per_cycle: f64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        (self.total_bytes() as f64 / (elapsed_cycles as f64 * peak_bytes_per_cycle)).min(1.0)
+    }
+
+    /// Merges another stats block into this one (parallel channels).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.requests += other.requests;
+        self.last_completion = self.last_completion.max(other.last_completion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_totals() {
+        let s = MemStats {
+            bytes_read: 100,
+            bytes_written: 50,
+            row_hits: 3,
+            row_misses: 1,
+            requests: 4,
+            last_completion: 99,
+        };
+        assert_eq!(s.total_bytes(), 150);
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = MemStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.bandwidth_utilization(0, 256.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_capped_at_one() {
+        let s = MemStats {
+            bytes_read: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(s.bandwidth_utilization(1, 256.0), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MemStats {
+            bytes_read: 10,
+            row_hits: 1,
+            last_completion: 5,
+            ..Default::default()
+        };
+        let b = MemStats {
+            bytes_read: 20,
+            row_misses: 2,
+            last_completion: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bytes_read, 30);
+        assert_eq!(a.row_misses, 2);
+        assert_eq!(a.last_completion, 9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the memory substrate's invariants.
+
+use hygcn_mem::address::{AddressMap, MappingScheme};
+use hygcn_mem::hbm::{Hbm, HbmConfig};
+use hygcn_mem::request::{MemRequest, RequestKind};
+use hygcn_mem::scheduler::{AccessScheduler, CoordinationMode};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = RequestKind> {
+    prop_oneof![
+        Just(RequestKind::Edges),
+        Just(RequestKind::InputFeatures),
+        Just(RequestKind::Weights),
+        Just(RequestKind::OutputFeatures),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = MemRequest> {
+    (arb_kind(), 0u64..(1 << 24), 1u32..16384, any::<bool>()).prop_map(
+        |(kind, addr, bytes, is_write)| MemRequest {
+            kind,
+            addr,
+            bytes,
+            is_write,
+        },
+    )
+}
+
+proptest! {
+    /// Byte accounting is conserved regardless of scheduling.
+    #[test]
+    fn bytes_conserved(reqs in proptest::collection::vec(arb_request(), 1..40)) {
+        let total: u64 = reqs.iter().map(|r| u64::from(r.bytes)).sum();
+        for mode in [CoordinationMode::Fcfs, CoordinationMode::PriorityBatched] {
+            let mut hbm = Hbm::new(HbmConfig::hbm1());
+            let ordered = AccessScheduler::new(mode).order(reqs.clone());
+            hbm.service_batch(&ordered, 0);
+            prop_assert_eq!(hbm.stats().total_bytes(), total);
+        }
+    }
+
+    /// Completion time is monotone in arrival time.
+    #[test]
+    fn completion_monotone_in_arrival(req in arb_request(), t in 0u64..10_000) {
+        let mut a = Hbm::new(HbmConfig::hbm1());
+        let mut b = Hbm::new(HbmConfig::hbm1());
+        let t0 = a.access(&req, 0);
+        let t1 = b.access(&req, t);
+        prop_assert!(t1 >= t0);
+        prop_assert!(t1 >= t);
+    }
+
+    /// A request's completion is bounded below by the pure transfer time
+    /// of its bursts on one channel and above by a full serial worst case.
+    #[test]
+    fn completion_bounds(req in arb_request()) {
+        let cfg = HbmConfig::hbm1();
+        let mut hbm = Hbm::new(cfg);
+        let done = hbm.access(&req, 0);
+        let bursts = u64::from(req.bytes).div_ceil(cfg.burst_bytes);
+        let rows = u64::from(req.bytes) / cfg.row_bytes + 2;
+        let min = bursts / cfg.channels as u64;
+        let max = bursts * cfg.t_burst + rows * cfg.t_row + cfg.t_cas + cfg.t_row;
+        prop_assert!(done >= min, "done {done} < min {min}");
+        prop_assert!(done <= max, "done {done} > max {max}");
+    }
+
+    /// Priority batching is a permutation: same multiset of requests.
+    #[test]
+    fn priority_order_is_permutation(reqs in proptest::collection::vec(arb_request(), 0..50)) {
+        let ordered = AccessScheduler::new(CoordinationMode::PriorityBatched).order(reqs.clone());
+        prop_assert_eq!(ordered.len(), reqs.len());
+        let mut a: Vec<_> = reqs.iter().map(|r| (r.kind.priority(), r.addr, r.bytes)).collect();
+        let mut b: Vec<_> = ordered.iter().map(|r| (r.kind.priority(), r.addr, r.bytes)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // And priorities are non-decreasing.
+        prop_assert!(ordered.windows(2).all(|w| w[0].kind.priority() <= w[1].kind.priority()));
+    }
+
+    /// FCFS interleaving splits but never loses bytes, and piece addresses
+    /// exactly tile each original request.
+    #[test]
+    fn fcfs_interleave_tiles_requests(reqs in proptest::collection::vec(arb_request(), 1..10)) {
+        let ordered = AccessScheduler::new(CoordinationMode::Fcfs).order(reqs.clone());
+        let total: u64 = reqs.iter().map(|r| u64::from(r.bytes)).sum();
+        let got: u64 = ordered.iter().map(|r| u64::from(r.bytes)).sum();
+        prop_assert_eq!(total, got);
+        // Pieces of each kind+origin are contiguous and ascending.
+        for orig in &reqs {
+            let mut covered = 0u64;
+            for piece in ordered.iter().filter(|p| {
+                p.kind == orig.kind
+                    && p.addr >= orig.addr
+                    && p.addr < orig.addr + u64::from(orig.bytes)
+                    && p.is_write == orig.is_write
+            }) {
+                covered += u64::from(piece.bytes);
+            }
+            prop_assert!(covered >= u64::from(orig.bytes));
+        }
+    }
+
+    /// Address decoding stays within geometry bounds for both schemes.
+    #[test]
+    fn decode_in_bounds(addr in 0u64..(1u64 << 40)) {
+        for scheme in [MappingScheme::ChannelInterleaved, MappingScheme::RowInterleaved] {
+            let map = AddressMap::new(scheme, 8, 16, 2048, 2048);
+            let loc = map.decode(addr);
+            prop_assert!(loc.channel < 8);
+            prop_assert!(loc.bank < 16);
+        }
+    }
+
+    /// Same row-buffer page decodes to the same location (both schemes).
+    #[test]
+    fn page_locality_preserved(page in 0u64..(1 << 20), off in 0u64..2048) {
+        for scheme in [MappingScheme::ChannelInterleaved, MappingScheme::RowInterleaved] {
+            let map = AddressMap::new(scheme, 8, 16, 2048, 2048);
+            prop_assert_eq!(map.decode(page * 2048), map.decode(page * 2048 + off));
+        }
+    }
+
+    /// Row hit rate for a contiguous stream is high under the coordinated
+    /// mapping: at most one miss per page touched.
+    #[test]
+    fn stream_misses_bounded_by_pages(bytes in 2048u32..(1 << 20)) {
+        let mut hbm = Hbm::new(HbmConfig::hbm1());
+        hbm.access(&MemRequest::read(RequestKind::InputFeatures, 0, bytes), 0);
+        let pages = u64::from(bytes).div_ceil(2048);
+        prop_assert!(hbm.stats().row_misses <= pages);
+    }
+}

@@ -1,0 +1,93 @@
+//! Activation functions used by the GCN models of Table 5.
+
+/// Activation applied by the Combination Engine's Activate Unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Rectified linear unit (GCN, GraphSage, GINConv).
+    #[default]
+    Relu,
+    /// Identity (no activation; intermediate MLP outputs in some stacks).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn apply(&self, x: &mut [f32]) {
+        match self {
+            Activation::Relu => {
+                for v in x {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+}
+
+/// Row-wise softmax, used by DiffPool's assignment matrix
+/// `C = softmax(GCN_pool(A, X))` (paper Eq. 8). Numerically stabilized by
+/// max subtraction.
+pub fn softmax(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut x = vec![-1.0, 0.0, 2.5];
+        Activation::Relu.apply(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut x = vec![-1.0, 3.0];
+        Activation::Identity.apply(&mut x);
+        assert_eq!(x, vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut x = vec![1000.0, 1000.0];
+        softmax(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut x: Vec<f32> = vec![];
+        softmax(&mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn default_is_relu() {
+        assert_eq!(Activation::default(), Activation::Relu);
+    }
+}

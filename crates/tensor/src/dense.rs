@@ -1,0 +1,243 @@
+//! Row-major dense `f32` matrices.
+//!
+//! Vertices' feature matrices (`X^{k-1}`, `X^k`) and MLP weights (`W^k`)
+//! are dense; this type is deliberately minimal — just what the GCN
+//! substrate and the golden-model executor need.
+
+use crate::TensorError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A row-major dense matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RaggedRows`] if rows differ in length.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, TensorError> {
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(TensorError::RaggedRows {
+                    expected: ncols,
+                    row: i,
+                    found: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// A matrix with entries uniform in `[-scale, scale]`, seeded for
+    /// reproducibility. Used for synthetic features and weights.
+    pub fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or `src.len() != cols`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Maximum absolute element-wise difference to `other`, or `None` when
+    /// shapes differ. The golden-model comparisons use this.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f32> {
+        if self.shape() != other.shape() {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max),
+        )
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, TensorError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn row_access_and_set() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set_row(1, &[5.0, 6.0]);
+        assert_eq!(m.row(1), &[5.0, 6.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::random(3, 5, 1.0, 42);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let t = m.transposed();
+        assert_eq!(t[(0, 1)], 3.0);
+        assert_eq!(t[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Matrix::random(4, 4, 0.5, 7);
+        let b = Matrix::random(4, 4, 0.5, 7);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_difference() {
+        let a = Matrix::zeros(2, 2);
+        let mut b = Matrix::zeros(2, 2);
+        b[(1, 1)] = 0.25;
+        assert_eq!(a.max_abs_diff(&b), Some(0.25));
+        assert_eq!(a.max_abs_diff(&Matrix::zeros(3, 2)), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and linear algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree did not.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand shape `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Right-hand shape `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// Ragged row lengths when building a matrix from rows.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        found: usize,
+    },
+    /// A dimension was zero where a nonzero one is required.
+    ZeroDimension(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::RaggedRows {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "ragged rows: row {row} has {found} elements, expected {expected}"
+            ),
+            TensorError::ZeroDimension(what) => write!(f, "zero dimension: {what}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shapes() {
+        let e = TensorError::ShapeMismatch {
+            op: "mvm",
+            lhs: (2, 3),
+            rhs: (4, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("mvm"));
+        assert!(s.contains("2x3"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        fn assert_err<E: Error + Send + Sync>(_: E) {}
+        assert_err(TensorError::ZeroDimension("rows"));
+    }
+}

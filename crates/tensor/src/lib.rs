@@ -1,0 +1,38 @@
+//! # hygcn-tensor
+//!
+//! Dense linear-algebra substrate for the HyGCN (HPCA 2020) reproduction.
+//!
+//! The Combination phase of a GCN is "a multi layer perceptron, usually
+//! expressed by a matrix-vector multiplication" (paper §1). This crate
+//! provides exactly the operations that phase needs — dense matrices,
+//! MVM/MatMul, activations, and MLP stacks — plus the Q16.16 fixed-point
+//! type matching HyGCN's 32-bit fixed-point datapath (§5.2.1).
+//!
+//! Nothing here is accelerator-aware: this is the *functional* golden model
+//! that the cycle-level simulator in `hygcn-core` is validated against.
+//!
+//! ## Example
+//!
+//! ```
+//! use hygcn_tensor::{Matrix, linalg};
+//!
+//! # fn main() -> Result<(), hygcn_tensor::TensorError> {
+//! let w = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]])?;
+//! let x = vec![3.0, 4.0];
+//! let y = linalg::mvm(&w, &x)?;
+//! assert_eq!(y, vec![3.0, 8.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod activation;
+pub mod dense;
+pub mod error;
+pub mod fixed;
+pub mod linalg;
+pub mod mlp;
+
+pub use dense::Matrix;
+pub use error::TensorError;
+pub use fixed::Fixed32;
+pub use mlp::{Linear, Mlp};

@@ -1,0 +1,188 @@
+//! Matrix-vector and matrix-matrix products.
+//!
+//! `mvm` is the Combination Engine's unit of work (one vertex feature
+//! through the shared MLP weights); `matmul` backs DiffPool's coarsening
+//! products `C^T Z` and `C^T A C` (paper Eq. 8).
+
+use crate::{Matrix, TensorError};
+
+/// `y = W * x`, where `W` is `m x n` and `x` has length `n`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != W.cols()`.
+pub fn mvm(w: &Matrix, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+    if x.len() != w.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "mvm",
+            lhs: w.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![0.0f32; w.rows()];
+    for (r, out) in y.iter_mut().enumerate() {
+        let row = w.row(r);
+        let mut acc = 0.0f32;
+        for (a, b) in row.iter().zip(x) {
+            acc += a * b;
+        }
+        *out = acc;
+    }
+    Ok(y)
+}
+
+/// `C = A * B`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let crow = c.row_mut(i);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `y += x` element-wise.
+///
+/// # Panics
+///
+/// Panics if lengths differ (callers pass same-length feature vectors).
+pub fn axpy(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (a, b) in y.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+/// `y += alpha * x` element-wise.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy_scaled(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy_scaled length mismatch");
+    for (a, b) in y.iter_mut().zip(x) {
+        *a += alpha * b;
+    }
+}
+
+/// Element-wise maximum into `y` (GraphSage `Max` aggregator).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn emax(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "emax length mismatch");
+    for (a, b) in y.iter_mut().zip(x) {
+        *a = a.max(*b);
+    }
+}
+
+/// Element-wise minimum into `y` (DiffPool `Min` aggregator of Table 5).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn emin(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "emin length mismatch");
+    for (a, b) in y.iter_mut().zip(x) {
+        *a = a.min(*b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mvm_identity() {
+        let i = Matrix::identity(3);
+        let y = mvm(&i, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mvm_rectangular() {
+        let w = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0]]).unwrap();
+        let y = mvm(&w, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![6.0, 1.0]);
+    }
+
+    #[test]
+    fn mvm_shape_error() {
+        let w = Matrix::zeros(2, 3);
+        assert!(mvm(&w, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_mvm_per_column() {
+        let a = Matrix::random(4, 3, 1.0, 1);
+        let b = Matrix::random(3, 2, 1.0, 2);
+        let c = matmul(&a, &b).unwrap();
+        let bt = b.transposed();
+        for col in 0..2 {
+            let y = mvm(&a, bt.row(col)).unwrap();
+            for row in 0..4 {
+                assert!((c[(row, col)] - y[row]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::random(3, 3, 1.0, 5);
+        let c = matmul(&a, &Matrix::identity(3)).unwrap();
+        assert_eq!(a.max_abs_diff(&c), Some(0.0));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn axpy_and_scaled() {
+        let mut y = vec![1.0, 2.0];
+        axpy(&mut y, &[3.0, 4.0]);
+        assert_eq!(y, vec![4.0, 6.0]);
+        axpy_scaled(&mut y, 0.5, &[2.0, 2.0]);
+        assert_eq!(y, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn emax_emin() {
+        let mut y = vec![1.0, 5.0];
+        emax(&mut y, &[3.0, 2.0]);
+        assert_eq!(y, vec![3.0, 5.0]);
+        emin(&mut y, &[0.0, 9.0]);
+        assert_eq!(y, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut y = vec![0.0; 2];
+        axpy(&mut y, &[0.0; 3]);
+    }
+}

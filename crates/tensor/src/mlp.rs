@@ -1,0 +1,243 @@
+//! Multi-layer perceptron stacks — the Combine function's compute.
+//!
+//! Table 5 configures each model's Combination as an MLP over the
+//! aggregated feature: `|a_v|–128` for GCN/GSC/DFP and `|a_v|–128–128` for
+//! GINConv. Weights and biases are shared across vertices — the property
+//! the Combination Engine exploits for reuse.
+
+use crate::activation::Activation;
+use crate::{linalg, Matrix, TensorError};
+
+/// One affine layer `y = act(W x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+impl Linear {
+    /// Creates a layer from a weight matrix (`out x in`), bias (`out`), and
+    /// activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias.len() != W.rows()`.
+    pub fn new(weight: Matrix, bias: Vec<f32>, activation: Activation) -> Result<Self, TensorError> {
+        if bias.len() != weight.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear bias",
+                lhs: weight.shape(),
+                rhs: (bias.len(), 1),
+            });
+        }
+        Ok(Self {
+            weight,
+            bias,
+            activation,
+        })
+    }
+
+    /// A reproducible random layer (`out_dim x in_dim`), small weights.
+    pub fn random(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        let scale = (1.0 / in_dim.max(1) as f32).sqrt();
+        Self {
+            weight: Matrix::random(out_dim, in_dim, scale, seed),
+            bias: Matrix::random(1, out_dim, scale, seed.wrapping_add(1))
+                .as_slice()
+                .to_vec(),
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Applies the layer to one vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+        let mut y = linalg::mvm(&self.weight, x)?;
+        linalg::axpy(&mut y, &self.bias);
+        self.activation.apply(&mut y);
+        Ok(y)
+    }
+
+    /// Multiply-accumulate operations performed per forward pass.
+    pub fn macs(&self) -> usize {
+        self.weight.rows() * self.weight.cols()
+    }
+
+    /// Bytes of shared parameters (weights + biases) at 4 B/element.
+    pub fn param_bytes(&self) -> usize {
+        (self.weight.rows() * self.weight.cols() + self.bias.len()) * 4
+    }
+}
+
+/// A stack of [`Linear`] layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Creates an MLP from layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if consecutive dimensions
+    /// disagree, or [`TensorError::ZeroDimension`] if no layers are given.
+    pub fn new(layers: Vec<Linear>) -> Result<Self, TensorError> {
+        if layers.is_empty() {
+            return Err(TensorError::ZeroDimension("mlp layers"));
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_dim() != pair[1].in_dim() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "mlp stacking",
+                    lhs: (pair[0].out_dim(), 0),
+                    rhs: (pair[1].in_dim(), 0),
+                });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// Builds a reproducible random MLP through the dimension chain
+    /// `dims[0] -> dims[1] -> ... -> dims.last()` with ReLU between layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ZeroDimension`] if fewer than two dims given.
+    pub fn random(dims: &[usize], seed: u64) -> Result<Self, TensorError> {
+        if dims.len() < 2 {
+            return Err(TensorError::ZeroDimension("mlp dims"));
+        }
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, d)| Linear::random(d[0], d[1], Activation::Relu, seed.wrapping_add(i as u64)))
+            .collect();
+        Self::new(layers)
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("mlp is nonempty").out_dim()
+    }
+
+    /// Applies the full stack to one vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a wrong input length.
+    pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+        let mut cur = self.layers[0].forward(x)?;
+        for layer in &self.layers[1..] {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Total MACs per vertex.
+    pub fn macs(&self) -> usize {
+        self.layers.iter().map(Linear::macs).sum()
+    }
+
+    /// Total shared-parameter bytes.
+    pub fn param_bytes(&self) -> usize {
+        self.layers.iter().map(Linear::param_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_applies_bias_and_relu() {
+        let w = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]]).unwrap();
+        let l = Linear::new(w, vec![0.5, 0.0], Activation::Relu).unwrap();
+        let y = l.forward(&[1.0, 2.0]).unwrap();
+        assert_eq!(y, vec![1.5, 0.0]); // -2 clamped by relu
+    }
+
+    #[test]
+    fn linear_rejects_bad_bias() {
+        let w = Matrix::zeros(2, 2);
+        assert!(Linear::new(w, vec![0.0; 3], Activation::Relu).is_err());
+    }
+
+    #[test]
+    fn mlp_dimension_chain_checked() {
+        let l1 = Linear::random(4, 8, Activation::Relu, 1);
+        let l2 = Linear::random(9, 2, Activation::Relu, 2);
+        assert!(Mlp::new(vec![l1, l2]).is_err());
+    }
+
+    #[test]
+    fn mlp_random_dims() {
+        let mlp = Mlp::random(&[16, 128, 128], 7).unwrap();
+        assert_eq!(mlp.in_dim(), 16);
+        assert_eq!(mlp.out_dim(), 128);
+        assert_eq!(mlp.layers().len(), 2);
+        assert_eq!(mlp.macs(), 16 * 128 + 128 * 128);
+    }
+
+    #[test]
+    fn mlp_forward_matches_manual_composition() {
+        let mlp = Mlp::random(&[4, 3, 2], 5).unwrap();
+        let x = vec![0.1, -0.2, 0.3, 0.4];
+        let manual = mlp.layers()[1]
+            .forward(&mlp.layers()[0].forward(&x).unwrap())
+            .unwrap();
+        assert_eq!(mlp.forward(&x).unwrap(), manual);
+    }
+
+    #[test]
+    fn mlp_rejects_empty() {
+        assert!(Mlp::new(vec![]).is_err());
+        assert!(Mlp::random(&[4], 0).is_err());
+    }
+
+    #[test]
+    fn param_bytes_counts_weights_and_biases() {
+        let l = Linear::random(4, 8, Activation::Relu, 0);
+        assert_eq!(l.param_bytes(), (4 * 8 + 8) * 4);
+    }
+
+    #[test]
+    fn forward_wrong_len_errors() {
+        let mlp = Mlp::random(&[4, 2], 0).unwrap();
+        assert!(mlp.forward(&[0.0; 3]).is_err());
+    }
+}

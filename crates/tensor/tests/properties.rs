@@ -1,0 +1,117 @@
+//! Property-based tests for the tensor substrate.
+
+use hygcn_tensor::activation::{softmax, Activation};
+use hygcn_tensor::fixed::{dequantize, mvm_fixed, quantize, Fixed32};
+use hygcn_tensor::{linalg, Matrix, Mlp};
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1usize..max_dim, 1usize..max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-8.0f32..8.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("length matches"))
+    })
+}
+
+proptest! {
+    /// MVM is linear: W(ax + by) = a(Wx) + b(Wy).
+    #[test]
+    fn mvm_linearity(w in arb_matrix(12), a in -4.0f32..4.0, b in -4.0f32..4.0) {
+        let n = w.cols();
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.73).cos()).collect();
+        let mixed: Vec<f32> = x.iter().zip(&y).map(|(p, q)| a * p + b * q).collect();
+        let lhs = linalg::mvm(&w, &mixed).expect("shapes agree");
+        let wx = linalg::mvm(&w, &x).expect("shapes agree");
+        let wy = linalg::mvm(&w, &y).expect("shapes agree");
+        for (i, v) in lhs.iter().enumerate() {
+            let rhs = a * wx[i] + b * wy[i];
+            prop_assert!((v - rhs).abs() < 1e-2 * (1.0 + rhs.abs()), "{v} vs {rhs}");
+        }
+    }
+
+    /// Matmul with identity is a no-op from both sides.
+    #[test]
+    fn matmul_identity(m in arb_matrix(10)) {
+        let left = linalg::matmul(&Matrix::identity(m.rows()), &m).expect("shapes agree");
+        let right = linalg::matmul(&m, &Matrix::identity(m.cols())).expect("shapes agree");
+        prop_assert!(m.max_abs_diff(&left).expect("same shape") < 1e-6);
+        prop_assert!(m.max_abs_diff(&right).expect("same shape") < 1e-6);
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(8), b_cols in 1usize..8) {
+        let b = Matrix::random(a.cols(), b_cols, 2.0, 42);
+        let ab_t = linalg::matmul(&a, &b).expect("shapes agree").transposed();
+        let bt_at = linalg::matmul(&b.transposed(), &a.transposed()).expect("shapes agree");
+        prop_assert!(ab_t.max_abs_diff(&bt_at).expect("same shape") < 1e-3);
+    }
+
+    /// Quantize→dequantize round trip stays within one LSB.
+    #[test]
+    fn quantization_error_bounded(xs in proptest::collection::vec(-1000.0f32..1000.0, 1..64)) {
+        let round = dequantize(&quantize(&xs));
+        for (a, b) in xs.iter().zip(&round) {
+            prop_assert!((a - b).abs() <= 1.0 / 65536.0 + a.abs() * 1e-6);
+        }
+    }
+
+    /// Fixed-point MVM tracks the float MVM within accumulated LSB error.
+    #[test]
+    fn fixed_mvm_tracks_float(rows in 1usize..12, cols in 1usize..48, seed in 0u64..8) {
+        let w = Matrix::random(rows, cols, 0.5, seed);
+        let x: Vec<f32> = (0..cols).map(|i| ((i as f32) * 0.11).sin()).collect();
+        let float = linalg::mvm(&w, &x).expect("shapes agree");
+        let wq: Vec<Vec<Fixed32>> = (0..rows).map(|r| quantize(w.row(r))).collect();
+        let fixed = mvm_fixed(&wq, &quantize(&x));
+        for (f, q) in float.iter().zip(&fixed) {
+            prop_assert!((f - q.to_f32()).abs() < 1e-2 * (cols as f32).sqrt());
+        }
+    }
+
+    /// Fixed-point arithmetic never panics and saturates instead of
+    /// wrapping.
+    #[test]
+    fn fixed_saturates(a in -40000.0f32..40000.0, b in -40000.0f32..40000.0) {
+        let qa = Fixed32::from_f32(a);
+        let qb = Fixed32::from_f32(b);
+        let _ = qa + qb;
+        let _ = qa - qb;
+        let _ = qa * qb;
+        let _ = -qa;
+        prop_assert!(qa <= Fixed32::MAX && qa >= Fixed32::MIN);
+    }
+
+    /// ReLU output is non-negative and idempotent.
+    #[test]
+    fn relu_properties(mut xs in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        Activation::Relu.apply(&mut xs);
+        prop_assert!(xs.iter().all(|&v| v >= 0.0));
+        let snapshot = xs.clone();
+        Activation::Relu.apply(&mut xs);
+        prop_assert_eq!(xs, snapshot);
+    }
+
+    /// Softmax produces a probability distribution for any finite input.
+    #[test]
+    fn softmax_distribution(mut xs in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+        softmax(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(xs.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// An MLP's forward pass composes layer by layer.
+    #[test]
+    fn mlp_composes(dims_seed in 0u64..16) {
+        let dims = [4usize, 7, 3];
+        let mlp = Mlp::random(&dims, dims_seed).expect("valid dims");
+        let x = vec![0.3f32, -0.1, 0.9, 0.5];
+        let full = mlp.forward(&x).expect("shapes agree");
+        let mut cur = x;
+        for layer in mlp.layers() {
+            cur = layer.forward(&cur).expect("shapes agree");
+        }
+        prop_assert_eq!(full, cur);
+    }
+}

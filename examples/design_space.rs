@@ -1,0 +1,85 @@
+//! Design-space exploration: sweep the architectural knobs the paper
+//! studies in §5.3/§5.4 — pipeline mode, memory coordination, sparsity
+//! elimination, and Aggregation Buffer capacity — on one workload.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use hygcn_suite::core::config::PipelineMode;
+use hygcn_suite::core::{HyGcnConfig, Simulator};
+use hygcn_suite::gcn::model::{GcnModel, ModelKind};
+use hygcn_suite::graph::datasets::{DatasetKey, DatasetSpec};
+use hygcn_suite::mem::hbm::HbmConfig;
+use hygcn_suite::mem::scheduler::CoordinationMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = DatasetSpec::get(DatasetKey::Pb).instantiate(0.5, 3)?;
+    let model = GcnModel::new(ModelKind::Gcn, graph.feature_len(), 9)?;
+    println!(
+        "workload: GCN on half-scale Pubmed ({} vertices, {} edges)\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    println!("{:<44} {:>12} {:>10} {:>9} {:>8}", "configuration", "cycles", "DRAM MB", "BW util", "energy mJ");
+    let mut run = |name: &str, cfg: HyGcnConfig| -> Result<(), Box<dyn std::error::Error>> {
+        let r = Simulator::new(cfg).simulate(&graph, &model)?;
+        println!(
+            "{:<44} {:>12} {:>10.1} {:>8.1}% {:>8.3}",
+            name,
+            r.cycles,
+            r.dram_bytes() as f64 / 1e6,
+            r.bandwidth_utilization * 100.0,
+            r.energy_j() * 1e3
+        );
+        Ok(())
+    };
+
+    run("baseline (all optimizations, Lpipe)", HyGcnConfig::default())?;
+    run(
+        "energy-aware pipeline",
+        HyGcnConfig {
+            pipeline: PipelineMode::EnergyAware,
+            ..HyGcnConfig::default()
+        },
+    )?;
+    run(
+        "no inter-engine pipeline",
+        HyGcnConfig {
+            pipeline: PipelineMode::None,
+            ..HyGcnConfig::default()
+        },
+    )?;
+    run(
+        "no sparsity elimination",
+        HyGcnConfig {
+            sparsity_elimination: false,
+            ..HyGcnConfig::default()
+        },
+    )?;
+    run(
+        "no memory coordination (FCFS)",
+        HyGcnConfig {
+            coordination: CoordinationMode::Fcfs,
+            hbm: HbmConfig::hbm1_uncoordinated(),
+            ..HyGcnConfig::default()
+        },
+    )?;
+    run("everything off (ablated)", HyGcnConfig::ablated())?;
+
+    println!("\nAggregation Buffer capacity sweep (Fig. 18d regime):");
+    for mb in [2usize, 4, 8, 16, 32] {
+        let cfg = HyGcnConfig {
+            aggregation_buffer_bytes: mb << 20,
+            ..HyGcnConfig::default()
+        };
+        let r = Simulator::new(cfg).simulate(&graph, &model)?;
+        println!(
+            "  {:>2} MB: {:>12} cycles, {:>7.1} MB DRAM, {} chunks",
+            mb,
+            r.cycles,
+            r.dram_bytes() as f64 / 1e6,
+            r.chunks
+        );
+    }
+    Ok(())
+}

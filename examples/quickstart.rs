@@ -1,0 +1,53 @@
+//! Quickstart: simulate one GCN layer on a synthetic Cora-scale graph and
+//! compare HyGCN against the PyG-CPU and PyG-GPU platform models.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hygcn_suite::baseline::{CpuModel, GpuModel};
+use hygcn_suite::core::{HyGcnConfig, Simulator};
+use hygcn_suite::gcn::model::{GcnModel, ModelKind};
+use hygcn_suite::graph::datasets::{DatasetKey, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a Cora-statistics graph (Table 4 registry).
+    let spec = DatasetSpec::get(DatasetKey::Cr);
+    let graph = spec.instantiate(1.0, 42)?;
+    println!(
+        "dataset {}: {} vertices, {} edges, feature length {}",
+        graph.name(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.feature_len()
+    );
+
+    // 2. Build the GCN model of Table 5 (Add aggregation, len->128 MLP).
+    let model = GcnModel::new(ModelKind::Gcn, graph.feature_len(), 7)?;
+
+    // 3. Simulate HyGCN with the Table 6 configuration.
+    let report = Simulator::new(HyGcnConfig::default()).simulate(&graph, &model)?;
+    println!("\nHyGCN @1GHz:");
+    println!("  cycles            {:>14}", report.cycles);
+    println!("  time              {:>14.6} s", report.time_s);
+    println!("  DRAM traffic      {:>14} bytes", report.dram_bytes());
+    println!("  bandwidth util    {:>14.1} %", report.bandwidth_utilization * 100.0);
+    println!("  energy            {:>14.6} mJ", report.energy_j() * 1e3);
+    println!(
+        "  sparsity reduction{:>14.1} %",
+        report.sparsity_reduction * 100.0
+    );
+
+    // 4. Platform baselines on the identical workload.
+    let cpu = CpuModel::optimized().run(&graph, &model);
+    let gpu = GpuModel::naive().run(&graph, &model);
+    println!("\nbaselines:");
+    println!("  PyG-CPU (optimized)  {:>12.6} s", cpu.time_s);
+    println!("  PyG-GPU              {:>12.6} s", gpu.time_s);
+    println!("\nspeedups (paper Fig. 10c regime):");
+    println!("  HyGCN vs PyG-CPU  {:>10.0}x", cpu.time_s / report.time_s);
+    println!("  HyGCN vs PyG-GPU  {:>10.1}x", gpu.time_s / report.time_s);
+    println!(
+        "  energy vs CPU     {:>10.0}x less",
+        cpu.energy_j / report.energy_j()
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # hygcn-suite
+//!
+//! Workspace facade for the Rust reproduction of *HyGCN: A GCN
+//! Accelerator with Hybrid Architecture* (HPCA 2020).
+//!
+//! Re-exports every sub-crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — graph storage, partitioning, windows, sampling, datasets.
+//! * [`tensor`] — dense matrices, fixed point, MLPs.
+//! * [`gcn`] — the four benchmark models and the golden-model executor.
+//! * [`mem`] — HBM timing model, access coordination, on-chip buffers.
+//! * [`baseline`] — PyG-CPU / PyG-GPU platform models.
+//! * [`core`] — the HyGCN accelerator simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hygcn_suite::core::{HyGcnConfig, Simulator};
+//! use hygcn_suite::gcn::model::{GcnModel, ModelKind};
+//! use hygcn_suite::graph::generator::preferential_attachment;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = preferential_attachment(128, 3, 1)?.with_feature_len(64);
+//! let model = GcnModel::new(ModelKind::Gcn, 64, 42)?;
+//! let report = Simulator::new(HyGcnConfig::default()).simulate(&graph, &model)?;
+//! println!("simulated {} cycles", report.cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use hygcn_baseline as baseline;
+pub use hygcn_core as core;
+pub use hygcn_gcn as gcn;
+pub use hygcn_graph as graph;
+pub use hygcn_mem as mem;
+pub use hygcn_tensor as tensor;

@@ -1,0 +1,171 @@
+//! Tests that pin the paper's headline qualitative claims. Each test
+//! names the table/figure it guards. Quantitative tolerances are loose —
+//! the substrate is a simulator, not the authors' testbed — but the
+//! *direction* and rough *magnitude* of every claim must hold.
+
+use hygcn_suite::baseline::characterize::characterize;
+use hygcn_suite::baseline::params::CpuParams;
+use hygcn_suite::baseline::{CpuModel, GpuModel};
+use hygcn_suite::core::{HyGcnConfig, Simulator};
+use hygcn_suite::gcn::model::{GcnModel, ModelKind};
+use hygcn_suite::graph::datasets::{DatasetKey, DatasetSpec};
+use hygcn_suite::graph::Graph;
+
+fn dataset(key: DatasetKey, scale: f64) -> Graph {
+    DatasetSpec::get(key).instantiate(scale, 42).unwrap()
+}
+
+/// Fig. 2: both phases take significant time on CPU; Aggregation
+/// dominates on edge-heavy datasets and Combination grows on
+/// long-feature datasets.
+#[test]
+fn fig2_phase_breakdown_shape() {
+    let cpu = CpuModel::naive();
+    let cl = dataset(DatasetKey::Cl, 0.25);
+    let m = GcnModel::new(ModelKind::Gcn, cl.feature_len(), 1).unwrap();
+    let share_cl = cpu.run(&cl, &m).phases.aggregation_share();
+    assert!(share_cl > 0.9, "CL aggregation share {share_cl}");
+
+    let cs = dataset(DatasetKey::Cs, 0.5);
+    let m = GcnModel::new(ModelKind::Gcn, cs.feature_len(), 1).unwrap();
+    let share_cs = cpu.run(&cs, &m).phases.aggregation_share();
+    assert!(share_cs < share_cl, "CS {share_cs} vs CL {share_cl}");
+    assert!(share_cs > 0.05, "combination should not be everything");
+}
+
+/// Table 2: Aggregation needs orders of magnitude more DRAM bytes/op and
+/// has far higher MPKI than Combination.
+#[test]
+fn table2_hybrid_execution_pattern() {
+    let cl = dataset(DatasetKey::Cl, 0.25);
+    let m = GcnModel::new(ModelKind::Gcn, cl.feature_len(), 1).unwrap();
+    let c = characterize(&cl, &m, &CpuParams::default(), 1_000_000);
+    assert!(c.aggregation.dram_bytes_per_op > 2.0, "{:?}", c.aggregation);
+    assert!(c.combination.dram_bytes_per_op < 0.5, "{:?}", c.combination);
+    assert!(c.aggregation.l2_mpki > c.combination.l2_mpki);
+    assert!((c.sync_ratio - 0.36).abs() < 1e-9);
+}
+
+/// Fig. 10a: the shard optimization speeds the CPU up ~2.3x on average.
+#[test]
+fn fig10a_cpu_optimization_speedup() {
+    let mut speedups = Vec::new();
+    for key in [DatasetKey::Ib, DatasetKey::Cl, DatasetKey::Pb] {
+        let g = dataset(key, 0.25);
+        let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+        let naive = CpuModel::naive().run(&g, &m);
+        let opt = CpuModel::optimized().run(&g, &m);
+        speedups.push(opt.speedup_over(&naive));
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    assert!(avg > 1.3 && avg < 4.0, "avg optimization speedup {avg}");
+}
+
+/// Fig. 10b: the same optimization *degrades* the GPU.
+#[test]
+fn fig10b_gpu_optimization_degrades() {
+    let g = dataset(DatasetKey::Pb, 0.25);
+    let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+    let naive = GpuModel::naive().run(&g, &m);
+    let sharded = GpuModel::sharded(512).run(&g, &m);
+    assert!(sharded.time_s > naive.time_s);
+}
+
+/// Fig. 10c: HyGCN beats the optimized CPU by orders of magnitude and the
+/// GPU by a small factor.
+#[test]
+fn fig10c_speedup_magnitudes() {
+    let g = dataset(DatasetKey::Cr, 1.0);
+    let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let cpu = CpuModel::optimized().run(&g, &m);
+    let gpu = GpuModel::naive().run(&g, &m);
+    let s_cpu = cpu.time_s / hygcn.time_s;
+    let s_gpu = gpu.time_s / hygcn.time_s;
+    assert!(
+        s_cpu > 100.0 && s_cpu < 20_000.0,
+        "CPU speedup {s_cpu} (paper: 1660x on CR/GCN)"
+    );
+    assert!(
+        s_gpu > 1.0 && s_gpu < 100.0,
+        "GPU speedup {s_gpu} (paper avg 6.5x)"
+    );
+}
+
+/// Fig. 11: energy ordering CPU >> GPU > HyGCN.
+#[test]
+fn fig11_energy_ordering() {
+    let g = dataset(DatasetKey::Pb, 0.25);
+    let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let cpu = CpuModel::optimized().run(&g, &m);
+    let gpu = GpuModel::naive().run(&g, &m);
+    assert!(cpu.energy_j > gpu.energy_j);
+    assert!(gpu.energy_j > hygcn.energy_j());
+}
+
+/// Fig. 12: Combination Engine consumes most HyGCN energy, except on
+/// high-degree graphs where the Aggregation Engine catches up.
+#[test]
+fn fig12_energy_breakdown_shape() {
+    let cr = dataset(DatasetKey::Cr, 1.0);
+    let m = GcnModel::new(ModelKind::Gcn, cr.feature_len(), 1).unwrap();
+    let r = Simulator::new(HyGcnConfig::default()).simulate(&cr, &m).unwrap();
+    let (agg, comb, _) = r.energy.shares();
+    assert!(comb > agg, "CR: combination {comb} vs aggregation {agg}");
+
+    let cl = dataset(DatasetKey::Cl, 0.25);
+    let m = GcnModel::new(ModelKind::Gcn, cl.feature_len(), 1).unwrap();
+    let r_cl = Simulator::new(HyGcnConfig::default()).simulate(&cl, &m).unwrap();
+    let (agg_cl, _, _) = r_cl.energy.shares();
+    assert!(
+        agg_cl > agg,
+        "high-degree CL should shift energy to aggregation ({agg_cl} vs {agg})"
+    );
+}
+
+/// Fig. 13: HyGCN's bandwidth utilization beats the CPU baseline's by a
+/// large factor.
+#[test]
+fn fig13_bandwidth_utilization() {
+    let g = dataset(DatasetKey::Pb, 0.25);
+    let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let cpu = CpuModel::optimized().run(&g, &m);
+    assert!(
+        hygcn.bandwidth_utilization > 4.0 * cpu.bandwidth_utilization,
+        "hygcn {} vs cpu {}",
+        hygcn.bandwidth_utilization,
+        cpu.bandwidth_utilization
+    );
+}
+
+/// Fig. 14: HyGCN moves a fraction of the CPU baseline's DRAM traffic
+/// despite having 4x less on-chip memory.
+#[test]
+fn fig14_dram_access_reduction() {
+    let g = dataset(DatasetKey::Cl, 0.25);
+    let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let cpu = CpuModel::naive().run(&g, &m);
+    let ratio = hygcn.dram_bytes() as f64 / cpu.dram_bytes as f64;
+    assert!(ratio < 0.9, "HyGCN/CPU DRAM ratio {ratio} (paper avg 0.21)");
+}
+
+/// §5.2: GIN suffers most on CPU (aggregation at full feature width), so
+/// its HyGCN speedup is the largest among the models.
+#[test]
+fn gin_gets_best_speedup() {
+    let g = dataset(DatasetKey::Pb, 0.25);
+    let sim = Simulator::new(HyGcnConfig::default());
+    let speedup = |kind: ModelKind| {
+        let m = GcnModel::new(kind, g.feature_len(), 1).unwrap();
+        let h = sim.simulate(&g, &m).unwrap();
+        CpuModel::optimized().run(&g, &m).time_s / h.time_s
+    };
+    let s_gin = speedup(ModelKind::Gin);
+    let s_gcn = speedup(ModelKind::Gcn);
+    let s_gsc = speedup(ModelKind::GraphSage);
+    assert!(s_gin > s_gcn, "GIN {s_gin} vs GCN {s_gcn}");
+    assert!(s_gin > s_gsc, "GIN {s_gin} vs GSC {s_gsc}");
+}
