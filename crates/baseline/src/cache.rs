@@ -29,11 +29,17 @@ impl CacheLevel {
     ///
     /// Panics if the geometry does not divide evenly or is zero.
     pub fn new(capacity_bytes: usize, assoc: usize, line_bytes: u64) -> Self {
-        assert!(assoc > 0 && line_bytes > 0, "cache geometry must be nonzero");
+        assert!(
+            assoc > 0 && line_bytes > 0,
+            "cache geometry must be nonzero"
+        );
         let lines = capacity_bytes as u64 / line_bytes;
         assert!(lines >= assoc as u64, "capacity smaller than one set");
         let num_sets = lines / assoc as u64;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Self {
             sets: vec![Vec::with_capacity(assoc); num_sets as usize],
             assoc,

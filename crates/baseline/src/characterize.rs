@@ -70,8 +70,7 @@ pub fn characterize(
     // --- Combination: streaming GEMM. ---
     // Weights are resident; features stream once in and once out; MKL
     // blocking makes every fetched line used fully, so misses ≈ lines.
-    let comb_bytes =
-        (w.weight_bytes + w.input_feature_bytes + w.output_feature_bytes) as f64;
+    let comb_bytes = (w.weight_bytes + w.input_feature_bytes + w.output_feature_bytes) as f64;
     let macs = w.combine_macs as f64;
     let instructions = macs * INSTR_PER_MAC;
     let lines = comb_bytes / 64.0;
@@ -96,7 +95,9 @@ mod tests {
     use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
 
     fn collab_quarter() -> Graph {
-        DatasetSpec::get(DatasetKey::Cl).instantiate(0.25, 7).unwrap()
+        DatasetSpec::get(DatasetKey::Cl)
+            .instantiate(0.25, 7)
+            .unwrap()
     }
 
     #[test]

@@ -88,19 +88,17 @@ impl CpuModel {
         let agg_compute_s = effective_edges * p.per_edge_ns * 1e-9
             + w.agg_elem_ops as f64 * per_elem_ns * 1e-9
             + w.num_vertices as f64 * w.f_in as f64 * p.tensor_elem_ns * 1e-9;
-        let agg_bytes =
-            (w.agg_elem_ops as f64 * 4.0 * agg_dram_factor) + w.edge_bytes as f64
-                + w.input_feature_bytes as f64;
+        let agg_bytes = (w.agg_elem_ops as f64 * 4.0 * agg_dram_factor)
+            + w.edge_bytes as f64
+            + w.input_feature_bytes as f64;
         let agg_mem_s = agg_bytes / (p.dram_bw_gbs * 1e9);
         let aggregation_s = agg_compute_s.max(agg_mem_s);
 
         // --- Combination phase ---
         let gemm_s = w.combine_macs as f64 * 2.0 / (p.gemm_gflops * 1e9);
-        let tensor_s =
-            w.num_vertices as f64 * (w.f_in + w.f_out) as f64 * p.tensor_elem_ns * 1e-9;
-        let comb_bytes = w.weight_bytes as f64
-            + w.input_feature_bytes as f64
-            + w.output_feature_bytes as f64;
+        let tensor_s = w.num_vertices as f64 * (w.f_in + w.f_out) as f64 * p.tensor_elem_ns * 1e-9;
+        let comb_bytes =
+            w.weight_bytes as f64 + w.input_feature_bytes as f64 + w.output_feature_bytes as f64;
         let comb_mem_s = comb_bytes / (p.dram_bw_gbs * 1e9);
         let combination_s = (gemm_s * p.sync_factor() + tensor_s).max(comb_mem_s);
 

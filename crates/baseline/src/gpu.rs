@@ -80,8 +80,7 @@ impl GpuModel {
                 // A shard can never hold more vertices than the graph has.
                 let effective = interval_vertices.min(w.num_vertices);
                 let util = (effective as f64 / p.saturation_vertices).clamp(0.01, 1.0);
-                let chunks =
-                    (w.num_vertices as f64 / interval_vertices.max(1) as f64).ceil();
+                let chunks = (w.num_vertices as f64 / interval_vertices.max(1) as f64).ceil();
                 (util, chunks)
             }
         };
@@ -89,22 +88,19 @@ impl GpuModel {
         // --- Aggregation phase ---
         // Gather + scatter traffic (materialized, as on CPU, but the GPU's
         // memory system streams it at derated bandwidth).
-        let agg_bytes = w.agg_elem_ops as f64 * 4.0 * 3.0
-            + w.edge_bytes as f64
-            + w.input_feature_bytes as f64;
+        let agg_bytes =
+            w.agg_elem_ops as f64 * 4.0 * 3.0 + w.edge_bytes as f64 + w.input_feature_bytes as f64;
         let agg_mem_s = agg_bytes / (p.irregular_bw_gbs * 1e9 * utilization);
         let agg_compute_s = w.agg_elem_ops as f64 / (p.agg_gelems * 1e9 * utilization);
         let aggregation_s =
             agg_mem_s.max(agg_compute_s) + chunks * p.launch_s * p.ops_per_layer / 2.0;
 
         // --- Combination phase ---
-        let comb_bytes = w.weight_bytes as f64
-            + w.input_feature_bytes as f64
-            + w.output_feature_bytes as f64;
+        let comb_bytes =
+            w.weight_bytes as f64 + w.input_feature_bytes as f64 + w.output_feature_bytes as f64;
         let gemm_s = w.combine_macs as f64 * 2.0 / (p.gemm_gflops * 1e9 * utilization);
         let comb_mem_s = comb_bytes / (p.stream_bw_gbs * 1e9);
-        let combination_s =
-            gemm_s.max(comb_mem_s) + chunks * p.launch_s * p.ops_per_layer / 2.0;
+        let combination_s = gemm_s.max(comb_mem_s) + chunks * p.launch_s * p.ops_per_layer / 2.0;
 
         let phases = PhaseBreakdown {
             aggregation_s,

@@ -130,7 +130,10 @@ pub fn naive_trace(graph: &Graph, agg_width: usize, max_edges: u64) -> TraceResu
     'gather: for dst in 0..graph.num_vertices() as u32 {
         for &src in graph.in_neighbors(dst) {
             h.access(lay.edge_base + e * 4);
-            h.access_range(lay.feat_base + u64::from(src) * lay.row_bytes, lay.row_bytes);
+            h.access_range(
+                lay.feat_base + u64::from(src) * lay.row_bytes,
+                lay.row_bytes,
+            );
             h.access_range(lay.mat_base + e * lay.row_bytes, lay.row_bytes);
             e += 1;
             if e >= max_edges {
@@ -190,10 +193,7 @@ pub fn sharded_trace(
                     lay.feat_base + u64::from(src) * lay.row_bytes,
                     lay.row_bytes,
                 );
-                h.access_range(
-                    lay.acc_base + u64::from(dst) * lay.row_bytes,
-                    lay.row_bytes,
-                );
+                h.access_range(lay.acc_base + u64::from(dst) * lay.row_bytes, lay.row_bytes);
                 charge(&mut res, agg_width);
                 res.simulated_edges += 1;
                 if res.simulated_edges >= max_edges {

@@ -95,7 +95,10 @@ fn main() {
     }
 
     header("Ablation 3: Input Buffer (window height) sweep (GCN on PB)");
-    println!("{:>8} {:>12} {:>12} {:>16}", "KB", "cycles", "DRAM MB", "sparsity red.");
+    println!(
+        "{:>8} {:>12} {:>12} {:>16}",
+        "KB", "cycles", "DRAM MB", "sparsity red."
+    );
     for kb in [32usize, 64, 128, 256, 512] {
         let r = run(HyGcnConfig {
             input_buffer_bytes: kb << 10,
@@ -142,8 +145,14 @@ fn main() {
 
     header("Ablation 4: systolic mode x pipeline (GCN on PB)");
     for (name, pipeline) in [
-        ("latency-aware (independent modules)", PipelineMode::LatencyAware),
-        ("energy-aware (cooperative modules)", PipelineMode::EnergyAware),
+        (
+            "latency-aware (independent modules)",
+            PipelineMode::LatencyAware,
+        ),
+        (
+            "energy-aware (cooperative modules)",
+            PipelineMode::EnergyAware,
+        ),
         ("no pipeline (spill to DRAM)", PipelineMode::None),
     ] {
         let r = run(HyGcnConfig {

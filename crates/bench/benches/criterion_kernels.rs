@@ -94,9 +94,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate");
     for kind in ModelKind::ALL {
         let model = GcnModel::new(kind, 128, 1).expect("valid model");
-        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &model, |b, m| {
-            b.iter(|| black_box(sim.simulate(&g, m).expect("valid config")))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &model,
+            |b, m| b.iter(|| black_box(sim.simulate(&g, m).expect("valid config"))),
+        );
     }
     group.finish();
 }

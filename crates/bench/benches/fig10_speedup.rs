@@ -37,14 +37,12 @@ fn main() {
         let sharded = GpuModel::sharded(interval).run(&graph, &model);
         let ratio = naive.time_s / sharded.time_s;
         gpu_ratios.push(ratio);
-        println!(
-            "{:<6} {:<4} {:>10.2}",
-            kind.abbrev(),
-            key.abbrev(),
-            ratio
-        );
+        println!("{:<6} {:<4} {:>10.2}", kind.abbrev(), key.abbrev(), ratio);
     }
-    println!("average: {:.2} (values < 1 mean the optimization hurts)", geomean(&gpu_ratios));
+    println!(
+        "average: {:.2} (values < 1 mean the optimization hurts)",
+        geomean(&gpu_ratios)
+    );
 
     // --- (c): HyGCN vs both baselines. ---
     header("Fig. 10(c): HyGCN speedup (paper avg: 1509x over CPU, 6.5x over GPU)");

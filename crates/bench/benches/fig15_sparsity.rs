@@ -12,6 +12,7 @@ use hygcn_core::HyGcnConfig;
 use hygcn_graph::datasets::DatasetKey;
 use hygcn_graph::partition::Interval;
 use hygcn_graph::Graph;
+use hygcn_mem::request::RequestArena;
 use hygcn_mem::scheduler::AccessScheduler;
 use hygcn_mem::Hbm;
 
@@ -33,12 +34,26 @@ fn aggregation_only(graph: &Graph, eliminate: bool) -> (u64, u64, f64) {
     let mut rows_loaded = 0u64;
     let mut chunks = 0u64;
     let mut start = 0u32;
+    let mut arena = RequestArena::new();
+    let mut scratch = Vec::new();
     while start < n {
         let end = (start + chunk).min(n);
-        let rec = engine.process_chunk(graph, Interval::new(start, end), f, true, 0, 1);
+        // Only this chunk's span is consumed; drop prior requests so the
+        // arena stays O(per-chunk) across the sweep.
+        arena.clear();
+        let rec = engine.process_chunk(
+            graph,
+            Interval::new(start, end),
+            f,
+            true,
+            0,
+            1,
+            &mut arena,
+            &mut scratch,
+        );
         rows_loaded += rec.feature_rows_loaded;
         chunks += 1;
-        let mem = hbm.service_batch(&scheduler.order(rec.requests), now);
+        let mem = hbm.service_batch(&scheduler.order(arena.slice(rec.span).to_vec()), now);
         now += rec.compute_cycles.max(mem.saturating_sub(now));
         start = end;
     }

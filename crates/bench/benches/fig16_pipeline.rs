@@ -25,7 +25,9 @@ fn run(key: DatasetKey, pipeline: PipelineMode) -> SimReport {
         aggregation_buffer_bytes: 4 << 20,
         ..HyGcnConfig::default()
     };
-    Simulator::new(cfg).simulate(&graph, &model).expect("bench config simulates")
+    Simulator::new(cfg)
+        .simulate(&graph, &model)
+        .expect("bench config simulates")
 }
 
 fn main() {

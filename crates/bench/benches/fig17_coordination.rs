@@ -24,7 +24,9 @@ fn run(key: DatasetKey, coordinated: bool) -> SimReport {
             ..HyGcnConfig::default()
         }
     };
-    Simulator::new(cfg).simulate(&graph, &model).expect("bench config simulates")
+    Simulator::new(cfg)
+        .simulate(&graph, &model)
+        .expect("bench config simulates")
 }
 
 fn main() {

@@ -19,7 +19,9 @@ const DATASETS: [DatasetKey; 3] = [DatasetKey::Cr, DatasetKey::Cs, DatasetKey::P
 fn run(key: DatasetKey, cfg: HyGcnConfig) -> SimReport {
     let graph = bench_graph(key);
     let model = bench_model(ModelKind::GraphSage, &graph);
-    Simulator::new(cfg).simulate(&graph, &model).expect("bench config simulates")
+    Simulator::new(cfg)
+        .simulate(&graph, &model)
+        .expect("bench config simulates")
 }
 
 fn main() {
@@ -94,7 +96,14 @@ fn main() {
         "ds", "modules", "rows each", "vertex latency %", "CombEngine energy %"
     );
     // (modules, rows, group vertices): 32 basic 1x128 arrays re-assembled.
-    let sweeps = [(32usize, 1usize, 4usize), (16, 2, 8), (8, 4, 16), (4, 8, 32), (2, 16, 64), (1, 32, 128)];
+    let sweeps = [
+        (32usize, 1usize, 4usize),
+        (16, 2, 8),
+        (8, 4, 16),
+        (4, 8, 32),
+        (2, 16, 64),
+        (1, 32, 128),
+    ];
     for key in DATASETS {
         let mk = |(m, r, g): (usize, usize, usize)| HyGcnConfig {
             systolic_modules: m,

@@ -46,6 +46,9 @@ fn main() {
     );
     println!(
         "{:<34} {:>12} {:>11.0}% {:>16}",
-        "ratio of synchronization time", "-", c.sync_ratio * 100.0, "- / 36%"
+        "ratio of synchronization time",
+        "-",
+        c.sync_ratio * 100.0,
+        "- / 36%"
     );
 }

@@ -53,8 +53,8 @@ fn main() {
     );
 
     // Computation intensity: ops per compulsory byte per phase.
-    let agg_intensity = w.agg_elem_ops as f64
-        / (w.input_feature_bytes + w.edge_bytes).max(1) as f64;
+    let agg_intensity =
+        w.agg_elem_ops as f64 / (w.input_feature_bytes + w.edge_bytes).max(1) as f64;
     let comb_intensity =
         w.combine_macs as f64 / (w.weight_bytes + w.output_feature_bytes).max(1) as f64;
     println!(
@@ -69,8 +69,7 @@ fn main() {
     })
     .simulate(&graph, &model)
     .expect("bench config simulates");
-    let (agg_busy, comb_busy, mem_busy) =
-        hygcn_core::timeline::busy_fractions(&r.timeline);
+    let (agg_busy, comb_busy, mem_busy) = hygcn_core::timeline::busy_fractions(&r.timeline);
     println!(
         "{:<24} memory busy {:>5.1}% vs agg engine {:>5.1}% / comb engine {:>5.1}%",
         "execution bound",

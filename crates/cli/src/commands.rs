@@ -13,8 +13,36 @@ use crate::args::{ArgError, Args};
 
 /// Flags accepted by the workload-running commands.
 pub const WORKLOAD_FLAGS: &[&str] = &[
-    "dataset", "model", "scale", "seed", "layers", "pipeline", "coordination", "sparsity",
-    "aggbuf-mb", "inputbuf-kb", "knob", "edges", "feature-len",
+    "dataset",
+    "model",
+    "scale",
+    "seed",
+    "layers",
+    "pipeline",
+    "coordination",
+    "sparsity",
+    "aggbuf-mb",
+    "inputbuf-kb",
+    "knob",
+    "edges",
+    "feature-len",
+];
+
+/// Flags accepted by `hygcn bench` (the config flags plus the
+/// benchmark's own workload/measurement knobs).
+pub const BENCH_FLAGS: &[&str] = &[
+    "model",
+    "pipeline",
+    "coordination",
+    "sparsity",
+    "aggbuf-mb",
+    "inputbuf-kb",
+    "feature-len",
+    "vertices",
+    "degree",
+    "runs",
+    "json",
+    "threads",
 ];
 
 /// Top-level error for command execution.
@@ -254,6 +282,130 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `hygcn bench` — host-throughput benchmark of `simulate()`: times the
+/// serial (1-thread) path against the parallel chunk pipeline on an
+/// RMAT-scale graph, verifies the two reports are bit-identical, and
+/// optionally writes a `BENCH_sim.json` trajectory file.
+pub fn bench(args: &Args) -> Result<String, CliError> {
+    use std::time::Instant;
+
+    let vertices: usize = args.get_parsed("vertices", 131_072, "an integer >= 1024")?;
+    let degree: usize = args.get_parsed("degree", 8, "an integer >= 1")?;
+    let f: usize = args.get_parsed("feature-len", 128, "an integer >= 1")?;
+    let runs: usize = args.get_parsed("runs", 3, "an integer >= 1")?;
+    let runs = runs.max(1);
+    let threads: usize = args.get_parsed("threads", hygcn_par::num_threads(), "an integer >= 1")?;
+    let kind = model_kind(args.get_or("model", "GCN"))?;
+
+    let graph = hygcn_graph::generator::rmat(
+        vertices,
+        vertices * degree,
+        hygcn_graph::generator::RmatParams::default(),
+        7,
+    )
+    .map_err(|e| CliError::Runtime(e.to_string()))?
+    .with_feature_len(f);
+    let model = GcnModel::new(kind, f, 0xC0DE).map_err(|e| CliError::Runtime(e.to_string()))?;
+    // The Table 6 default configuration; --aggbuf-mb etc. still apply
+    // (smaller aggregation buffers mean more, smaller chunks).
+    let cfg = build_config(args)?;
+    let sim = Simulator::new(cfg);
+
+    let time_best = |threads: usize| -> Result<(f64, hygcn_core::SimReport), CliError> {
+        hygcn_par::set_thread_override(Some(threads));
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        let runs_result: Result<(), CliError> = (|| {
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let r = sim
+                    .simulate(&graph, &model)
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                best = best.min(t0.elapsed().as_secs_f64());
+                report = Some(r);
+            }
+            Ok(())
+        })();
+        hygcn_par::set_thread_override(None);
+        runs_result.map(|()| (best, report.expect("runs >= 1")))
+    };
+
+    // The seed path: serial, gather-and-sort planning, per-chunk
+    // allocations — the "before" this benchmark measures against.
+    let time_reference = || -> Result<(f64, hygcn_core::SimReport), CliError> {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let r = sim
+                .simulate_reference(&graph, &model)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            best = best.min(t0.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        Ok((best, report.expect("runs >= 1")))
+    };
+
+    let (reference_s, reference_report) = time_reference()?;
+    let (serial_s, serial_report) = time_best(1)?;
+    let (parallel_s, parallel_report) = time_best(threads.max(1))?;
+    let identical = serial_report == parallel_report && reference_report == parallel_report;
+    let speedup = reference_s / parallel_s;
+    let thread_speedup = serial_s / parallel_s;
+
+    let mut out = format!(
+        "simulate() host throughput: {} on RMAT ({} vertices, {} edges, f={})\n\
+         chunks: {}   threads: {}   best of {} runs\n\
+         seed path:  {:>9.1} ms   (serial, gather+sort, per-chunk allocs)\n\
+         optimized:  {:>9.1} ms   (1 thread)\n\
+         parallel:   {:>9.1} ms   ({} threads)\n\
+         speedup:    {:>9.2}x vs seed path   ({:.2}x from threads)\n\
+         reports bit-identical across all three paths: {}\n",
+        kind.abbrev(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        f,
+        parallel_report.chunks,
+        threads,
+        runs,
+        reference_s * 1e3,
+        serial_s * 1e3,
+        parallel_s * 1e3,
+        threads,
+        speedup,
+        thread_speedup,
+        identical,
+    );
+    if !identical {
+        return Err(CliError::Runtime(
+            "seed, serial, and parallel SimReports diverged".to_string(),
+        ));
+    }
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\n  \"bench\": \"sim\",\n  \"model\": \"{}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"feature_len\": {},\n  \"chunks\": {},\n  \"threads\": {},\n  \"runs\": {},\n  \"seed_ms\": {:.3},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup_vs_seed\": {:.3},\n  \"thread_speedup\": {:.3},\n  \"identical_reports\": {},\n  \"cycles\": {},\n  \"dram_bytes\": {}\n}}\n",
+            kind.abbrev(),
+            graph.num_vertices(),
+            graph.num_edges(),
+            f,
+            parallel_report.chunks,
+            threads,
+            runs,
+            reference_s * 1e3,
+            serial_s * 1e3,
+            parallel_s * 1e3,
+            speedup,
+            thread_speedup,
+            identical,
+            parallel_report.cycles,
+            parallel_report.dram_bytes(),
+        );
+        std::fs::write(path, json).map_err(|e| CliError::Runtime(e.to_string()))?;
+        out += &format!("wrote {path}\n");
+    }
+    Ok(out)
+}
+
 /// `hygcn datasets` — the Table 4 registry.
 pub fn datasets() -> String {
     let mut out = format!(
@@ -288,6 +440,9 @@ commands:
              --sparsity on|off  --aggbuf-mb N  --inputbuf-kb N
   compare    HyGCN vs PyG-CPU vs PyG-GPU on one workload (same flags)
   sweep      design-space sweep: --knob aggbuf|window|factor (same flags)
+  bench      host-throughput benchmark: serial vs parallel simulate()
+             --vertices N  --degree K  --feature-len F  --runs R
+             --threads T  --json FILE (writes a BENCH_sim.json record)
   datasets   list the Table 4 benchmark datasets
   help       this text
 
@@ -325,7 +480,13 @@ mod tests {
     #[test]
     fn simulate_multi_layer() {
         let out = simulate(&args(&[
-            "simulate", "--dataset", "IB", "--scale", "0.1", "--layers", "2",
+            "simulate",
+            "--dataset",
+            "IB",
+            "--scale",
+            "0.1",
+            "--layers",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("layer 2"));
@@ -344,7 +505,13 @@ mod tests {
     fn sweep_knobs() {
         for knob in ["aggbuf", "window", "factor"] {
             let out = sweep(&args(&[
-                "sweep", "--dataset", "IB", "--scale", "0.1", "--knob", knob,
+                "sweep",
+                "--dataset",
+                "IB",
+                "--scale",
+                "0.1",
+                "--knob",
+                knob,
             ]))
             .unwrap();
             assert!(out.contains("sweep"), "{knob}");
@@ -363,8 +530,19 @@ mod tests {
     #[test]
     fn config_flags_apply() {
         let out = simulate(&args(&[
-            "simulate", "--dataset", "IB", "--scale", "0.1", "--pipeline", "none",
-            "--coordination", "off", "--sparsity", "off", "--aggbuf-mb", "4",
+            "simulate",
+            "--dataset",
+            "IB",
+            "--scale",
+            "0.1",
+            "--pipeline",
+            "none",
+            "--coordination",
+            "off",
+            "--sparsity",
+            "off",
+            "--aggbuf-mb",
+            "4",
         ]))
         .unwrap();
         assert!(out.contains("sparsity red.   0.0%"));
@@ -377,7 +555,11 @@ mod tests {
         let path = dir.join("edges.txt");
         std::fs::write(&path, "0 1\n1 2\n2 3\n3 0\n").unwrap();
         let out = simulate(&args(&[
-            "simulate", "--edges", path.to_str().unwrap(), "--feature-len", "32",
+            "simulate",
+            "--edges",
+            path.to_str().unwrap(),
+            "--feature-len",
+            "32",
         ]))
         .unwrap();
         assert!(out.contains("4 vertices"));

@@ -4,6 +4,7 @@
 //! hygcn simulate --dataset CR --model GCN
 //! hygcn compare  --dataset PB --model GIN
 //! hygcn sweep    --dataset PB --knob aggbuf
+//! hygcn bench    --vertices 131072 --json BENCH_sim.json
 //! hygcn datasets
 //! ```
 
@@ -11,18 +12,28 @@ mod args;
 mod commands;
 
 use args::Args;
-use commands::{compare, datasets, help, simulate, sweep, CliError, WORKLOAD_FLAGS};
+use commands::{
+    bench, compare, datasets, help, simulate, sweep, CliError, BENCH_FLAGS, WORKLOAD_FLAGS,
+};
 
 fn run() -> Result<String, CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
         return Ok(help());
     }
-    let parsed = Args::parse(raw, WORKLOAD_FLAGS)?;
+    // Each command validates against its own flag set, so a bench-only
+    // flag passed to `simulate` still fails loudly.
+    let allowed = if raw[0] == "bench" {
+        BENCH_FLAGS
+    } else {
+        WORKLOAD_FLAGS
+    };
+    let parsed = Args::parse(raw, allowed)?;
     match parsed.command() {
         "simulate" => simulate(&parsed),
         "compare" => compare(&parsed),
         "sweep" => sweep(&parsed),
+        "bench" => bench(&parsed),
         "datasets" => Ok(datasets()),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(CliError::Unknown(format!(

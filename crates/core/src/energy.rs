@@ -88,10 +88,8 @@ impl EnergyBreakdown {
     /// Converts activity counters to joules.
     pub fn from_activity(a: &Activity) -> Self {
         Self {
-            aggregation_j: a.simd_ops as f64 * SIMD_OP_J
-                + edram_energy_j(a.agg_buffer_traffic),
-            combination_j: a.macs as f64 * MAC_J
-                + edram_energy_j(a.comb_buffer_traffic),
+            aggregation_j: a.simd_ops as f64 * SIMD_OP_J + edram_energy_j(a.agg_buffer_traffic),
+            combination_j: a.macs as f64 * MAC_J + edram_energy_j(a.comb_buffer_traffic),
             coordinator_j: edram_energy_j(a.coordinator_buffer_traffic),
             hbm_j: hbm_energy_j(a.agg_hbm_bytes + a.comb_hbm_bytes + a.spill_hbm_bytes),
             static_j: 0.0,
@@ -141,14 +139,54 @@ impl AreaPowerModel {
     /// The Table 7 breakdown rows.
     pub fn breakdown() -> [ComponentBudget; 8] {
         [
-            ComponentBudget { module: "Aggregation Engine", component: "Buffer", power_pct: 2.37, area_pct: 5.41 },
-            ComponentBudget { module: "Aggregation Engine", component: "Computation", power_pct: 3.85, area_pct: 1.43 },
-            ComponentBudget { module: "Aggregation Engine", component: "Control", power_pct: 0.48, area_pct: 0.18 },
-            ComponentBudget { module: "Combination Engine", component: "Buffer", power_pct: 14.4, area_pct: 15.13 },
-            ComponentBudget { module: "Combination Engine", component: "Computation", power_pct: 60.52, area_pct: 42.96 },
-            ComponentBudget { module: "Combination Engine", component: "Control", power_pct: 0.31, area_pct: 0.07 },
-            ComponentBudget { module: "Coordinator", component: "Buffer", power_pct: 17.66, area_pct: 34.64 },
-            ComponentBudget { module: "Coordinator", component: "Control", power_pct: 0.41, area_pct: 0.19 },
+            ComponentBudget {
+                module: "Aggregation Engine",
+                component: "Buffer",
+                power_pct: 2.37,
+                area_pct: 5.41,
+            },
+            ComponentBudget {
+                module: "Aggregation Engine",
+                component: "Computation",
+                power_pct: 3.85,
+                area_pct: 1.43,
+            },
+            ComponentBudget {
+                module: "Aggregation Engine",
+                component: "Control",
+                power_pct: 0.48,
+                area_pct: 0.18,
+            },
+            ComponentBudget {
+                module: "Combination Engine",
+                component: "Buffer",
+                power_pct: 14.4,
+                area_pct: 15.13,
+            },
+            ComponentBudget {
+                module: "Combination Engine",
+                component: "Computation",
+                power_pct: 60.52,
+                area_pct: 42.96,
+            },
+            ComponentBudget {
+                module: "Combination Engine",
+                component: "Control",
+                power_pct: 0.31,
+                area_pct: 0.07,
+            },
+            ComponentBudget {
+                module: "Coordinator",
+                component: "Buffer",
+                power_pct: 17.66,
+                area_pct: 34.64,
+            },
+            ComponentBudget {
+                module: "Coordinator",
+                component: "Control",
+                power_pct: 0.41,
+                area_pct: 0.19,
+            },
         ]
     }
 
@@ -169,7 +207,10 @@ mod tests {
 
     #[test]
     fn breakdown_sums_to_roughly_100_percent() {
-        let p: f64 = AreaPowerModel::breakdown().iter().map(|c| c.power_pct).sum();
+        let p: f64 = AreaPowerModel::breakdown()
+            .iter()
+            .map(|c| c.power_pct)
+            .sum();
         let a: f64 = AreaPowerModel::breakdown().iter().map(|c| c.area_pct).sum();
         assert!((p - 100.0).abs() < 1.0, "power {p}%");
         assert!((a - 100.0).abs() < 1.0, "area {a}%");

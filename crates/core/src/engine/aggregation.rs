@@ -9,14 +9,20 @@
 //! memory handler in [`crate::sim`].
 
 use hygcn_graph::partition::Interval;
-use hygcn_graph::window::WindowPlanner;
+use hygcn_graph::window::{EffectualWindow, WindowPlanner};
+
 use hygcn_graph::{Graph, VertexId};
-use hygcn_mem::request::{MemRequest, RequestKind};
+use hygcn_mem::request::{MemRequest, RequestArena, RequestKind, RequestSpan, RequestSummary};
 
 use crate::config::{AggregationMode, HyGcnConfig};
 
 /// Cost record for aggregating one destination chunk.
-#[derive(Debug, Clone, Default)]
+///
+/// The chunk's DRAM requests live in the simulation-wide
+/// [`RequestArena`]; the record carries only a [`RequestSpan`] locating
+/// them plus a [`RequestSummary`] histogram for accounting, keeping the
+/// record itself allocation-free.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ChunkAggregation {
     /// SIMD compute cycles (including eSched issue and Sampler filtering).
     pub compute_cycles: u64,
@@ -26,14 +32,26 @@ pub struct ChunkAggregation {
     pub edges: u64,
     /// Source feature rows loaded from DRAM.
     pub feature_rows_loaded: u64,
-    /// DRAM requests (edge array + effectual feature windows).
-    pub requests: Vec<MemRequest>,
+    /// Per-kind histogram of the chunk's DRAM requests.
+    pub summary: RequestSummary,
+    /// Where the chunk's requests sit in the shared [`RequestArena`]
+    /// (edge array + effectual feature windows).
+    pub span: RequestSpan,
     /// Edge Buffer eDRAM traffic in bytes (fill + read).
     pub edge_buffer_bytes: u64,
     /// Input Buffer eDRAM traffic in bytes (fill + per-edge reads).
     pub input_buffer_bytes: u64,
     /// Aggregation Buffer write traffic in bytes (accumulator updates).
     pub agg_buffer_bytes: u64,
+}
+
+impl ChunkAggregation {
+    /// Shifts the record's span by `offset` arena entries — used when a
+    /// worker-local arena is spliced into the shared one.
+    pub fn rebased(mut self, offset: u32) -> Self {
+        self.span = self.span.rebased(offset);
+        self
+    }
 }
 
 /// The Aggregation Engine model.
@@ -84,6 +102,12 @@ impl AggregationEngine {
     /// `include_self`. `sampler_edges` is the count of *pre-sampling*
     /// edges the runtime Sampler had to filter (zero when not sampling).
     /// `paths` is the number of aggregation passes (2 for DiffPool).
+    ///
+    /// DRAM requests are appended to `arena` (the record's `span` points
+    /// at them); `scratch` is a reusable source-row buffer for the window
+    /// planner, so steady-state chunk processing performs no heap
+    /// allocation.
+    #[allow(clippy::too_many_arguments)]
     pub fn process_chunk(
         &self,
         graph: &Graph,
@@ -92,23 +116,93 @@ impl AggregationEngine {
         include_self: bool,
         sampler_edges: u64,
         paths: u64,
+        arena: &mut RequestArena,
+        scratch: &mut Vec<VertexId>,
+    ) -> ChunkAggregation {
+        let planner = WindowPlanner::new(self.window_height);
+        self.record_chunk(
+            graph,
+            dst,
+            feature_len,
+            include_self,
+            sampler_edges,
+            paths,
+            arena,
+            &mut |emit| planner.plan_with(graph, dst, scratch, emit),
+        )
+    }
+
+    /// [`AggregationEngine::process_chunk`] driven by fully precomputed
+    /// effectual windows (one [`WindowSet`] slice per chunk) — the
+    /// simulator's hot path: chunk workers never touch adjacency at all.
+    ///
+    /// [`WindowSet`]: hygcn_graph::window::WindowSet
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_chunk_with_windows(
+        &self,
+        graph: &Graph,
+        dst: Interval,
+        feature_len: usize,
+        include_self: bool,
+        sampler_edges: u64,
+        paths: u64,
+        arena: &mut RequestArena,
+        windows: &[EffectualWindow],
+    ) -> ChunkAggregation {
+        self.record_chunk(
+            graph,
+            dst,
+            feature_len,
+            include_self,
+            sampler_edges,
+            paths,
+            arena,
+            &mut |emit| {
+                for w in windows {
+                    emit(*w);
+                }
+            },
+        )
+    }
+
+    /// Shared chunk-record construction; `plan` drives window emission
+    /// when sparsity elimination is enabled.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn record_chunk(
+        &self,
+        graph: &Graph,
+        dst: Interval,
+        feature_len: usize,
+        include_self: bool,
+        sampler_edges: u64,
+        paths: u64,
+        arena: &mut RequestArena,
+        plan: &mut dyn FnMut(&mut dyn FnMut(EffectualWindow)),
     ) -> ChunkAggregation {
         let row_bytes = (feature_len * 4) as u64;
         let mut out = ChunkAggregation::default();
+        let span_start = arena.begin();
 
         // --- Sparsity Eliminator: plan the effectual windows. ---
-        let planner = WindowPlanner::new(self.window_height);
         if self.sparsity_elimination {
-            for w in planner.plan(graph, dst) {
+            let feature_base = self.feature_base;
+            let (mut rows_loaded, mut edges) = (0u64, 0u64);
+            let mut summary = out.summary;
+            plan(&mut |w| {
                 let rows = w.rows.len() as u64;
-                out.feature_rows_loaded += rows;
-                out.edges += w.edge_count as u64;
-                out.requests.push(MemRequest::read(
+                rows_loaded += rows;
+                edges += w.edge_count as u64;
+                let req = MemRequest::read(
                     RequestKind::InputFeatures,
-                    self.feature_base + u64::from(w.rows.start) * row_bytes,
+                    feature_base + u64::from(w.rows.start) * row_bytes,
                     (rows * row_bytes) as u32,
-                ));
-            }
+                );
+                summary.record(&req);
+                arena.push(req);
+            });
+            out.feature_rows_loaded = rows_loaded;
+            out.edges = edges;
+            out.summary = summary;
         } else {
             // Full sweep: every source interval is loaded whole.
             let n = graph.num_vertices() as u64;
@@ -117,17 +211,16 @@ impl AggregationEngine {
             while row < n {
                 let rows = h.min(n - row);
                 out.feature_rows_loaded += rows;
-                out.requests.push(MemRequest::read(
+                let req = MemRequest::read(
                     RequestKind::InputFeatures,
                     self.feature_base + row * row_bytes,
                     (rows * row_bytes) as u32,
-                ));
+                );
+                out.summary.record(&req);
+                arena.push(req);
                 row += rows;
             }
-            out.edges = dst
-                .iter()
-                .map(|v| graph.in_degree(v) as u64)
-                .sum::<u64>();
+            out.edges = dst.iter().map(|v| graph.in_degree(v) as u64).sum::<u64>();
         }
 
         // --- Edge loads: the chunk's CSC columns are contiguous. ---
@@ -136,12 +229,15 @@ impl AggregationEngine {
         let e_end = offsets[dst.end as usize] as u64;
         debug_assert_eq!(e_end - e_start, out.edges, "edge accounting");
         if out.edges > 0 {
-            out.requests.push(MemRequest::read(
+            let req = MemRequest::read(
                 RequestKind::Edges,
                 self.edge_base + e_start * 4,
                 ((e_end - e_start) * 4) as u32,
-            ));
+            );
+            out.summary.record(&req);
+            arena.push(req);
         }
+        out.span = arena.finish(span_start);
 
         // --- Compute: eSched dispatch + SIMD accumulation. ---
         let self_ops = if include_self {
@@ -186,12 +282,40 @@ impl AggregationEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use hygcn_graph::GraphBuilder;
 
     fn engine(cfg: &HyGcnConfig, f: usize) -> AggregationEngine {
         AggregationEngine::new(cfg, f, 0, 1 << 30)
+    }
+
+    /// Runs `process_chunk` with a throwaway arena, returning the record
+    /// plus the requests it produced.
+    fn chunk(
+        e: &AggregationEngine,
+        g: &Graph,
+        dst: Interval,
+        f: usize,
+        include_self: bool,
+        sampler_edges: u64,
+        paths: u64,
+    ) -> (ChunkAggregation, Vec<MemRequest>) {
+        let mut arena = RequestArena::new();
+        let mut scratch = Vec::new();
+        let c = e.process_chunk(
+            g,
+            dst,
+            f,
+            include_self,
+            sampler_edges,
+            paths,
+            &mut arena,
+            &mut scratch,
+        );
+        let reqs = arena.slice(c.span).to_vec();
+        (c, reqs)
     }
 
     fn star_graph() -> Graph {
@@ -207,7 +331,7 @@ mod tests {
     fn covers_all_chunk_edges() {
         let g = star_graph();
         let cfg = HyGcnConfig::default();
-        let c = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        let (c, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 1);
         assert_eq!(c.edges, 64);
         assert_eq!(c.elem_ops, 64 * 32);
     }
@@ -217,9 +341,9 @@ mod tests {
         let g = star_graph();
         let mut cfg = HyGcnConfig::default();
         cfg.sparsity_elimination = true;
-        let with = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 1), 32, false, 0, 1);
+        let (with, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 1), 32, false, 0, 1);
         cfg.sparsity_elimination = false;
-        let without = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 1), 32, false, 0, 1);
+        let (without, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 1), 32, false, 0, 1);
         assert!(with.feature_rows_loaded <= without.feature_rows_loaded);
         assert_eq!(with.edges, without.edges);
         // Vertex 0's sources are rows 1..=64: a contiguous window, so
@@ -233,9 +357,9 @@ mod tests {
         let g = star_graph();
         let mut cfg = HyGcnConfig::default();
         cfg.aggregation_mode = AggregationMode::VertexDisperse;
-        let d = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        let (d, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 1);
         cfg.aggregation_mode = AggregationMode::VertexConcentrated;
-        let c = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
+        let (c, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 1);
         assert!(
             c.compute_cycles > d.compute_cycles,
             "concentrated {} vs disperse {}",
@@ -248,8 +372,8 @@ mod tests {
     fn self_term_adds_vertex_ops() {
         let g = star_graph();
         let cfg = HyGcnConfig::default();
-        let no_self = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
-        let with_self = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, true, 0, 1);
+        let (no_self, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 1);
+        let (with_self, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, true, 0, 1);
         assert_eq!(with_self.elem_ops - no_self.elem_ops, 65 * 32);
     }
 
@@ -257,9 +381,16 @@ mod tests {
     fn sampler_adds_filter_cycles() {
         let g = star_graph();
         let cfg = HyGcnConfig::default();
-        let plain = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
-        let sampled =
-            engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 64_000, 1);
+        let (plain, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 1);
+        let (sampled, _) = chunk(
+            &engine(&cfg, 32),
+            &g,
+            Interval::new(0, 65),
+            32,
+            false,
+            64_000,
+            1,
+        );
         assert!(sampled.compute_cycles > plain.compute_cycles);
     }
 
@@ -267,8 +398,8 @@ mod tests {
     fn diffpool_paths_double_work() {
         let g = star_graph();
         let cfg = HyGcnConfig::default();
-        let one = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
-        let two = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 2);
+        let (one, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 1);
+        let (two, _) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 2);
         assert_eq!(two.elem_ops, 2 * one.elem_ops);
     }
 
@@ -276,21 +407,26 @@ mod tests {
     fn requests_use_priority_classes() {
         let g = star_graph();
         let cfg = HyGcnConfig::default();
-        let c = engine(&cfg, 32).process_chunk(&g, Interval::new(0, 65), 32, false, 0, 1);
-        assert!(c
-            .requests
-            .iter()
-            .any(|r| r.kind == RequestKind::InputFeatures));
-        assert!(c.requests.iter().any(|r| r.kind == RequestKind::Edges));
-        assert!(c.requests.iter().all(|r| !r.is_write));
+        let (c, reqs) = chunk(&engine(&cfg, 32), &g, Interval::new(0, 65), 32, false, 0, 1);
+        assert!(reqs.iter().any(|r| r.kind == RequestKind::InputFeatures));
+        assert!(reqs.iter().any(|r| r.kind == RequestKind::Edges));
+        assert!(reqs.iter().all(|r| !r.is_write));
+        // The summary histogram matches the emitted requests.
+        assert_eq!(c.summary.total_count(), reqs.len() as u64);
+        assert_eq!(
+            c.summary.total_bytes(),
+            reqs.iter().map(|r| u64::from(r.bytes)).sum::<u64>()
+        );
+        assert_eq!(c.summary.write_bytes(), 0);
     }
 
     #[test]
     fn empty_interval_is_cheap() {
         let g = GraphBuilder::new(8).feature_len(16).build();
         let cfg = HyGcnConfig::default();
-        let c = engine(&cfg, 16).process_chunk(&g, Interval::new(0, 8), 16, false, 0, 1);
+        let (c, reqs) = chunk(&engine(&cfg, 16), &g, Interval::new(0, 8), 16, false, 0, 1);
         assert_eq!(c.edges, 0);
         assert_eq!(c.elem_ops, 0);
+        assert!(reqs.is_empty());
     }
 }

@@ -12,7 +12,7 @@
 //!   modules once (Fig. 6(b)), minimizing energy at the cost of waiting
 //!   to assemble the group.
 
-use hygcn_mem::request::{MemRequest, RequestKind};
+use hygcn_mem::request::{MemRequest, RequestArena, RequestKind, RequestSpan, RequestSummary};
 
 use crate::config::HyGcnConfig;
 
@@ -26,7 +26,11 @@ pub enum SystolicMode {
 }
 
 /// Cost record for combining one chunk of vertices.
-#[derive(Debug, Clone, Default)]
+///
+/// Like [`crate::engine::aggregation::ChunkAggregation`], the chunk's
+/// DRAM requests live in the shared [`RequestArena`]; the record carries
+/// a [`RequestSpan`] plus a [`RequestSummary`] histogram.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ChunkCombination {
     /// Systolic compute cycles (MAC throughput + pipeline fills).
     pub compute_cycles: u64,
@@ -38,11 +42,23 @@ pub struct ChunkCombination {
     pub output_buffer_bytes: u64,
     /// Aggregation Buffer read traffic in bytes.
     pub agg_buffer_bytes: u64,
-    /// DRAM requests (weight fills and output write-backs).
-    pub requests: Vec<MemRequest>,
+    /// Per-kind histogram of the chunk's DRAM requests.
+    pub summary: RequestSummary,
+    /// Where the chunk's requests (weight fills and output write-backs)
+    /// sit in the shared [`RequestArena`].
+    pub span: RequestSpan,
     /// Cycles until the *first* vertex group completes (vertex-latency
     /// contribution of this chunk under the latency-aware pipeline).
     pub first_group_cycles: u64,
+}
+
+impl ChunkCombination {
+    /// Shifts the record's span by `offset` arena entries — used when a
+    /// worker-local arena is spliced into the shared one.
+    pub fn rebased(mut self, offset: u32) -> Self {
+        self.span = self.span.rebased(offset);
+        self
+    }
 }
 
 /// The Combination Engine model.
@@ -106,6 +122,8 @@ impl CombinationEngine {
     /// chunk when the weights exceed the Weight Buffer's working half).
     /// `extra_macs` folds in DiffPool's coarsening products for this
     /// chunk. `chunk_index` positions the output write-back in DRAM.
+    /// DRAM requests are appended to `arena`; the record's `span` points
+    /// at them.
     pub fn process_chunk(
         &self,
         vertices: u64,
@@ -113,7 +131,9 @@ impl CombinationEngine {
         load_weights: bool,
         extra_macs: u64,
         chunk_index: u64,
+        arena: &mut RequestArena,
     ) -> ChunkCombination {
+        let span_start = arena.begin();
         let mut out = ChunkCombination {
             macs: vertices * self.macs_per_vertex() + extra_macs,
             ..ChunkCombination::default()
@@ -149,20 +169,25 @@ impl CombinationEngine {
         out.output_buffer_bytes = 2 * vertices * self.out_len() * 4;
 
         if load_weights {
-            out.requests.push(MemRequest::read(
+            let req = MemRequest::read(
                 RequestKind::Weights,
                 self.weight_base,
                 self.weight_bytes() as u32,
-            ));
+            );
+            out.summary.record(&req);
+            arena.push(req);
         }
         let out_bytes = vertices * self.out_len() * 4;
         if out_bytes > 0 {
-            out.requests.push(MemRequest::write(
+            let req = MemRequest::write(
                 RequestKind::OutputFeatures,
                 self.output_base + chunk_index * out_bytes,
                 out_bytes as u32,
-            ));
+            );
+            out.summary.record(&req);
+            arena.push(req);
         }
+        out.span = arena.finish(span_start);
         out
     }
 
@@ -179,6 +204,29 @@ mod tests {
 
     fn engine(dims: &[usize]) -> CombinationEngine {
         CombinationEngine::new(&HyGcnConfig::default(), dims, 0, 1 << 32)
+    }
+
+    /// Runs `process_chunk` with a throwaway arena, returning the record
+    /// plus the requests it produced.
+    fn chunk(
+        e: &CombinationEngine,
+        vertices: u64,
+        mode: SystolicMode,
+        load_weights: bool,
+        extra_macs: u64,
+        chunk_index: u64,
+    ) -> (ChunkCombination, Vec<MemRequest>) {
+        let mut arena = RequestArena::new();
+        let c = e.process_chunk(
+            vertices,
+            mode,
+            load_weights,
+            extra_macs,
+            chunk_index,
+            &mut arena,
+        );
+        let reqs = arena.slice(c.span).to_vec();
+        (c, reqs)
     }
 
     #[test]
@@ -199,8 +247,8 @@ mod tests {
     #[test]
     fn cooperative_fewer_weight_reads_than_independent() {
         let e = engine(&[256, 128]);
-        let coop = e.process_chunk(1024, SystolicMode::Cooperative, true, 0, 0);
-        let ind = e.process_chunk(1024, SystolicMode::Independent, true, 0, 0);
+        let (coop, _) = chunk(&e, 1024, SystolicMode::Cooperative, true, 0, 0);
+        let (ind, _) = chunk(&e, 1024, SystolicMode::Independent, true, 0, 0);
         assert!(
             ind.weight_buffer_bytes > 10 * coop.weight_buffer_bytes,
             "independent {} vs cooperative {}",
@@ -213,8 +261,8 @@ mod tests {
     #[test]
     fn independent_has_lower_first_group_latency() {
         let e = engine(&[256, 128]);
-        let coop = e.process_chunk(4096, SystolicMode::Cooperative, false, 0, 0);
-        let ind = e.process_chunk(4096, SystolicMode::Independent, false, 0, 0);
+        let (coop, _) = chunk(&e, 4096, SystolicMode::Cooperative, false, 0, 0);
+        let (ind, _) = chunk(&e, 4096, SystolicMode::Independent, false, 0, 0);
         assert!(
             ind.first_group_cycles < coop.first_group_cycles,
             "independent {} vs cooperative {}",
@@ -226,8 +274,8 @@ mod tests {
     #[test]
     fn throughput_cycles_scale_with_vertices() {
         let e = engine(&[128, 128]);
-        let small = e.process_chunk(128, SystolicMode::Cooperative, false, 0, 0);
-        let large = e.process_chunk(4096, SystolicMode::Cooperative, false, 0, 0);
+        let (small, _) = chunk(&e, 128, SystolicMode::Cooperative, false, 0, 0);
+        let (large, _) = chunk(&e, 4096, SystolicMode::Cooperative, false, 0, 0);
         assert!(large.compute_cycles > 10 * small.compute_cycles / 4);
     }
 
@@ -242,19 +290,22 @@ mod tests {
     #[test]
     fn requests_emitted_for_weights_and_outputs() {
         let e = engine(&[64, 128]);
-        let c = e.process_chunk(100, SystolicMode::Cooperative, true, 0, 2);
-        assert_eq!(c.requests.len(), 2);
-        assert!(matches!(c.requests[0].kind, RequestKind::Weights));
-        let w = &c.requests[1];
+        let (c, reqs) = chunk(&e, 100, SystolicMode::Cooperative, true, 0, 2);
+        assert_eq!(reqs.len(), 2);
+        assert!(matches!(reqs[0].kind, RequestKind::Weights));
+        let w = &reqs[1];
         assert!(w.is_write);
         assert_eq!(w.addr, (1 << 32) + 2 * 100 * 128 * 4);
+        // Summary matches the emitted requests.
+        assert_eq!(c.summary.total_count(), 2);
+        assert_eq!(c.summary.write_bytes(), u64::from(w.bytes));
     }
 
     #[test]
     fn extra_macs_fold_into_cycles() {
         let e = engine(&[64, 128]);
-        let plain = e.process_chunk(100, SystolicMode::Cooperative, false, 0, 0);
-        let extra = e.process_chunk(100, SystolicMode::Cooperative, false, 1 << 20, 0);
+        let (plain, _) = chunk(&e, 100, SystolicMode::Cooperative, false, 0, 0);
+        let (extra, _) = chunk(&e, 100, SystolicMode::Cooperative, false, 1 << 20, 0);
         assert!(extra.compute_cycles > plain.compute_cycles);
         assert_eq!(extra.macs - plain.macs, 1 << 20);
     }
@@ -262,8 +313,9 @@ mod tests {
     #[test]
     fn zero_vertices_is_cheap() {
         let e = engine(&[64, 128]);
-        let c = e.process_chunk(0, SystolicMode::Cooperative, false, 0, 0);
+        let (c, reqs) = chunk(&e, 0, SystolicMode::Cooperative, false, 0, 0);
         assert_eq!(c.macs, 0);
-        assert!(c.requests.is_empty());
+        assert!(reqs.is_empty());
+        assert!(c.span.is_empty());
     }
 }

@@ -5,6 +5,36 @@
 //! regular phase. Each produces per-chunk cost records (compute cycles,
 //! buffer traffic, DRAM requests) that the top-level simulator
 //! ([`crate::sim`]) schedules through the shared memory access handler.
+//!
+//! ## Request representation
+//!
+//! Chunk records are **allocation-free**: instead of owning a
+//! `Vec<MemRequest>`, each record carries
+//!
+//! * a [`RequestSummary`](hygcn_mem::request::RequestSummary) — a
+//!   per-[`RequestKind`](hygcn_mem::request::RequestKind) count/bytes
+//!   histogram that the energy and traffic accounting reads without ever
+//!   walking a request list, and
+//! * a [`RequestSpan`](hygcn_mem::request::RequestSpan) — the record's
+//!   slice of the simulation-wide
+//!   [`RequestArena`](hygcn_mem::request::RequestArena), consulted only
+//!   by the memory handler's timing walk.
+//!
+//! One arena allocation amortizes over every chunk of a `simulate()`
+//! call; worker-local arenas from a parallel run are spliced back in
+//! chunk order (see [`RequestSpan::rebased`]), which keeps the request
+//! stream — and therefore the timing — bit-identical to a serial run.
+//!
+//! [`RequestSpan::rebased`]: hygcn_mem::request::RequestSpan::rebased
+//!
+//! ## The `parallel` feature
+//!
+//! Per-chunk records are computed concurrently across host threads
+//! (chunks are independent by construction; the DRAM timing walk stays
+//! serial). The `parallel` cargo feature (default on) gates the thread
+//! machinery via the `hygcn-par` crate; disabling it — or setting
+//! `HYGCN_THREADS=1` / `RAYON_NUM_THREADS=1` — degrades every helper to
+//! a serial loop with identical results.
 
 pub mod aggregation;
 pub mod combination;

@@ -190,7 +190,9 @@ mod tests {
     use hygcn_graph::generator::preferential_attachment;
 
     fn setup(kind: ModelKind, f: usize) -> (Graph, Matrix, GcnModel) {
-        let g = preferential_attachment(64, 3, 1).unwrap().with_feature_len(f);
+        let g = preferential_attachment(64, 3, 1)
+            .unwrap()
+            .with_feature_len(f);
         let x = Matrix::random(64, f, 0.5, 2);
         let m = GcnModel::new(kind, f, 3).unwrap();
         (g, x, m)

@@ -59,8 +59,10 @@ pub mod energy;
 pub mod engine;
 pub mod error;
 pub mod functional;
+pub mod layout;
 pub mod report;
 pub mod sim;
+pub mod sim_reference;
 pub mod stack;
 pub mod timeline;
 pub mod training;

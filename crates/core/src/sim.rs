@@ -7,13 +7,27 @@
 //! mode. HyGCN executes Aggregation before Combination within each chunk
 //! (the edge- and MVM-centric programming model of Algorithm 1), unlike
 //! the Combine-first lowering frameworks use on CPU/GPU.
+//!
+//! ## Host-side parallelism
+//!
+//! Destination chunks are independent by construction (the property the
+//! accelerator's inter-engine pipeline itself exploits), so the per-chunk
+//! engine cost records are computed **in parallel** across host threads:
+//! each worker takes a contiguous range of chunk indices and fills a
+//! worker-local [`RequestArena`], and the locals are spliced back in
+//! chunk order. Only the DRAM timing walk — which threads shared
+//! bank/bus state through the memory handler — stays serial. The result
+//! is bit-identical to a serial run for any thread count (set
+//! `HYGCN_THREADS=1` to force serial; the `parallel` feature gates the
+//! whole machinery).
 
 use hygcn_gcn::aggregate::SelfTerm;
 use hygcn_gcn::model::{GcnModel, ModelKind, DIFFPOOL_CLUSTERS};
 use hygcn_graph::partition::Interval;
 use hygcn_graph::sampling::Sampler;
-use hygcn_graph::Graph;
-use hygcn_mem::request::{MemRequest, RequestKind};
+use hygcn_graph::window::WindowPlanner;
+use hygcn_graph::{Graph, VertexId};
+use hygcn_mem::request::{MemRequest, RequestArena, RequestKind};
 use hygcn_mem::scheduler::AccessScheduler;
 use hygcn_mem::Hbm;
 
@@ -22,6 +36,7 @@ use crate::energy::{Activity, EnergyBreakdown};
 use crate::engine::aggregation::{AggregationEngine, ChunkAggregation};
 use crate::engine::combination::{ChunkCombination, CombinationEngine, SystolicMode};
 use crate::error::SimError;
+use crate::layout::AddressLayout;
 use crate::report::SimReport;
 use crate::timeline::ChunkTrace;
 
@@ -88,16 +103,12 @@ impl Simulator {
 
         // --- Physical layout (all regions page-aligned). ---
         let n = g.num_vertices() as u64;
-        let align = |x: u64| x.div_ceil(4096) * 4096;
-        let feature_base = 0u64;
-        let edge_base = align(feature_base + n * row_bytes as u64);
-        let weight_base = align(edge_base + g.num_edges() as u64 * 4);
         let dims = kind.mlp_dims(f_in);
-        let agg_engine = AggregationEngine::new(cfg, f_in, feature_base, edge_base);
-        let comb_engine = CombinationEngine::new(cfg, &dims, weight_base, 0);
-        let output_base = align(weight_base + comb_engine.weight_bytes());
-        let comb_engine = CombinationEngine::new(cfg, &dims, weight_base, output_base);
-        let spill_base = align(output_base + n * comb_engine.out_len() * 4);
+        let layout = AddressLayout::new(n, g.num_edges() as u64, row_bytes as u64, &dims);
+        let agg_engine = AggregationEngine::new(cfg, f_in, layout.feature_base, layout.edge_base);
+        let comb_engine =
+            CombinationEngine::new(cfg, &dims, layout.weight_base, layout.output_base);
+        let spill_base = layout.spill_base;
 
         // --- Per-chunk engine records. ---
         let include_self = !matches!(kind.self_term(), SelfTerm::None);
@@ -120,10 +131,46 @@ impl Simulator {
         let weights_resident = comb_engine.weights_resident();
         let clusters = DIFFPOOL_CLUSTERS as u64;
 
-        let mut aggs: Vec<ChunkAggregation> = Vec::with_capacity(intervals.len());
-        let mut combs: Vec<ChunkCombination> = Vec::with_capacity(intervals.len());
-        for (i, &dst) in intervals.iter().enumerate() {
-            let a = agg_engine.process_chunk(g, dst, f_in, include_self, presample_per_chunk, paths);
+        // With sparsity elimination on, one O(V+E) CSR sweep precomputes
+        // every chunk's effectual windows so chunk workers never re-scan
+        // (or sort) adjacency.
+        let window_set = if cfg.sparsity_elimination {
+            let planner = WindowPlanner::new(agg_engine.window_height());
+            Some(planner.plan_all(g, &intervals))
+        } else {
+            None
+        };
+
+        // One simulate() call owns one arena; worker-local arenas from a
+        // parallel run are spliced into it in chunk order, so the request
+        // stream is bit-identical to a serial run.
+        let process_chunk = |i: usize,
+                             dst: Interval,
+                             arena: &mut RequestArena,
+                             scratch: &mut Vec<VertexId>|
+         -> (ChunkAggregation, ChunkCombination) {
+            let a = match &window_set {
+                Some(ws) => agg_engine.process_chunk_with_windows(
+                    g,
+                    dst,
+                    f_in,
+                    include_self,
+                    presample_per_chunk,
+                    paths,
+                    arena,
+                    ws.windows(i),
+                ),
+                None => agg_engine.process_chunk(
+                    g,
+                    dst,
+                    f_in,
+                    include_self,
+                    presample_per_chunk,
+                    paths,
+                    arena,
+                    scratch,
+                ),
+            };
             let extra_macs = if kind == ModelKind::DiffPool {
                 // Pool-path MLP + the coarsening products of Eq. 8.
                 dst.len() as u64 * f_in as u64 * clusters
@@ -138,9 +185,43 @@ impl Simulator {
                 i == 0 || !weights_resident,
                 extra_macs,
                 i as u64,
+                arena,
             );
-            aggs.push(a);
-            combs.push(c);
+            (a, c)
+        };
+
+        let nchunks = intervals.len();
+        // Window + edge requests per chunk, plus weight/output requests.
+        let est_requests = window_set
+            .as_ref()
+            .map_or(nchunks * 4, |ws| ws.total_windows() + 3 * nchunks);
+        let mut arena = RequestArena::with_capacity(est_requests);
+        let mut aggs: Vec<ChunkAggregation> = Vec::with_capacity(nchunks);
+        let mut combs: Vec<ChunkCombination> = Vec::with_capacity(nchunks);
+        let ranges = hygcn_par::split_ranges(nchunks, hygcn_par::num_threads());
+        if ranges.len() <= 1 {
+            let mut scratch: Vec<VertexId> = Vec::new();
+            for (i, &dst) in intervals.iter().enumerate() {
+                let (a, c) = process_chunk(i, dst, &mut arena, &mut scratch);
+                aggs.push(a);
+                combs.push(c);
+            }
+        } else {
+            let parts = hygcn_par::par_map_slice(&ranges, |_, &(start, end)| {
+                let mut local = RequestArena::new();
+                let mut scratch: Vec<VertexId> = Vec::new();
+                let records: Vec<(ChunkAggregation, ChunkCombination)> = (start..end)
+                    .map(|i| process_chunk(i, intervals[i], &mut local, &mut scratch))
+                    .collect();
+                (local, records)
+            });
+            for (mut local, records) in parts {
+                let offset = arena.append(&mut local);
+                for (a, c) in records {
+                    aggs.push(a.rebased(offset));
+                    combs.push(c.rebased(offset));
+                }
+            }
         }
 
         // --- Activity accounting (energy). ---
@@ -149,26 +230,26 @@ impl Simulator {
             act.simd_ops += a.elem_ops;
             act.agg_buffer_traffic += a.edge_buffer_bytes + a.input_buffer_bytes;
             act.coordinator_buffer_traffic += a.agg_buffer_bytes;
-            for r in &a.requests {
-                act.agg_hbm_bytes += u64::from(r.bytes);
-            }
+            act.agg_hbm_bytes += a.summary.total_bytes();
         }
         for c in &combs {
             act.macs += c.macs;
             act.comb_buffer_traffic += c.weight_buffer_bytes + c.output_buffer_bytes;
             act.coordinator_buffer_traffic += c.agg_buffer_bytes;
-            for r in &c.requests {
-                act.comb_hbm_bytes += u64::from(r.bytes);
-            }
+            act.comb_hbm_bytes += c.summary.total_bytes();
         }
 
         // --- Timeline through the shared memory handler. ---
+        // The walk is serial (chunks share HBM bank/bus state), but its
+        // batch assembly reuses two buffers across every step, so the
+        // steady state allocates nothing.
         let scheduler = AccessScheduler::new(cfg.coordination);
         let mut hbm = Hbm::new(cfg.hbm);
         let mut now = 0u64;
         let mut vertex_latency_weighted = 0f64;
-        let nchunks = intervals.len();
         let mut timeline: Vec<ChunkTrace> = Vec::new();
+        let mut batch: Vec<MemRequest> = Vec::new();
+        let mut order_scratch: Vec<MemRequest> = Vec::new();
 
         match cfg.pipeline {
             PipelineMode::None => {
@@ -178,13 +259,15 @@ impl Simulator {
                     let spill_bytes = (dst.len() * row_bytes) as u64 * paths;
                     let spill_addr = spill_base + u64::from(dst.start) * row_bytes as u64;
 
-                    let mut batch_a = aggs[i].requests.clone();
-                    batch_a.push(MemRequest::write(
+                    batch.clear();
+                    batch.extend_from_slice(arena.slice(aggs[i].span));
+                    batch.push(MemRequest::write(
                         RequestKind::OutputFeatures,
                         spill_addr,
                         spill_bytes as u32,
                     ));
-                    let mem_a = hbm.service_batch(&scheduler.order(batch_a), now);
+                    scheduler.order_in_place(&mut batch, &mut order_scratch);
+                    let mem_a = hbm.service_batch(&batch, now);
                     let step_a = aggs[i].compute_cycles.max(mem_a.saturating_sub(now));
                     if cfg.record_timeline {
                         timeline.push(ChunkTrace {
@@ -197,13 +280,15 @@ impl Simulator {
                     }
                     now += step_a;
 
-                    let mut batch_b = combs[i].requests.clone();
-                    batch_b.push(MemRequest::read(
+                    batch.clear();
+                    batch.extend_from_slice(arena.slice(combs[i].span));
+                    batch.push(MemRequest::read(
                         RequestKind::InputFeatures,
                         spill_addr,
                         spill_bytes as u32,
                     ));
-                    let mem_b = hbm.service_batch(&scheduler.order(batch_b), now);
+                    scheduler.order_in_place(&mut batch, &mut order_scratch);
+                    let mem_b = hbm.service_batch(&batch, now);
                     let step_b = combs[i].compute_cycles.max(mem_b.saturating_sub(now));
                     if cfg.record_timeline {
                         timeline.push(ChunkTrace {
@@ -235,19 +320,24 @@ impl Simulator {
                     } else {
                         s.checked_sub(1)
                     };
-                    let mut batch: Vec<MemRequest> = Vec::new();
+                    batch.clear();
                     if s < nchunks {
-                        batch.extend_from_slice(&aggs[s].requests);
+                        batch.extend_from_slice(arena.slice(aggs[s].span));
                     }
                     if let Some(c) = comb_idx {
-                        batch.extend_from_slice(&combs[c].requests);
+                        batch.extend_from_slice(arena.slice(combs[c].span));
                     }
                     let mem_done = if batch.is_empty() {
                         now
                     } else {
-                        hbm.service_batch(&scheduler.order(batch), now)
+                        scheduler.order_in_place(&mut batch, &mut order_scratch);
+                        hbm.service_batch(&batch, now)
                     };
-                    let compute_a = if s < nchunks { aggs[s].compute_cycles } else { 0 };
+                    let compute_a = if s < nchunks {
+                        aggs[s].compute_cycles
+                    } else {
+                        0
+                    };
                     let compute_b = comb_idx.map_or(0, |c| combs[c].compute_cycles);
                     let step = compute_a.max(compute_b).max(mem_done.saturating_sub(now));
                     if s < nchunks {
@@ -273,8 +363,7 @@ impl Simulator {
                             // their small group to assemble, and combine
                             // immediately — the Fig. 8(a) timing. Larger
                             // module groups wait longer (Fig. 18g).
-                            let assembly = cfg.module_group_vertices as u64
-                                * agg_step_time[i]
+                            let assembly = cfg.module_group_vertices as u64 * agg_step_time[i]
                                 / dst.len().max(1) as u64;
                             agg_step_time[i] * 3 / 4 + assembly + combs[i].first_group_cycles
                         }
@@ -321,6 +410,7 @@ impl Simulator {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use hygcn_graph::generator::{preferential_attachment, rmat, RmatParams};
@@ -370,7 +460,10 @@ mod tests {
         };
         assert!(matches!(
             sim(cfg).simulate(&g, &m),
-            Err(SimError::BufferTooSmall { buffer: "input", .. })
+            Err(SimError::BufferTooSmall {
+                buffer: "input",
+                ..
+            })
         ));
     }
 

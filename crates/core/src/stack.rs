@@ -106,7 +106,9 @@ mod tests {
     #[test]
     fn two_layer_stack_chains_widths() {
         let sim = Simulator::new(HyGcnConfig::default());
-        let r = sim.simulate_stack(&graph(), ModelKind::Gcn, 2, false).unwrap();
+        let r = sim
+            .simulate_stack(&graph(), ModelKind::Gcn, 2, false)
+            .unwrap();
         assert_eq!(r.layers.len(), 2);
         // Layer 1 aggregates at 96 wide, layer 2 at 128 wide: MAC counts
         // differ accordingly.
@@ -118,8 +120,12 @@ mod tests {
     #[test]
     fn readout_adds_cycles() {
         let sim = Simulator::new(HyGcnConfig::default());
-        let with = sim.simulate_stack(&graph(), ModelKind::Gin, 1, true).unwrap();
-        let without = sim.simulate_stack(&graph(), ModelKind::Gin, 1, false).unwrap();
+        let with = sim
+            .simulate_stack(&graph(), ModelKind::Gin, 1, true)
+            .unwrap();
+        let without = sim
+            .simulate_stack(&graph(), ModelKind::Gin, 1, false)
+            .unwrap();
         assert!(with.readout_cycles > 0);
         assert_eq!(without.readout_cycles, 0);
         assert!(with.total_cycles() > without.total_cycles());
@@ -128,7 +134,9 @@ mod tests {
     #[test]
     fn empty_stack_is_empty() {
         let sim = Simulator::new(HyGcnConfig::default());
-        let r = sim.simulate_stack(&graph(), ModelKind::Gcn, 0, true).unwrap();
+        let r = sim
+            .simulate_stack(&graph(), ModelKind::Gcn, 0, true)
+            .unwrap();
         assert!(r.layers.is_empty());
         assert_eq!(r.total_cycles(), 0);
         assert_eq!(r.total_energy_j(), 0.0);
@@ -147,7 +155,9 @@ mod tests {
     #[test]
     fn stack_totals_accumulate() {
         let sim = Simulator::new(HyGcnConfig::default());
-        let r = sim.simulate_stack(&graph(), ModelKind::Gcn, 3, false).unwrap();
+        let r = sim
+            .simulate_stack(&graph(), ModelKind::Gcn, 3, false)
+            .unwrap();
         assert!(r.total_time_s() > 0.0);
         assert!(r.total_energy_j() > 0.0);
         assert_eq!(

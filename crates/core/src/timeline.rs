@@ -74,10 +74,13 @@ impl ChunkTrace {
 /// proportional bars for each resource.
 pub fn render(traces: &[ChunkTrace]) -> String {
     const WIDTH: usize = 32;
-    let max = traces.iter().map(|t| t.step_cycles).max().unwrap_or(1).max(1);
-    let mut out = String::from(
-        "step     cycles  bound  A=aggregation C=combination M=memory\n",
-    );
+    let max = traces
+        .iter()
+        .map(|t| t.step_cycles)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = String::from("step     cycles  bound  A=aggregation C=combination M=memory\n");
     for t in traces {
         let bar_len = (t.step_cycles as usize * WIDTH / max as usize).max(1);
         let bar: String = std::iter::repeat_n(t.bound().tag(), bar_len).collect();

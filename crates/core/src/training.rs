@@ -70,8 +70,7 @@ impl Simulator {
         // count, plus re-streaming the activations (memory bound like the
         // forward's feature traffic).
         let wgrad_cycles = forward.macs.div_ceil(cfg.total_pes() as u64);
-        let mem_cycles =
-            (forward.dram_bytes() as f64 / cfg.hbm.peak_bytes_per_cycle()) as u64;
+        let mem_cycles = (forward.dram_bytes() as f64 / cfg.hbm.peak_bytes_per_cycle()) as u64;
         // Compute and memory overlap as in the forward engine pair.
         let backward_cycles = (agg_cycles + mvm_cycles + wgrad_cycles).max(mem_cycles);
 

@@ -1,0 +1,56 @@
+//! Serial-vs-parallel determinism: `SimReport` must be **bit-identical**
+//! whatever the worker count, across every pipeline mode and for both a
+//! plain GCN and the two-path DiffPool model — and must also match the
+//! seed reference path.
+//!
+//! This lives in its own integration-test binary because the thread
+//! override is process-global; keeping a single `#[test]` here means no
+//! concurrent test can race it.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use hygcn_core::config::{HyGcnConfig, PipelineMode};
+use hygcn_core::Simulator;
+use hygcn_gcn::model::{GcnModel, ModelKind};
+use hygcn_graph::generator::{rmat, RmatParams};
+
+#[test]
+fn reports_identical_for_any_thread_count() {
+    let g = rmat(4096, 48_000, RmatParams::default(), 13)
+        .unwrap()
+        .with_feature_len(128);
+    for kind in [ModelKind::Gcn, ModelKind::DiffPool] {
+        let model = GcnModel::new(kind, 128, 7).unwrap();
+        for pipeline in [
+            PipelineMode::LatencyAware,
+            PipelineMode::EnergyAware,
+            PipelineMode::None,
+        ] {
+            for sparsity in [true, false] {
+                let mut cfg = HyGcnConfig::default();
+                cfg.pipeline = pipeline;
+                cfg.sparsity_elimination = sparsity;
+                cfg.aggregation_buffer_bytes = 1 << 20; // many chunks
+                let sim = Simulator::new(cfg);
+
+                hygcn_par::set_thread_override(Some(1));
+                let serial = sim.simulate(&g, &model).unwrap();
+                let reference = sim.simulate_reference(&g, &model).unwrap();
+
+                for threads in [2usize, 3, 8] {
+                    hygcn_par::set_thread_override(Some(threads));
+                    let parallel = sim.simulate(&g, &model).unwrap();
+                    assert_eq!(
+                        serial, parallel,
+                        "{kind:?} {pipeline:?} sparsity={sparsity} threads={threads}"
+                    );
+                }
+                hygcn_par::set_thread_override(None);
+                assert_eq!(
+                    serial, reference,
+                    "{kind:?} {pipeline:?} sparsity={sparsity} vs seed path"
+                );
+            }
+        }
+    }
+}

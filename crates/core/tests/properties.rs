@@ -1,6 +1,8 @@
 //! Property-based tests of simulator invariants: determinism, operation
 //! accounting, and the directionality of every optimization.
 
+#![allow(clippy::field_reassign_with_default)]
+
 use hygcn_core::config::{HyGcnConfig, PipelineMode};
 use hygcn_core::Simulator;
 use hygcn_gcn::model::{GcnModel, ModelKind};
@@ -10,18 +12,16 @@ use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = (Graph, usize)> {
     (8usize..64, 4usize..48).prop_flat_map(|(n, f)| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 1..256).prop_map(
-            move |pairs| {
-                let mut coo = Coo::new(n);
-                for (a, b) in pairs {
-                    if a != b {
-                        coo.push_undirected(a, b).expect("ids in range");
-                    }
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..256).prop_map(move |pairs| {
+            let mut coo = Coo::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    coo.push_undirected(a, b).expect("ids in range");
                 }
-                coo.dedup();
-                (Graph::from_coo(&coo, f), f)
-            },
-        )
+            }
+            coo.dedup();
+            (Graph::from_coo(&coo, f), f)
+        })
     })
 }
 

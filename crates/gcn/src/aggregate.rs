@@ -69,6 +69,11 @@ pub enum SelfTerm {
 /// `a_v` for every `v`. Isolated vertices with no self term produce zeros
 /// (also for Max/Min, where an empty reduction has no witness).
 ///
+/// Vertices are independent, so the reduction fans out across host
+/// threads (contiguous vertex ranges, each accumulating directly into
+/// its rows of the output); per-vertex arithmetic is unchanged, so the
+/// result is bit-identical for any thread count.
+///
 /// # Panics
 ///
 /// Panics if `x.rows() != graph.num_vertices()` (callers validate via
@@ -77,45 +82,62 @@ pub fn aggregate_all(graph: &Graph, x: &Matrix, agg: Aggregator, self_term: Self
     assert_eq!(x.rows(), graph.num_vertices(), "feature row count");
     let f = x.cols();
     let mut out = Matrix::zeros(x.rows(), f);
-    let mut acc = vec![0.0f32; f];
-    for v in 0..graph.num_vertices() as VertexId {
-        let neighbors = graph.in_neighbors(v);
-        let mut contributions = neighbors.len();
-        acc.iter_mut().for_each(|a| *a = agg.identity());
-        for &u in neighbors {
+    if f == 0 || x.rows() == 0 {
+        return out;
+    }
+    hygcn_par::par_slabs_mut(out.as_mut_slice(), f, |first_row, slab| {
+        for (k, acc) in slab.chunks_exact_mut(f).enumerate() {
+            let v = (first_row + k) as VertexId;
+            aggregate_vertex(graph, x, agg, self_term, v, acc);
+        }
+    });
+    out
+}
+
+/// Aggregates one vertex's in-neighbors directly into `acc` (its output
+/// row, pre-zeroed or not — it is overwritten).
+fn aggregate_vertex(
+    graph: &Graph,
+    x: &Matrix,
+    agg: Aggregator,
+    self_term: SelfTerm,
+    v: VertexId,
+    acc: &mut [f32],
+) {
+    let neighbors = graph.in_neighbors(v);
+    let mut contributions = neighbors.len();
+    acc.iter_mut().for_each(|a| *a = agg.identity());
+    for &u in neighbors {
+        let w = if agg.needs_norm() {
+            norm_coeff(graph, u, v)
+        } else {
+            1.0
+        };
+        agg.fold(acc, x.row(u as usize), w);
+    }
+    match self_term {
+        SelfTerm::None => {}
+        SelfTerm::Include => {
             let w = if agg.needs_norm() {
-                norm_coeff(graph, u, v)
+                norm_coeff(graph, v, v)
             } else {
                 1.0
             };
-            agg.fold(&mut acc, x.row(u as usize), w);
+            agg.fold(acc, x.row(v as usize), w);
+            contributions += 1;
         }
-        match self_term {
-            SelfTerm::None => {}
-            SelfTerm::Include => {
-                let w = if agg.needs_norm() {
-                    norm_coeff(graph, v, v)
-                } else {
-                    1.0
-                };
-                agg.fold(&mut acc, x.row(v as usize), w);
-                contributions += 1;
-            }
-            SelfTerm::Weighted(one_plus_eps) => {
-                // GIN adds the scaled self term outside the reduction.
-                linalg::axpy_scaled(&mut acc, one_plus_eps, x.row(v as usize));
-                contributions += 1;
-            }
+        SelfTerm::Weighted(one_plus_eps) => {
+            // GIN adds the scaled self term outside the reduction.
+            linalg::axpy_scaled(acc, one_plus_eps, x.row(v as usize));
+            contributions += 1;
         }
-        if contributions == 0 {
-            acc.iter_mut().for_each(|a| *a = 0.0);
-        } else if agg == Aggregator::Mean {
-            let inv = 1.0 / contributions as f32;
-            acc.iter_mut().for_each(|a| *a *= inv);
-        }
-        out.set_row(v as usize, &acc);
     }
-    out
+    if contributions == 0 {
+        acc.iter_mut().for_each(|a| *a = 0.0);
+    } else if agg == Aggregator::Mean {
+        let inv = 1.0 / contributions as f32;
+        acc.iter_mut().for_each(|a| *a *= inv);
+    }
 }
 
 /// The GCN renormalized coefficient `1/√((Du+1)(Dv+1))`.
@@ -162,12 +184,7 @@ mod tests {
 
     #[test]
     fn gin_weighted_self() {
-        let out = aggregate_all(
-            &path3(),
-            &feats(),
-            Aggregator::Add,
-            SelfTerm::Weighted(1.5),
-        );
+        let out = aggregate_all(&path3(), &feats(), Aggregator::Add, SelfTerm::Weighted(1.5));
         // v0: 1.5*[1,2] + [3,4] = [4.5, 7]
         assert_eq!(out.row(0), &[4.5, 7.0]);
     }
@@ -193,7 +210,12 @@ mod tests {
     fn isolated_vertex_yields_zeros() {
         let g = GraphBuilder::new(2).feature_len(2).build();
         let x = Matrix::from_rows(&[vec![7.0, 8.0], vec![1.0, 1.0]]).unwrap();
-        for agg in [Aggregator::Add, Aggregator::Max, Aggregator::Min, Aggregator::Mean] {
+        for agg in [
+            Aggregator::Add,
+            Aggregator::Max,
+            Aggregator::Min,
+            Aggregator::Mean,
+        ] {
             let out = aggregate_all(&g, &x, agg, SelfTerm::None);
             assert_eq!(out.row(0), &[0.0, 0.0], "{agg:?}");
         }

@@ -54,15 +54,40 @@ impl Combine {
 
     /// Applies the MLP to every row of `a` (all vertices).
     ///
+    /// Rows are independent, so the forward pass fans out across host
+    /// threads; each worker reuses one pair of ping-pong buffers for all
+    /// its rows, and per-row arithmetic is unchanged, so the result is
+    /// bit-identical for any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != in_dim`.
     pub fn forward_all(&self, a: &Matrix) -> Result<Matrix, TensorError> {
-        let mut out = Matrix::zeros(a.rows(), self.out_dim());
-        for r in 0..a.rows() {
-            let y = self.mlp.forward(a.row(r))?;
-            out.set_row(r, &y);
+        if a.cols() != self.in_dim() {
+            // Mirror the error linalg::mvm would raise for the first
+            // layer's weight matrix.
+            let first = &self.mlp.layers()[0];
+            return Err(TensorError::ShapeMismatch {
+                op: "mvm",
+                lhs: (first.out_dim(), first.in_dim()),
+                rhs: (a.cols(), 1),
+            });
         }
+        let out_len = self.out_dim();
+        let mut out = Matrix::zeros(a.rows(), out_len);
+        if a.rows() == 0 {
+            return Ok(out);
+        }
+        hygcn_par::par_slabs_mut(out.as_mut_slice(), out_len, |first_row, slab| {
+            let mut y = Vec::new();
+            let mut scratch = Vec::new();
+            for (k, dst) in slab.chunks_exact_mut(out_len).enumerate() {
+                self.mlp
+                    .forward_into(a.row(first_row + k), &mut y, &mut scratch)
+                    .expect("row length validated against in_dim above");
+                dst.copy_from_slice(&y);
+            }
+        });
         Ok(out)
     }
 

@@ -180,11 +180,7 @@ impl GcnModel {
 
     /// Bytes of shared parameters across all Combine stages.
     pub fn param_bytes(&self) -> usize {
-        self.combine.param_bytes()
-            + self
-                .pool_combine
-                .as_ref()
-                .map_or(0, Combine::param_bytes)
+        self.combine.param_bytes() + self.pool_combine.as_ref().map_or(0, Combine::param_bytes)
     }
 }
 

@@ -40,7 +40,9 @@ impl Default for ReferenceExecutor {
 impl ReferenceExecutor {
     /// Creates an executor with the default sampling seed.
     pub fn new() -> Self {
-        Self { sample_seed: 0x4759 }
+        Self {
+            sample_seed: 0x4759,
+        }
     }
 
     /// Overrides the neighbor-sampling seed (GraphSage runs).
@@ -60,7 +62,12 @@ impl ReferenceExecutor {
     ///
     /// * [`GcnError::FeatureShape`] if `x` does not match the graph/model.
     /// * [`GcnError::Tensor`] on internal dimension mismatches.
-    pub fn run(&self, graph: &Graph, x: &Matrix, model: &GcnModel) -> Result<LayerOutput, GcnError> {
+    pub fn run(
+        &self,
+        graph: &Graph,
+        x: &Matrix,
+        model: &GcnModel,
+    ) -> Result<LayerOutput, GcnError> {
         let expected = (graph.num_vertices(), model.feature_len());
         if x.shape() != expected {
             return Err(GcnError::FeatureShape {
@@ -167,7 +174,10 @@ mod tests {
         let out = ReferenceExecutor::new().run(&g, &x, &m).unwrap();
         let pooled = out.pooled.expect("diffpool pools");
         assert_eq!(pooled.features.shape(), (DIFFPOOL_CLUSTERS, 128));
-        assert_eq!(pooled.adjacency.shape(), (DIFFPOOL_CLUSTERS, DIFFPOOL_CLUSTERS));
+        assert_eq!(
+            pooled.adjacency.shape(),
+            (DIFFPOOL_CLUSTERS, DIFFPOOL_CLUSTERS)
+        );
         assert_eq!(pooled.assignment.shape(), (10, DIFFPOOL_CLUSTERS));
     }
 
@@ -176,8 +186,12 @@ mod tests {
         let g = ring(8, 8);
         let m = GcnModel::new(ModelKind::GraphSage, 8, 1).unwrap();
         let x = Matrix::random(8, 8, 1.0, 4);
-        let a = ReferenceExecutor::with_sample_seed(5).run(&g, &x, &m).unwrap();
-        let b = ReferenceExecutor::with_sample_seed(5).run(&g, &x, &m).unwrap();
+        let a = ReferenceExecutor::with_sample_seed(5)
+            .run(&g, &x, &m)
+            .unwrap();
+        let b = ReferenceExecutor::with_sample_seed(5)
+            .run(&g, &x, &m)
+            .unwrap();
         assert_eq!(a.features, b.features);
     }
 

@@ -104,8 +104,7 @@ mod tests {
 
     fn sample() -> Csc {
         // dst 0: sources {3, 1}; dst 1: {0}; dst 2: {}; dst 3: {0, 1, 2}
-        let coo =
-            Coo::from_pairs(4, [(3, 0), (1, 0), (0, 1), (2, 3), (0, 3), (1, 3)]).unwrap();
+        let coo = Coo::from_pairs(4, [(3, 0), (1, 0), (0, 1), (2, 3), (0, 3), (1, 3)]).unwrap();
         Csc::from_coo(&coo)
     }
 

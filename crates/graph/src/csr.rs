@@ -71,6 +71,12 @@ impl Csr {
     pub fn offsets(&self) -> &[usize] {
         &self.offsets
     }
+
+    /// The flat target array (all out-neighbors, source-major) — the
+    /// zero-overhead iteration surface for whole-graph edge sweeps.
+    pub fn raw_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
 }
 
 #[cfg(test)]

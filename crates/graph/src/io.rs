@@ -90,7 +90,11 @@ pub fn read_edge_list<R: Read>(
             }
         }
     }
-    let n = if pairs.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if pairs.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut coo = Coo::new(n);
     for (s, d) in pairs {
         if undirected {

@@ -177,12 +177,8 @@ impl Graph {
     /// Iterate over all directed edges as `(src, dst)` pairs in CSC order
     /// (grouped by destination).
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        (0..self.num_vertices() as VertexId).flat_map(move |dst| {
-            self.csc
-                .sources(dst)
-                .iter()
-                .map(move |&src| (src, dst))
-        })
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |dst| self.csc.sources(dst).iter().map(move |&src| (src, dst)))
     }
 }
 

@@ -109,7 +109,9 @@ mod tests {
     use crate::GraphBuilder;
 
     fn sample() -> Graph {
-        community_powerlaw(512, 3, 8, 0.1, 7).unwrap().with_feature_len(16)
+        community_powerlaw(512, 3, 8, 0.1, 7)
+            .unwrap()
+            .with_feature_len(16)
     }
 
     #[test]
@@ -175,7 +177,9 @@ mod tests {
         let g = sample();
         let shuffled = reorder(&g, Ordering::Random(5)).graph;
         let planner = WindowPlanner::new(16);
-        let intervals: Vec<Interval> = (0..4).map(|i| Interval::new(i * 128, (i + 1) * 128)).collect();
+        let intervals: Vec<Interval> = (0..4)
+            .map(|i| Interval::new(i * 128, (i + 1) * 128))
+            .collect();
         let before = planner.stats(&g, &intervals);
         let after = planner.stats(&shuffled, &intervals);
         assert!(
@@ -192,8 +196,9 @@ mod tests {
         let shuffled = reorder(&g, Ordering::Random(5)).graph;
         let recovered = reorder(&shuffled, Ordering::Bfs).graph;
         let planner = WindowPlanner::new(16);
-        let intervals: Vec<Interval> =
-            (0..4).map(|i| Interval::new(i * 128, (i + 1) * 128)).collect();
+        let intervals: Vec<Interval> = (0..4)
+            .map(|i| Interval::new(i * 128, (i + 1) * 128))
+            .collect();
         let shuffled_rows = planner.stats(&shuffled, &intervals).effectual_rows;
         let recovered_rows = planner.stats(&recovered, &intervals).effectual_rows;
         assert!(

@@ -103,18 +103,21 @@ impl Sampler {
             let keep = policy.sample_size(neighbors.len());
             if keep >= neighbors.len() {
                 for &src in neighbors {
-                    coo.push(src, dst).expect("vertex ids come from a valid graph");
+                    coo.push(src, dst)
+                        .expect("vertex ids come from a valid graph");
                 }
             } else if let SamplePolicy::Strided(stride) = policy {
                 for &src in neighbors.iter().step_by(stride.max(1)) {
-                    coo.push(src, dst).expect("vertex ids come from a valid graph");
+                    coo.push(src, dst)
+                        .expect("vertex ids come from a valid graph");
                 }
             } else {
                 scratch.clear();
                 scratch.extend_from_slice(neighbors);
                 let (kept, _) = scratch.partial_shuffle(&mut rng, keep);
                 for &src in kept.iter() {
-                    coo.push(src, dst).expect("vertex ids come from a valid graph");
+                    coo.push(src, dst)
+                        .expect("vertex ids come from a valid graph");
                 }
             }
         }

@@ -22,6 +22,46 @@ pub struct EffectualWindow {
     pub edge_count: usize,
 }
 
+/// Every interval's effectual windows, flattened — the precomputed form
+/// the simulator's chunk workers consume (see [`WindowPlanner::plan_all`]).
+#[derive(Debug, Clone, Default)]
+pub struct WindowSet {
+    /// `windows[offsets[i]..offsets[i+1]]` are interval `i`'s windows.
+    offsets: Vec<usize>,
+    windows: Vec<EffectualWindow>,
+}
+
+impl WindowSet {
+    /// Number of intervals covered.
+    pub fn num_intervals(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Interval `i`'s windows, ascending by source row.
+    pub fn windows(&self, i: usize) -> &[EffectualWindow] {
+        &self.windows[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Total windows across all intervals.
+    pub fn total_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Flattens one window list per interval into the packed layout.
+    fn from_lists(lists: Vec<Vec<EffectualWindow>>) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0usize);
+        for l in &lists {
+            offsets.push(offsets.last().unwrap() + l.len());
+        }
+        let mut windows = Vec::with_capacity(*offsets.last().unwrap());
+        for l in lists {
+            windows.extend(l);
+        }
+        Self { offsets, windows }
+    }
+}
+
 /// Plans effectual windows for destination intervals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowPlanner {
@@ -50,14 +90,41 @@ impl WindowPlanner {
     /// occupied, provisionally extend by the window height, then shrink the
     /// bottom to the last occupied row.
     pub fn plan(&self, graph: &Graph, dst: Interval) -> Vec<EffectualWindow> {
+        let mut windows = Vec::new();
+        let mut scratch = Vec::new();
+        self.plan_with(graph, dst, &mut scratch, |w| windows.push(w));
+        windows
+    }
+
+    /// Streaming, allocation-free variant of [`WindowPlanner::plan`] for
+    /// the simulator's hot loop: emits each effectual window through
+    /// `emit` as it is discovered, reusing `scratch` (a caller-owned
+    /// buffer, cleared on entry) for the sorted source-row multiset.
+    /// Windows are emitted in exactly the order [`WindowPlanner::plan`]
+    /// returns them.
+    pub fn plan_with<F: FnMut(EffectualWindow)>(
+        &self,
+        graph: &Graph,
+        dst: Interval,
+        scratch: &mut Vec<VertexId>,
+        emit: F,
+    ) {
         // Multiset of source rows with an edge into `dst`, sorted.
-        let mut rows: Vec<VertexId> = Vec::new();
+        let rows = scratch;
+        rows.clear();
         for d in dst.iter() {
             rows.extend_from_slice(graph.in_neighbors(d));
         }
         rows.sort_unstable();
+        self.plan_rows(rows, emit);
+    }
 
-        let mut windows = Vec::new();
+    /// Plans effectual windows from a precomputed sorted source-row
+    /// multiset (one [`crate::partition::SourceOccupancy`] slice),
+    /// emitting exactly the windows [`WindowPlanner::plan`] would produce
+    /// for the interval the rows were built for — without touching the
+    /// graph or allocating.
+    pub fn plan_rows<F: FnMut(EffectualWindow)>(&self, rows: &[VertexId], mut emit: F) {
         let mut idx = 0; // cursor into `rows`
         let h = self.window_height as u64;
         while idx < rows.len() {
@@ -65,16 +132,118 @@ impl WindowPlanner {
             let win_start = rows[idx];
             let pre_end = ((win_start as u64 + h - 1).min(u64::from(VertexId::MAX))) as VertexId;
             // All edges with source row <= pre_end belong to this window.
-            let end_idx = rows.partition_point(|&r| r <= pre_end);
+            // Windows advance monotonically, so a sequential scan beats a
+            // binary search (the probe pattern stays in cache).
+            let mut end_idx = idx + 1;
+            while end_idx < rows.len() && rows[end_idx] <= pre_end {
+                end_idx += 1;
+            }
             // Window Shrinking: bottom moves up to the last occupied row.
             let win_end = rows[end_idx - 1];
-            windows.push(EffectualWindow {
+            emit(EffectualWindow {
                 rows: Interval::new(win_start, win_end + 1),
                 edge_count: end_idx - idx,
             });
             idx = end_idx;
         }
-        windows
+    }
+
+    /// Plans every interval's windows at once, returning a [`WindowSet`].
+    ///
+    /// Serial fast path: one O(V + E) CSR sweep that maintains a current
+    /// window per interval (a cache-resident state array) and emits each
+    /// window as it closes — no per-interval row multiset is ever
+    /// materialized. With multiple workers the sweep instead builds a
+    /// [`SourceOccupancy`] and plans intervals in parallel. Both paths
+    /// produce exactly the windows [`WindowPlanner::plan`] yields per
+    /// interval, for any thread count.
+    ///
+    /// `intervals` must be a contiguous ascending cover of the vertex
+    /// ids (the simulator's chunking).
+    ///
+    /// [`SourceOccupancy`]: crate::partition::SourceOccupancy
+    pub fn plan_all(&self, graph: &Graph, intervals: &[Interval]) -> WindowSet {
+        let n = graph.num_vertices();
+        let k = intervals.len();
+        if k == 0 || n == 0 {
+            return WindowSet {
+                offsets: vec![0; k + 1],
+                windows: Vec::new(),
+            };
+        }
+        let workers = hygcn_par::num_threads();
+        if workers > 1 {
+            // Parallel: occupancy sweep, then per-interval planning.
+            let occ = crate::partition::SourceOccupancy::build(graph, intervals);
+            let lists: Vec<Vec<EffectualWindow>> = hygcn_par::par_map_index(k, |i| {
+                let mut out = Vec::new();
+                self.plan_rows(occ.rows(i), |w| out.push(w));
+                out
+            });
+            return WindowSet::from_lists(lists);
+        }
+
+        // Serial: emit windows directly from one edge sweep. The open
+        // window per interval lives in a cache-resident state array;
+        // `count == 0` marks "no open window" and `pre_end` is cached so
+        // the extend test is a single compare.
+        #[derive(Clone, Copy)]
+        struct Open {
+            start: VertexId,
+            pre_end: VertexId,
+            end: VertexId,
+            count: u32,
+        }
+        let lookup = crate::partition::interval_lookup(intervals, n);
+        let h = self.window_height as u64;
+        let mut open: Vec<Open> = vec![
+            Open {
+                start: 0,
+                pre_end: 0,
+                end: 0,
+                count: 0,
+            };
+            k
+        ];
+        let mut lists: Vec<Vec<EffectualWindow>> = vec![Vec::new(); k];
+        let csr_offsets = graph.csr().offsets();
+        let targets = graph.csr().raw_targets();
+        for u in 0..n as VertexId {
+            for &d in &targets[csr_offsets[u as usize]..csr_offsets[u as usize + 1]] {
+                let c = lookup(d);
+                if c == u32::MAX {
+                    continue;
+                }
+                let c = c as usize;
+                let w = &mut open[c];
+                if w.count > 0 && u <= w.pre_end {
+                    w.end = u;
+                    w.count += 1;
+                } else {
+                    if w.count > 0 {
+                        lists[c].push(EffectualWindow {
+                            rows: Interval::new(w.start, w.end + 1),
+                            edge_count: w.count as usize,
+                        });
+                    }
+                    *w = Open {
+                        start: u,
+                        pre_end: ((u64::from(u) + h - 1).min(u64::from(VertexId::MAX))) as VertexId,
+                        end: u,
+                        count: 1,
+                    };
+                }
+            }
+        }
+        for (c, w) in open.into_iter().enumerate() {
+            if w.count > 0 {
+                lists[c].push(EffectualWindow {
+                    rows: Interval::new(w.start, w.end + 1),
+                    edge_count: w.count as usize,
+                });
+            }
+        }
+        WindowSet::from_lists(lists)
     }
 
     /// Aggregate sparsity statistics across all destination intervals.
@@ -224,5 +393,40 @@ mod tests {
     #[test]
     fn reduction_zero_for_empty_baseline() {
         assert_eq!(SparsityStats::default().reduction(), 0.0);
+    }
+
+    #[test]
+    fn plan_with_streams_same_windows_as_plan() {
+        let g = sparse_graph();
+        for h in [1usize, 3, 8, 64] {
+            let planner = WindowPlanner::new(h);
+            let dst = Interval::new(0, 64);
+            let direct = planner.plan(&g, dst);
+            let mut streamed = Vec::new();
+            let mut scratch = vec![99u32; 3]; // dirty scratch must not matter
+            planner.plan_with(&g, dst, &mut scratch, |w| streamed.push(w));
+            assert_eq!(direct, streamed, "height {h}");
+        }
+    }
+
+    #[test]
+    fn plan_rows_matches_plan() {
+        use crate::partition::SourceOccupancy;
+        let g = sparse_graph();
+        let intervals = [
+            Interval::new(0, 4),
+            Interval::new(4, 32),
+            Interval::new(32, 64),
+        ];
+        let occ = SourceOccupancy::build(&g, &intervals);
+        for h in [1usize, 4, 8, 64] {
+            let planner = WindowPlanner::new(h);
+            for (i, &dst) in intervals.iter().enumerate() {
+                let direct = planner.plan(&g, dst);
+                let mut from_rows = Vec::new();
+                planner.plan_rows(occ.rows(i), |w| from_rows.push(w));
+                assert_eq!(direct, from_rows, "height {h}, interval {i}");
+            }
+        }
     }
 }

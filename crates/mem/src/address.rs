@@ -33,6 +33,11 @@ pub struct Location {
 }
 
 /// Address decoder for a given geometry.
+///
+/// Every geometry parameter is asserted to be a power of two at
+/// construction, so decoding — which sits on the innermost loop of the
+/// HBM timing model, executed once per row segment — compiles to pure
+/// shifts and masks with no division.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMap {
     scheme: MappingScheme,
@@ -42,6 +47,11 @@ pub struct AddressMap {
     row_bytes: u64,
     /// Burst size in bytes (the offset field).
     burst_bytes: u64,
+    /// `log2` of the fields, precomputed for the decode hot path.
+    burst_shift: u32,
+    channel_shift: u32,
+    bank_shift: u32,
+    row_shift: u32,
 }
 
 impl AddressMap {
@@ -63,7 +73,10 @@ impl AddressMap {
             ("row_bytes", row_bytes),
             ("burst_bytes", burst_bytes),
         ] {
-            assert!(v > 0 && v.is_power_of_two(), "{name} must be a power of two");
+            assert!(
+                v > 0 && v.is_power_of_two(),
+                "{name} must be a power of two"
+            );
         }
         Self {
             scheme,
@@ -71,6 +84,10 @@ impl AddressMap {
             banks,
             row_bytes,
             burst_bytes,
+            burst_shift: burst_bytes.trailing_zeros(),
+            channel_shift: (channels as u64).trailing_zeros(),
+            bank_shift: (banks as u64).trailing_zeros(),
+            row_shift: row_bytes.trailing_zeros(),
         }
     }
 
@@ -80,26 +97,26 @@ impl AddressMap {
     }
 
     /// Decodes a byte address into `(channel, bank, row)`.
+    #[inline]
     pub fn decode(&self, addr: u64) -> Location {
-        let burst = addr / self.burst_bytes;
         match self.scheme {
             MappingScheme::ChannelInterleaved => {
-                let channel = (burst % self.channels as u64) as usize;
-                let rest = burst / self.channels as u64;
-                let bank = (rest % self.banks as u64) as usize;
-                let rest = rest / self.banks as u64;
+                let burst = addr >> self.burst_shift;
+                let channel = (burst & (self.channels as u64 - 1)) as usize;
+                let rest = burst >> self.channel_shift;
+                let bank = (rest & (self.banks as u64 - 1)) as usize;
+                let rest = rest >> self.bank_shift;
                 // Row = which page this burst falls in within its bank.
-                let bursts_per_row = self.row_bytes / self.burst_bytes;
-                let row = rest / bursts_per_row;
+                let row = rest >> (self.row_shift - self.burst_shift);
                 Location { channel, bank, row }
             }
             MappingScheme::RowInterleaved => {
-                const CHANNEL_SPAN: u64 = 128 << 20;
-                let channel = ((addr / CHANNEL_SPAN) % self.channels as u64) as usize;
-                let within = addr % CHANNEL_SPAN;
-                let page = within / self.row_bytes;
-                let bank = (page % self.banks as u64) as usize;
-                let row = page / self.banks as u64;
+                const CHANNEL_SPAN_SHIFT: u32 = 27; // 128 MB
+                let channel = ((addr >> CHANNEL_SPAN_SHIFT) & (self.channels as u64 - 1)) as usize;
+                let within = addr & ((1u64 << CHANNEL_SPAN_SHIFT) - 1);
+                let page = within >> self.row_shift;
+                let bank = (page & (self.banks as u64 - 1)) as usize;
+                let row = page >> self.bank_shift;
                 Location { channel, bank, row }
             }
         }

@@ -43,5 +43,5 @@ pub mod scheduler;
 pub mod stats;
 
 pub use hbm::{Hbm, HbmConfig};
-pub use request::{MemRequest, RequestKind};
+pub use request::{MemRequest, RequestArena, RequestKind, RequestSpan, RequestSummary};
 pub use stats::MemStats;

@@ -8,7 +8,7 @@
 //! still run before high-priority requests of the *next* batch — the
 //! paper is explicit that this is not a starvation-prone strict priority).
 
-use crate::request::MemRequest;
+use crate::request::{MemRequest, RequestKind};
 
 /// Request ordering policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,11 +48,43 @@ impl AccessScheduler {
     /// [`crate::request::RequestKind::priority`], preserving address order
     /// within each class so each class becomes one long contiguous run.
     pub fn order(&self, mut batch: Vec<MemRequest>) -> Vec<MemRequest> {
+        let mut scratch = Vec::new();
+        self.order_in_place(&mut batch, &mut scratch);
+        batch
+    }
+
+    /// Allocation-free variant of [`AccessScheduler::order`] for the
+    /// simulator's hot loop: reorders `batch` in place, using `scratch`
+    /// as reusable working storage. After the call `batch` holds the
+    /// service order and `scratch` is cleared garbage that can be fed to
+    /// the next call.
+    pub fn order_in_place(&self, batch: &mut Vec<MemRequest>, scratch: &mut Vec<MemRequest>) {
         match self.mode {
-            CoordinationMode::Fcfs => interleave(batch, 2048),
+            CoordinationMode::Fcfs => {
+                interleave_into(batch, 2048, scratch);
+                std::mem::swap(batch, scratch);
+            }
             CoordinationMode::PriorityBatched => {
-                batch.sort_by_key(|r| r.kind.priority());
-                batch
+                // Stable counting sort over the four priority classes:
+                // one counting pass, one placement pass.
+                let mut cursors = [0usize; 4];
+                for r in batch.iter() {
+                    cursors[r.kind.priority() as usize] += 1;
+                }
+                let mut base = 0usize;
+                for c in cursors.iter_mut() {
+                    let count = *c;
+                    *c = base;
+                    base += count;
+                }
+                scratch.clear();
+                scratch.resize(batch.len(), MemRequest::read(RequestKind::Edges, 0, 1));
+                for r in batch.iter() {
+                    let slot = &mut cursors[r.kind.priority() as usize];
+                    scratch[*slot] = *r;
+                    *slot += 1;
+                }
+                std::mem::swap(batch, scratch);
             }
         }
     }
@@ -62,9 +94,8 @@ impl AccessScheduler {
 /// across the original streams — the arrival order an uncoordinated
 /// controller sees when multiple double-buffered engines drain
 /// concurrently.
-fn interleave(batch: Vec<MemRequest>, granularity: u32) -> Vec<MemRequest> {
-    let mut cursors: Vec<MemRequest> = batch;
-    let mut out = Vec::new();
+fn interleave_into(cursors: &mut [MemRequest], granularity: u32, out: &mut Vec<MemRequest>) {
+    out.clear();
     let mut progressed = true;
     while progressed {
         progressed = false;
@@ -82,7 +113,6 @@ fn interleave(batch: Vec<MemRequest>, granularity: u32) -> Vec<MemRequest> {
             progressed = true;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -133,6 +133,12 @@ impl Matrix {
         &self.data
     }
 
+    /// The flat row-major buffer, mutably — the handle the parallel
+    /// kernels split into independent row slabs.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
     /// Transposed copy.
     pub fn transposed(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

@@ -23,7 +23,11 @@ impl Linear {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `bias.len() != W.rows()`.
-    pub fn new(weight: Matrix, bias: Vec<f32>, activation: Activation) -> Result<Self, TensorError> {
+    pub fn new(
+        weight: Matrix,
+        bias: Vec<f32>,
+        activation: Activation,
+    ) -> Result<Self, TensorError> {
         if bias.len() != weight.rows() {
             return Err(TensorError::ShapeMismatch {
                 op: "linear bias",
@@ -76,10 +80,22 @@ impl Linear {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `x.len() != in_dim`.
     pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, TensorError> {
-        let mut y = linalg::mvm(&self.weight, x)?;
-        linalg::axpy(&mut y, &self.bias);
-        self.activation.apply(&mut y);
+        let mut y = Vec::new();
+        self.forward_into(x, &mut y)?;
         Ok(y)
+    }
+
+    /// Applies the layer into a caller-owned buffer (cleared and
+    /// resized), so batched forwards reuse one allocation per thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != in_dim`.
+    pub fn forward_into(&self, x: &[f32], y: &mut Vec<f32>) -> Result<(), TensorError> {
+        linalg::mvm_into(&self.weight, x, y)?;
+        linalg::axpy(y, &self.bias);
+        self.activation.apply(y);
+        Ok(())
     }
 
     /// Multiply-accumulate operations performed per forward pass.
@@ -161,11 +177,31 @@ impl Mlp {
     ///
     /// Returns [`TensorError::ShapeMismatch`] on a wrong input length.
     pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, TensorError> {
-        let mut cur = self.layers[0].forward(x)?;
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.forward_into(x, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Applies the full stack into caller-owned ping-pong buffers; the
+    /// result lands in `out`. Reusing the buffers across vertices makes a
+    /// batched forward allocation-free after the first call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a wrong input length.
+    pub fn forward_into(
+        &self,
+        x: &[f32],
+        out: &mut Vec<f32>,
+        scratch: &mut Vec<f32>,
+    ) -> Result<(), TensorError> {
+        self.layers[0].forward_into(x, out)?;
         for layer in &self.layers[1..] {
-            cur = layer.forward(&cur)?;
+            std::mem::swap(out, scratch);
+            layer.forward_into(scratch, out)?;
         }
-        Ok(cur)
+        Ok(())
     }
 
     /// Total MACs per vertex.

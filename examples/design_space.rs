@@ -20,8 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_edges()
     );
 
-    println!("{:<44} {:>12} {:>10} {:>9} {:>8}", "configuration", "cycles", "DRAM MB", "BW util", "energy mJ");
-    let mut run = |name: &str, cfg: HyGcnConfig| -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<44} {:>12} {:>10} {:>9} {:>8}",
+        "configuration", "cycles", "DRAM MB", "BW util", "energy mJ"
+    );
+    let run = |name: &str, cfg: HyGcnConfig| -> Result<(), Box<dyn std::error::Error>> {
         let r = Simulator::new(cfg).simulate(&graph, &model)?;
         println!(
             "{:<44} {:>12} {:>10.1} {:>8.1}% {:>8.3}",
@@ -34,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(())
     };
 
-    run("baseline (all optimizations, Lpipe)", HyGcnConfig::default())?;
+    run(
+        "baseline (all optimizations, Lpipe)",
+        HyGcnConfig::default(),
+    )?;
     run(
         "energy-aware pipeline",
         HyGcnConfig {

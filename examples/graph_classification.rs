@@ -54,10 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Accelerator cost of both models. ---
     let sim = Simulator::new(HyGcnConfig::default());
-    for (name, model, g) in [
-        ("GIN layer 1", &gin1, &graph),
-        ("DiffPool", &dfp, &graph),
-    ] {
+    for (name, model, g) in [("GIN layer 1", &gin1, &graph), ("DiffPool", &dfp, &graph)] {
         let r = sim.simulate(g, model)?;
         println!(
             "{name:12} on HyGCN: {:>10} cycles, {:>8.3} uJ, {} chunks",

@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The accelerator's Q16.16 fixed-point datapath (paper §5.2.1 argues
     // 32-bit fixed point preserves inference accuracy).
     let fixed = run_fixed(&graph, &features, &model, 0x4759)?;
-    let max_err = golden
-        .features
-        .max_abs_diff(&fixed)
-        .expect("shapes match");
+    let max_err = golden.features.max_abs_diff(&fixed).expect("shapes match");
     println!("fixed-point max abs error vs f32: {max_err:.6}");
     assert!(max_err < 0.1, "fixed-point datapath diverged");
 

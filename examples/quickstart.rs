@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  cycles            {:>14}", report.cycles);
     println!("  time              {:>14.6} s", report.time_s);
     println!("  DRAM traffic      {:>14} bytes", report.dram_bytes());
-    println!("  bandwidth util    {:>14.1} %", report.bandwidth_utilization * 100.0);
+    println!(
+        "  bandwidth util    {:>14.1} %",
+        report.bandwidth_utilization * 100.0
+    );
     println!("  energy            {:>14.6} mJ", report.energy_j() * 1e3);
     println!(
         "  sparsity reduction{:>14.1} %",

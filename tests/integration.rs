@@ -13,7 +13,9 @@ use hygcn_suite::tensor::Matrix;
 
 #[test]
 fn every_model_runs_end_to_end_on_a_dataset_graph() {
-    let graph = DatasetSpec::get(DatasetKey::Ib).instantiate(0.25, 1).unwrap();
+    let graph = DatasetSpec::get(DatasetKey::Ib)
+        .instantiate(0.25, 1)
+        .unwrap();
     let sim = Simulator::new(HyGcnConfig::default());
     for kind in ModelKind::ALL {
         let model = GcnModel::new(kind, graph.feature_len(), 3).unwrap();
@@ -34,7 +36,9 @@ fn every_model_runs_end_to_end_on_a_dataset_graph() {
 #[test]
 fn functional_consistency_golden_vs_fixed_for_all_models() {
     let f = 24;
-    let graph = preferential_attachment(80, 3, 5).unwrap().with_feature_len(f);
+    let graph = preferential_attachment(80, 3, 5)
+        .unwrap()
+        .with_feature_len(f);
     let x = Matrix::random(80, f, 0.5, 6);
     let exec = ReferenceExecutor::new();
     for kind in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gin] {
@@ -48,20 +52,32 @@ fn functional_consistency_golden_vs_fixed_for_all_models() {
 
 #[test]
 fn simulator_is_deterministic() {
-    let graph = DatasetSpec::get(DatasetKey::Cr).instantiate(0.2, 2).unwrap();
+    let graph = DatasetSpec::get(DatasetKey::Cr)
+        .instantiate(0.2, 2)
+        .unwrap();
     let model = GcnModel::new(ModelKind::GraphSage, graph.feature_len(), 1).unwrap();
-    let a = Simulator::new(HyGcnConfig::default()).simulate(&graph, &model).unwrap();
-    let b = Simulator::new(HyGcnConfig::default()).simulate(&graph, &model).unwrap();
+    let a = Simulator::new(HyGcnConfig::default())
+        .simulate(&graph, &model)
+        .unwrap();
+    let b = Simulator::new(HyGcnConfig::default())
+        .simulate(&graph, &model)
+        .unwrap();
     assert_eq!(a, b);
 }
 
 #[test]
 fn optimization_stack_composes_monotonically() {
     // baseline <= +each optimization removed <= everything removed.
-    let graph = DatasetSpec::get(DatasetKey::Pb).instantiate(0.2, 3).unwrap();
+    let graph = DatasetSpec::get(DatasetKey::Pb)
+        .instantiate(0.2, 3)
+        .unwrap();
     let model = GcnModel::new(ModelKind::Gcn, graph.feature_len(), 1).unwrap();
-    let full = Simulator::new(HyGcnConfig::default()).simulate(&graph, &model).unwrap();
-    let ablated = Simulator::new(HyGcnConfig::ablated()).simulate(&graph, &model).unwrap();
+    let full = Simulator::new(HyGcnConfig::default())
+        .simulate(&graph, &model)
+        .unwrap();
+    let ablated = Simulator::new(HyGcnConfig::ablated())
+        .simulate(&graph, &model)
+        .unwrap();
     assert!(
         full.cycles < ablated.cycles,
         "full {} vs ablated {}",
@@ -74,7 +90,9 @@ fn optimization_stack_composes_monotonically() {
 #[test]
 fn multi_layer_inference_chains_feature_lengths() {
     // Layer 1: 1433 -> 128; layer 2: 128 -> 128, as in a 2-layer GCN.
-    let graph = DatasetSpec::get(DatasetKey::Cr).instantiate(0.2, 4).unwrap();
+    let graph = DatasetSpec::get(DatasetKey::Cr)
+        .instantiate(0.2, 4)
+        .unwrap();
     let sim = Simulator::new(HyGcnConfig::default());
     let l1 = GcnModel::new(ModelKind::Gcn, graph.feature_len(), 1).unwrap();
     let r1 = sim.simulate(&graph, &l1).unwrap();
@@ -88,7 +106,9 @@ fn multi_layer_inference_chains_feature_lengths() {
 
 #[test]
 fn pipeline_modes_trade_latency_for_energy() {
-    let graph = DatasetSpec::get(DatasetKey::Pb).instantiate(0.2, 5).unwrap();
+    let graph = DatasetSpec::get(DatasetKey::Pb)
+        .instantiate(0.2, 5)
+        .unwrap();
     let model = GcnModel::new(ModelKind::Gcn, graph.feature_len(), 1).unwrap();
     let lat = Simulator::new(HyGcnConfig {
         pipeline: PipelineMode::LatencyAware,
@@ -114,7 +134,9 @@ fn dataset_registry_graphs_all_simulate() {
         let scale = (2000.0 / spec.vertices as f64).min(0.5);
         let graph = spec.instantiate(scale, 9).unwrap();
         let model = GcnModel::new(ModelKind::Gcn, graph.feature_len(), 1).unwrap();
-        let r = Simulator::new(HyGcnConfig::default()).simulate(&graph, &model).unwrap();
+        let r = Simulator::new(HyGcnConfig::default())
+            .simulate(&graph, &model)
+            .unwrap();
         assert!(r.cycles > 0, "{key}");
     }
 }
@@ -123,9 +145,13 @@ fn dataset_registry_graphs_all_simulate() {
 fn graphsage_preprocessing_vs_runtime_sampling() {
     // On HyGCN, sampling runs inline; the elem-op count must reflect the
     // sampled (not original) edge set.
-    let graph = DatasetSpec::get(DatasetKey::Cl).instantiate(0.1, 6).unwrap();
+    let graph = DatasetSpec::get(DatasetKey::Cl)
+        .instantiate(0.1, 6)
+        .unwrap();
     let gsc = GcnModel::new(ModelKind::GraphSage, graph.feature_len(), 1).unwrap();
-    let r = Simulator::new(HyGcnConfig::default()).simulate(&graph, &gsc).unwrap();
+    let r = Simulator::new(HyGcnConfig::default())
+        .simulate(&graph, &gsc)
+        .unwrap();
     let max_possible = (graph.num_vertices() as u64 * 25 + graph.num_vertices() as u64)
         * graph.feature_len() as u64;
     assert!(r.elem_ops <= max_possible);
@@ -136,7 +162,9 @@ fn two_layer_functional_chain_fixed_vs_float() {
     // Chain two GCN layers functionally and check the fixed-point
     // datapath stays close to the f32 golden model end to end.
     let f = 24;
-    let graph = preferential_attachment(60, 3, 8).unwrap().with_feature_len(f);
+    let graph = preferential_attachment(60, 3, 8)
+        .unwrap()
+        .with_feature_len(f);
     let x = Matrix::random(60, f, 0.5, 9);
     let exec = ReferenceExecutor::new();
 
@@ -157,9 +185,10 @@ fn two_layer_functional_chain_fixed_vs_float() {
 fn edge_list_io_feeds_the_simulator() {
     // A user-supplied edge list goes straight into a simulation.
     let text = "# tiny ring\n0 1\n1 2\n2 3\n3 0\n";
-    let g = hygcn_suite::graph::io::read_edge_list(text.as_bytes(), 16, true)
-        .unwrap();
+    let g = hygcn_suite::graph::io::read_edge_list(text.as_bytes(), 16, true).unwrap();
     let m = GcnModel::new(ModelKind::Gcn, 16, 1).unwrap();
-    let r = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let r = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     assert_eq!(r.elem_ops, (8 + 4) * 16);
 }

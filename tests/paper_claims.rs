@@ -77,7 +77,9 @@ fn fig10b_gpu_optimization_degrades() {
 fn fig10c_speedup_magnitudes() {
     let g = dataset(DatasetKey::Cr, 1.0);
     let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
-    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     let cpu = CpuModel::optimized().run(&g, &m);
     let gpu = GpuModel::naive().run(&g, &m);
     let s_cpu = cpu.time_s / hygcn.time_s;
@@ -97,7 +99,9 @@ fn fig10c_speedup_magnitudes() {
 fn fig11_energy_ordering() {
     let g = dataset(DatasetKey::Pb, 0.25);
     let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
-    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     let cpu = CpuModel::optimized().run(&g, &m);
     let gpu = GpuModel::naive().run(&g, &m);
     assert!(cpu.energy_j > gpu.energy_j);
@@ -110,13 +114,17 @@ fn fig11_energy_ordering() {
 fn fig12_energy_breakdown_shape() {
     let cr = dataset(DatasetKey::Cr, 1.0);
     let m = GcnModel::new(ModelKind::Gcn, cr.feature_len(), 1).unwrap();
-    let r = Simulator::new(HyGcnConfig::default()).simulate(&cr, &m).unwrap();
+    let r = Simulator::new(HyGcnConfig::default())
+        .simulate(&cr, &m)
+        .unwrap();
     let (agg, comb, _) = r.energy.shares();
     assert!(comb > agg, "CR: combination {comb} vs aggregation {agg}");
 
     let cl = dataset(DatasetKey::Cl, 0.25);
     let m = GcnModel::new(ModelKind::Gcn, cl.feature_len(), 1).unwrap();
-    let r_cl = Simulator::new(HyGcnConfig::default()).simulate(&cl, &m).unwrap();
+    let r_cl = Simulator::new(HyGcnConfig::default())
+        .simulate(&cl, &m)
+        .unwrap();
     let (agg_cl, _, _) = r_cl.energy.shares();
     assert!(
         agg_cl > agg,
@@ -130,7 +138,9 @@ fn fig12_energy_breakdown_shape() {
 fn fig13_bandwidth_utilization() {
     let g = dataset(DatasetKey::Pb, 0.25);
     let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
-    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     let cpu = CpuModel::optimized().run(&g, &m);
     assert!(
         hygcn.bandwidth_utilization > 4.0 * cpu.bandwidth_utilization,
@@ -146,7 +156,9 @@ fn fig13_bandwidth_utilization() {
 fn fig14_dram_access_reduction() {
     let g = dataset(DatasetKey::Cl, 0.25);
     let m = GcnModel::new(ModelKind::Gcn, g.feature_len(), 1).unwrap();
-    let hygcn = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let hygcn = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     let cpu = CpuModel::naive().run(&g, &m);
     let ratio = hygcn.dram_bytes() as f64 / cpu.dram_bytes as f64;
     assert!(ratio < 0.9, "HyGCN/CPU DRAM ratio {ratio} (paper avg 0.21)");

@@ -12,7 +12,9 @@ use hygcn_suite::mem::{Hbm, MemRequest, RequestKind};
 fn edgeless_graph_simulates() {
     let g = GraphBuilder::new(16).feature_len(8).build();
     let m = GcnModel::new(ModelKind::Gcn, 8, 1).unwrap();
-    let r = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let r = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     // Combination still runs (self terms + MVMs); no edge traffic.
     assert_eq!(r.macs, 16 * 8 * 128);
     assert!(r.cycles > 0);
@@ -22,7 +24,9 @@ fn edgeless_graph_simulates() {
 fn single_vertex_graph() {
     let g = GraphBuilder::new(1).feature_len(4).build();
     let m = GcnModel::new(ModelKind::Gin, 4, 1).unwrap();
-    let r = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let r = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     assert!(r.cycles > 0);
     assert_eq!(r.chunks, 1);
 }
@@ -53,8 +57,13 @@ fn extreme_config_single_core_single_module() {
         ..HyGcnConfig::default()
     };
     let tiny = Simulator::new(cfg).simulate(&g, &m).unwrap();
-    let full = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
-    assert!(tiny.cycles > 100 * full.cycles, "1 PE must be drastically slower");
+    let full = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
+    assert!(
+        tiny.cycles > 100 * full.cycles,
+        "1 PE must be drastically slower"
+    );
 }
 
 #[test]
@@ -71,7 +80,9 @@ fn single_channel_hbm_still_correct() {
         ..HyGcnConfig::default()
     };
     let narrow = Simulator::new(cfg).simulate(&g, &m).unwrap();
-    let wide = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let wide = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     assert_eq!(narrow.dram_bytes(), wide.dram_bytes());
     assert!(narrow.cycles >= wide.cycles);
 }
@@ -105,7 +116,11 @@ fn all_pipeline_modes_agree_on_work_counts() {
         .with_feature_len(48);
     let m = GcnModel::new(ModelKind::Gcn, 48, 1).unwrap();
     let mut reports = Vec::new();
-    for p in [PipelineMode::LatencyAware, PipelineMode::EnergyAware, PipelineMode::None] {
+    for p in [
+        PipelineMode::LatencyAware,
+        PipelineMode::EnergyAware,
+        PipelineMode::None,
+    ] {
         let cfg = HyGcnConfig {
             pipeline: p,
             ..HyGcnConfig::default()
@@ -187,7 +202,9 @@ fn dense_complete_graph_simulates() {
     }
     let g = b.build();
     let m = GcnModel::new(ModelKind::GraphSage, 16, 1).unwrap();
-    let r = Simulator::new(HyGcnConfig::default()).simulate(&g, &m).unwrap();
+    let r = Simulator::new(HyGcnConfig::default())
+        .simulate(&g, &m)
+        .unwrap();
     // Sampling caps each vertex at 25 neighbors.
     assert!(r.elem_ops <= (64 * 25 + 64) * 16);
     // A complete graph offers no sparsity to eliminate.

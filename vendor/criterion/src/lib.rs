@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], [`BenchmarkGroup`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! measure-and-print harness instead of criterion's statistical engine.
+//! Each benchmark warms up briefly, then runs batches until a time
+//! budget is spent and reports the mean wall-clock time per iteration.
+//!
+//! Budgets honor `CRITERION_SMOKE=1` (one timed batch, for CI smoke
+//! runs).
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark's closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Times `f` repeatedly until the budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and batch-size calibration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+            if Instant::now() >= deadline || smoke() {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn budget() -> Duration {
+    if smoke() {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mean = b.mean();
+    println!(
+        "bench {name:<50} {:>12.3} µs/iter",
+        mean.as_nanos() as f64 / 1e3
+    );
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stand-in keeps its own batch
+    /// sizing.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(budget());
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(budget());
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+/// Groups benchmark functions under one runner function. Both the
+/// positional form and the `name = …; config = …; targets = …` form are
+/// accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($bench(&mut c);)+
+        }
+    };
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        std::env::set_var("CRITERION_SMOKE", "1");
+        let mut ran = 0u32;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        std::env::set_var("CRITERION_SMOKE", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let input = 21u64;
+        let mut result = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &input, |b, &i| {
+            b.iter(|| {
+                result = i * 2;
+                result
+            })
+        });
+        group.finish();
+        assert_eq!(result, 42);
+    }
+}

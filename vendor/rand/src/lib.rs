@@ -1,0 +1,293 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the small API subset the workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]), uniform range sampling
+//! ([`Rng::gen_range`] / [`Rng::gen_bool`]), and slice shuffling
+//! ([`seq::SliceRandom`]). The generator is xoshiro256++ seeded through
+//! SplitMix64 — statistically solid for simulation workloads, though it
+//! does not reproduce upstream `rand`'s exact streams.
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// A value from `T`'s standard distribution (unit interval for
+    /// floats, full range for integers, fair coin for `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+/// Types drawable from a standard distribution via [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the standard deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling and shuffling.
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle of the whole slice.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Shuffles `amount` randomly chosen elements to the *end* of the
+        /// slice (matching upstream `rand`), returning
+        /// `(shuffled, unshuffled)`.
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let len = self.len();
+            let end = len - amount.min(len);
+            for i in (end..len).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+            let (rest, picked) = self.split_at_mut(end);
+            (picked, rest)
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-1.5f32..=1.5);
+            assert!((-1.5..=1.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..64).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_splits() {
+        let mut v: Vec<u32> = (0..32).collect();
+        let (picked, rest) = v.partial_shuffle(&mut StdRng::seed_from_u64(5), 8);
+        assert_eq!(picked.len(), 8);
+        assert_eq!(rest.len(), 24);
+    }
+}
