@@ -360,7 +360,8 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
          optimized:  {:>9.1} ms   (1 thread)\n\
          parallel:   {:>9.1} ms   ({} threads)\n\
          speedup:    {:>9.2}x vs seed path   ({:.2}x from threads)\n\
-         reports bit-identical across all three paths: {}\n",
+         reports bit-identical across all three paths: {}\n\
+         HBM: {} channels, row hit rate {:.3}\n",
         kind.abbrev(),
         graph.num_vertices(),
         graph.num_edges(),
@@ -375,6 +376,8 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
         speedup,
         thread_speedup,
         identical,
+        parallel_report.mem_channels.len(),
+        parallel_report.mem.row_hit_rate(),
     );
     if !identical {
         return Err(CliError::Runtime(
@@ -383,7 +386,7 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
     }
     if let Some(path) = args.get("json") {
         let json = format!(
-            "{{\n  \"bench\": \"sim\",\n  \"model\": \"{}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"feature_len\": {},\n  \"chunks\": {},\n  \"threads\": {},\n  \"runs\": {},\n  \"seed_ms\": {:.3},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup_vs_seed\": {:.3},\n  \"thread_speedup\": {:.3},\n  \"identical_reports\": {},\n  \"cycles\": {},\n  \"dram_bytes\": {}\n}}\n",
+            "{{\n  \"bench\": \"sim\",\n  \"model\": \"{}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"feature_len\": {},\n  \"chunks\": {},\n  \"threads\": {},\n  \"runs\": {},\n  \"seed_ms\": {:.3},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup_vs_seed\": {:.3},\n  \"thread_speedup\": {:.3},\n  \"identical_reports\": {},\n  \"cycles\": {},\n  \"dram_bytes\": {},\n  \"hbm_channels\": {},\n  \"row_hit_rate\": {:.6}\n}}\n",
             kind.abbrev(),
             graph.num_vertices(),
             graph.num_edges(),
@@ -399,6 +402,8 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
             identical,
             parallel_report.cycles,
             parallel_report.dram_bytes(),
+            parallel_report.mem_channels.len(),
+            parallel_report.mem.row_hit_rate(),
         );
         std::fs::write(path, json).map_err(|e| CliError::Runtime(e.to_string()))?;
         out += &format!("wrote {path}\n");

@@ -1,6 +1,6 @@
 //! Simulation result record.
 
-use hygcn_mem::MemStats;
+use hygcn_mem::{ChannelStats, MemStats};
 
 use crate::energy::EnergyBreakdown;
 use crate::timeline::ChunkTrace;
@@ -19,6 +19,11 @@ pub struct SimReport {
     pub comb_compute_cycles: u64,
     /// Off-chip memory statistics.
     pub mem: MemStats,
+    /// Per-channel decomposition of the timing walk, in channel order —
+    /// the observability surface the per-channel HBM model exposes. Both
+    /// simulation paths fill it identically (the counters fold by
+    /// summation), so it participates in the bit-identity contract.
+    pub mem_channels: Vec<ChannelStats>,
     /// Achieved fraction of peak HBM bandwidth, in `[0, 1]`.
     pub bandwidth_utilization: f64,
     /// Dynamic energy per component.
@@ -58,6 +63,74 @@ impl SimReport {
             other_time_s / self.time_s
         }
     }
+
+    /// Serializes the report as stable, line-per-field JSON.
+    ///
+    /// Every scalar sits on its own line so snapshot mismatches diff at
+    /// field granularity; floats print in shortest-round-trip form, so
+    /// the text is exactly as bit-stable as the report itself. The
+    /// golden-snapshot tests persist this form under `tests/golden/`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let mut field = |key: &str, value: String| {
+            out.push_str(&format!("  \"{key}\": {value},\n"));
+        };
+        field("cycles", self.cycles.to_string());
+        field("time_s", format!("{:?}", self.time_s));
+        field("agg_compute_cycles", self.agg_compute_cycles.to_string());
+        field("comb_compute_cycles", self.comb_compute_cycles.to_string());
+        field("mem_bytes_read", self.mem.bytes_read.to_string());
+        field("mem_bytes_written", self.mem.bytes_written.to_string());
+        field("mem_row_hits", self.mem.row_hits.to_string());
+        field("mem_row_misses", self.mem.row_misses.to_string());
+        field("mem_requests", self.mem.requests.to_string());
+        field("mem_last_completion", self.mem.last_completion.to_string());
+        field(
+            "bandwidth_utilization",
+            format!("{:?}", self.bandwidth_utilization),
+        );
+        field(
+            "energy_aggregation_j",
+            format!("{:?}", self.energy.aggregation_j),
+        );
+        field(
+            "energy_combination_j",
+            format!("{:?}", self.energy.combination_j),
+        );
+        field(
+            "energy_coordinator_j",
+            format!("{:?}", self.energy.coordinator_j),
+        );
+        field("energy_hbm_j", format!("{:?}", self.energy.hbm_j));
+        field("energy_static_j", format!("{:?}", self.energy.static_j));
+        field(
+            "avg_vertex_latency_cycles",
+            format!("{:?}", self.avg_vertex_latency_cycles),
+        );
+        field(
+            "sparsity_reduction",
+            format!("{:?}", self.sparsity_reduction),
+        );
+        field("chunks", self.chunks.to_string());
+        field("elem_ops", self.elem_ops.to_string());
+        field("macs", self.macs.to_string());
+        field("timeline_steps", self.timeline.len().to_string());
+        for (c, ch) in self.mem_channels.iter().enumerate() {
+            field(
+                &format!("channel{c}"),
+                format!(
+                    "[{}, {}, {}, {}, {}]",
+                    ch.row_hits, ch.row_misses, ch.bursts, ch.busy_cycles, ch.last_completion
+                ),
+            );
+        }
+        field("channels", self.mem_channels.len().to_string());
+        // Swap the final comma for the closing brace.
+        out.truncate(out.len() - 2);
+        out.push_str("\n}\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +156,33 @@ mod tests {
     fn zero_time_speedup_is_infinite() {
         let r = SimReport::default();
         assert!(r.speedup_over_time(1.0).is_infinite());
+    }
+
+    #[test]
+    fn json_is_line_per_field_and_stable() {
+        let mut r = SimReport {
+            cycles: 42,
+            time_s: 4.2e-8,
+            ..Default::default()
+        };
+        r.mem_channels.push(ChannelStats {
+            row_hits: 1,
+            row_misses: 2,
+            bursts: 3,
+            busy_cycles: 3,
+            last_completion: 40,
+        });
+        let json = r.to_json();
+        assert_eq!(json, r.to_json(), "serialization must be deterministic");
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("\n}\n"));
+        assert!(json.contains("\"cycles\": 42,"));
+        assert!(json.contains("\"time_s\": 4.2e-8,"));
+        assert!(json.contains("\"channel0\": [1, 2, 3, 3, 40],"));
+        assert!(json.contains("\"channels\": 1"));
+        // One field per line: every content line carries exactly one key.
+        for line in json.lines().filter(|l| l.contains(':')) {
+            assert_eq!(line.matches("\": ").count(), 1, "line {line}");
+        }
     }
 }

@@ -29,7 +29,6 @@ use hygcn_graph::window::WindowPlanner;
 use hygcn_graph::{Graph, VertexId};
 use hygcn_mem::request::{MemRequest, RequestArena, RequestKind};
 use hygcn_mem::scheduler::AccessScheduler;
-use hygcn_mem::Hbm;
 
 use crate::config::{HyGcnConfig, PipelineMode};
 use crate::energy::{Activity, EnergyBreakdown};
@@ -38,7 +37,7 @@ use crate::engine::combination::{ChunkCombination, CombinationEngine, SystolicMo
 use crate::error::SimError;
 use crate::layout::AddressLayout;
 use crate::report::SimReport;
-use crate::timeline::ChunkTrace;
+use crate::timeline::{ChannelWalk, ChunkTrace};
 
 /// The HyGCN accelerator simulator.
 #[derive(Debug, Clone)]
@@ -240,11 +239,14 @@ impl Simulator {
         }
 
         // --- Timeline through the shared memory handler. ---
-        // The walk is serial (chunks share HBM bank/bus state), but its
-        // batch assembly reuses two buffers across every step, so the
-        // steady state allocates nothing.
+        // Steps stay sequential (step s+1's arrival cycle depends on step
+        // s's merge), but within a step the per-channel machines drain
+        // independently — ChannelWalk fans them out across threads for
+        // fat batches and merges deterministically. Batch assembly reuses
+        // two buffers across every step, so the steady state allocates
+        // nothing.
         let scheduler = AccessScheduler::new(cfg.coordination);
-        let mut hbm = Hbm::new(cfg.hbm);
+        let mut hbm = ChannelWalk::new(cfg.hbm);
         let mut now = 0u64;
         let mut vertex_latency_weighted = 0f64;
         let mut timeline: Vec<ChunkTrace> = Vec::new();
@@ -387,7 +389,7 @@ impl Simulator {
         } else {
             0.0
         };
-        let stats = *hbm.stats();
+        let stats = hbm.stats();
         let cycles = now.max(1);
         let time_s = cfg.cycles_to_seconds(cycles);
         Ok(SimReport {
@@ -396,6 +398,7 @@ impl Simulator {
             agg_compute_cycles: aggs.iter().map(|a| a.compute_cycles).sum(),
             comb_compute_cycles: combs.iter().map(|c| c.compute_cycles).sum(),
             mem: stats,
+            mem_channels: hbm.channel_stats(),
             bandwidth_utilization: stats
                 .bandwidth_utilization(cycles, cfg.hbm.peak_bytes_per_cycle()),
             energy: EnergyBreakdown::from_activity(&act).with_static(time_s),

@@ -27,7 +27,7 @@ use hygcn_mem::Hbm;
 
 use hygcn_mem::address::MappingScheme;
 use hygcn_mem::hbm::{ControllerPolicy, HbmConfig};
-use hygcn_mem::MemStats;
+use hygcn_mem::{ChannelStats, MemStats};
 
 use crate::config::PipelineMode;
 use crate::energy::{Activity, EnergyBreakdown};
@@ -55,6 +55,10 @@ struct SeedHbm {
 struct SeedChannel {
     bus_free: u64,
     banks: Vec<SeedBank>,
+    /// Per-channel counters, kept in lockstep with the optimized model's
+    /// `ChannelTimeline` so the `SimReport::mem_channels` decomposition
+    /// is part of the bit-identity contract.
+    stats: ChannelStats,
 }
 
 #[derive(Clone, Default)]
@@ -69,6 +73,7 @@ impl SeedHbm {
             .map(|_| SeedChannel {
                 bus_free: 0,
                 banks: vec![SeedBank::default(); config.banks],
+                stats: ChannelStats::default(),
             })
             .collect();
         Self {
@@ -111,15 +116,19 @@ impl SeedHbm {
         if bank.open_row != Some(row) {
             ready += self.config.t_row;
             bank.open_row = Some(row);
-            self.stats.row_misses += 1;
+            ch.stats.row_misses += 1;
         } else {
-            self.stats.row_hits += 1;
+            ch.stats.row_hits += 1;
         }
         let start = ready.max(ch.bus_free);
         let finish = start + bursts * self.config.t_burst;
         ch.bus_free = finish;
         bank.ready = finish;
-        finish + self.config.t_cas
+        ch.stats.bursts += bursts;
+        ch.stats.busy_cycles += bursts * self.config.t_burst;
+        let done = finish + self.config.t_cas;
+        ch.stats.last_completion = ch.stats.last_completion.max(done);
+        done
     }
 
     fn access(&mut self, req: &MemRequest, now: u64) -> u64 {
@@ -139,7 +148,6 @@ impl SeedHbm {
         } else {
             self.stats.bytes_read += u64::from(req.bytes);
         }
-        self.stats.last_completion = self.stats.last_completion.max(completion);
         completion
     }
 
@@ -149,6 +157,20 @@ impl SeedHbm {
             completion = completion.max(self.access(r, now));
         }
         completion
+    }
+
+    /// Request totals with the per-channel counters folded in, exactly
+    /// as the optimized model folds them.
+    fn stats(&self) -> MemStats {
+        let mut s = self.stats;
+        for ch in &self.channels {
+            ch.stats.fold_into(&mut s);
+        }
+        s
+    }
+
+    fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(|c| c.stats).collect()
     }
 }
 
@@ -176,8 +198,15 @@ impl SeedMemory {
 
     fn stats(&self) -> MemStats {
         match self {
-            SeedMemory::Seed(h) => h.stats,
-            SeedMemory::Shared(h) => *h.stats(),
+            SeedMemory::Seed(h) => h.stats(),
+            SeedMemory::Shared(h) => h.stats(),
+        }
+    }
+
+    fn channel_stats(&self) -> Vec<ChannelStats> {
+        match self {
+            SeedMemory::Seed(h) => h.channel_stats(),
+            SeedMemory::Shared(h) => h.channel_stats(),
         }
     }
 }
@@ -452,6 +481,7 @@ impl Simulator {
             agg_compute_cycles: chunks.iter().map(|c| c.agg.compute_cycles).sum(),
             comb_compute_cycles: chunks.iter().map(|c| c.comb.compute_cycles).sum(),
             mem: stats,
+            mem_channels: hbm.channel_stats(),
             bandwidth_utilization: stats
                 .bandwidth_utilization(cycles, cfg.hbm.peak_bytes_per_cycle()),
             energy: EnergyBreakdown::from_activity(&act).with_static(time_s),

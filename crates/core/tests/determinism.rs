@@ -13,6 +13,8 @@ use hygcn_core::config::{HyGcnConfig, PipelineMode};
 use hygcn_core::Simulator;
 use hygcn_gcn::model::{GcnModel, ModelKind};
 use hygcn_graph::generator::{rmat, RmatParams};
+use hygcn_graph::GraphBuilder;
+use hygcn_mem::HbmConfig;
 
 #[test]
 fn reports_identical_for_any_thread_count() {
@@ -53,4 +55,72 @@ fn reports_identical_for_any_thread_count() {
             }
         }
     }
+
+    // Degenerate geometries the per-channel merge must handle without
+    // special-casing: a zero-edge graph (empty aggregation batches) and
+    // a single-channel stack (every segment in one queue).
+    let empty = GraphBuilder::new(64).feature_len(32).build();
+    let narrow_model = GcnModel::new(ModelKind::Gcn, 32, 7).unwrap();
+    for (label, graph, channels) in [
+        ("zero-edge", &empty, 8usize),
+        ("zero-edge 1ch", &empty, 1),
+        (
+            "single-channel",
+            &rmat(1024, 12_000, RmatParams::default(), 5)
+                .unwrap()
+                .with_feature_len(32),
+            1,
+        ),
+    ] {
+        for pipeline in [
+            PipelineMode::LatencyAware,
+            PipelineMode::EnergyAware,
+            PipelineMode::None,
+        ] {
+            let mut cfg = HyGcnConfig::default();
+            cfg.pipeline = pipeline;
+            cfg.aggregation_buffer_bytes = 1 << 18;
+            cfg.hbm = HbmConfig {
+                channels,
+                ..HbmConfig::hbm1()
+            };
+            let sim = Simulator::new(cfg);
+            hygcn_par::set_thread_override(Some(1));
+            let serial = sim.simulate(graph, &narrow_model).unwrap();
+            let reference = sim.simulate_reference(graph, &narrow_model).unwrap();
+            for threads in [2usize, 8] {
+                hygcn_par::set_thread_override(Some(threads));
+                let parallel = sim.simulate(graph, &narrow_model).unwrap();
+                assert_eq!(serial, parallel, "{label} {pipeline:?} threads={threads}");
+            }
+            hygcn_par::set_thread_override(None);
+            assert_eq!(serial, reference, "{label} {pipeline:?} vs seed path");
+            assert_eq!(serial.mem_channels.len(), channels, "{label} {pipeline:?}");
+        }
+    }
+
+    // The ChannelWalk fan-out branch itself, with real worker threads:
+    // one batch fat enough to cross the parallelism threshold must match
+    // the in-model serial drain bit-for-bit at every override.
+    use hygcn_core::timeline::ChannelWalk;
+    use hygcn_mem::{Hbm, MemRequest, RequestKind};
+    let reqs: Vec<MemRequest> = (0..4096u64)
+        .map(|i| MemRequest::read(RequestKind::InputFeatures, i * 53 * 2048, 5000))
+        .collect();
+    hygcn_par::set_thread_override(Some(1));
+    let mut serial_hbm = Hbm::new(hygcn_mem::HbmConfig::hbm1());
+    let serial_done = serial_hbm.service_batch(&reqs, 7);
+    for threads in [2usize, 3, 8] {
+        hygcn_par::set_thread_override(Some(threads));
+        let mut walk = ChannelWalk::new(hygcn_mem::HbmConfig::hbm1());
+        let done = walk.service_batch(&reqs, 7);
+        assert_eq!(done, serial_done, "fan-out completion, threads={threads}");
+        assert_eq!(walk.stats(), serial_hbm.stats(), "threads={threads}");
+        assert_eq!(
+            walk.channel_stats(),
+            serial_hbm.channel_stats(),
+            "threads={threads}"
+        );
+    }
+    hygcn_par::set_thread_override(None);
 }

@@ -1,10 +1,23 @@
-//! Physical address mapping.
+//! Physical address mapping and the channel-major request partition.
 //!
 //! The coordination optimization (paper §4.5.2) remaps addresses so that
 //! "the channel and bank [are indexed] using low bits", spreading a
 //! contiguous stream across channels and banks. The uncoordinated baseline
 //! places the channel bits high, so a contiguous stream hammers one
 //! channel serially.
+//!
+//! [`ChannelPartition`] is the bridge between a batch of byte-ranged
+//! [`MemRequest`]s and the per-channel timing machines of
+//! [`crate::hbm`]: it splits every request into row-aligned [`Segment`]s
+//! and files each under its channel, preserving arrival order within
+//! each channel. Because no segment ever touches two channels, driving
+//! the channels independently over their queues is *exactly* equivalent
+//! to the historical serial walk over the whole batch — the invariant
+//! the per-channel decomposition rests on. The queues keep their
+//! allocations across [`ChannelPartition::clear`], so a simulation's
+//! steady state repartitions with zero heap traffic.
+
+use crate::request::MemRequest;
 
 /// Where in the address the channel/bank bits sit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +109,16 @@ impl AddressMap {
         self.scheme
     }
 
+    /// Number of channels the map decodes into.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// `log2(row_bytes)` — the shift that row-aligns addresses.
+    pub fn row_shift(&self) -> u32 {
+        self.row_shift
+    }
+
     /// Decodes a byte address into `(channel, bank, row)`.
     #[inline]
     pub fn decode(&self, addr: u64) -> Location {
@@ -123,9 +146,98 @@ impl AddressMap {
     }
 }
 
+/// One same-(channel, bank, row) burst run — the unit the per-channel
+/// timing machines of [`crate::hbm`] service.
+///
+/// A [`MemRequest`] decomposes into one segment per row-buffer page it
+/// touches; the channel index is implied by which
+/// [`ChannelPartition`] queue the segment sits in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Starting byte address (kept for diagnostics and the partition
+    /// permutation tests; the timing walk needs only bank/row/bytes).
+    pub addr: u64,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Length in bytes (at most one row).
+    pub bytes: u32,
+    /// Bank index within the channel.
+    pub bank: u32,
+}
+
+/// Channel-major decomposition of a request batch: one ordered segment
+/// queue per channel.
+///
+/// Built directly from `RequestArena` span slices — the partition only
+/// copies 24-byte [`Segment`] records into queues whose capacity
+/// persists across [`ChannelPartition::clear`], so repartitioning every
+/// timeline step allocates nothing once the queues have grown to the
+/// batch high-water mark.
+#[derive(Debug, Clone)]
+pub struct ChannelPartition {
+    queues: Vec<Vec<Segment>>,
+    total: usize,
+}
+
+impl ChannelPartition {
+    /// An empty partition over `channels` queues.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            queues: vec![Vec::new(); channels.max(1)],
+            total: 0,
+        }
+    }
+
+    /// Number of channel queues.
+    pub fn num_channels(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total segments filed across all channels.
+    pub fn total_segments(&self) -> usize {
+        self.total
+    }
+
+    /// Empties every queue, keeping their allocations.
+    pub fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.total = 0;
+    }
+
+    /// The ordered segment queue of channel `c`.
+    pub fn channel(&self, c: usize) -> &[Segment] {
+        &self.queues[c]
+    }
+
+    /// Splits `req` into row-aligned segments and files each under the
+    /// channel `map` decodes it to, preserving arrival order per channel.
+    pub fn push_request(&mut self, map: &AddressMap, req: &MemRequest) {
+        debug_assert_eq!(map.channels(), self.queues.len(), "geometry mismatch");
+        let shift = map.row_shift();
+        let mut addr = req.addr;
+        let end = req.addr + u64::from(req.bytes);
+        while addr < end {
+            let row_end = ((addr >> shift) + 1) << shift;
+            let seg_end = row_end.min(end);
+            let loc = map.decode(addr);
+            self.queues[loc.channel].push(Segment {
+                addr,
+                row: loc.row,
+                bytes: (seg_end - addr) as u32,
+                bank: loc.bank as u32,
+            });
+            self.total += 1;
+            addr = seg_end;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::RequestKind;
 
     fn maps() -> (AddressMap, AddressMap) {
         (
@@ -178,6 +290,47 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = AddressMap::new(MappingScheme::ChannelInterleaved, 6, 16, 2048, 32);
+    }
+
+    #[test]
+    fn partition_splits_rows_and_preserves_order() {
+        let (ci, _) = maps();
+        let mut p = ChannelPartition::new(8);
+        // 5 KB starting mid-row: 3 pages touched, 3 segments.
+        let req = MemRequest::read(RequestKind::InputFeatures, 1024, 5 * 1024);
+        p.push_request(&ci, &req);
+        assert_eq!(p.total_segments(), 3);
+        let covered: u64 = (0..8)
+            .flat_map(|c| p.channel(c).iter())
+            .map(|s| u64::from(s.bytes))
+            .sum();
+        assert_eq!(covered, 5 * 1024);
+        // Segments within one channel keep ascending addresses (arrival
+        // order of a single contiguous request).
+        for c in 0..8 {
+            assert!(p.channel(c).windows(2).all(|w| w[0].addr < w[1].addr));
+        }
+        // Clearing keeps geometry but drops segments.
+        p.clear();
+        assert_eq!(p.total_segments(), 0);
+        assert!((0..8).all(|c| p.channel(c).is_empty()));
+    }
+
+    #[test]
+    fn partition_segments_never_cross_rows() {
+        let (ci, ri) = maps();
+        for map in [ci, ri] {
+            let mut p = ChannelPartition::new(8);
+            p.push_request(&map, &MemRequest::read(RequestKind::Edges, 12345, 100_000));
+            for c in 0..p.num_channels() {
+                for s in p.channel(c) {
+                    let row_start = (s.addr >> map.row_shift()) << map.row_shift();
+                    assert!(u64::from(s.bytes) <= 2048);
+                    assert!(s.addr + u64::from(s.bytes) <= row_start + 2048);
+                    assert_eq!(map.decode(s.addr).channel, c);
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,16 +4,35 @@
 //! at 32 GB/s each (256 GB/s aggregate), 1 GHz accelerator clock, 32 B
 //! bursts, 2 KB row buffers, 16 banks per channel.
 //!
-//! The model tracks, per channel, the data-bus availability and, per bank,
-//! the open row. A burst run that stays in an open row streams at one
-//! burst per cycle; touching a closed row exposes an activate+precharge
-//! penalty. Requests are serviced in the order given — the scheduler
+//! ## Per-channel decomposition
+//!
+//! The stack is modeled as independent [`ChannelTimeline`] state
+//! machines, one per channel, each owning its banks' open rows, its bank
+//! ready times, and its data-bus availability. A service batch is first
+//! split channel-major by a [`ChannelPartition`]
+//! ([`crate::address`]) — every row-aligned segment maps to exactly one
+//! channel — and then each channel drains its queue in arrival order.
+//!
+//! **Merge invariant:** within a batch every segment arrives at the same
+//! cycle `now`, and a segment reads/writes only its own channel's state,
+//! so draining the channels in *any* order (or concurrently) produces
+//! the same per-channel timelines as the historical serial walk over the
+//! interleaved segment stream. The batch completes at the max of the
+//! channels' completion cycles, and the statistics fold by summation —
+//! both order-independent — so a parallel walk is bit-identical to a
+//! serial one. The driver that exploits this lives upstream
+//! (`hygcn-core`'s `timeline::ChannelWalk`); this crate keeps the
+//! machines and the serial reference drain.
+//!
+//! A burst run that stays in an open row streams at one burst per cycle;
+//! touching a closed row exposes an activate+precharge penalty. Within a
+//! channel, requests are serviced in the order given — the scheduler
 //! upstream ([`crate::scheduler`]) decides that order, which is exactly
 //! where the paper's memory-access coordination acts.
 
-use crate::address::{AddressMap, MappingScheme};
+use crate::address::{AddressMap, ChannelPartition, MappingScheme, Segment};
 use crate::request::MemRequest;
-use crate::stats::MemStats;
+use crate::stats::{ChannelStats, HbmStats, MemStats};
 
 /// How the memory controller orders segments within a service window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,39 +135,168 @@ impl Default for Bank {
     }
 }
 
+/// One channel's timing state machine: its banks' open rows and ready
+/// cycles, its data-bus availability, and its share of the statistics.
+///
+/// A `ChannelTimeline` never reads another channel's state, so a set of
+/// them can be advanced concurrently over a [`ChannelPartition`]'s
+/// queues and still reproduce the serial walk bit-for-bit (see the
+/// module docs for the merge invariant).
 #[derive(Debug, Clone)]
-struct Channel {
-    bus_free: u64,
+pub struct ChannelTimeline {
     banks: Vec<Bank>,
+    bus_free: u64,
+    t_row: u64,
+    t_burst: u64,
+    t_cas: u64,
+    /// `log2(burst_bytes)` for the bursts-per-segment shift.
+    burst_shift: u32,
+    stats: ChannelStats,
+    /// Completion cycle of the most recent [`ChannelTimeline::drain`] /
+    /// [`ChannelTimeline::drain_frfcfs`] call (`now` when the queue was
+    /// empty) — read back by the batch merge.
+    batch_done: u64,
 }
 
-/// The HBM device model.
+impl ChannelTimeline {
+    /// An idle channel of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `burst_bytes` is a nonzero power of two — the
+    /// bursts-per-segment computation is a shift, and `AddressMap`
+    /// validates the other geometry fields but never sees this one.
+    pub fn new(config: &HbmConfig) -> Self {
+        assert!(
+            config.burst_bytes > 0 && config.burst_bytes.is_power_of_two(),
+            "burst_bytes must be a power of two"
+        );
+        Self {
+            banks: vec![Bank::default(); config.banks],
+            bus_free: 0,
+            t_row: config.t_row,
+            t_burst: config.t_burst,
+            t_cas: config.t_cas,
+            burst_shift: config.burst_bytes.trailing_zeros(),
+            stats: ChannelStats::default(),
+            batch_done: 0,
+        }
+    }
+
+    /// This channel's accumulated statistics.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// The cycle this channel's data bus becomes idle.
+    pub fn bus_free(&self) -> u64 {
+        self.bus_free
+    }
+
+    /// Completion cycle of the most recent drain.
+    pub fn batch_done(&self) -> u64 {
+        self.batch_done
+    }
+
+    /// Services one segment arriving at `now`; returns the cycle its
+    /// last data beat (plus CAS latency) completes.
+    #[inline]
+    pub fn service(&mut self, seg: &Segment, now: u64) -> u64 {
+        let bursts = (u64::from(seg.bytes) + (1u64 << self.burst_shift) - 1) >> self.burst_shift;
+        let bank = &mut self.banks[seg.bank as usize];
+        let mut ready = bank.ready.max(now);
+        if bank.open_row != seg.row {
+            // Activate (and precharge the old row) before the transfer.
+            ready += self.t_row;
+            bank.open_row = seg.row;
+            self.stats.row_misses += 1;
+        } else {
+            self.stats.row_hits += 1;
+        }
+        let start = ready.max(self.bus_free);
+        let finish = start + bursts * self.t_burst;
+        self.bus_free = finish;
+        bank.ready = finish;
+        self.stats.bursts += bursts;
+        self.stats.busy_cycles += bursts * self.t_burst;
+        let done = finish + self.t_cas;
+        self.stats.last_completion = self.stats.last_completion.max(done);
+        done
+    }
+
+    /// Drains a queue in arrival order; returns (and records) the cycle
+    /// the last segment completes, or `now` for an empty queue.
+    pub fn drain(&mut self, segs: &[Segment], now: u64) -> u64 {
+        let mut done = now;
+        for seg in segs {
+            done = done.max(self.service(seg, now));
+        }
+        self.batch_done = done;
+        done
+    }
+
+    /// Drains a queue with row-hit-first selection inside a `window`-deep
+    /// lookahead (FR-FCFS); oldest segment wins when no pending segment
+    /// hits an open row.
+    pub fn drain_frfcfs(&mut self, segs: &[Segment], now: u64, window: usize) -> u64 {
+        let window = window.max(1);
+        let mut done = now;
+        let mut pending: Vec<Segment> = Vec::with_capacity(window.min(segs.len()));
+        let mut head = 0usize;
+        loop {
+            while pending.len() < window && head < segs.len() {
+                pending.push(segs[head]);
+                head += 1;
+            }
+            if pending.is_empty() {
+                break;
+            }
+            let pick = pending
+                .iter()
+                .position(|s| self.banks[s.bank as usize].open_row == s.row)
+                .unwrap_or(0);
+            let seg = pending.remove(pick);
+            done = done.max(self.service(&seg, now));
+        }
+        self.batch_done = done;
+        done
+    }
+
+    /// Drains a queue under `policy` — the dispatch the external
+    /// per-channel driver uses.
+    pub fn drain_policy(&mut self, segs: &[Segment], now: u64, policy: ControllerPolicy) -> u64 {
+        match policy {
+            ControllerPolicy::InOrder => self.drain(segs, now),
+            ControllerPolicy::FrFcfs { window } => self.drain_frfcfs(segs, now, window),
+        }
+    }
+}
+
+/// The HBM device model: per-channel timelines plus request-level
+/// accounting and a reusable channel partition.
 #[derive(Debug, Clone)]
 pub struct Hbm {
     config: HbmConfig,
     map: AddressMap,
-    channels: Vec<Channel>,
-    stats: MemStats,
-    /// `log2(row_bytes)`, precomputed for the segment-split hot loop
-    /// (the geometry is asserted power-of-two by [`AddressMap::new`]).
-    row_shift: u32,
+    channels: Vec<ChannelTimeline>,
+    partition: ChannelPartition,
+    /// Request-level counters (bytes, request count). Row hits/misses
+    /// and the last completion live in the channels and are folded on
+    /// [`Hbm::stats`].
+    traffic: MemStats,
 }
 
 impl Hbm {
     /// Creates an idle HBM stack.
     pub fn new(config: HbmConfig) -> Self {
-        let channels = (0..config.channels)
-            .map(|_| Channel {
-                bus_free: 0,
-                banks: vec![Bank::default(); config.banks],
-            })
-            .collect();
         Self {
             map: config.address_map(),
-            row_shift: config.row_bytes.trailing_zeros(),
+            channels: (0..config.channels)
+                .map(|_| ChannelTimeline::new(&config))
+                .collect(),
+            partition: ChannelPartition::new(config.channels),
             config,
-            channels,
-            stats: MemStats::default(),
+            traffic: MemStats::default(),
         }
     }
 
@@ -157,9 +305,63 @@ impl Hbm {
         &self.config
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &MemStats {
-        &self.stats
+    /// Accumulated statistics, with the per-channel counters folded into
+    /// the totals (a pure summation — order-independent).
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.traffic;
+        for ch in &self.channels {
+            ch.stats().fold_into(&mut s);
+        }
+        s
+    }
+
+    /// The per-channel statistics, in channel order.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(|c| *c.stats()).collect()
+    }
+
+    /// The fully decomposed statistics view.
+    pub fn hbm_stats(&self) -> HbmStats {
+        HbmStats {
+            totals: self.stats(),
+            channels: self.channel_stats(),
+        }
+    }
+
+    /// Splits `reqs` channel-major into the internal partition and
+    /// accounts the request-level traffic. The staged queues are then
+    /// drained either serially ([`Hbm::service_batch`]) or by an
+    /// external per-channel driver via [`Hbm::staged`] +
+    /// [`Hbm::merge_batch`].
+    pub fn stage_batch(&mut self, reqs: &[MemRequest]) {
+        self.partition.clear();
+        for r in reqs {
+            debug_assert!(r.bytes > 0, "zero-length request");
+            self.partition.push_request(&self.map, r);
+            self.traffic.requests += 1;
+            if r.is_write {
+                self.traffic.bytes_written += u64::from(r.bytes);
+            } else {
+                self.traffic.bytes_read += u64::from(r.bytes);
+            }
+        }
+    }
+
+    /// The staged queues and the channel machines, for an external
+    /// driver that advances the channels itself (possibly in parallel —
+    /// each machine is `Send` and queue `c` belongs to machine `c`).
+    pub fn staged(&mut self) -> (&ChannelPartition, &mut [ChannelTimeline]) {
+        (&self.partition, &mut self.channels)
+    }
+
+    /// Merges a drained batch: the batch completes at the earliest cycle
+    /// every channel is done (i.e. the max of the per-channel completion
+    /// cycles), never before `now`.
+    pub fn merge_batch(&mut self, now: u64) -> u64 {
+        self.channels
+            .iter()
+            .map(ChannelTimeline::batch_done)
+            .fold(now, u64::max)
     }
 
     /// Services one request starting no earlier than `now`; returns the
@@ -170,133 +372,42 @@ impl Hbm {
     /// independently, so a multi-row request naturally overlaps across
     /// channels under the interleaved mapping.
     pub fn access(&mut self, req: &MemRequest, now: u64) -> u64 {
-        debug_assert!(req.bytes > 0, "zero-length request");
-        let mut addr = req.addr;
-        let end = req.addr + u64::from(req.bytes);
-        let mut completion = now;
-        while addr < end {
-            let row_end = ((addr >> self.row_shift) + 1) << self.row_shift;
-            let seg_end = row_end.min(end);
-            let seg_bytes = seg_end - addr;
-            let done = self.service_segment(addr, seg_bytes, now);
-            completion = completion.max(done);
-            addr = seg_end;
+        self.service_batch(std::slice::from_ref(req), now)
+    }
+
+    /// Drains the staged queues serially in channel order and merges —
+    /// the one place the serial walk is spelled out, shared by
+    /// [`Hbm::service_batch`] and any external driver that decides not
+    /// to fan out.
+    pub fn drain_staged(&mut self, now: u64) -> u64 {
+        let policy = self.config.controller;
+        let (partition, channels) = (&self.partition, &mut self.channels);
+        for (c, ch) in channels.iter_mut().enumerate() {
+            ch.drain_policy(partition.channel(c), now, policy);
         }
-        self.stats.requests += 1;
-        if req.is_write {
-            self.stats.bytes_written += u64::from(req.bytes);
-        } else {
-            self.stats.bytes_read += u64::from(req.bytes);
-        }
-        self.stats.last_completion = self.stats.last_completion.max(completion);
-        completion
+        self.merge_batch(now)
     }
 
     /// Services a batch; returns the completion cycle of the last request.
     ///
-    /// Under [`ControllerPolicy::InOrder`] requests are serviced exactly
-    /// in the given order. Under [`ControllerPolicy::FrFcfs`] the batch is
-    /// decomposed into row segments, distributed to per-channel queues,
-    /// and each channel serves row hits ahead of older row misses within
-    /// its lookahead window.
+    /// Under [`ControllerPolicy::InOrder`] each channel services its
+    /// segments exactly in the given order. Under
+    /// [`ControllerPolicy::FrFcfs`] each channel serves row hits ahead
+    /// of older row misses within its lookahead window. Either way the
+    /// batch is staged channel-major first and the channels drain
+    /// independently.
     pub fn service_batch(&mut self, reqs: &[MemRequest], now: u64) -> u64 {
-        match self.config.controller {
-            ControllerPolicy::InOrder => {
-                let mut completion = now;
-                for r in reqs {
-                    completion = completion.max(self.access(r, now));
-                }
-                completion
-            }
-            ControllerPolicy::FrFcfs { window } => self.service_frfcfs(reqs, now, window.max(1)),
-        }
-    }
-
-    fn service_frfcfs(&mut self, reqs: &[MemRequest], now: u64, window: usize) -> u64 {
-        #[derive(Clone, Copy)]
-        struct Seg {
-            addr: u64,
-            bytes: u64,
-            bank: usize,
-            row: u64,
-        }
-        // Decompose into per-channel segment queues, preserving order.
-        let mut queues: Vec<Vec<Seg>> = vec![Vec::new(); self.config.channels];
-        for r in reqs {
-            let mut addr = r.addr;
-            let end = r.addr + u64::from(r.bytes);
-            while addr < end {
-                let row_end = ((addr >> self.row_shift) + 1) << self.row_shift;
-                let seg_end = row_end.min(end);
-                let loc = self.map.decode(addr);
-                queues[loc.channel].push(Seg {
-                    addr,
-                    bytes: seg_end - addr,
-                    bank: loc.bank,
-                    row: loc.row,
-                });
-                addr = seg_end;
-            }
-            self.stats.requests += 1;
-            if r.is_write {
-                self.stats.bytes_written += u64::from(r.bytes);
-            } else {
-                self.stats.bytes_read += u64::from(r.bytes);
-            }
-        }
-        // Per channel: row-hit-first within the lookahead window.
-        let mut completion = now;
-        for (ch_idx, queue) in queues.into_iter().enumerate() {
-            let mut head = 0usize;
-            let mut pending: Vec<Seg> = Vec::new();
-            loop {
-                while pending.len() < window && head < queue.len() {
-                    pending.push(queue[head]);
-                    head += 1;
-                }
-                if pending.is_empty() {
-                    break;
-                }
-                // Oldest row hit, else oldest.
-                let pick = pending
-                    .iter()
-                    .position(|s| self.channels[ch_idx].banks[s.bank].open_row == s.row)
-                    .unwrap_or(0);
-                let seg = pending.remove(pick);
-                let done = self.service_segment(seg.addr, seg.bytes, now);
-                completion = completion.max(done);
-            }
-        }
-        self.stats.last_completion = self.stats.last_completion.max(completion);
-        completion
+        self.stage_batch(reqs);
+        self.drain_staged(now)
     }
 
     /// The cycle at which all channels become idle.
     pub fn drain_cycle(&self) -> u64 {
-        self.channels.iter().map(|c| c.bus_free).max().unwrap_or(0)
-    }
-
-    #[inline]
-    fn service_segment(&mut self, addr: u64, bytes: u64, now: u64) -> u64 {
-        let loc = self.map.decode(addr);
-        let bursts = bytes.div_ceil(self.config.burst_bytes);
-        let ch = &mut self.channels[loc.channel];
-        let bank = &mut ch.banks[loc.bank];
-
-        let mut ready = bank.ready.max(now);
-        if bank.open_row != loc.row {
-            // Activate (and precharge the old row) before the transfer.
-            ready += self.config.t_row;
-            bank.open_row = loc.row;
-            self.stats.row_misses += 1;
-        } else {
-            self.stats.row_hits += 1;
-        }
-        let start = ready.max(ch.bus_free);
-        let finish = start + bursts * self.config.t_burst;
-        ch.bus_free = finish;
-        bank.ready = finish;
-        finish + self.config.t_cas
+        self.channels
+            .iter()
+            .map(ChannelTimeline::bus_free)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -467,5 +578,42 @@ mod tests {
         let mut b = Hbm::new(cfg);
         let t_b = b.service_batch(&reqs, 0);
         assert_eq!(t_a, t_b);
+    }
+
+    #[test]
+    fn channel_stats_fold_to_totals() {
+        let mut hbm = Hbm::new(HbmConfig::hbm1());
+        hbm.service_batch(&[read(0, 64 * 1024), read(1 << 21, 8 * 1024)], 0);
+        let full = hbm.hbm_stats();
+        assert!(full.consistent());
+        assert_eq!(full.channels.len(), 8);
+        // 72 KB in 32 B bursts, spread over the channels.
+        let bursts: u64 = full.channels.iter().map(|c| c.bursts).sum();
+        assert_eq!(bursts, 72 * 1024 / 32);
+    }
+
+    #[test]
+    fn external_drive_matches_service_batch() {
+        // Driving the staged queues by hand (as the core driver does)
+        // must equal the built-in serial drain exactly.
+        let reqs: Vec<MemRequest> = (0..24u64)
+            .map(|i| read(i * 7000, 3000 + (i as u32 % 5) * 997))
+            .collect();
+        let cfg = HbmConfig::hbm1();
+        let mut builtin = Hbm::new(cfg);
+        let t_builtin = builtin.service_batch(&reqs, 100);
+
+        let mut manual = Hbm::new(cfg);
+        manual.stage_batch(&reqs);
+        let policy = manual.config().controller;
+        let (partition, channels) = manual.staged();
+        // Drain in reverse channel order to prove order-independence.
+        for c in (0..channels.len()).rev() {
+            channels[c].drain_policy(partition.channel(c), 100, policy);
+        }
+        let t_manual = manual.merge_batch(100);
+        assert_eq!(t_builtin, t_manual);
+        assert_eq!(builtin.stats(), manual.stats());
+        assert_eq!(builtin.channel_stats(), manual.channel_stats());
     }
 }

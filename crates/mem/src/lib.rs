@@ -9,9 +9,17 @@
 //!   256 GB/s peak. Row-buffer locality and channel-/bank-level
 //!   parallelism — the two effects the paper's memory-access coordination
 //!   optimizes (Fig. 9/17) — fall out of the model rather than being
-//!   assumed.
+//!   assumed. The stack decomposes into independent per-channel
+//!   [`hbm::ChannelTimeline`] state machines: a batch is partitioned
+//!   channel-major, each channel drains its queue, and the merge (max of
+//!   completions, sum of counters) is order-independent — so a parallel
+//!   walk is bit-identical to the serial one. See the [`hbm`] module
+//!   docs for the merge invariant.
 //! * [`address`] — physical address mapping schemes; the coordination
-//!   optimization remaps "the channel and bank using low bits".
+//!   optimization remaps "the channel and bank using low bits". Also the
+//!   channel-major [`address::ChannelPartition`] that splits a request
+//!   batch into per-channel row-segment queues without steady-state
+//!   allocation.
 //! * [`scheduler`] — request-batch ordering: FCFS (the uncoordinated
 //!   baseline of Fig. 9(a)) vs the priority order
 //!   `edges > input features > weights > output features` of Fig. 9(b),
@@ -42,6 +50,7 @@ pub mod request;
 pub mod scheduler;
 pub mod stats;
 
-pub use hbm::{Hbm, HbmConfig};
+pub use address::{ChannelPartition, Segment};
+pub use hbm::{ChannelTimeline, Hbm, HbmConfig};
 pub use request::{MemRequest, RequestArena, RequestKind, RequestSpan, RequestSummary};
-pub use stats::MemStats;
+pub use stats::{ChannelStats, HbmStats, MemStats};

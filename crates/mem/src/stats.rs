@@ -53,6 +53,61 @@ impl MemStats {
     }
 }
 
+/// One channel's share of the timing walk — accumulated by its
+/// `ChannelTimeline` ([`crate::hbm`]) and folded into [`MemStats`]
+/// totals by summation, which is order-independent, so the fold is
+/// bit-identical whatever order the channels ran in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Segments that hit this channel's open rows.
+    pub row_hits: u64,
+    /// Segments that paid activate (+precharge) on this channel.
+    pub row_misses: u64,
+    /// Bursts transferred on this channel's data bus.
+    pub bursts: u64,
+    /// Cycles this channel's data bus spent transferring.
+    pub busy_cycles: u64,
+    /// Cycle at which this channel's last burst (plus CAS) completed.
+    pub last_completion: u64,
+}
+
+impl ChannelStats {
+    /// Folds this channel's counters into batch totals.
+    pub fn fold_into(&self, totals: &mut MemStats) {
+        totals.row_hits += self.row_hits;
+        totals.row_misses += self.row_misses;
+        totals.last_completion = totals.last_completion.max(self.last_completion);
+    }
+}
+
+/// The fully decomposed view of an HBM stack's statistics: request-level
+/// totals plus the per-channel timing breakdown they were folded from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HbmStats {
+    /// Request-level totals (the [`MemStats`] a `SimReport` carries).
+    pub totals: MemStats,
+    /// One entry per channel, in channel order.
+    pub channels: Vec<ChannelStats>,
+}
+
+impl HbmStats {
+    /// Whether the per-channel counters sum to the totals — the merge
+    /// invariant the property tests assert.
+    pub fn consistent(&self) -> bool {
+        let hits: u64 = self.channels.iter().map(|c| c.row_hits).sum();
+        let misses: u64 = self.channels.iter().map(|c| c.row_misses).sum();
+        let last = self
+            .channels
+            .iter()
+            .map(|c| c.last_completion)
+            .max()
+            .unwrap_or(0);
+        hits == self.totals.row_hits
+            && misses == self.totals.row_misses
+            && last == self.totals.last_completion
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +140,41 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.bandwidth_utilization(1, 256.0), 1.0);
+    }
+
+    #[test]
+    fn channel_fold_and_consistency() {
+        let ch = [
+            ChannelStats {
+                row_hits: 3,
+                row_misses: 1,
+                bursts: 10,
+                busy_cycles: 10,
+                last_completion: 50,
+            },
+            ChannelStats {
+                row_hits: 2,
+                row_misses: 2,
+                bursts: 6,
+                busy_cycles: 6,
+                last_completion: 80,
+            },
+        ];
+        let mut totals = MemStats::default();
+        for c in &ch {
+            c.fold_into(&mut totals);
+        }
+        assert_eq!(totals.row_hits, 5);
+        assert_eq!(totals.row_misses, 3);
+        assert_eq!(totals.last_completion, 80);
+        let full = HbmStats {
+            totals,
+            channels: ch.to_vec(),
+        };
+        assert!(full.consistent());
+        let mut broken = full.clone();
+        broken.totals.row_hits += 1;
+        assert!(!broken.consistent());
     }
 
     #[test]

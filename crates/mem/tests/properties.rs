@@ -1,8 +1,12 @@
-//! Property-based tests for the memory substrate's invariants.
+//! Property-based tests for the memory substrate's invariants, including
+//! the per-channel decomposition: the channel-major partition must be a
+//! permutation of the request stream, the per-channel counters must sum
+//! to the folded totals, and driving the channel machines over their
+//! queues must reproduce the historical serial walk bit-for-bit.
 
-use hygcn_mem::address::{AddressMap, MappingScheme};
-use hygcn_mem::hbm::{Hbm, HbmConfig};
-use hygcn_mem::request::{MemRequest, RequestKind};
+use hygcn_mem::address::{AddressMap, ChannelPartition, MappingScheme};
+use hygcn_mem::hbm::{ChannelTimeline, Hbm, HbmConfig};
+use hygcn_mem::request::{MemRequest, RequestArena, RequestKind};
 use hygcn_mem::scheduler::{AccessScheduler, CoordinationMode};
 use proptest::prelude::*;
 
@@ -130,5 +134,137 @@ proptest! {
         hbm.access(&MemRequest::read(RequestKind::InputFeatures, 0, bytes), 0);
         let pages = u64::from(bytes).div_ceil(2048);
         prop_assert!(hbm.stats().row_misses <= pages);
+    }
+
+    /// The channel-major partition is a permutation of the arena's
+    /// request stream: the segments across all channels exactly tile
+    /// every request — no byte dropped, none duplicated — and each
+    /// channel's queue preserves arrival order.
+    #[test]
+    fn partition_is_permutation_of_arena(reqs in collection::vec(arb_request(), 1..40)) {
+        // Stage the batch through a RequestArena span, as the simulator
+        // does, then partition the span's slice.
+        let mut arena = RequestArena::new();
+        let start = arena.begin();
+        for r in &reqs {
+            arena.push(*r);
+        }
+        let span = arena.finish(start);
+
+        for scheme in [MappingScheme::ChannelInterleaved, MappingScheme::RowInterleaved] {
+            let map = AddressMap::new(scheme, 8, 16, 2048, 2048);
+            let mut p = ChannelPartition::new(8);
+            for r in arena.slice(span) {
+                p.push_request(&map, r);
+            }
+            // Expected tiling: split each request at row boundaries, in
+            // order, independently of the partition code path.
+            let mut expect: Vec<(u64, u64)> = Vec::new();
+            for r in arena.slice(span) {
+                let mut addr = r.addr;
+                let end = r.addr + u64::from(r.bytes);
+                while addr < end {
+                    let seg_end = ((addr / 2048 + 1) * 2048).min(end);
+                    expect.push((addr, seg_end - addr));
+                    addr = seg_end;
+                }
+            }
+            let mut got: Vec<(u64, u64)> = (0..8)
+                .flat_map(|c| p.channel(c).iter())
+                .map(|s| (s.addr, u64::from(s.bytes)))
+                .collect();
+            prop_assert_eq!(got.len(), p.total_segments());
+            prop_assert_eq!(got.len(), expect.len(), "segment count");
+            got.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(&got, &expect, "multiset of segments");
+            // Per-channel arrival order: each queue is a subsequence of
+            // the serial split, so addresses of the same request ascend.
+            for c in 0..8 {
+                for s in p.channel(c) {
+                    prop_assert_eq!(map.decode(s.addr).channel, c);
+                }
+            }
+        }
+    }
+
+    /// The per-channel counters sum consistently with the folded
+    /// `HbmStats` totals, and the cycle accounting is self-consistent:
+    /// `busy_cycles == bursts * t_burst` per channel, and every busy
+    /// cycle fits before that channel's last completion.
+    #[test]
+    fn channel_cycles_sum_to_hbm_stats(reqs in collection::vec(arb_request(), 1..40), now in 0u64..5_000) {
+        let cfg = HbmConfig::hbm1();
+        let mut hbm = Hbm::new(cfg);
+        let done = hbm.service_batch(&reqs, now);
+        let full = hbm.hbm_stats();
+        prop_assert!(full.consistent(), "per-channel fold diverged from totals");
+        prop_assert_eq!(full.channels.len(), cfg.channels);
+        let total_bursts: u64 = full.channels.iter().map(|c| c.bursts).sum();
+        let expect_bursts: u64 = reqs
+            .iter()
+            .flat_map(|r| {
+                let mut segs = Vec::new();
+                let mut addr = r.addr;
+                let end = r.addr + u64::from(r.bytes);
+                while addr < end {
+                    let seg_end = ((addr / 2048 + 1) * 2048).min(end);
+                    segs.push((seg_end - addr).div_ceil(cfg.burst_bytes));
+                    addr = seg_end;
+                }
+                segs
+            })
+            .sum();
+        prop_assert_eq!(total_bursts, expect_bursts);
+        for ch in &full.channels {
+            prop_assert_eq!(ch.busy_cycles, ch.bursts * cfg.t_burst);
+            if ch.bursts > 0 {
+                prop_assert!(ch.busy_cycles <= ch.last_completion);
+                prop_assert!(ch.last_completion <= done);
+            }
+        }
+    }
+
+    /// Row-buffer hit accounting (and every cycle) is preserved against
+    /// the historical serial walk: servicing the interleaved segment
+    /// stream one segment at a time in arrival order on a second set of
+    /// channel machines produces identical per-channel stats, identical
+    /// totals, and the identical batch completion.
+    #[test]
+    fn per_channel_walk_matches_serial_walk(reqs in collection::vec(arb_request(), 1..40), now in 0u64..5_000) {
+        let cfg = HbmConfig::hbm1();
+        let map = cfg.address_map();
+
+        // Per-channel path: the production model.
+        let mut hbm = Hbm::new(cfg);
+        let done = hbm.service_batch(&reqs, now);
+
+        // Serial oracle: walk the segments exactly as the pre-decomposition
+        // model did — request by request, row segment by row segment,
+        // channels interleaved in address order.
+        let mut serial: Vec<ChannelTimeline> =
+            (0..cfg.channels).map(|_| ChannelTimeline::new(&cfg)).collect();
+        let mut serial_done = now;
+        let mut p = ChannelPartition::new(cfg.channels);
+        for r in &reqs {
+            p.clear();
+            p.push_request(&map, r);
+            // Re-interleave this request's segments into address order
+            // (the order the serial walk visited them).
+            let mut segs: Vec<_> = (0..cfg.channels).flat_map(|c| p.channel(c).iter().copied()).collect();
+            segs.sort_by_key(|s| s.addr);
+            for seg in &segs {
+                let c = map.decode(seg.addr).channel;
+                serial_done = serial_done.max(serial[c].service(seg, now));
+            }
+        }
+        prop_assert_eq!(done, serial_done, "batch completion diverged");
+        for (c, ch) in serial.iter().enumerate() {
+            prop_assert_eq!(hbm.channel_stats()[c], *ch.stats(), "channel {} stats", c);
+        }
+        let hits: u64 = serial.iter().map(|c| c.stats().row_hits).sum();
+        let misses: u64 = serial.iter().map(|c| c.stats().row_misses).sum();
+        prop_assert_eq!(hits, hbm.stats().row_hits);
+        prop_assert_eq!(misses, hbm.stats().row_misses);
     }
 }

@@ -1,0 +1,130 @@
+//! Differential oracle: the optimized, per-channel `simulate()` against
+//! the seed-faithful `simulate_reference()` over randomized
+//! configuration × workload sweeps.
+//!
+//! Every generated case asserts the full [`hygcn_suite::core::SimReport`]
+//! — cycles, energy, per-channel memory decomposition, everything — is
+//! **bit-for-bit identical** between the two paths, and that the
+//! per-channel walk stays identical at 1, 2, and 8 host threads. This is
+//! the harness that lets future perf PRs refactor the memory system
+//! without fear: any timing drift, however small, fails here with the
+//! exact configuration that exposed it.
+//!
+//! A single `#[test]` in its own binary: the thread override is
+//! process-global, so no concurrent test may race it.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use hygcn_suite::core::config::{HyGcnConfig, PipelineMode};
+use hygcn_suite::core::Simulator;
+use hygcn_suite::gcn::model::{GcnModel, ModelKind};
+use hygcn_suite::graph::generator::{erdos_renyi, preferential_attachment, rmat, RmatParams};
+use hygcn_suite::graph::Graph;
+use hygcn_suite::mem::hbm::HbmConfig;
+use hygcn_suite::mem::scheduler::CoordinationMode;
+use proptest::prelude::*;
+
+/// Which synthetic workload a case runs.
+#[derive(Debug, Clone, Copy)]
+enum Gen {
+    Erdos,
+    Rmat,
+    PrefAttach,
+}
+
+fn build_graph(wl: Gen, n: usize, density: usize, feature_len: usize, seed: u64) -> Graph {
+    let g = match wl {
+        Gen::Erdos => erdos_renyi(n, n * density, seed).unwrap(),
+        Gen::Rmat => rmat(n, n * density, RmatParams::default(), seed).unwrap(),
+        Gen::PrefAttach => preferential_attachment(n, density.max(1), seed).unwrap(),
+    };
+    g.with_feature_len(feature_len)
+}
+
+fn arb_gen() -> impl Strategy<Value = Gen> {
+    prop_oneof![Just(Gen::Erdos), Just(Gen::Rmat), Just(Gen::PrefAttach)]
+}
+
+fn arb_kind() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::Gcn),
+        Just(ModelKind::GraphSage),
+        Just(ModelKind::Gin),
+        Just(ModelKind::DiffPool),
+    ]
+}
+
+fn arb_pipeline() -> impl Strategy<Value = PipelineMode> {
+    prop_oneof![
+        Just(PipelineMode::LatencyAware),
+        Just(PipelineMode::EnergyAware),
+        Just(PipelineMode::None),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// `simulate()` == `simulate_reference()` bit-for-bit, and the
+    /// per-channel walk is thread-count invariant.
+    #[test]
+    fn simulate_matches_reference_at_any_thread_count(
+        wl in arb_gen(),
+        kind in arb_kind(),
+        pipeline in arb_pipeline(),
+        n in 64usize..768,
+        density in 2usize..12,
+        fpow in 4u32..7, // feature length 16/32/64
+        seed in 0u64..1_000,
+        sparsity in any::<bool>(),
+        coordinated in any::<bool>(),
+        chpow in 0u32..4, // channels 1/2/4/8
+        small_aggbuf in any::<bool>(),
+    ) {
+        let feature_len = 1usize << fpow;
+        let graph = build_graph(wl, n, density, feature_len, seed);
+        let model = GcnModel::new(kind, feature_len, seed).unwrap();
+
+        let mut cfg = HyGcnConfig::default();
+        cfg.pipeline = pipeline;
+        cfg.sparsity_elimination = sparsity;
+        if !coordinated {
+            cfg.coordination = CoordinationMode::Fcfs;
+            cfg.hbm = HbmConfig::hbm1_uncoordinated();
+        }
+        cfg.hbm.channels = 1 << chpow;
+        if small_aggbuf {
+            // Force several chunks so the pipeline actually interleaves.
+            cfg.aggregation_buffer_bytes = 1 << 18;
+        }
+        let sim = Simulator::new(cfg);
+
+        hygcn_par::set_thread_override(Some(1));
+        let serial = sim.simulate(&graph, &model).unwrap();
+        let reference = sim.simulate_reference(&graph, &model).unwrap();
+        prop_assert_eq!(
+            &serial,
+            &reference,
+            "serial vs reference: {:?} {:?} {:?} n={} d={} f={} seed={} sparsity={} coord={} ch={}",
+            wl, kind, pipeline, n, density, feature_len, seed, sparsity, coordinated, 1 << chpow
+        );
+
+        for threads in [2usize, 8] {
+            hygcn_par::set_thread_override(Some(threads));
+            let parallel = sim.simulate(&graph, &model).unwrap();
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "serial vs {} threads: {:?} {:?} {:?} n={} d={} f={} seed={}",
+                threads, wl, kind, pipeline, n, density, feature_len, seed
+            );
+        }
+        hygcn_par::set_thread_override(None);
+
+        // The per-channel decomposition itself must be self-consistent.
+        prop_assert_eq!(serial.mem_channels.len(), 1usize << chpow);
+        let hits: u64 = serial.mem_channels.iter().map(|c| c.row_hits).sum();
+        let misses: u64 = serial.mem_channels.iter().map(|c| c.row_misses).sum();
+        prop_assert_eq!(hits, serial.mem.row_hits);
+        prop_assert_eq!(misses, serial.mem.row_misses);
+    }
+}

@@ -67,6 +67,39 @@ fn extreme_config_single_core_single_module() {
 }
 
 #[test]
+fn edgeless_graph_all_pipeline_modes_match_reference() {
+    // Zero edges means aggregation issues no window traffic at all —
+    // the per-channel merge must handle the resulting empty/degenerate
+    // batches without special-casing, on both the wide and the
+    // single-channel geometry.
+    let g = GraphBuilder::new(32).feature_len(16).build();
+    let m = GcnModel::new(ModelKind::Gcn, 16, 1).unwrap();
+    for channels in [8usize, 1] {
+        for pipeline in [
+            PipelineMode::LatencyAware,
+            PipelineMode::EnergyAware,
+            PipelineMode::None,
+        ] {
+            let cfg = HyGcnConfig {
+                pipeline,
+                hbm: HbmConfig {
+                    channels,
+                    ..HbmConfig::hbm1()
+                },
+                ..HyGcnConfig::default()
+            };
+            let sim = Simulator::new(cfg);
+            let fast = sim.simulate(&g, &m).unwrap();
+            let seed = sim.simulate_reference(&g, &m).unwrap();
+            assert_eq!(fast, seed, "{pipeline:?} channels={channels}");
+            assert_eq!(fast.mem_channels.len(), channels);
+            // No edges, but weights/outputs still move.
+            assert!(fast.dram_bytes() > 0);
+        }
+    }
+}
+
+#[test]
 fn single_channel_hbm_still_correct() {
     let g = hygcn_suite::graph::generator::erdos_renyi(256, 1024, 2)
         .unwrap()
@@ -79,12 +112,19 @@ fn single_channel_hbm_still_correct() {
         },
         ..HyGcnConfig::default()
     };
-    let narrow = Simulator::new(cfg).simulate(&g, &m).unwrap();
+    let narrow = Simulator::new(cfg.clone()).simulate(&g, &m).unwrap();
     let wide = Simulator::new(HyGcnConfig::default())
         .simulate(&g, &m)
         .unwrap();
     assert_eq!(narrow.dram_bytes(), wide.dram_bytes());
     assert!(narrow.cycles >= wide.cycles);
+    // One channel ⇒ the whole decomposition lives in a single timeline,
+    // which must carry every row hit/miss and match the reference walk.
+    assert_eq!(narrow.mem_channels.len(), 1);
+    assert_eq!(narrow.mem_channels[0].row_hits, narrow.mem.row_hits);
+    assert_eq!(narrow.mem_channels[0].row_misses, narrow.mem.row_misses);
+    let seed = Simulator::new(cfg).simulate_reference(&g, &m).unwrap();
+    assert_eq!(narrow, seed);
 }
 
 #[test]
