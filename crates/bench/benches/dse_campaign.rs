@@ -1,0 +1,45 @@
+//! Fig. 15 + Fig. 18(d) through the DSE campaign subsystem: one
+//! [`Campaign`] jointly sweeps the sparsity-elimination axis (Fig. 15)
+//! and the Aggregation Buffer capacity axis (Fig. 18d) over the small
+//! benchmark datasets, emitting the paper-shaped Markdown tables that
+//! the ad-hoc per-figure harnesses used to assemble by hand.
+//!
+//! Run with: `cargo bench -p hygcn-bench --bench dse_campaign`
+//! (`CAMPAIGN_SMOKE=1` restricts to IMDB-BIN for CI.)
+
+use hygcn_bench::{bench_scale, header};
+use hygcn_dse::analysis;
+use hygcn_dse::campaign::Campaign;
+use hygcn_dse::space::{Axis, ConfigSpace, WorkloadSpec};
+use hygcn_gcn::model::ModelKind;
+use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
+
+fn main() {
+    header("Fig. 15 / Fig. 18(d) via one DSE campaign");
+
+    let keys: &[DatasetKey] = if std::env::var_os("CAMPAIGN_SMOKE").is_some() {
+        &[DatasetKey::Ib]
+    } else {
+        &[DatasetKey::Ib, DatasetKey::Cr, DatasetKey::Pb]
+    };
+    let workloads = keys
+        .iter()
+        .map(|&k| WorkloadSpec::dataset(k, bench_scale(&DatasetSpec::get(k)), 0x5EED))
+        .collect();
+
+    let space = ConfigSpace::new(workloads, vec![ModelKind::Gcn])
+        .with_axis(Axis::parse("sparsity", "on,off").expect("static axis"))
+        .with_axis(Axis::parse("aggbuf-mb", "2,8,32").expect("static axis"));
+    let report = Campaign::new(space).run().expect("campaign runs");
+    print!("{}", analysis::to_markdown(&report));
+
+    // The Fig. 15 headline: sparsity elimination only ever helps.
+    let margins = analysis::marginals(&report.points);
+    let sparsity: Vec<_> = margins.iter().filter(|r| r.axis == "sparsity").collect();
+    if let [on, off] = sparsity.as_slice() {
+        println!(
+            "\nsparsity-elimination geomean speedup: {:.2}x (paper: 1.1-3x)",
+            off.geomean_cycles / on.geomean_cycles
+        );
+    }
+}

@@ -3,6 +3,9 @@
 use hygcn_baseline::{CpuModel, GpuModel};
 use hygcn_core::config::{HyGcnConfig, PipelineMode};
 use hygcn_core::Simulator;
+use hygcn_dse::campaign::Campaign;
+use hygcn_dse::space::{Axis, ConfigSpace, SpaceSample, WorkloadSpec};
+use hygcn_dse::{analysis, DseError};
 use hygcn_gcn::model::{GcnModel, ModelKind};
 use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
 use hygcn_graph::Graph;
@@ -26,6 +29,29 @@ pub const WORKLOAD_FLAGS: &[&str] = &[
     "knob",
     "edges",
     "feature-len",
+    "out",
+];
+
+/// Flags accepted by `hygcn campaign` — the base-config flags plus the
+/// space/store/report knobs of the DSE subsystem.
+pub const CAMPAIGN_FLAGS: &[&str] = &[
+    "axes",
+    "datasets",
+    "models",
+    "scale",
+    "seed",
+    "pipeline",
+    "coordination",
+    "sparsity",
+    "aggbuf-mb",
+    "inputbuf-kb",
+    "edges",
+    "feature-len",
+    "sample",
+    "sample-seed",
+    "store",
+    "csv",
+    "md",
 ];
 
 /// Flags accepted by `hygcn bench` (the config flags plus the
@@ -74,19 +100,24 @@ impl From<ArgError> for CliError {
     }
 }
 
+impl From<DseError> for CliError {
+    fn from(e: DseError) -> Self {
+        match e {
+            DseError::Spec(m) => CliError::Unknown(m),
+            other => CliError::Runtime(other.to_string()),
+        }
+    }
+}
+
 /// Resolves a dataset key from its paper abbreviation.
 pub fn dataset_key(name: &str) -> Result<DatasetKey, CliError> {
-    DatasetKey::ALL
-        .into_iter()
-        .find(|k| k.abbrev().eq_ignore_ascii_case(name))
+    DatasetKey::from_abbrev(name)
         .ok_or_else(|| CliError::Unknown(format!("unknown dataset '{name}' (IB/CR/CS/CL/PB/RD)")))
 }
 
 /// Resolves a model kind from its paper abbreviation.
 pub fn model_kind(name: &str) -> Result<ModelKind, CliError> {
-    ModelKind::ALL
-        .into_iter()
-        .find(|m| m.abbrev().eq_ignore_ascii_case(name))
+    ModelKind::from_abbrev(name)
         .ok_or_else(|| CliError::Unknown(format!("unknown model '{name}' (GCN/GSC/GIN/DFP)")))
 }
 
@@ -169,6 +200,25 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         stack.total_time_s() * 1e3,
         stack.total_energy_j() * 1e3
     );
+    if let Some(path) = args.get("out") {
+        // One layer writes the report verbatim (`SimReport::to_json()`,
+        // the golden-snapshot form); a multi-layer stack writes a JSON
+        // array of per-layer reports.
+        let json = match stack.layers.as_slice() {
+            [only] => only.to_json(),
+            layers => {
+                let mut s = String::from("[\n");
+                for (i, layer) in layers.iter().enumerate() {
+                    s += layer.to_json().trim_end();
+                    s += if i + 1 < layers.len() { ",\n" } else { "\n" };
+                }
+                s += "]\n";
+                s
+            }
+        };
+        std::fs::write(path, json).map_err(|e| CliError::Runtime(e.to_string()))?;
+        out += &format!("wrote {path}\n");
+    }
     Ok(out)
 }
 
@@ -215,69 +265,116 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `hygcn sweep --knob aggbuf|window|factor` — a design-space sweep.
+/// The workloads a space-running command targets: either one edge-list
+/// file or a comma-separated dataset list (each at `--scale` or its
+/// default bench scale).
+fn workloads_from_args(args: &Args) -> Result<Vec<WorkloadSpec>, CliError> {
+    if let Some(path) = args.get("edges") {
+        let f: usize = args.get_parsed("feature-len", 128, "an integer >= 1")?;
+        return Ok(vec![WorkloadSpec::EdgeList {
+            path: path.into(),
+            feature_len: f.max(1),
+        }]);
+    }
+    let seed: u64 = args.get_parsed("seed", 0x5EEDu64, "an integer")?;
+    let names = args.get("datasets").or_else(|| args.get("dataset"));
+    names
+        .unwrap_or("CR")
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|name| {
+            let key = dataset_key(name)?;
+            let spec = DatasetSpec::get(key);
+            let scale = args.get_parsed("scale", spec.default_bench_scale(), "a float in (0,1]")?;
+            Ok(WorkloadSpec::dataset(key, scale, seed))
+        })
+        .collect()
+}
+
+/// The models a space-running command targets (`--models GCN,GIN`).
+fn models_from_args(args: &Args) -> Result<Vec<ModelKind>, CliError> {
+    args.get("models")
+        .or_else(|| args.get("model"))
+        .unwrap_or("GCN")
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(model_kind)
+        .collect()
+}
+
+/// `hygcn sweep --knob aggbuf|window|factor` — the legacy one-knob sweep,
+/// reimplemented as a thin alias over a one-axis [`ConfigSpace`] so the
+/// repo has exactly one sweep execution path (the campaign executor, with
+/// its shared workload build).
 pub fn sweep(args: &Args) -> Result<String, CliError> {
-    let graph = build_graph(args)?;
-    let kind = model_kind(args.get_or("model", "GCN"))?;
-    let model = GcnModel::new(kind, graph.feature_len(), 0xC0DE)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
-    let knob = args.get_or("knob", "aggbuf").to_string();
-    let mut out = format!("sweep '{knob}' of {} on {}:\n", kind.abbrev(), graph.name());
-    let run = |cfg: HyGcnConfig| {
-        Simulator::new(cfg)
-            .simulate(&graph, &model)
-            .map_err(|e| CliError::Runtime(e.to_string()))
-    };
-    match knob.as_str() {
-        "aggbuf" => {
-            for mb in [2usize, 4, 8, 16, 32] {
-                let r = run(HyGcnConfig {
-                    aggregation_buffer_bytes: mb << 20,
-                    ..HyGcnConfig::default()
-                })?;
-                out += &format!(
-                    "  {:>2} MB: {:>12} cycles, {:>8.1} MB DRAM, {:>3} chunks\n",
-                    mb,
-                    r.cycles,
-                    r.dram_bytes() as f64 / 1e6,
-                    r.chunks
-                );
-            }
-        }
-        "window" => {
-            for kb in [32usize, 64, 128, 256, 512] {
-                let r = run(HyGcnConfig {
-                    input_buffer_bytes: kb << 10,
-                    ..HyGcnConfig::default()
-                })?;
-                out += &format!(
-                    "  {:>3} KB input buffer: {:>12} cycles, sparsity red. {:>5.1}%\n",
-                    kb,
-                    r.cycles,
-                    r.sparsity_reduction * 100.0
-                );
-            }
-        }
-        "factor" => {
-            use hygcn_graph::sampling::SamplePolicy;
-            for f in [1usize, 2, 4, 8, 16] {
-                let r = run(HyGcnConfig {
-                    sample_policy_override: Some(SamplePolicy::Factor(f)),
-                    ..HyGcnConfig::default()
-                })?;
-                out += &format!(
-                    "  1/{:<2} sampling: {:>12} cycles, {:>8.1} MB DRAM\n",
-                    f,
-                    r.cycles,
-                    r.dram_bytes() as f64 / 1e6
-                );
-            }
-        }
+    let knob = args.get_or("knob", "aggbuf");
+    let axis = match knob {
+        "aggbuf" => Axis::parse("aggbuf-mb", "2,4,8,16,32"),
+        "window" => Axis::parse("inputbuf-kb", "32,64,128,256,512"),
+        "factor" => Axis::parse("factor", "1,2,4,8,16"),
         other => {
             return Err(CliError::Unknown(format!(
                 "unknown knob '{other}' (aggbuf/window/factor)"
             )))
         }
+    }?;
+    let space = ConfigSpace::new(workloads_from_args(args)?, models_from_args(args)?)
+        .with_base(build_config(args)?)
+        .with_axis(axis);
+    // No store: the legacy sweep recomputes every run.
+    let report = Campaign::new(space).run()?;
+    let mut out = format!(
+        "sweep '{knob}' ({} points, via the campaign engine):\n\n",
+        report.points.len()
+    );
+    out += &analysis::to_markdown(&report);
+    Ok(out)
+}
+
+/// `hygcn campaign` — a multi-axis design-space campaign: cached,
+/// resumable, with Pareto + marginal reporting.
+pub fn campaign(args: &Args) -> Result<String, CliError> {
+    let axes = Axis::parse_spec(args.get_or("axes", ""))?;
+    let mut space = ConfigSpace::new(workloads_from_args(args)?, models_from_args(args)?)
+        .with_base(build_config(args)?);
+    for axis in axes {
+        space = space.with_axis(axis);
+    }
+    if let Some(n) = args.get("sample") {
+        let max_points: usize = n.parse().map_err(|_| ArgError::BadValue {
+            flag: "sample".to_string(),
+            value: n.to_string(),
+            expected: "an integer >= 1",
+        })?;
+        let seed: u64 = args.get_parsed("sample-seed", 0xD5Eu64, "an integer")?;
+        space = space.with_sample(SpaceSample { max_points, seed });
+    }
+
+    let mut campaign = Campaign::new(space);
+    let store = args.get_or("store", "campaign.jsonl");
+    if store != "none" {
+        campaign = campaign.with_store(store);
+    }
+    let report = campaign.run()?;
+
+    let mut out = analysis::to_markdown(&report);
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, analysis::to_csv(&report))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        out += &format!("\nwrote {path}\n");
+    }
+    if let Some(path) = args.get("md") {
+        std::fs::write(path, analysis::to_markdown(&report))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        out += &format!("\nwrote {path}\n");
+    }
+    if store != "none" {
+        out += &format!(
+            "\nstore: {store} ({} simulated, {} cached this run)\n",
+            report.simulated, report.cache_hits
+        );
     }
     Ok(out)
 }
@@ -443,8 +540,20 @@ commands:
              --layers N  --scale F  --seed N
              --pipeline latency|energy|none  --coordination on|off
              --sparsity on|off  --aggbuf-mb N  --inputbuf-kb N
+             --out FILE (write the report as JSON)
   compare    HyGCN vs PyG-CPU vs PyG-GPU on one workload (same flags)
-  sweep      design-space sweep: --knob aggbuf|window|factor (same flags)
+  sweep      legacy one-knob sweep: --knob aggbuf|window|factor
+             (an alias over a one-axis campaign; same config flags)
+  campaign   multi-axis DSE campaign: cached, resumable, Pareto-reported
+             --axes \"axis=v1,v2;axis2=...\" with axes
+               aggbuf-mb/inputbuf-kb/edgebuf-kb/pipeline/coordination/
+               sparsity/factor/simd-cores/modules
+             --datasets IB,CR,...  --models GCN,GIN,...
+             --scale F  --seed N
+             --sample N --sample-seed S (random subset of the grid)
+             --store FILE|none (default campaign.jsonl; completed points
+               are skipped on re-run)
+             --csv FILE  --md FILE
   bench      host-throughput benchmark: serial vs parallel simulate()
              --vertices N  --degree K  --feature-len F  --runs R
              --threads T  --json FILE (writes a BENCH_sim.json record)
@@ -575,5 +684,102 @@ mod tests {
     fn bad_enum_values_error() {
         assert!(simulate(&args(&["simulate", "--pipeline", "warp", "--scale", "0.1"])).is_err());
         assert!(simulate(&args(&["simulate", "--dataset", "nope"])).is_err());
+    }
+
+    fn campaign_args(toks: &[&str]) -> Args {
+        Args::parse(toks.iter().map(|s| s.to_string()), CAMPAIGN_FLAGS).unwrap()
+    }
+
+    #[test]
+    fn simulate_out_writes_report_json() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        std::fs::remove_file(&path).ok();
+        let out = simulate(&args(&[
+            "simulate",
+            "--dataset",
+            "IB",
+            "--scale",
+            "0.1",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"cycles\": "));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn campaign_two_axes_reports_pareto_and_marginals() {
+        let out = campaign(&campaign_args(&[
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.1",
+            "--axes",
+            "aggbuf-mb=4,16;sparsity=on,off",
+            "--store",
+            "none",
+        ]))
+        .unwrap();
+        assert!(out.contains("## Campaign (4 points: 4 simulated, 0 cached)"));
+        assert!(out.contains("### Pareto front"));
+        assert!(out.contains("Per-axis marginals"));
+    }
+
+    #[test]
+    fn campaign_store_makes_second_run_all_hits() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("cli-campaign.jsonl");
+        std::fs::remove_file(&store).ok();
+        let toks = [
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.1",
+            "--axes",
+            "aggbuf-mb=4,16",
+            "--store",
+            store.to_str().unwrap(),
+        ];
+        let first = campaign(&campaign_args(&toks)).unwrap();
+        assert!(first.contains("2 simulated, 0 cached"));
+        let second = campaign(&campaign_args(&toks)).unwrap();
+        assert!(second.contains("0 simulated, 2 cached"));
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_bad_axes() {
+        for spec in ["bogus=1", "aggbuf-mb", "pipeline=warp"] {
+            let e = campaign(&campaign_args(&[
+                "campaign", "--axes", spec, "--store", "none", "--scale", "0.1",
+            ]));
+            assert!(e.is_err(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_a_campaign_alias() {
+        let out = sweep(&args(&[
+            "sweep",
+            "--dataset",
+            "IB",
+            "--scale",
+            "0.1",
+            "--knob",
+            "aggbuf",
+        ]))
+        .unwrap();
+        assert!(out.contains("via the campaign engine"));
+        assert!(out.contains("| aggbuf-mb |") || out.contains("aggbuf-mb"));
+        assert!(out.contains("5 points"));
     }
 }

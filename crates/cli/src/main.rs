@@ -1,9 +1,10 @@
 //! `hygcn` — command-line driver for the HyGCN (HPCA 2020) reproduction.
 //!
 //! ```text
-//! hygcn simulate --dataset CR --model GCN
+//! hygcn simulate --dataset CR --model GCN --out report.json
 //! hygcn compare  --dataset PB --model GIN
 //! hygcn sweep    --dataset PB --knob aggbuf
+//! hygcn campaign --datasets CR,PB --axes "aggbuf-mb=2,8,32;sparsity=on,off"
 //! hygcn bench    --vertices 131072 --json BENCH_sim.json
 //! hygcn datasets
 //! ```
@@ -13,7 +14,8 @@ mod commands;
 
 use args::Args;
 use commands::{
-    bench, compare, datasets, help, simulate, sweep, CliError, BENCH_FLAGS, WORKLOAD_FLAGS,
+    bench, campaign, compare, datasets, help, simulate, sweep, CliError, BENCH_FLAGS,
+    CAMPAIGN_FLAGS, WORKLOAD_FLAGS,
 };
 
 fn run() -> Result<String, CliError> {
@@ -23,16 +25,17 @@ fn run() -> Result<String, CliError> {
     }
     // Each command validates against its own flag set, so a bench-only
     // flag passed to `simulate` still fails loudly.
-    let allowed = if raw[0] == "bench" {
-        BENCH_FLAGS
-    } else {
-        WORKLOAD_FLAGS
+    let allowed = match raw[0].as_str() {
+        "bench" => BENCH_FLAGS,
+        "campaign" => CAMPAIGN_FLAGS,
+        _ => WORKLOAD_FLAGS,
     };
     let parsed = Args::parse(raw, allowed)?;
     match parsed.command() {
         "simulate" => simulate(&parsed),
         "compare" => compare(&parsed),
         "sweep" => sweep(&parsed),
+        "campaign" => campaign(&parsed),
         "bench" => bench(&parsed),
         "datasets" => Ok(datasets()),
         "help" | "--help" | "-h" => Ok(help()),

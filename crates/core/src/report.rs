@@ -131,6 +131,28 @@ impl SimReport {
         out.push_str("\n}\n");
         out
     }
+
+    /// The [`Self::to_json`] form compacted onto a single line — the
+    /// shape the DSE campaign store appends to `campaign.jsonl` (one
+    /// record per line). Derived mechanically from `to_json()` so the two
+    /// forms can never disagree on content: compacting the pretty form of
+    /// a report always yields its stored form bit-for-bit.
+    pub fn to_json_compact(&self) -> String {
+        compact_json(&self.to_json())
+    }
+}
+
+/// Collapses the line-per-field `to_json()` layout (`{\n  "k": v,\n...}`)
+/// onto one line by dropping newlines and the two-space indent.
+pub fn compact_json(pretty: &str) -> String {
+    let mut out = String::with_capacity(pretty.len());
+    for line in pretty.lines() {
+        let trimmed = line.trim_start();
+        if !trimmed.is_empty() {
+            out.push_str(trimmed);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -184,5 +206,20 @@ mod tests {
         for line in json.lines().filter(|l| l.contains(':')) {
             assert_eq!(line.matches("\": ").count(), 1, "line {line}");
         }
+    }
+
+    #[test]
+    fn compact_form_is_single_line_with_same_content() {
+        let r = SimReport {
+            cycles: 7,
+            time_s: 1.5e-6,
+            ..Default::default()
+        };
+        let compact = r.to_json_compact();
+        assert!(!compact.contains('\n'));
+        assert!(compact.starts_with('{') && compact.ends_with('}'));
+        assert!(compact.contains("\"cycles\": 7,"));
+        // Mechanically equal to compacting the pretty form.
+        assert_eq!(compact, compact_json(&r.to_json()));
     }
 }

@@ -1,0 +1,338 @@
+//! Campaign analysis: Pareto fronts, per-axis marginal tables, and
+//! CSV/Markdown emitters.
+//!
+//! The objective space is the paper's evaluation triple — end-to-end
+//! **cycles**, dynamic **energy** (J), and **DRAM traffic** (bytes) —
+//! all minimized. Marginal tables answer the Fig. 15/Fig. 18 question
+//! ("what does moving one axis do, averaged over everything else?") with
+//! per-value geometric means, the paper's own averaging convention.
+
+use crate::campaign::{CampaignReport, PointOutcome};
+
+/// Whether `a` dominates `b`: no worse on every objective, strictly
+/// better on at least one.
+fn dominates(a: &PointOutcome, b: &PointOutcome) -> bool {
+    let no_worse = a.cycles <= b.cycles && a.energy_j <= b.energy_j && a.dram_bytes <= b.dram_bytes;
+    let better = a.cycles < b.cycles || a.energy_j < b.energy_j || a.dram_bytes < b.dram_bytes;
+    no_worse && better
+}
+
+/// Indices of the Pareto-optimal points over (cycles, energy, DRAM
+/// bytes), minimizing all three, in campaign order. Duplicated objective
+/// triples all survive (none strictly dominates its twin).
+pub fn pareto_front(points: &[PointOutcome]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|other| dominates(other, &points[i])))
+        .collect()
+}
+
+/// One row of a per-axis marginal table: one axis value, averaged (by
+/// geometric mean) over every point carrying that value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginalRow {
+    /// Axis name (`dataset`, `model`, or a swept config axis).
+    pub axis: String,
+    /// The axis value label.
+    pub value: String,
+    /// How many points carry this value.
+    pub count: usize,
+    /// Geometric mean of cycles.
+    pub geomean_cycles: f64,
+    /// Geometric mean of energy (J).
+    pub geomean_energy_j: f64,
+    /// Geometric mean of DRAM bytes.
+    pub geomean_dram_bytes: f64,
+}
+
+/// Per-axis marginal tables over every assignment axis (including the
+/// implicit `dataset` and `model` axes), in assignment order; within an
+/// axis, values appear in first-occurrence order.
+pub fn marginals(points: &[PointOutcome]) -> Vec<MarginalRow> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for (axis_i, (axis, _)) in first.point.assignment.iter().enumerate() {
+        let mut values: Vec<String> = Vec::new();
+        for p in points {
+            let v = &p.point.assignment[axis_i].1;
+            if !values.contains(v) {
+                values.push(v.clone());
+            }
+        }
+        if values.len() < 2 && axis_i >= 2 {
+            continue; // a swept axis with one value has no marginal story
+        }
+        for value in values {
+            let members: Vec<&PointOutcome> = points
+                .iter()
+                .filter(|p| p.point.assignment[axis_i].1 == value)
+                .collect();
+            let n = members.len() as f64;
+            let geo = |f: &dyn Fn(&PointOutcome) -> f64| -> f64 {
+                let ln_sum: f64 = members.iter().map(|p| f(p).max(1e-300).ln()).sum();
+                (ln_sum / n).exp()
+            };
+            rows.push(MarginalRow {
+                axis: axis.clone(),
+                value,
+                count: members.len(),
+                geomean_cycles: geo(&|p| p.cycles as f64),
+                geomean_energy_j: geo(&|p| p.energy_j),
+                geomean_dram_bytes: geo(&|p| p.dram_bytes as f64),
+            });
+        }
+    }
+    rows
+}
+
+/// Escapes a value for a Markdown table cell: axis value labels are
+/// usually plain tokens, but an edge-list workload label embeds a user
+/// path, which may contain `|` (cell break) or newlines.
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|").replace('\n', " ")
+}
+
+/// RFC-4180-style quoting for one CSV field (again: user paths may
+/// contain commas, quotes, or newlines).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The campaign as a Markdown document: the per-point table (with Pareto
+/// markers), the Pareto front, and the per-axis marginal tables — the
+/// Fig. 15/Fig. 18-shaped artifact one `hygcn campaign` invocation emits.
+pub fn to_markdown(report: &CampaignReport) -> String {
+    let points = &report.points;
+    let mut out = String::new();
+    if points.is_empty() {
+        return "(empty campaign)\n".to_string();
+    }
+    let front = pareto_front(points);
+    let axes: Vec<&str> = points[0]
+        .point
+        .assignment
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+
+    out += &format!(
+        "## Campaign ({} points: {} simulated, {} cached)\n\n",
+        points.len(),
+        report.simulated,
+        report.cache_hits
+    );
+    out += &format!(
+        "| {} | cycles | time (ms) | energy (mJ) | DRAM (MB) | pareto |\n",
+        axes.join(" | ")
+    );
+    out += &format!("|{}|\n", vec!["---"; axes.len() + 5].join("|"));
+    for (i, p) in points.iter().enumerate() {
+        let values: Vec<String> = p.point.assignment.iter().map(|(_, v)| md_cell(v)).collect();
+        out += &format!(
+            "| {} | {} | {:.3} | {:.3} | {:.1} | {} |\n",
+            values.join(" | "),
+            p.cycles,
+            p.time_s * 1e3,
+            p.energy_j * 1e3,
+            p.dram_bytes as f64 / 1e6,
+            if front.contains(&i) { "*" } else { "" },
+        );
+    }
+
+    out += &format!(
+        "\n### Pareto front over (cycles, energy, DRAM) — {} of {} points\n\n",
+        front.len(),
+        points.len()
+    );
+    for &i in &front {
+        let p = &points[i];
+        out += &format!(
+            "- `{}`: {} cycles, {:.3} mJ, {:.1} MB DRAM\n",
+            p.point.label(),
+            p.cycles,
+            p.energy_j * 1e3,
+            p.dram_bytes as f64 / 1e6
+        );
+    }
+
+    let margin = marginals(points);
+    if !margin.is_empty() {
+        out += "\n### Per-axis marginals (geometric means)\n\n";
+        out += "| axis | value | points | cycles | energy (mJ) | DRAM (MB) |\n";
+        out += "|---|---|---|---|---|---|\n";
+        for r in &margin {
+            out += &format!(
+                "| {} | {} | {} | {:.0} | {:.3} | {:.1} |\n",
+                md_cell(&r.axis),
+                md_cell(&r.value),
+                r.count,
+                r.geomean_cycles,
+                r.geomean_energy_j * 1e3,
+                r.geomean_dram_bytes / 1e6,
+            );
+        }
+    }
+    out
+}
+
+/// The campaign as CSV: one row per point, assignment columns first,
+/// then metrics, the Pareto flag, and the cache key.
+pub fn to_csv(report: &CampaignReport) -> String {
+    let points = &report.points;
+    let Some(first) = points.first() else {
+        return String::new();
+    };
+    let front = pareto_front(points);
+    let mut out = String::new();
+    let axes: Vec<&str> = first
+        .point
+        .assignment
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    out += &format!(
+        "{},cycles,time_s,energy_j,dram_bytes,pareto,key\n",
+        axes.join(",")
+    );
+    for (i, p) in points.iter().enumerate() {
+        let values: Vec<String> = p
+            .point
+            .assignment
+            .iter()
+            .map(|(_, v)| csv_field(v))
+            .collect();
+        out += &format!(
+            "{},{},{:?},{:?},{},{},{}\n",
+            values.join(","),
+            p.cycles,
+            p.time_s,
+            p.energy_j,
+            p.dram_bytes,
+            front.contains(&i),
+            p.point.key_hex(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{DesignPoint, WorkloadSpec};
+    use hygcn_core::HyGcnConfig;
+    use hygcn_gcn::model::ModelKind;
+    use hygcn_graph::datasets::DatasetKey;
+
+    fn outcome(key: u64, axis_val: &str, cycles: u64, energy_j: f64, dram: u64) -> PointOutcome {
+        PointOutcome {
+            point: DesignPoint {
+                workload: WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1),
+                workload_idx: 0,
+                model: ModelKind::Gcn,
+                config: HyGcnConfig::default(),
+                assignment: vec![
+                    ("dataset".into(), "IB@0.1".into()),
+                    ("model".into(), "GCN".into()),
+                    ("aggbuf-mb".into(), axis_val.into()),
+                ],
+                key,
+            },
+            cycles,
+            time_s: cycles as f64 * 1e-9,
+            energy_j,
+            dram_bytes: dram,
+            report_json: "{}".into(),
+            cached: false,
+        }
+    }
+
+    fn report(points: Vec<PointOutcome>) -> CampaignReport {
+        let n = points.len();
+        CampaignReport {
+            points,
+            simulated: n,
+            cache_hits: 0,
+        }
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated_points() {
+        let pts = vec![
+            outcome(1, "2", 100, 1.0, 100),  // dominated by #3
+            outcome(2, "4", 90, 2.0, 100),   // front (best cycles tradeoff)
+            outcome(3, "8", 100, 0.5, 90),   // front
+            outcome(4, "16", 120, 3.0, 200), // dominated by everything
+        ];
+        assert_eq!(pareto_front(&pts), vec![1, 2]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let pts = vec![outcome(1, "2", 10, 1.0, 10), outcome(2, "4", 10, 1.0, 10)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn marginals_geomean_per_axis_value() {
+        let pts = vec![
+            outcome(1, "2", 100, 1.0, 100),
+            outcome(2, "2", 400, 4.0, 400),
+            outcome(3, "4", 50, 0.5, 50),
+        ];
+        let rows = marginals(&pts);
+        // dataset and model axes are single-valued but are the first two
+        // (identity) axes and still reported; aggbuf-mb has two values.
+        let agg: Vec<&MarginalRow> = rows.iter().filter(|r| r.axis == "aggbuf-mb").collect();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].value, "2");
+        assert_eq!(agg[0].count, 2);
+        // geomean(100, 400) = 200.
+        assert!((agg[0].geomean_cycles - 200.0).abs() < 1e-9);
+        assert_eq!(agg[1].value, "4");
+        assert!((agg[1].geomean_cycles - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_and_csv_have_one_row_per_point() {
+        let r = report(vec![
+            outcome(1, "2", 100, 1.0, 100),
+            outcome(2, "4", 50, 0.5, 50),
+        ]);
+        let md = to_markdown(&r);
+        assert!(md.contains("| dataset | model | aggbuf-mb |"));
+        assert!(md.contains("### Pareto front"));
+        assert_eq!(md.matches("| IB@0.1 | GCN |").count(), 2);
+        let csv = to_csv(&r);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("dataset,model,aggbuf-mb,cycles"));
+        assert!(csv.contains("0000000000000002"));
+    }
+
+    #[test]
+    fn empty_report_emits_placeholders() {
+        let r = report(vec![]);
+        assert_eq!(to_markdown(&r), "(empty campaign)\n");
+        assert_eq!(to_csv(&r), "");
+    }
+
+    #[test]
+    fn emitters_escape_hostile_labels() {
+        // An edge-list workload label carries a user path, which may
+        // contain CSV/Markdown metacharacters.
+        let mut p = outcome(1, "4", 100, 1.0, 100);
+        p.point.assignment[0].1 = "edges:web,la|rge \"x\".txt".into();
+        let r = report(vec![p]);
+        let csv = to_csv(&r);
+        let data_row = csv.lines().nth(1).unwrap();
+        // RFC-4180: the whole field quoted, inner quotes doubled, the
+        // unquoted columns following intact.
+        assert!(data_row.starts_with("\"edges:web,la|rge \"\"x\"\".txt\",GCN,4,100,"));
+        let md = to_markdown(&r);
+        assert!(md.contains("| edges:web,la\\|rge \"x\".txt |"));
+    }
+}

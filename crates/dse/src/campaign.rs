@@ -1,0 +1,286 @@
+//! The campaign executor: shared workload builds, cached execution, and
+//! streaming persistence.
+//!
+//! Execution strategy, shaped by the single-CPU reference box:
+//!
+//! 1. **Reuse over threads.** Points are grouped by workload; each graph
+//!    is synthesized once per campaign and each `(model, feature_len)`
+//!    pair is instantiated once per group, shared by reference across
+//!    every config point that touches it. Building Reddit-scale graphs
+//!    dwarfs a single simulation, so this is where the campaign's speed
+//!    comes from.
+//! 2. **Fan out where threads exist.** Within a group, missing points run
+//!    through [`hygcn_par::par_map_slice`] in batches of one point per
+//!    worker; results splice back in deterministic point order (the same
+//!    ordered-merge discipline as the simulator's chunk pipeline), so a
+//!    campaign's outputs are bit-identical at any thread count.
+//! 3. **Stream completions.** Every finished batch is appended to the
+//!    [`ResultStore`] before the next batch starts: a killed campaign
+//!    loses at most one batch, and the re-run skips everything already
+//!    stored.
+
+use std::path::PathBuf;
+
+use hygcn_core::{SimReport, Simulator};
+use hygcn_gcn::model::GcnModel;
+use hygcn_graph::Graph;
+
+use crate::space::{ConfigSpace, DesignPoint};
+use crate::store::{ResultStore, StoreRecord};
+use crate::DseError;
+
+/// Seed for the shared model weights — the same constant the CLI's
+/// single-run commands use, so a 1-point campaign reproduces
+/// `hygcn simulate` bit-for-bit.
+pub const MODEL_SEED: u64 = 0xC0DE;
+
+/// One executed (or cache-served) design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// The point.
+    pub point: DesignPoint,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Simulated seconds.
+    pub time_s: f64,
+    /// Total dynamic energy in joules.
+    pub energy_j: f64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Full report as compact single-line JSON.
+    pub report_json: String,
+    /// Whether the result came from the store (true) or a fresh
+    /// simulation (false).
+    pub cached: bool,
+}
+
+/// Everything a campaign run produced, in enumeration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-point outcomes, ordered as [`ConfigSpace::enumerate`] listed
+    /// them.
+    pub points: Vec<PointOutcome>,
+    /// Points simulated fresh this run.
+    pub simulated: usize,
+    /// Points served from the store.
+    pub cache_hits: usize,
+}
+
+/// A runnable campaign: a space plus an optional persistent store.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    space: ConfigSpace,
+    store_path: Option<PathBuf>,
+}
+
+impl Campaign {
+    /// A campaign over `space` with no persistence (results are
+    /// recomputed every run — the legacy `sweep` behavior).
+    pub fn new(space: ConfigSpace) -> Self {
+        Self {
+            space,
+            store_path: None,
+        }
+    }
+
+    /// Persists results to (and resumes from) `path`.
+    pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// The space this campaign runs.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// Enumerates the space and runs every point not already in the
+    /// store, streaming completions to disk.
+    ///
+    /// # Errors
+    ///
+    /// * [`DseError::Spec`] for an empty space.
+    /// * [`DseError::Workload`] when a graph fails to build.
+    /// * [`DseError::Sim`] when the simulator rejects a point (already-
+    ///   completed points stay persisted, so a fixed re-run resumes).
+    /// * [`DseError::Store`] for store I/O problems.
+    pub fn run(&self) -> Result<CampaignReport, DseError> {
+        let points = self.space.enumerate()?;
+        let mut store = match &self.store_path {
+            Some(p) => ResultStore::open(p)?,
+            None => ResultStore::in_memory(),
+        };
+
+        // Which points were already done before this run started.
+        let preexisting: Vec<bool> = points.iter().map(|p| store.get(p.key).is_some()).collect();
+
+        // Group the missing points by workload, preserving point order
+        // within each group (workload_idx is the sharing handle).
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            if preexisting[i] {
+                continue;
+            }
+            match groups.iter_mut().find(|(w, _)| *w == p.workload_idx) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((p.workload_idx, vec![i])),
+            }
+        }
+
+        let mut simulated = 0usize;
+        for (widx, idxs) in groups {
+            let workload = &self.space.workloads[widx];
+            let graph = workload.build()?;
+            let graph_hash = graph.content_hash();
+            // One model instance per kind in this group, shared across
+            // every point of the group.
+            let mut models: Vec<(hygcn_gcn::model::ModelKind, GcnModel)> = Vec::new();
+            for &i in &idxs {
+                let kind = points[i].model;
+                if !models.iter().any(|(k, _)| *k == kind) {
+                    let model = GcnModel::new(kind, graph.feature_len(), MODEL_SEED)
+                        .map_err(|e| DseError::Sim(e.to_string()))?;
+                    models.push((kind, model));
+                }
+            }
+
+            // Fan the group out in batches of one point per worker; the
+            // ordered collect keeps results in point order, and the store
+            // append after each batch is the streaming/kill-safety point.
+            let batch = hygcn_par::num_threads().max(1);
+            for chunk in idxs.chunks(batch) {
+                let reports: Vec<Result<SimReport, DseError>> =
+                    hygcn_par::par_map_slice(chunk, |_, &i| {
+                        let p = &points[i];
+                        let model = &models
+                            .iter()
+                            .find(|(k, _)| *k == p.model)
+                            .expect("model prebuilt for every kind in group")
+                            .1;
+                        Simulator::new(p.config.clone())
+                            .simulate(&graph, model)
+                            .map_err(|e| DseError::Sim(format!("{}: {e}", p.label())))
+                    });
+                for (&i, report) in chunk.iter().zip(reports) {
+                    let report = report?;
+                    let p = &points[i];
+                    store.append(StoreRecord {
+                        key: p.key,
+                        label: p.label(),
+                        graph_hash,
+                        cycles: report.cycles,
+                        time_s: report.time_s,
+                        energy_j: report.energy_j(),
+                        dram_bytes: report.dram_bytes(),
+                        report_json: report.to_json_compact(),
+                    })?;
+                    simulated += 1;
+                }
+            }
+        }
+
+        // Assemble outcomes in enumeration order from the (now complete)
+        // store.
+        let mut outcomes = Vec::with_capacity(points.len());
+        for (i, p) in points.into_iter().enumerate() {
+            let rec = store
+                .get(p.key)
+                .expect("every enumerated point is stored by now");
+            outcomes.push(PointOutcome {
+                cycles: rec.cycles,
+                time_s: rec.time_s,
+                energy_j: rec.energy_j,
+                dram_bytes: rec.dram_bytes,
+                report_json: rec.report_json.clone(),
+                cached: preexisting[i],
+                point: p,
+            });
+        }
+        Ok(CampaignReport {
+            points: outcomes,
+            simulated,
+            cache_hits: preexisting.iter().filter(|&&c| c).count(),
+        })
+    }
+}
+
+/// Builds the graph for a workload and hands back `(graph, model)` for
+/// one kind — the sharing handle single-run callers (the `sweep` alias,
+/// examples) use to avoid rebuilding per configuration.
+pub fn build_workload(
+    spec: &crate::space::WorkloadSpec,
+    kind: hygcn_gcn::model::ModelKind,
+) -> Result<(Graph, GcnModel), DseError> {
+    let graph = spec.build()?;
+    let model = GcnModel::new(kind, graph.feature_len(), MODEL_SEED)
+        .map_err(|e| DseError::Sim(e.to_string()))?;
+    Ok((graph, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Axis, SpaceSample, WorkloadSpec};
+    use hygcn_gcn::model::ModelKind;
+    use hygcn_graph::datasets::DatasetKey;
+
+    fn tiny_space() -> ConfigSpace {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("aggbuf-mb", "4,16").unwrap())
+        .with_axis(Axis::parse("sparsity", "on,off").unwrap())
+    }
+
+    #[test]
+    fn in_memory_campaign_runs_every_point() {
+        let report = Campaign::new(tiny_space()).run().unwrap();
+        assert_eq!(report.points.len(), 4);
+        assert_eq!(report.simulated, 4);
+        assert_eq!(report.cache_hits, 0);
+        for p in &report.points {
+            assert!(p.cycles > 0);
+            assert!(p.energy_j > 0.0);
+            assert!(!p.cached);
+        }
+        // The sparsity on/off pair shares a workload and buffer size but
+        // must diverge in the simulated report.
+        assert_eq!(report.points[0].point.assignment[3].1, "on");
+        assert_eq!(report.points[1].point.assignment[3].1, "off");
+        assert_ne!(report.points[0].report_json, report.points[1].report_json);
+    }
+
+    #[test]
+    fn sampled_campaign_respects_max_points() {
+        let report = Campaign::new(tiny_space().with_sample(SpaceSample {
+            max_points: 3,
+            seed: 5,
+        }))
+        .run()
+        .unwrap();
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.simulated, 3);
+    }
+
+    #[test]
+    fn multi_model_group_shares_graph() {
+        let space = ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.05, 1)],
+            vec![ModelKind::Gcn, ModelKind::Gin],
+        );
+        let report = Campaign::new(space).run().unwrap();
+        assert_eq!(report.points.len(), 2);
+        assert_ne!(report.points[0].cycles, report.points[1].cycles);
+    }
+
+    #[test]
+    fn build_workload_matches_campaign_inputs() {
+        let (graph, model) = build_workload(
+            &WorkloadSpec::dataset(DatasetKey::Ib, 0.05, 1),
+            ModelKind::Gcn,
+        )
+        .unwrap();
+        assert_eq!(graph.feature_len(), model.feature_len());
+    }
+}

@@ -1,0 +1,649 @@
+//! Declarative configuration spaces: named axes, workloads, and the
+//! deterministic grid/sampled enumeration into [`DesignPoint`]s.
+//!
+//! An *axis* is a named list of values applied to one knob of
+//! [`HyGcnConfig`] (buffer capacities, pipeline/coordination/sparsity
+//! modes, sampling factor, compute geometry). A [`ConfigSpace`] is the
+//! cartesian product of its axes crossed with its workloads and models;
+//! [`ConfigSpace::enumerate`] expands it — in a deterministic order, with
+//! duplicate configurations removed — and stamps every point with the
+//! stable cache key the campaign store uses for resume.
+
+use std::path::PathBuf;
+
+use hygcn_core::config::{HyGcnConfig, PipelineMode};
+use hygcn_gcn::model::ModelKind;
+use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
+use hygcn_graph::hashing::Fnv64;
+use hygcn_graph::sampling::SamplePolicy;
+use hygcn_graph::Graph;
+use hygcn_mem::hbm::HbmConfig;
+use hygcn_mem::scheduler::CoordinationMode;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::DseError;
+
+/// The axis names [`Axis::parse`] understands, in display order.
+pub const AXIS_NAMES: &[&str] = &[
+    "aggbuf-mb",
+    "inputbuf-kb",
+    "edgebuf-kb",
+    "pipeline",
+    "coordination",
+    "sparsity",
+    "factor",
+    "simd-cores",
+    "modules",
+];
+
+/// One setting of one configuration knob.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisValue {
+    /// Aggregation Buffer capacity in MB (Fig. 18d axis).
+    AggBufMb(usize),
+    /// Input Buffer capacity in KB — the window-size axis (Fig. 18e).
+    InputBufKb(usize),
+    /// Edge Buffer capacity in KB.
+    EdgeBufKb(usize),
+    /// Inter-engine pipeline mode (Fig. 16 axis).
+    Pipeline(PipelineMode),
+    /// Off-chip access coordination on/off (Fig. 17 axis).
+    Coordination(bool),
+    /// Window sliding+shrinking sparsity elimination on/off (Fig. 15).
+    Sparsity(bool),
+    /// Sampling factor `1/f` (Fig. 18a–c axis).
+    SampleFactor(usize),
+    /// SIMD core count in the Aggregation Engine.
+    SimdCores(usize),
+    /// Systolic module count in the Combination Engine.
+    SystolicModules(usize),
+}
+
+impl AxisValue {
+    /// Parses one value token for the named axis.
+    pub fn parse(axis: &str, token: &str) -> Result<Self, DseError> {
+        let int = |what: &str| -> Result<usize, DseError> {
+            token
+                .parse::<usize>()
+                .map_err(|_| DseError::Spec(format!("axis '{axis}': '{token}' is not {what}")))
+        };
+        let positive = |what: &str| -> Result<usize, DseError> {
+            let v = int(what)?;
+            if v == 0 {
+                return Err(DseError::Spec(format!("axis '{axis}': value must be >= 1")));
+            }
+            Ok(v)
+        };
+        let flag = || -> Result<bool, DseError> {
+            match token {
+                "on" => Ok(true),
+                "off" => Ok(false),
+                _ => Err(DseError::Spec(format!(
+                    "axis '{axis}': '{token}' is not on|off"
+                ))),
+            }
+        };
+        match axis {
+            "aggbuf-mb" => Ok(AxisValue::AggBufMb(positive("an integer (MB)")?)),
+            "inputbuf-kb" => Ok(AxisValue::InputBufKb(positive("an integer (KB)")?)),
+            "edgebuf-kb" => Ok(AxisValue::EdgeBufKb(positive("an integer (KB)")?)),
+            "pipeline" => match token {
+                "latency" => Ok(AxisValue::Pipeline(PipelineMode::LatencyAware)),
+                "energy" => Ok(AxisValue::Pipeline(PipelineMode::EnergyAware)),
+                "none" => Ok(AxisValue::Pipeline(PipelineMode::None)),
+                _ => Err(DseError::Spec(format!(
+                    "axis 'pipeline': '{token}' is not latency|energy|none"
+                ))),
+            },
+            "coordination" => Ok(AxisValue::Coordination(flag()?)),
+            "sparsity" => Ok(AxisValue::Sparsity(flag()?)),
+            "factor" => Ok(AxisValue::SampleFactor(positive("an integer factor")?)),
+            "simd-cores" => Ok(AxisValue::SimdCores(positive("an integer")?)),
+            "modules" => Ok(AxisValue::SystolicModules(positive("an integer")?)),
+            _ => Err(DseError::Spec(format!(
+                "unknown axis '{axis}' (known: {})",
+                AXIS_NAMES.join("/")
+            ))),
+        }
+    }
+
+    /// The axis this value belongs to.
+    pub fn axis_name(&self) -> &'static str {
+        match self {
+            AxisValue::AggBufMb(_) => "aggbuf-mb",
+            AxisValue::InputBufKb(_) => "inputbuf-kb",
+            AxisValue::EdgeBufKb(_) => "edgebuf-kb",
+            AxisValue::Pipeline(_) => "pipeline",
+            AxisValue::Coordination(_) => "coordination",
+            AxisValue::Sparsity(_) => "sparsity",
+            AxisValue::SampleFactor(_) => "factor",
+            AxisValue::SimdCores(_) => "simd-cores",
+            AxisValue::SystolicModules(_) => "modules",
+        }
+    }
+
+    /// Human-readable value label (the axis tick in tables).
+    pub fn label(&self) -> String {
+        match self {
+            AxisValue::AggBufMb(v)
+            | AxisValue::InputBufKb(v)
+            | AxisValue::EdgeBufKb(v)
+            | AxisValue::SampleFactor(v)
+            | AxisValue::SimdCores(v)
+            | AxisValue::SystolicModules(v) => v.to_string(),
+            AxisValue::Pipeline(PipelineMode::LatencyAware) => "latency".into(),
+            AxisValue::Pipeline(PipelineMode::EnergyAware) => "energy".into(),
+            AxisValue::Pipeline(PipelineMode::None) => "none".into(),
+            AxisValue::Coordination(b) | AxisValue::Sparsity(b) => {
+                if *b { "on" } else { "off" }.into()
+            }
+        }
+    }
+
+    /// Applies this setting to a configuration.
+    pub fn apply(&self, cfg: &mut HyGcnConfig) {
+        match *self {
+            AxisValue::AggBufMb(mb) => cfg.aggregation_buffer_bytes = mb << 20,
+            AxisValue::InputBufKb(kb) => cfg.input_buffer_bytes = kb << 10,
+            AxisValue::EdgeBufKb(kb) => cfg.edge_buffer_bytes = kb << 10,
+            AxisValue::Pipeline(p) => cfg.pipeline = p,
+            AxisValue::Coordination(true) => {
+                cfg.coordination = CoordinationMode::PriorityBatched;
+                cfg.hbm = HbmConfig {
+                    mapping: HbmConfig::hbm1().mapping,
+                    ..cfg.hbm
+                };
+            }
+            AxisValue::Coordination(false) => {
+                cfg.coordination = CoordinationMode::Fcfs;
+                cfg.hbm = HbmConfig {
+                    mapping: HbmConfig::hbm1_uncoordinated().mapping,
+                    ..cfg.hbm
+                };
+            }
+            AxisValue::Sparsity(b) => cfg.sparsity_elimination = b,
+            AxisValue::SampleFactor(f) => {
+                cfg.sample_policy_override = if f <= 1 {
+                    None
+                } else {
+                    Some(SamplePolicy::Factor(f))
+                };
+            }
+            AxisValue::SimdCores(n) => cfg.simd_cores = n,
+            AxisValue::SystolicModules(n) => cfg.systolic_modules = n,
+        }
+    }
+}
+
+/// A named axis: one knob and the list of values to sweep it over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Axis name (one of [`AXIS_NAMES`]).
+    pub name: String,
+    /// Values in sweep order.
+    pub values: Vec<AxisValue>,
+}
+
+impl Axis {
+    /// Parses an axis from its name and a comma-separated value list,
+    /// e.g. `Axis::parse("aggbuf-mb", "2,4,8,16,32")`.
+    pub fn parse(name: &str, values_csv: &str) -> Result<Self, DseError> {
+        let values = values_csv
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| AxisValue::parse(name, t))
+            .collect::<Result<Vec<_>, _>>()?;
+        if values.is_empty() {
+            return Err(DseError::Spec(format!("axis '{name}' has no values")));
+        }
+        Ok(Self {
+            name: name.to_string(),
+            values,
+        })
+    }
+
+    /// Parses a whole multi-axis specification:
+    /// `"aggbuf-mb=2,4,8;sparsity=on,off"` (axes separated by `;`, values
+    /// by `,`). Duplicate axis names are rejected.
+    pub fn parse_spec(spec: &str) -> Result<Vec<Axis>, DseError> {
+        let mut axes: Vec<Axis> = Vec::new();
+        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, values) = part.split_once('=').ok_or_else(|| {
+                DseError::Spec(format!("axis '{part}' is not of the form name=v1,v2,..."))
+            })?;
+            let name = name.trim();
+            if axes.iter().any(|a| a.name == name) {
+                return Err(DseError::Spec(format!("axis '{name}' given twice")));
+            }
+            axes.push(Axis::parse(name, values)?);
+        }
+        Ok(axes)
+    }
+}
+
+/// A workload the campaign can instantiate: what graph to build and how.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// A Table 4 benchmark dataset at a scale, synthesized with a seed.
+    Dataset {
+        /// Dataset key.
+        key: DatasetKey,
+        /// Scale in `(0, 1]`.
+        scale: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A user-supplied edge-list file (`src dst` per line, undirected).
+    EdgeList {
+        /// File path.
+        path: PathBuf,
+        /// Feature vector length to attach.
+        feature_len: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor for the dataset form.
+    pub fn dataset(key: DatasetKey, scale: f64, seed: u64) -> Self {
+        WorkloadSpec::Dataset { key, scale, seed }
+    }
+
+    /// Short display label, e.g. `CR@0.5`.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Dataset { key, scale, .. } => format!("{}@{scale:?}", key.abbrev()),
+            WorkloadSpec::EdgeList { path, .. } => format!("edges:{}", path.display()),
+        }
+    }
+
+    /// Canonical identity string — the workload half of the cache key.
+    ///
+    /// Dataset workloads are fully determined by `(key, scale, seed)`
+    /// (instantiation is deterministic), so their canon is pure. Edge-list
+    /// workloads hash the **file content**, so editing the file changes
+    /// the key and invalidates cached results for it.
+    pub fn canon(&self) -> Result<String, DseError> {
+        match self {
+            WorkloadSpec::Dataset { key, scale, seed } => Ok(format!(
+                "dataset={};scale={scale:?};seed={seed}",
+                key.abbrev()
+            )),
+            WorkloadSpec::EdgeList { path, feature_len } => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| DseError::Workload(format!("reading {}: {e}", path.display())))?;
+                let mut h = Fnv64::new();
+                h.write_bytes(&bytes);
+                Ok(format!(
+                    "edges-fnv={:016x};feature_len={feature_len}",
+                    h.finish()
+                ))
+            }
+        }
+    }
+
+    /// Builds the graph.
+    pub fn build(&self) -> Result<Graph, DseError> {
+        match self {
+            WorkloadSpec::Dataset { key, scale, seed } => DatasetSpec::get(*key)
+                .instantiate(*scale, *seed)
+                .map_err(|e| DseError::Workload(e.to_string())),
+            WorkloadSpec::EdgeList { path, feature_len } => {
+                hygcn_graph::io::read_edge_list_file(path, (*feature_len).max(1), true)
+                    .map_err(|e| DseError::Workload(e.to_string()))
+            }
+        }
+    }
+}
+
+/// Seeded random thinning of a grid: keep at most `max_points`, chosen by
+/// a deterministic Fisher–Yates shuffle of the full enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceSample {
+    /// Upper bound on surviving points (must be >= 1).
+    pub max_points: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+/// A declarative design space: workloads x models x axis grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigSpace {
+    /// The configuration every point starts from (axes mutate a clone).
+    pub base: HyGcnConfig,
+    /// Workloads to cross with the grid.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Models to cross with the grid.
+    pub models: Vec<ModelKind>,
+    /// Swept axes; the first axis varies slowest in enumeration order.
+    pub axes: Vec<Axis>,
+    /// Optional seeded random thinning of the grid.
+    pub sample: Option<SpaceSample>,
+}
+
+impl ConfigSpace {
+    /// A space over `workloads` x `models` with no axes yet (a single
+    /// base-config point per workload/model pair).
+    pub fn new(workloads: Vec<WorkloadSpec>, models: Vec<ModelKind>) -> Self {
+        Self {
+            base: HyGcnConfig::default(),
+            workloads,
+            models,
+            axes: Vec::new(),
+            sample: None,
+        }
+    }
+
+    /// Replaces the base configuration.
+    pub fn with_base(mut self, base: HyGcnConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Adds one axis.
+    pub fn with_axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Enables seeded random sampling down to `max_points`.
+    pub fn with_sample(mut self, sample: SpaceSample) -> Self {
+        self.sample = Some(sample);
+        self
+    }
+
+    /// Number of grid points before deduplication/sampling.
+    pub fn grid_size(&self) -> usize {
+        self.workloads.len()
+            * self.models.len()
+            * self.axes.iter().map(|a| a.values.len()).product::<usize>()
+    }
+
+    /// Expands the space into a deterministic, deduplicated point list.
+    ///
+    /// Order: workload-major, then model, then the axis grid in row-major
+    /// order (first axis slowest). Two grid cells that produce the same
+    /// `(config, model, workload)` — e.g. sampling factors 1 and an
+    /// `All`-policy model — collapse to the first occurrence. With
+    /// [`SpaceSample`] set, a deterministic shuffle keeps `max_points`
+    /// of the deduplicated grid, re-sorted into enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Spec`] when the space is empty (no workloads, no
+    /// models, an axis with no values, or a zero-point sample).
+    pub fn enumerate(&self) -> Result<Vec<DesignPoint>, DseError> {
+        if self.workloads.is_empty() {
+            return Err(DseError::Spec("no workloads given".into()));
+        }
+        if self.models.is_empty() {
+            return Err(DseError::Spec("no models given".into()));
+        }
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(DseError::Spec(format!(
+                    "axis '{}' has no values",
+                    axis.name
+                )));
+            }
+        }
+        if let Some(s) = self.sample {
+            if s.max_points == 0 {
+                return Err(DseError::Spec("sample of zero points".into()));
+            }
+        }
+
+        // Workload canon strings are computed once (edge-list workloads
+        // hash their file here).
+        let workload_canons = self
+            .workloads
+            .iter()
+            .map(WorkloadSpec::canon)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let combos = self.axes.iter().map(|a| a.values.len()).product::<usize>();
+        let mut points = Vec::with_capacity(self.grid_size());
+        let mut seen = std::collections::BTreeSet::new();
+        for (widx, workload) in self.workloads.iter().enumerate() {
+            for &model in &self.models {
+                for mut cell in 0..combos {
+                    // Mixed-radix decode, first axis slowest.
+                    let mut config = self.base.clone();
+                    let mut assignment = Vec::with_capacity(self.axes.len() + 2);
+                    assignment.push(("dataset".to_string(), workload.label()));
+                    assignment.push(("model".to_string(), model.abbrev().to_string()));
+                    for axis in self.axes.iter().rev() {
+                        let v = &axis.values[cell % axis.values.len()];
+                        cell /= axis.values.len();
+                        v.apply(&mut config);
+                        assignment.push((axis.name.clone(), v.label()));
+                    }
+                    // Undo the reverse decode so labels read in axis order.
+                    assignment[2..].reverse();
+
+                    let mut h = Fnv64::new();
+                    h.write_str("config=");
+                    h.write_str(&config.canon());
+                    h.write_str(";model=");
+                    h.write_str(model.abbrev());
+                    h.write_str(";workload=");
+                    h.write_str(&workload_canons[widx]);
+                    let key = h.finish();
+                    if seen.insert(key) {
+                        points.push(DesignPoint {
+                            workload: workload.clone(),
+                            workload_idx: widx,
+                            model,
+                            config,
+                            assignment,
+                            key,
+                        });
+                    }
+                }
+            }
+        }
+
+        if let Some(s) = self.sample {
+            if points.len() > s.max_points {
+                let mut order: Vec<usize> = (0..points.len()).collect();
+                order.shuffle(&mut StdRng::seed_from_u64(s.seed));
+                order.truncate(s.max_points);
+                order.sort_unstable();
+                points = order.into_iter().map(|i| points[i].clone()).collect();
+            }
+        }
+        Ok(points)
+    }
+}
+
+/// One fully-resolved cell of a [`ConfigSpace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The workload to run on.
+    pub workload: WorkloadSpec,
+    /// Index of the workload within the space (the campaign's sharing
+    /// group: all points with one index share one built graph).
+    pub workload_idx: usize,
+    /// The model to run.
+    pub model: ModelKind,
+    /// The fully-applied configuration.
+    pub config: HyGcnConfig,
+    /// `(axis, value-label)` pairs — `dataset` and `model` first, then
+    /// the swept axes in declaration order. Table emitters derive their
+    /// columns from this.
+    pub assignment: Vec<(String, String)>,
+    /// Stable cache key: FNV-1a over config canon + model + workload
+    /// canon. Identical across processes for equal inputs.
+    pub key: u64,
+}
+
+impl DesignPoint {
+    /// Human-readable one-line label, e.g.
+    /// `CR@1.0/GCN/aggbuf-mb=4,sparsity=off`.
+    pub fn label(&self) -> String {
+        let axes: Vec<String> = self.assignment[2..]
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let mut out = format!("{}/{}", self.workload.label(), self.model.abbrev());
+        if !axes.is_empty() {
+            out.push('/');
+            out.push_str(&axes.join(","));
+        }
+        out
+    }
+
+    /// The cache key as the 16-hex-digit string stored on disk.
+    pub fn key_hex(&self) -> String {
+        format!("{:016x}", self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space2x2() -> ConfigSpace {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("aggbuf-mb", "4,16").unwrap())
+        .with_axis(Axis::parse("sparsity", "on,off").unwrap())
+    }
+
+    #[test]
+    fn grid_enumeration_order_and_labels() {
+        let points = space2x2().enumerate().unwrap();
+        assert_eq!(points.len(), 4);
+        let labels: Vec<String> = points.iter().map(DesignPoint::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "IB@0.1/GCN/aggbuf-mb=4,sparsity=on",
+                "IB@0.1/GCN/aggbuf-mb=4,sparsity=off",
+                "IB@0.1/GCN/aggbuf-mb=16,sparsity=on",
+                "IB@0.1/GCN/aggbuf-mb=16,sparsity=off",
+            ]
+        );
+        assert_eq!(points[0].config.aggregation_buffer_bytes, 4 << 20);
+        assert!(!points[1].config.sparsity_elimination);
+    }
+
+    #[test]
+    fn keys_are_distinct_and_reproducible() {
+        let a = space2x2().enumerate().unwrap();
+        let b = space2x2().enumerate().unwrap();
+        let keys: std::collections::BTreeSet<u64> = a.iter().map(|p| p.key).collect();
+        assert_eq!(keys.len(), 4, "keys must be pairwise distinct");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+        }
+    }
+
+    #[test]
+    fn duplicate_configs_are_deduplicated() {
+        // Factor 1 means "no override" for both listed values after
+        // normalization... in fact factor=1 twice collapses to one point.
+        let space = ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis {
+            name: "factor".into(),
+            values: vec![AxisValue::SampleFactor(1), AxisValue::SampleFactor(1)],
+        });
+        assert_eq!(space.enumerate().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_spaces_error_cleanly() {
+        let no_workloads = ConfigSpace::new(vec![], vec![ModelKind::Gcn]);
+        assert!(matches!(no_workloads.enumerate(), Err(DseError::Spec(_))));
+        let no_models =
+            ConfigSpace::new(vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)], vec![]);
+        assert!(matches!(no_models.enumerate(), Err(DseError::Spec(_))));
+        let empty_axis = space2x2().with_axis(Axis {
+            name: "pipeline".into(),
+            values: vec![],
+        });
+        assert!(matches!(empty_axis.enumerate(), Err(DseError::Spec(_))));
+        let zero_sample = space2x2().with_sample(SpaceSample {
+            max_points: 0,
+            seed: 1,
+        });
+        assert!(matches!(zero_sample.enumerate(), Err(DseError::Spec(_))));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_order_preserving() {
+        let full = space2x2().enumerate().unwrap();
+        let sampled = space2x2()
+            .with_sample(SpaceSample {
+                max_points: 2,
+                seed: 9,
+            })
+            .enumerate()
+            .unwrap();
+        assert_eq!(sampled.len(), 2);
+        let again = space2x2()
+            .with_sample(SpaceSample {
+                max_points: 2,
+                seed: 9,
+            })
+            .enumerate()
+            .unwrap();
+        assert_eq!(sampled, again);
+        // Survivors appear in the same relative order as the full grid.
+        let pos: Vec<usize> = sampled
+            .iter()
+            .map(|p| full.iter().position(|q| q.key == p.key).unwrap())
+            .collect();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn axis_spec_parsing() {
+        let axes = Axis::parse_spec("aggbuf-mb=2,4; pipeline=latency,none").unwrap();
+        assert_eq!(axes.len(), 2);
+        assert_eq!(axes[0].values.len(), 2);
+        assert_eq!(axes[1].values[1], AxisValue::Pipeline(PipelineMode::None));
+        assert!(Axis::parse_spec("bogus=1").is_err());
+        assert!(Axis::parse_spec("aggbuf-mb=2;aggbuf-mb=4").is_err());
+        assert!(Axis::parse_spec("aggbuf-mb").is_err());
+        assert!(Axis::parse_spec("sparsity=maybe").is_err());
+        assert!(Axis::parse_spec("aggbuf-mb=0").is_err());
+        assert!(Axis::parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn coordination_axis_flips_mapping_and_scheduler() {
+        let mut cfg = HyGcnConfig::default();
+        AxisValue::Coordination(false).apply(&mut cfg);
+        assert_eq!(cfg.coordination, CoordinationMode::Fcfs);
+        assert_eq!(cfg.hbm, HbmConfig::hbm1_uncoordinated());
+        AxisValue::Coordination(true).apply(&mut cfg);
+        assert_eq!(cfg.coordination, CoordinationMode::PriorityBatched);
+        assert_eq!(cfg.hbm, HbmConfig::hbm1());
+    }
+
+    #[test]
+    fn every_axis_name_round_trips() {
+        for &name in AXIS_NAMES {
+            let token = match name {
+                "pipeline" => "energy",
+                "coordination" | "sparsity" => "off",
+                _ => "4",
+            };
+            let v = AxisValue::parse(name, token).unwrap();
+            assert_eq!(v.axis_name(), name);
+            assert_eq!(v.label(), token);
+            let mut cfg = HyGcnConfig::default();
+            let before = cfg.canon();
+            v.apply(&mut cfg);
+            assert_ne!(before, cfg.canon(), "axis '{name}' must change the config");
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The on-disk campaign result store — `campaign.jsonl`.
+//!
+//! One line per completed design point, appended as soon as the point
+//! finishes (so a killed campaign loses at most the in-flight batch), and
+//! keyed by the point's stable cache key. Opening the store re-reads all
+//! lines, which is what makes campaigns resumable: points whose key is
+//! already present are never simulated again.
+//!
+//! Line shape (a strict subset of JSON, hand-emitted and hand-parsed so
+//! the crate stays dependency-free):
+//!
+//! ```text
+//! {"key":"<16 hex>","label":"...","graph":"<16 hex>","cycles":N,
+//!  "time_s":F,"energy_j":F,"dram_bytes":N,"report":{...}}
+//! ```
+//!
+//! `report` is [`hygcn_core::SimReport::to_json_compact`] verbatim — the
+//! stored report of a point is bit-identical to what `hygcn simulate`
+//! serializes for the same configuration and workload.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::DseError;
+
+/// One completed design point as persisted in the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// The point's stable cache key.
+    pub key: u64,
+    /// Human-readable point label (provenance only; the key decides
+    /// identity).
+    pub label: String,
+    /// Content hash of the built graph (provenance).
+    pub graph_hash: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Simulated seconds.
+    pub time_s: f64,
+    /// Total dynamic energy in joules.
+    pub energy_j: f64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// The full report, compact single-line JSON.
+    pub report_json: String,
+}
+
+impl StoreRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"key\":\"{:016x}\",\"label\":\"{}\",\"graph\":\"{:016x}\",\"cycles\":{},\"time_s\":{:?},\"energy_j\":{:?},\"dram_bytes\":{},\"report\":{}}}",
+            self.key,
+            escape(&self.label),
+            self.graph_hash,
+            self.cycles,
+            self.time_s,
+            self.energy_j,
+            self.dram_bytes,
+            self.report_json,
+        )
+    }
+
+    fn parse_line(line: &str) -> Result<Self, DseError> {
+        let bad = |what: &str| DseError::Store(format!("{what} in line: {line}"));
+        let key = u64::from_str_radix(
+            &field_str(line, "key").ok_or_else(|| bad("missing key"))?,
+            16,
+        )
+        .map_err(|_| bad("non-hex key"))?;
+        let graph_hash = u64::from_str_radix(
+            &field_str(line, "graph").ok_or_else(|| bad("missing graph"))?,
+            16,
+        )
+        .map_err(|_| bad("non-hex graph hash"))?;
+        let label = unescape(&field_str(line, "label").ok_or_else(|| bad("missing label"))?);
+        let cycles = field_raw(line, "cycles")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing cycles"))?;
+        let time_s = field_raw(line, "time_s")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing time_s"))?;
+        let energy_j = field_raw(line, "energy_j")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing energy_j"))?;
+        let dram_bytes = field_raw(line, "dram_bytes")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing dram_bytes"))?;
+        // The report object runs to the line's final closing brace.
+        let marker = "\"report\":";
+        let at = line.find(marker).ok_or_else(|| bad("missing report"))?;
+        let report_json = line[at + marker.len()..line.len() - 1].to_string();
+        if !report_json.starts_with('{') || !report_json.ends_with('}') {
+            return Err(bad("malformed report object"));
+        }
+        Ok(Self {
+            key,
+            label,
+            graph_hash,
+            cycles,
+            time_s,
+            energy_j,
+            dram_bytes,
+            report_json,
+        })
+    }
+}
+
+/// Minimal escaping for labels (backslash, double quote, newline — a
+/// raw newline would split the one-record-per-line format).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(next) => out.push(next),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extracts a `"name":"..."` string field (quote-aware for escapes).
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(rest[..end].to_string()),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+/// Extracts a bare `"name":value` scalar field (up to `,` or `}`).
+fn field_raw(line: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].to_string())
+}
+
+/// An append-only, keyed store of completed points; optionally backed by
+/// a `campaign.jsonl` file.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    records: BTreeMap<u64, StoreRecord>,
+}
+
+impl ResultStore {
+    /// A store with no backing file (results live for this process only —
+    /// what the legacy `sweep` alias uses).
+    pub fn in_memory() -> Self {
+        Self {
+            path: None,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Opens (or creates) a file-backed store, loading every existing
+    /// record.
+    ///
+    /// A campaign killed mid-append can leave a *torn* final line — a
+    /// partial record with no trailing newline. That is exactly the state
+    /// the store exists to recover from, so an unparseable final line in
+    /// a file that does not end with `\n` is discarded (and truncated
+    /// away, so the next append cannot concatenate onto it); the point it
+    /// belonged to simply re-runs.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Store`] on I/O failure or a malformed *complete* line
+    /// — real corruption is reported, never silently skipped.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DseError> {
+        let path = path.as_ref().to_path_buf();
+        let mut records = BTreeMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(content) => {
+                let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+                for (i, line) in lines.iter().enumerate() {
+                    match StoreRecord::parse_line(line) {
+                        Ok(rec) => {
+                            records.insert(rec.key, rec);
+                        }
+                        Err(_) if i + 1 == lines.len() && !content.ends_with('\n') => {
+                            // Torn tail from a killed append: drop it on
+                            // disk too, so future appends start clean.
+                            let keep = content.len() - line.len();
+                            std::fs::OpenOptions::new()
+                                .write(true)
+                                .open(&path)
+                                .and_then(|f| f.set_len(keep as u64))
+                                .map_err(|e| {
+                                    DseError::Store(format!(
+                                        "truncating torn tail of {}: {e}",
+                                        path.display()
+                                    ))
+                                })?;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(DseError::Store(format!("reading {}: {e}", path.display()))),
+        }
+        Ok(Self {
+            path: Some(path),
+            records,
+        })
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a completed point by key.
+    pub fn get(&self, key: u64) -> Option<&StoreRecord> {
+        self.records.get(&key)
+    }
+
+    /// Inserts a record and appends it to the backing file immediately
+    /// (streaming: a campaign killed mid-run keeps everything already
+    /// appended). Re-inserting an existing key is a no-op.
+    pub fn append(&mut self, rec: StoreRecord) -> Result<(), DseError> {
+        if self.records.contains_key(&rec.key) {
+            return Ok(());
+        }
+        if let Some(path) = &self.path {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| DseError::Store(format!("opening {}: {e}", path.display())))?;
+            writeln!(file, "{}", rec.to_line())
+                .map_err(|e| DseError::Store(format!("appending to {}: {e}", path.display())))?;
+        }
+        self.records.insert(rec.key, rec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: u64) -> StoreRecord {
+        StoreRecord {
+            key,
+            label: "IB@0.1/GCN/aggbuf-mb=4".into(),
+            graph_hash: 0xDEAD_BEEF,
+            cycles: 123_456,
+            time_s: 1.23456e-4,
+            energy_j: 0.00789,
+            dram_bytes: 987_654,
+            report_json: "{\"cycles\": 123456,\"channels\": 8}".into(),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_its_line() {
+        let r = rec(0xABCD);
+        let line = r.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(StoreRecord::parse_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn labels_with_quotes_round_trip() {
+        let mut r = rec(1);
+        r.label = "odd \"label\" with \\ backslash".into();
+        assert_eq!(StoreRecord::parse_line(&r.to_line()).unwrap(), r);
+    }
+
+    #[test]
+    fn file_store_persists_and_reloads() {
+        let dir = std::env::temp_dir().join("hygcn-dse-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            store.append(rec(1)).unwrap();
+            store.append(rec(2)).unwrap();
+            store.append(rec(1)).unwrap(); // duplicate: no-op
+            assert_eq!(store.len(), 2);
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1).unwrap(), &rec(1));
+        assert_eq!(store.get(3), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_reported() {
+        let dir = std::env::temp_dir().join("hygcn-dse-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.jsonl");
+        std::fs::write(&path, "{\"key\":\"zz\"}\n").unwrap();
+        assert!(matches!(ResultStore::open(&path), Err(DseError::Store(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_discarded_and_truncated() {
+        let dir = std::env::temp_dir().join("hygcn-dse-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        // Two complete records plus a torn tail (a kill mid-append: no
+        // trailing newline).
+        let torn = &rec(3).to_line()[..40];
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n{torn}", rec(1).to_line(), rec(2).to_line()),
+        )
+        .unwrap();
+        let mut store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        // The torn bytes are gone from disk, so a fresh append starts on
+        // its own line and the file round-trips cleanly.
+        store.append(rec(3)).unwrap();
+        let reopened = ResultStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.get(3).unwrap(), &rec(3));
+        // A torn line mid-file (followed by a newline) is NOT tolerated.
+        std::fs::write(&path, format!("{torn}\n{}\n", rec(1).to_line())).unwrap();
+        assert!(matches!(ResultStore::open(&path), Err(DseError::Store(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn labels_with_newlines_round_trip() {
+        let mut r = rec(9);
+        r.label = "two\nlines".into();
+        let line = r.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(StoreRecord::parse_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn in_memory_store_never_touches_disk() {
+        let mut store = ResultStore::in_memory();
+        store.append(rec(7)).unwrap();
+        assert_eq!(store.path(), None);
+        assert_eq!(store.get(7).unwrap().cycles, 123_456);
+    }
+}

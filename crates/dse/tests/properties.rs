@@ -1,0 +1,243 @@
+//! Property tests for the DSE subsystem's load-bearing invariants.
+//!
+//! The campaign cache key must be **stable** — identical across
+//! processes/runs for equal inputs (it is persisted and compared on
+//! resume) — and **discriminating**: any differing axis value must
+//! change it. Degenerate campaigns must behave: an empty space errors
+//! cleanly, and a 1-point campaign's stored report is bit-identical to a
+//! direct `Simulator::simulate` of the same configuration — the tie into
+//! the PR 2 golden/oracle harness.
+
+use hygcn_core::config::{HyGcnConfig, PipelineMode};
+use hygcn_core::Simulator;
+use hygcn_dse::campaign::{Campaign, MODEL_SEED};
+use hygcn_dse::space::{Axis, AxisValue, ConfigSpace, SpaceSample, WorkloadSpec};
+use hygcn_dse::store::ResultStore;
+use hygcn_dse::DseError;
+use hygcn_gcn::model::{GcnModel, ModelKind};
+use hygcn_graph::datasets::DatasetKey;
+use proptest::prelude::*;
+
+/// An arbitrary single axis value from the full axis vocabulary.
+fn arb_axis_value() -> impl Strategy<Value = AxisValue> {
+    prop_oneof![
+        (1usize..64).prop_map(AxisValue::AggBufMb),
+        (16usize..1024).prop_map(AxisValue::InputBufKb),
+        (16usize..4096).prop_map(AxisValue::EdgeBufKb),
+        prop_oneof![
+            Just(PipelineMode::LatencyAware),
+            Just(PipelineMode::EnergyAware),
+            Just(PipelineMode::None),
+        ]
+        .prop_map(AxisValue::Pipeline),
+        any::<bool>().prop_map(AxisValue::Coordination),
+        any::<bool>().prop_map(AxisValue::Sparsity),
+        (1usize..32).prop_map(AxisValue::SampleFactor),
+        (1usize..64).prop_map(AxisValue::SimdCores),
+        (1usize..16).prop_map(AxisValue::SystolicModules),
+    ]
+}
+
+fn space_with(values: Vec<AxisValue>, scale_milli: u64, seed: u64) -> ConfigSpace {
+    let mut space = ConfigSpace::new(
+        vec![WorkloadSpec::dataset(
+            DatasetKey::Ib,
+            scale_milli as f64 / 1000.0,
+            seed,
+        )],
+        vec![ModelKind::Gcn],
+    );
+    for (i, v) in values.into_iter().enumerate() {
+        space = space.with_axis(Axis {
+            name: format!("{}#{i}", v.axis_name()),
+            values: vec![v],
+        });
+    }
+    space
+}
+
+proptest! {
+    /// Equal inputs hash equal — re-enumerating the same space in a
+    /// fresh pass (fresh allocations, fresh maps — nothing address- or
+    /// process-dependent can leak in) reproduces every key bit-for-bit.
+    #[test]
+    fn keys_reproduce_across_enumerations(
+        values in proptest::collection::vec(arb_axis_value(), 0..4),
+        scale_milli in 30u64..200,
+        seed in 0u64..1000,
+    ) {
+        let a = space_with(values.clone(), scale_milli, seed).enumerate().unwrap();
+        let b = space_with(values, scale_milli, seed).enumerate().unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.key, y.key);
+            prop_assert_eq!(&x.config.canon(), &y.config.canon());
+        }
+    }
+
+    /// Any differing axis value yields a different key (unless the two
+    /// values normalize to the same configuration, e.g. sampling factors
+    /// 0 and 1 — the dedup case, which must then produce EQUAL keys).
+    #[test]
+    fn differing_axis_value_changes_key(
+        base in arb_axis_value(),
+        other in arb_axis_value(),
+    ) {
+        let mut cfg_a = HyGcnConfig::default();
+        base.apply(&mut cfg_a);
+        let mut cfg_b = HyGcnConfig::default();
+        other.apply(&mut cfg_b);
+        let point = |values: Vec<AxisValue>| {
+            space_with(values, 100, 1).enumerate().unwrap()[0].clone()
+        };
+        let pa = point(vec![base]);
+        let pb = point(vec![other]);
+        if cfg_a == cfg_b {
+            prop_assert_eq!(pa.key, pb.key);
+        } else {
+            prop_assert_ne!(pa.key, pb.key);
+            prop_assert_ne!(cfg_a.stable_hash(), cfg_b.stable_hash());
+        }
+    }
+
+    /// Workload identity is part of the key: a different dataset seed or
+    /// scale must produce different keys for the same configuration.
+    #[test]
+    fn differing_workload_changes_key(
+        seed_a in 0u64..500, seed_b in 0u64..500,
+        scale_a in 50u64..200, scale_b in 50u64..200,
+    ) {
+        let pa = space_with(vec![], scale_a, seed_a).enumerate().unwrap()[0].clone();
+        let pb = space_with(vec![], scale_b, seed_b).enumerate().unwrap()[0].clone();
+        if seed_a == seed_b && scale_a == scale_b {
+            prop_assert_eq!(pa.key, pb.key);
+        } else {
+            prop_assert_ne!(pa.key, pb.key);
+        }
+    }
+}
+
+#[test]
+fn empty_campaigns_error_cleanly() {
+    let empty = ConfigSpace::new(vec![], vec![ModelKind::Gcn]);
+    match Campaign::new(empty).run() {
+        Err(DseError::Spec(msg)) => assert!(msg.contains("workload"), "{msg}"),
+        other => panic!("expected Spec error, got {other:?}"),
+    }
+    let no_models = ConfigSpace::new(vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)], vec![]);
+    assert!(matches!(
+        Campaign::new(no_models).run(),
+        Err(DseError::Spec(_))
+    ));
+}
+
+/// A 1-point campaign's stored report is bit-identical to running the
+/// simulator directly on the same config+workload — the campaign adds
+/// caching and orchestration, never drift. (The direct run is exactly
+/// what the PR 2 golden/oracle harness pins, so this transitively ties
+/// campaign storage to those suites.)
+#[test]
+fn one_point_campaign_matches_direct_simulate() {
+    let spec = WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 7);
+    let space = ConfigSpace::new(vec![spec.clone()], vec![ModelKind::Gin])
+        .with_axis(Axis::parse("aggbuf-mb", "8").unwrap());
+    let report = Campaign::new(space).run().unwrap();
+    assert_eq!(report.points.len(), 1);
+
+    let graph = spec.build().unwrap();
+    let model = GcnModel::new(ModelKind::Gin, graph.feature_len(), MODEL_SEED).unwrap();
+    let direct = Simulator::new(report.points[0].point.config.clone())
+        .simulate(&graph, &model)
+        .unwrap();
+    assert_eq!(report.points[0].report_json, direct.to_json_compact());
+    assert_eq!(report.points[0].cycles, direct.cycles);
+    assert_eq!(report.points[0].dram_bytes, direct.dram_bytes());
+}
+
+/// Interrupting a campaign (simulated by pre-seeding the store with a
+/// strict subset of the points) and re-running executes exactly the
+/// missing points; a further unchanged re-run performs zero simulations.
+#[test]
+fn killed_campaign_resumes_and_rerun_is_all_hits() {
+    let dir = std::env::temp_dir().join("hygcn-dse-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("campaign.jsonl");
+    std::fs::remove_file(&store_path).ok();
+
+    let space = || {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("aggbuf-mb", "4,16").unwrap())
+        .with_axis(Axis::parse("sparsity", "on,off").unwrap())
+    };
+
+    // Full run to completion, then keep only the first two store lines —
+    // the on-disk state of a campaign killed mid-flight.
+    let full = Campaign::new(space())
+        .with_store(&store_path)
+        .run()
+        .unwrap();
+    assert_eq!((full.simulated, full.cache_hits), (4, 0));
+    let content = std::fs::read_to_string(&store_path).unwrap();
+    let kept: Vec<&str> = content.lines().take(2).collect();
+    std::fs::write(&store_path, format!("{}\n", kept.join("\n"))).unwrap();
+
+    let resumed = Campaign::new(space())
+        .with_store(&store_path)
+        .run()
+        .unwrap();
+    assert_eq!((resumed.simulated, resumed.cache_hits), (2, 2));
+    // The resumed campaign reproduces the full run's results exactly.
+    for (a, b) in full.points.iter().zip(&resumed.points) {
+        assert_eq!(a.report_json, b.report_json);
+    }
+
+    let rerun = Campaign::new(space())
+        .with_store(&store_path)
+        .run()
+        .unwrap();
+    assert_eq!((rerun.simulated, rerun.cache_hits), (0, 4));
+    for (a, b) in full.points.iter().zip(&rerun.points) {
+        assert_eq!(a.report_json, b.report_json);
+        assert!(b.cached);
+    }
+
+    // The store file holds exactly the four points, each parseable.
+    let store = ResultStore::open(&store_path).unwrap();
+    assert_eq!(store.len(), 4);
+    std::fs::remove_file(&store_path).ok();
+}
+
+/// Sampled spaces cache-key consistently too: a sampled subset re-run
+/// hits its own cache.
+#[test]
+fn sampled_campaign_reruns_from_cache() {
+    let dir = std::env::temp_dir().join("hygcn-dse-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("sampled.jsonl");
+    std::fs::remove_file(&store_path).ok();
+    let space = || {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("aggbuf-mb", "2,4,8,16").unwrap())
+        .with_sample(SpaceSample {
+            max_points: 2,
+            seed: 11,
+        })
+    };
+    let first = Campaign::new(space())
+        .with_store(&store_path)
+        .run()
+        .unwrap();
+    assert_eq!((first.simulated, first.cache_hits), (2, 0));
+    let second = Campaign::new(space())
+        .with_store(&store_path)
+        .run()
+        .unwrap();
+    assert_eq!((second.simulated, second.cache_hits), (0, 2));
+    std::fs::remove_file(&store_path).ok();
+}

@@ -50,6 +50,14 @@ impl ModelKind {
         }
     }
 
+    /// Resolves a kind from its paper abbreviation, case-insensitively
+    /// (the inverse of [`Self::abbrev`]); `None` for unknown names.
+    pub fn from_abbrev(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|m| m.abbrev().eq_ignore_ascii_case(name))
+    }
+
     /// Phase order on CPU/GPU frameworks (§5.2): every model lowers
     /// Combination first — shrinking the feature length before the costly
     /// Aggregation — except GINConv, whose formulation aggregates the raw

@@ -52,6 +52,14 @@ impl DatasetKey {
         DatasetKey::Rd,
     ];
 
+    /// Resolves a key from its two-letter abbreviation,
+    /// case-insensitively; `None` for unknown names.
+    pub fn from_abbrev(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.abbrev().eq_ignore_ascii_case(name))
+    }
+
     /// Two-letter abbreviation used in the paper's figures.
     pub fn abbrev(&self) -> &'static str {
         match self {

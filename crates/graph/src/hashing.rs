@@ -1,0 +1,117 @@
+//! Stable content hashing for cache keys.
+//!
+//! The design-space-exploration campaign store keys completed results by
+//! a hash of the configuration and workload. That key must be **stable
+//! across processes and runs** — it is persisted to disk and compared on
+//! resume — so it cannot use [`std::collections::hash_map::RandomState`]
+//! (seeded per process) or anything address-dependent. This module
+//! provides a plain FNV-1a 64-bit hasher over explicitly serialized
+//! bytes: the hash is a pure function of the written byte stream, fully
+//! determined by the code that writes it.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher with a process-independent result.
+///
+/// ```
+/// use hygcn_graph::hashing::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write_str("hello");
+/// h.write_u64(42);
+/// let a = h.finish();
+/// let mut h2 = Fnv64::new();
+/// h2.write_str("hello");
+/// h2.write_u64(42);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a string (as UTF-8 bytes) into the state.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the state.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u32` (little-endian bytes) into the state.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a of a string.
+pub fn fnv1a_str(s: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(s);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Reference values of the canonical 64-bit FNV-1a.
+        assert_eq!(fnv1a_str(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_str("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write_str("foo");
+        h.write_str("bar");
+        assert_eq!(h.finish(), fnv1a_str("foobar"));
+    }
+
+    #[test]
+    fn integers_fold_their_bytes() {
+        let mut a = Fnv64::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv64::new();
+        b.write_bytes(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.write_u32(7);
+        let mut d = Fnv64::new();
+        d.write_u32(8);
+        assert_ne!(c.finish(), d.finish());
+    }
+}

@@ -50,6 +50,7 @@ pub mod csr;
 pub mod datasets;
 pub mod error;
 pub mod generator;
+pub mod hashing;
 pub mod io;
 pub mod partition;
 pub mod reorder;
@@ -180,6 +181,26 @@ impl Graph {
         (0..self.num_vertices() as VertexId)
             .flat_map(move |dst| self.csc.sources(dst).iter().map(move |&src| (src, dst)))
     }
+
+    /// A process-independent FNV-1a hash of the graph's *content*: vertex
+    /// count, feature length, and the full CSC adjacency (per-destination
+    /// sorted source lists). Two graphs hash equal iff their topology and
+    /// feature length are identical, regardless of how they were built —
+    /// the workload half of the DSE campaign cache key (the name is
+    /// display metadata and is deliberately excluded).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = hashing::Fnv64::new();
+        h.write_u64(self.num_vertices() as u64);
+        h.write_u64(self.feature_len as u64);
+        for dst in 0..self.num_vertices() as VertexId {
+            let sources = self.csc.sources(dst);
+            h.write_u64(sources.len() as u64);
+            for &src in sources {
+                h.write_u32(src);
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -248,5 +269,15 @@ mod tests {
     fn name_roundtrip() {
         let g = toy().with_name("Cora");
         assert_eq!(g.name(), "Cora");
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_name() {
+        let g = toy();
+        assert_eq!(g.content_hash(), toy().content_hash());
+        assert_eq!(g.content_hash(), toy().with_name("renamed").content_hash());
+        assert_ne!(g.content_hash(), g.with_feature_len(16).content_hash());
+        let extra = Coo::from_pairs(4, [(0, 1), (2, 1), (1, 3), (3, 0)]).unwrap();
+        assert_ne!(g.content_hash(), Graph::from_coo(&extra, 8).content_hash());
     }
 }

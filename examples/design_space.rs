@@ -1,91 +1,45 @@
-//! Design-space exploration: sweep the architectural knobs the paper
-//! studies in §5.3/§5.4 — pipeline mode, memory coordination, sparsity
-//! elimination, and Aggregation Buffer capacity — on one workload.
+//! Design-space exploration via the `hygcn-dse` campaign subsystem: the
+//! architectural knobs the paper studies in §5.3/§5.4 — pipeline mode,
+//! memory coordination, sparsity elimination, and Aggregation Buffer
+//! capacity — swept **jointly** on one workload through a declarative
+//! [`ConfigSpace`], with Pareto-front extraction over (cycles, energy,
+//! DRAM traffic) and per-axis marginal tables.
 //!
 //! Run with: `cargo run --release --example design_space`
+//!
+//! Unlike the hand-rolled loops this example used to contain, the
+//! campaign builds the Pubmed graph exactly once, shares it across all
+//! 24 points, and — if you pass a store path to
+//! [`Campaign::with_store`] — would skip completed points on a re-run.
+//! The `hygcn campaign` CLI command drives this same API.
 
-use hygcn_suite::core::config::PipelineMode;
-use hygcn_suite::core::{HyGcnConfig, Simulator};
-use hygcn_suite::gcn::model::{GcnModel, ModelKind};
-use hygcn_suite::graph::datasets::{DatasetKey, DatasetSpec};
-use hygcn_suite::mem::hbm::HbmConfig;
-use hygcn_suite::mem::scheduler::CoordinationMode;
+use hygcn_suite::dse::analysis;
+use hygcn_suite::dse::campaign::Campaign;
+use hygcn_suite::dse::space::{Axis, ConfigSpace, WorkloadSpec};
+use hygcn_suite::gcn::model::ModelKind;
+use hygcn_suite::graph::datasets::DatasetKey;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = DatasetSpec::get(DatasetKey::Pb).instantiate(0.5, 3)?;
-    let model = GcnModel::new(ModelKind::Gcn, graph.feature_len(), 9)?;
-    println!(
-        "workload: GCN on half-scale Pubmed ({} vertices, {} edges)\n",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    // Half-scale Pubmed, GCN, and three axes swept jointly:
+    // 3 pipelines x 2 sparsity x 4 aggregation-buffer sizes = 24 points.
+    let space = ConfigSpace::new(
+        vec![WorkloadSpec::dataset(DatasetKey::Pb, 0.5, 3)],
+        vec![ModelKind::Gcn],
+    )
+    .with_axis(Axis::parse("pipeline", "latency,energy,none")?)
+    .with_axis(Axis::parse("sparsity", "on,off")?)
+    .with_axis(Axis::parse("aggbuf-mb", "2,4,8,16")?);
 
     println!(
-        "{:<44} {:>12} {:>10} {:>9} {:>8}",
-        "configuration", "cycles", "DRAM MB", "BW util", "energy mJ"
+        "campaign: {} grid points over {} axes\n",
+        space.grid_size(),
+        space.axes.len()
     );
-    let run = |name: &str, cfg: HyGcnConfig| -> Result<(), Box<dyn std::error::Error>> {
-        let r = Simulator::new(cfg).simulate(&graph, &model)?;
-        println!(
-            "{:<44} {:>12} {:>10.1} {:>8.1}% {:>8.3}",
-            name,
-            r.cycles,
-            r.dram_bytes() as f64 / 1e6,
-            r.bandwidth_utilization * 100.0,
-            r.energy_j() * 1e3
-        );
-        Ok(())
-    };
+    let report = Campaign::new(space).run()?;
+    print!("{}", analysis::to_markdown(&report));
 
-    run(
-        "baseline (all optimizations, Lpipe)",
-        HyGcnConfig::default(),
-    )?;
-    run(
-        "energy-aware pipeline",
-        HyGcnConfig {
-            pipeline: PipelineMode::EnergyAware,
-            ..HyGcnConfig::default()
-        },
-    )?;
-    run(
-        "no inter-engine pipeline",
-        HyGcnConfig {
-            pipeline: PipelineMode::None,
-            ..HyGcnConfig::default()
-        },
-    )?;
-    run(
-        "no sparsity elimination",
-        HyGcnConfig {
-            sparsity_elimination: false,
-            ..HyGcnConfig::default()
-        },
-    )?;
-    run(
-        "no memory coordination (FCFS)",
-        HyGcnConfig {
-            coordination: CoordinationMode::Fcfs,
-            hbm: HbmConfig::hbm1_uncoordinated(),
-            ..HyGcnConfig::default()
-        },
-    )?;
-    run("everything off (ablated)", HyGcnConfig::ablated())?;
-
-    println!("\nAggregation Buffer capacity sweep (Fig. 18d regime):");
-    for mb in [2usize, 4, 8, 16, 32] {
-        let cfg = HyGcnConfig {
-            aggregation_buffer_bytes: mb << 20,
-            ..HyGcnConfig::default()
-        };
-        let r = Simulator::new(cfg).simulate(&graph, &model)?;
-        println!(
-            "  {:>2} MB: {:>12} cycles, {:>7.1} MB DRAM, {} chunks",
-            mb,
-            r.cycles,
-            r.dram_bytes() as f64 / 1e6,
-            r.chunks
-        );
-    }
+    // The machine-readable form the paper-figure pipelines consume.
+    println!("\nCSV of the same campaign:\n");
+    print!("{}", analysis::to_csv(&report));
     Ok(())
 }

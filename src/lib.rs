@@ -12,6 +12,8 @@
 //! * [`mem`] — HBM timing model, access coordination, on-chip buffers.
 //! * [`baseline`] — PyG-CPU / PyG-GPU platform models.
 //! * [`core`] — the HyGCN accelerator simulator.
+//! * [`dse`] — design-space-exploration campaigns: cached, resumable
+//!   multi-axis sweeps with Pareto reporting.
 //!
 //! ## Quickstart
 //!
@@ -31,6 +33,7 @@
 
 pub use hygcn_baseline as baseline;
 pub use hygcn_core as core;
+pub use hygcn_dse as dse;
 pub use hygcn_gcn as gcn;
 pub use hygcn_graph as graph;
 pub use hygcn_mem as mem;

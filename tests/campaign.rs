@@ -1,0 +1,95 @@
+//! End-to-end acceptance test of the DSE campaign subsystem: one
+//! campaign sweeps two axes jointly across two models, survives a
+//! kill-and-rerun with completed points skipped, emits a Pareto front and
+//! Markdown/CSV tables, and performs zero simulations when re-run
+//! unchanged.
+
+use hygcn_suite::dse::analysis;
+use hygcn_suite::dse::campaign::Campaign;
+use hygcn_suite::dse::space::{Axis, ConfigSpace, WorkloadSpec};
+use hygcn_suite::gcn::model::ModelKind;
+use hygcn_suite::graph::datasets::DatasetKey;
+
+fn space() -> ConfigSpace {
+    ConfigSpace::new(
+        vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 3)],
+        vec![ModelKind::Gcn, ModelKind::Gin],
+    )
+    .with_axis(Axis::parse("aggbuf-mb", "4,16").unwrap())
+    .with_axis(Axis::parse("pipeline", "latency,none").unwrap())
+}
+
+#[test]
+fn campaign_end_to_end() {
+    let dir = std::env::temp_dir().join("hygcn-campaign-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("e2e.jsonl");
+    std::fs::remove_file(&store).ok();
+
+    // Cold run: 2 models x 2 x 2 axes = 8 points, all simulated.
+    let first = Campaign::new(space()).with_store(&store).run().unwrap();
+    assert_eq!(first.points.len(), 8);
+    assert_eq!((first.simulated, first.cache_hits), (8, 0));
+
+    // "Kill" the campaign by dropping the second half of the store.
+    let content = std::fs::read_to_string(&store).unwrap();
+    let kept: Vec<&str> = content.lines().take(5).collect();
+    std::fs::write(&store, format!("{}\n", kept.join("\n"))).unwrap();
+    let resumed = Campaign::new(space()).with_store(&store).run().unwrap();
+    assert_eq!((resumed.simulated, resumed.cache_hits), (3, 5));
+    assert_eq!(first.points, {
+        let mut pts = resumed.points.clone();
+        for p in &mut pts {
+            p.cached = false;
+        }
+        pts
+    });
+
+    // Unchanged re-run: zero simulations.
+    let rerun = Campaign::new(space()).with_store(&store).run().unwrap();
+    assert_eq!((rerun.simulated, rerun.cache_hits), (0, 8));
+
+    // Reports: a Pareto front exists and is non-trivial (the no-pipeline
+    // ablation must be dominated — it only costs cycles), and both
+    // emitters carry every point.
+    let front = analysis::pareto_front(&rerun.points);
+    assert!(!front.is_empty() && front.len() < rerun.points.len());
+    let md = analysis::to_markdown(&rerun);
+    assert!(md.contains("| dataset | model | aggbuf-mb | pipeline |"));
+    assert!(md.contains("### Pareto front"));
+    // 8 point rows (4 per model); the dataset marginal row also carries
+    // the label, so count via the model column.
+    assert_eq!(md.matches("| IB@0.1 | GCN |").count(), 4);
+    assert_eq!(md.matches("| IB@0.1 | GIN |").count(), 4);
+    let csv = analysis::to_csv(&rerun);
+    assert_eq!(csv.lines().count(), 9);
+
+    // The per-model marginal rows aggregate 4 points each.
+    let marg = analysis::marginals(&rerun.points);
+    let model_rows: Vec<_> = marg.iter().filter(|r| r.axis == "model").collect();
+    assert_eq!(model_rows.len(), 2);
+    assert!(model_rows.iter().all(|r| r.count == 4));
+
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn campaign_metrics_match_direct_single_runs() {
+    // Every campaign point must agree with an isolated simulation of the
+    // same config (reuse of graphs/models across points must not leak
+    // state between them).
+    let report = Campaign::new(space()).run().unwrap();
+    for p in &report.points {
+        let (graph, model) =
+            hygcn_suite::dse::campaign::build_workload(&p.point.workload, p.point.model).unwrap();
+        let direct = hygcn_suite::core::Simulator::new(p.point.config.clone())
+            .simulate(&graph, &model)
+            .unwrap();
+        assert_eq!(
+            p.report_json,
+            direct.to_json_compact(),
+            "{}",
+            p.point.label()
+        );
+    }
+}
