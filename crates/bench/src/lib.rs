@@ -20,6 +20,8 @@ use hygcn_gcn::model::{GcnModel, ModelKind};
 use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
 use hygcn_graph::Graph;
 
+pub mod figures;
+
 /// The model × dataset grid of the paper's overall evaluation: GCN, GSC,
 /// and GIN on all six datasets; DiffPool on IB and CL only (Fig. 10–14).
 pub fn evaluation_grid() -> Vec<(ModelKind, DatasetKey)> {

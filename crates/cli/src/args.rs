@@ -1,8 +1,16 @@
 //! Minimal hand-rolled argument parsing (no external dependencies).
 //!
-//! Grammar: `hygcn <command> [--flag value]...`. Flags are typed at the
-//! call site via the accessor methods; unknown flags are rejected
-//! up front so typos fail loudly.
+//! Grammar: `hygcn <command> [positional]... [--flag value]...`. Flags
+//! are typed at the call site via the accessor methods; unknown flags
+//! are rejected up front so typos fail loudly. Bare positionals are
+//! rejected unless the command opts in ([`Args::parse_with_positionals`]
+//! — `hygcn figures fig15` is the one user).
+//!
+//! Numeric flags are validated, not just parsed: every accessor whose
+//! `expected` string promises a bound (`a float in (0,1]`, `an integer
+//! of at least 1`) enforces it via [`Args::get_parsed_where`], so
+//! out-of-range values fail with [`ArgError::BadValue`] instead of
+//! producing downstream panics or silently nonsensical simulations.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -11,6 +19,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     command: String,
+    positionals: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -58,11 +67,26 @@ impl Args {
         raw: I,
         allowed: &[&str],
     ) -> Result<Args, ArgError> {
+        Self::parse_with_positionals(raw, allowed, 0)
+    }
+
+    /// As [`Self::parse`], but accepting up to `max_positionals` bare
+    /// tokens (before or between flags) as positional arguments.
+    pub fn parse_with_positionals<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+        max_positionals: usize,
+    ) -> Result<Args, ArgError> {
         let mut it = raw.into_iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut positionals = Vec::new();
         let mut flags = BTreeMap::new();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
+                if positionals.len() < max_positionals {
+                    positionals.push(tok);
+                    continue;
+                }
                 return Err(ArgError::Malformed(tok));
             };
             if !allowed.contains(&name) {
@@ -71,12 +95,21 @@ impl Args {
             let value = it.next().ok_or_else(|| ArgError::Malformed(tok.clone()))?;
             flags.insert(name.to_string(), value);
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            positionals,
+            flags,
+        })
     }
 
     /// The subcommand.
     pub fn command(&self) -> &str {
         &self.command
+    }
+
+    /// The `i`-th positional argument, if given.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
     }
 
     /// A raw string flag.
@@ -89,20 +122,46 @@ impl Args {
         self.get(flag).unwrap_or(default)
     }
 
-    /// A parsed numeric flag with a default.
+    /// A parsed numeric flag with a default (no range constraint — use
+    /// [`Self::get_parsed_where`] whenever `expected` promises a bound).
     pub fn get_parsed<T: std::str::FromStr>(
         &self,
         flag: &str,
         default: T,
         expected: &'static str,
     ) -> Result<T, ArgError> {
+        self.get_parsed_where(flag, default, expected, |_| true)
+    }
+
+    /// A parsed numeric flag with a default, *validated* by `valid`.
+    ///
+    /// The validator is the teeth behind the `expected` string: a value
+    /// that parses but violates the promised bound (`--scale 1.5`,
+    /// `--layers 0`) is rejected with the same [`ArgError::BadValue`]
+    /// as one that fails to parse, instead of panicking downstream or
+    /// silently simulating nonsense. The default is trusted and not
+    /// validated.
+    pub fn get_parsed_where<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+        valid: impl Fn(&T) -> bool,
+    ) -> Result<T, ArgError> {
+        let bad = |value: &str| ArgError::BadValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expected,
+        };
         match self.get(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
-                flag: flag.to_string(),
-                value: v.to_string(),
-                expected,
-            }),
+            Some(v) => {
+                let parsed: T = v.parse().map_err(|_| bad(v))?;
+                if !valid(&parsed) {
+                    return Err(bad(v));
+                }
+                Ok(parsed)
+            }
         }
     }
 }
@@ -158,6 +217,49 @@ mod tests {
     #[test]
     fn empty_is_missing_command() {
         assert_eq!(parse(&[], &[]).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn validated_parsing_enforces_the_promised_bound() {
+        let a = parse(&["x", "--scale", "1.5"], &["scale"]).unwrap();
+        let e = a
+            .get_parsed_where("scale", 1.0, "a float in (0,1]", |v| *v > 0.0 && *v <= 1.0)
+            .unwrap_err();
+        assert!(matches!(e, ArgError::BadValue { ref flag, .. } if flag == "scale"));
+        let a = parse(&["x", "--scale", "0"], &["scale"]).unwrap();
+        assert!(a
+            .get_parsed_where("scale", 1.0, "a float in (0,1]", |v| *v > 0.0 && *v <= 1.0)
+            .is_err());
+        let a = parse(&["x", "--scale", "0.5"], &["scale"]).unwrap();
+        assert_eq!(
+            a.get_parsed_where("scale", 1.0, "a float in (0,1]", |v| *v > 0.0 && *v <= 1.0)
+                .unwrap(),
+            0.5
+        );
+        // Absent flag: the default is returned unvalidated.
+        assert_eq!(
+            a.get_parsed_where("missing", 7usize, "an integer >= 1", |v| *v >= 1)
+                .unwrap(),
+            7
+        );
+    }
+
+    #[test]
+    fn positionals_accepted_only_when_allowed() {
+        let a = Args::parse_with_positionals(
+            ["figures", "fig15", "--scale", "0.1"].map(String::from),
+            &["scale"],
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.positional(0), Some("fig15"));
+        assert_eq!(a.positional(1), None);
+        assert_eq!(a.get("scale"), Some("0.1"));
+        // A second bare token exceeds the budget.
+        let e =
+            Args::parse_with_positionals(["figures", "fig15", "fig16"].map(String::from), &[], 1)
+                .unwrap_err();
+        assert!(matches!(e, ArgError::Malformed(t) if t == "fig16"));
     }
 
     #[test]

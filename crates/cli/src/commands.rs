@@ -1,9 +1,13 @@
 //! CLI subcommand implementations.
 
+use std::path::PathBuf;
+
 use hygcn_baseline::{CpuModel, GpuModel};
+use hygcn_bench::figures::{find_figure, run_figure, FigureCtx, FigureSpec, FIGURES};
 use hygcn_core::config::{HyGcnConfig, PipelineMode};
 use hygcn_core::Simulator;
 use hygcn_dse::campaign::Campaign;
+use hygcn_dse::search::{run_search, rungs_to_text, BudgetMetric, SearchStrategy};
 use hygcn_dse::space::{Axis, ConfigSpace, SpaceSample, WorkloadSpec};
 use hygcn_dse::{analysis, DseError};
 use hygcn_gcn::model::{GcnModel, ModelKind};
@@ -52,7 +56,14 @@ pub const CAMPAIGN_FLAGS: &[&str] = &[
     "store",
     "csv",
     "md",
+    "strategy",
+    "eta",
+    "rungs",
+    "metric",
 ];
+
+/// Flags accepted by `hygcn figures` (the artifact id is positional).
+pub const FIGURE_FLAGS: &[&str] = &["scale", "store"];
 
 /// Flags accepted by `hygcn bench` (the config flags plus the
 /// benchmark's own workload/measurement knobs).
@@ -121,16 +132,28 @@ pub fn model_kind(name: &str) -> Result<ModelKind, CliError> {
         .ok_or_else(|| CliError::Unknown(format!("unknown model '{name}' (GCN/GSC/GIN/DFP)")))
 }
 
+/// `--scale` validated against the `(0, 1]` bound its help text states.
+fn scale_arg(args: &Args, default: f64) -> Result<f64, ArgError> {
+    args.get_parsed_where("scale", default, "a float in (0,1]", |v| {
+        *v > 0.0 && *v <= 1.0
+    })
+}
+
+/// `--feature-len` validated against its `>= 1` bound.
+fn feature_len_arg(args: &Args) -> Result<usize, ArgError> {
+    args.get_parsed_where("feature-len", 128, "an integer >= 1", |v| *v >= 1)
+}
+
 fn build_graph(args: &Args) -> Result<Graph, CliError> {
     if let Some(path) = args.get("edges") {
         // A user-supplied edge list (undirected, `src dst` per line).
-        let f: usize = args.get_parsed("feature-len", 128, "an integer >= 1")?;
-        return hygcn_graph::io::read_edge_list_file(path, f.max(1), true)
+        let f = feature_len_arg(args)?;
+        return hygcn_graph::io::read_edge_list_file(path, f, true)
             .map_err(|e| CliError::Runtime(e.to_string()));
     }
     let key = dataset_key(args.get_or("dataset", "CR"))?;
     let spec = DatasetSpec::get(key);
-    let scale = args.get_parsed("scale", spec.default_bench_scale(), "a float in (0,1]")?;
+    let scale = scale_arg(args, spec.default_bench_scale())?;
     let seed = args.get_parsed("seed", 0x5EEDu64, "an integer")?;
     spec.instantiate(scale, seed)
         .map_err(|e| CliError::Runtime(e.to_string()))
@@ -157,9 +180,11 @@ fn build_config(args: &Args) -> Result<HyGcnConfig, CliError> {
         "off" => cfg.sparsity_elimination = false,
         other => return Err(CliError::Unknown(format!("unknown sparsity '{other}'"))),
     }
-    let agg_mb: usize = args.get_parsed("aggbuf-mb", 16, "an integer (MB)")?;
+    let agg_mb: usize =
+        args.get_parsed_where("aggbuf-mb", 16, "an integer >= 1 (MB)", |v| *v >= 1)?;
     cfg.aggregation_buffer_bytes = agg_mb << 20;
-    let in_kb: usize = args.get_parsed("inputbuf-kb", 128, "an integer (KB)")?;
+    let in_kb: usize =
+        args.get_parsed_where("inputbuf-kb", 128, "an integer >= 1 (KB)", |v| *v >= 1)?;
     cfg.input_buffer_bytes = in_kb << 10;
     Ok(cfg)
 }
@@ -169,10 +194,10 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     let graph = build_graph(args)?;
     let kind = model_kind(args.get_or("model", "GCN"))?;
     let cfg = build_config(args)?;
-    let layers: usize = args.get_parsed("layers", 1, "an integer >= 1")?;
+    let layers: usize = args.get_parsed_where("layers", 1, "an integer >= 1", |v| *v >= 1)?;
     let sim = Simulator::new(cfg);
     let stack = sim
-        .simulate_stack(&graph, kind, layers.max(1), false)
+        .simulate_stack(&graph, kind, layers, false)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     let mut out = format!(
         "{} on {} ({} vertices, {} edges, f={})\n",
@@ -270,10 +295,10 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
 /// default bench scale).
 fn workloads_from_args(args: &Args) -> Result<Vec<WorkloadSpec>, CliError> {
     if let Some(path) = args.get("edges") {
-        let f: usize = args.get_parsed("feature-len", 128, "an integer >= 1")?;
+        let f = feature_len_arg(args)?;
         return Ok(vec![WorkloadSpec::EdgeList {
             path: path.into(),
-            feature_len: f.max(1),
+            feature_len: f,
         }]);
     }
     let seed: u64 = args.get_parsed("seed", 0x5EEDu64, "an integer")?;
@@ -286,7 +311,7 @@ fn workloads_from_args(args: &Args) -> Result<Vec<WorkloadSpec>, CliError> {
         .map(|name| {
             let key = dataset_key(name)?;
             let spec = DatasetSpec::get(key);
-            let scale = args.get_parsed("scale", spec.default_bench_scale(), "a float in (0,1]")?;
+            let scale = scale_arg(args, spec.default_bench_scale())?;
             Ok(WorkloadSpec::dataset(key, scale, seed))
         })
         .collect()
@@ -334,7 +359,8 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
 }
 
 /// `hygcn campaign` — a multi-axis design-space campaign: cached,
-/// resumable, with Pareto + marginal reporting.
+/// resumable, with Pareto + marginal reporting and a pluggable search
+/// strategy (`--strategy grid|random|successive-halving`).
 pub fn campaign(args: &Args) -> Result<String, CliError> {
     let axes = Axis::parse_spec(args.get_or("axes", ""))?;
     let mut space = ConfigSpace::new(workloads_from_args(args)?, models_from_args(args)?)
@@ -342,40 +368,119 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
     for axis in axes {
         space = space.with_axis(axis);
     }
-    if let Some(n) = args.get("sample") {
-        let max_points: usize = n.parse().map_err(|_| ArgError::BadValue {
-            flag: "sample".to_string(),
-            value: n.to_string(),
-            expected: "an integer >= 1",
-        })?;
-        let seed: u64 = args.get_parsed("sample-seed", 0xD5Eu64, "an integer")?;
-        space = space.with_sample(SpaceSample { max_points, seed });
-    }
+    let sample_points: Option<usize> = match args.get("sample") {
+        None => None,
+        Some(n) => Some(
+            n.parse()
+                .ok()
+                .filter(|v| *v >= 1)
+                .ok_or_else(|| ArgError::BadValue {
+                    flag: "sample".to_string(),
+                    value: n.to_string(),
+                    expected: "an integer >= 1",
+                })?,
+        ),
+    };
+    let sample_seed: u64 = args.get_parsed("sample-seed", 0xD5Eu64, "an integer")?;
+    // For grid and halving, `--sample` thins the space itself; the
+    // random strategy instead carries the bound (default 16) so that
+    // `--strategy random` without `--sample` still samples.
+    let strategy = match args.get_or("strategy", "grid") {
+        "grid" | "successive-halving" => {
+            if let Some(max_points) = sample_points {
+                space = space.with_sample(SpaceSample {
+                    max_points,
+                    seed: sample_seed,
+                });
+            }
+            if args.get_or("strategy", "grid") == "grid" {
+                SearchStrategy::Grid
+            } else {
+                SearchStrategy::SuccessiveHalving {
+                    eta: args.get_parsed_where("eta", 2, "an integer >= 2", |v| *v >= 2)?,
+                    rungs: args.get_parsed_where("rungs", 3, "an integer >= 1", |v| *v >= 1)?,
+                    budget_metric: BudgetMetric::parse(args.get_or("metric", "cycles"))?,
+                }
+            }
+        }
+        "random" => SearchStrategy::RandomSample {
+            max_points: sample_points.unwrap_or(16),
+            seed: sample_seed,
+        },
+        other => {
+            return Err(CliError::Unknown(format!(
+                "unknown strategy '{other}' (grid/random/successive-halving)"
+            )))
+        }
+    };
 
-    let mut campaign = Campaign::new(space);
     let store = args.get_or("store", "campaign.jsonl");
-    if store != "none" {
-        campaign = campaign.with_store(store);
-    }
-    let report = campaign.run()?;
+    let store_path = (store != "none").then(|| PathBuf::from(store));
+    let outcome = run_search(&space, &strategy, store_path.as_deref())?;
 
-    let mut out = analysis::to_markdown(&report);
+    let mut out = String::new();
+    if let SearchStrategy::SuccessiveHalving { budget_metric, .. } = strategy {
+        out += &rungs_to_text(&outcome.rungs, budget_metric);
+        out += "\n";
+    }
+    let report = &outcome.report;
+    out += &analysis::to_markdown(report);
     if let Some(path) = args.get("csv") {
-        std::fs::write(path, analysis::to_csv(&report))
+        std::fs::write(path, analysis::to_csv(report))
             .map_err(|e| CliError::Runtime(e.to_string()))?;
         out += &format!("\nwrote {path}\n");
     }
     if let Some(path) = args.get("md") {
-        std::fs::write(path, analysis::to_markdown(&report))
+        std::fs::write(path, analysis::to_markdown(report))
             .map_err(|e| CliError::Runtime(e.to_string()))?;
         out += &format!("\nwrote {path}\n");
     }
     if store != "none" {
-        out += &format!(
-            "\nstore: {store} ({} simulated, {} cached this run)\n",
-            report.simulated, report.cache_hits
-        );
+        let (simulated, cached) = if outcome.rungs.is_empty() {
+            (report.simulated, report.cache_hits)
+        } else {
+            (
+                outcome.rungs.iter().map(|r| r.simulated).sum(),
+                outcome.rungs.iter().map(|r| r.cache_hits).sum(),
+            )
+        };
+        out += &format!("\nstore: {store} ({simulated} simulated, {cached} cached this run)\n");
     }
+    Ok(out)
+}
+
+/// `hygcn figures <id|all>` — regenerate paper figure/table artifacts
+/// through the campaign engine, all sharing one `figures.jsonl` store:
+/// only invalidated points re-simulate, and an unchanged re-run
+/// performs zero simulations.
+pub fn figures(args: &Args) -> Result<String, CliError> {
+    let selection = args.positional(0).unwrap_or("all");
+    let specs: Vec<&'static FigureSpec> = if selection == "all" {
+        FIGURES.iter().collect()
+    } else {
+        vec![find_figure(selection).ok_or_else(|| {
+            let ids: Vec<&str> = FIGURES.iter().map(|f| f.id).collect();
+            CliError::Unknown(format!(
+                "unknown figure '{selection}' (known: {}, all)",
+                ids.join("/")
+            ))
+        })?]
+    };
+    let mult = scale_arg(args, 1.0)?;
+    let store = args.get_or("store", "figures.jsonl");
+    let store_path = (store != "none").then(|| PathBuf::from(store));
+
+    let mut ctx = FigureCtx::new(mult);
+    let mut out = String::new();
+    let mut simulated = 0;
+    let mut cached = 0;
+    for spec in specs {
+        let run = run_figure(spec, &mut ctx, store_path.as_deref())?;
+        out += &format!("\n=== {} ===\n{}", run.title, run.output);
+        simulated += run.simulated;
+        cached += run.cache_hits;
+    }
+    out += &format!("\nfigures store: {store} ({simulated} simulated, {cached} cached this run)\n");
     Ok(out)
 }
 
@@ -386,12 +491,17 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
 pub fn bench(args: &Args) -> Result<String, CliError> {
     use std::time::Instant;
 
-    let vertices: usize = args.get_parsed("vertices", 131_072, "an integer >= 1024")?;
-    let degree: usize = args.get_parsed("degree", 8, "an integer >= 1")?;
-    let f: usize = args.get_parsed("feature-len", 128, "an integer >= 1")?;
-    let runs: usize = args.get_parsed("runs", 3, "an integer >= 1")?;
-    let runs = runs.max(1);
-    let threads: usize = args.get_parsed("threads", hygcn_par::num_threads(), "an integer >= 1")?;
+    let vertices: usize =
+        args.get_parsed_where("vertices", 131_072, "an integer >= 1024", |v| *v >= 1024)?;
+    let degree: usize = args.get_parsed_where("degree", 8, "an integer >= 1", |v| *v >= 1)?;
+    let f = feature_len_arg(args)?;
+    let runs: usize = args.get_parsed_where("runs", 3, "an integer >= 1", |v| *v >= 1)?;
+    let threads: usize = args.get_parsed_where(
+        "threads",
+        hygcn_par::num_threads(),
+        "an integer >= 1",
+        |v| *v >= 1,
+    )?;
     let kind = model_kind(args.get_or("model", "GCN"))?;
 
     let graph = hygcn_graph::generator::rmat(
@@ -547,13 +657,24 @@ commands:
   campaign   multi-axis DSE campaign: cached, resumable, Pareto-reported
              --axes \"axis=v1,v2;axis2=...\" with axes
                aggbuf-mb/inputbuf-kb/edgebuf-kb/pipeline/coordination/
-               sparsity/factor/simd-cores/modules
+               sparsity/factor/simd-cores/modules/module-geom/agg-mode/
+               sched/remap/controller/channels/row-bytes/burst-bytes
              --datasets IB,CR,...  --models GCN,GIN,...
              --scale F  --seed N
              --sample N --sample-seed S (random subset of the grid)
+             --strategy grid|random|successive-halving
+               (halving: --eta N --rungs R --metric cycles|energy|dram;
+               rungs evaluate survivors at fidelity eta^-(R-1-r), all
+               cached in the same store, promotion deterministic)
              --store FILE|none (default campaign.jsonl; completed points
                are skipped on re-run)
              --csv FILE  --md FILE
+  figures    regenerate paper figure/table artifacts via the campaign
+             engine: hygcn figures <fig02|fig10|...|fig18|table02|
+             table03|table07|ablation|all>
+             --scale F (multiplier on each dataset's bench scale)
+             --store FILE|none (default figures.jsonl, shared across all
+               artifacts; an unchanged re-run simulates nothing)
   bench      host-throughput benchmark: serial vs parallel simulate()
              --vertices N  --degree K  --feature-len F  --runs R
              --threads T  --json FILE (writes a BENCH_sim.json record)
@@ -764,6 +885,235 @@ mod tests {
             ]));
             assert!(e.is_err(), "{spec}");
         }
+    }
+
+    /// Every out-of-bounds flag value the help text promises to reject
+    /// is rejected with `BadValue` naming the flag — previously all of
+    /// these were accepted and panicked downstream or silently simulated
+    /// nonsense.
+    #[test]
+    fn out_of_bounds_flag_values_are_bad_values() {
+        let bad_value_for = |result: Result<String, CliError>, flag: &str| {
+            match result {
+                Err(CliError::Args(ArgError::BadValue { flag: f, .. })) => {
+                    assert_eq!(f, flag, "wrong flag blamed")
+                }
+                other => panic!("--{flag}: expected BadValue, got {other:?}"),
+            };
+        };
+        for scale in ["0", "1.5", "-0.5"] {
+            bad_value_for(
+                simulate(&args(&["simulate", "--dataset", "IB", "--scale", scale])),
+                "scale",
+            );
+        }
+        bad_value_for(
+            simulate(&args(&["simulate", "--scale", "0.1", "--layers", "0"])),
+            "layers",
+        );
+        bad_value_for(
+            simulate(&args(&["simulate", "--scale", "0.1", "--aggbuf-mb", "0"])),
+            "aggbuf-mb",
+        );
+        bad_value_for(
+            simulate(&args(&["simulate", "--scale", "0.1", "--inputbuf-kb", "0"])),
+            "inputbuf-kb",
+        );
+        bad_value_for(
+            simulate(&args(&[
+                "simulate",
+                "--scale",
+                "0.1",
+                "--feature-len",
+                "0",
+                "--edges",
+                "x",
+            ])),
+            "feature-len",
+        );
+        let bench_args =
+            |toks: &[&str]| Args::parse(toks.iter().map(|s| s.to_string()), BENCH_FLAGS).unwrap();
+        bad_value_for(
+            bench(&bench_args(&["bench", "--vertices", "0"])),
+            "vertices",
+        );
+        bad_value_for(
+            bench(&bench_args(&["bench", "--vertices", "512"])),
+            "vertices",
+        );
+        bad_value_for(bench(&bench_args(&["bench", "--runs", "0"])), "runs");
+        bad_value_for(bench(&bench_args(&["bench", "--threads", "0"])), "threads");
+        bad_value_for(bench(&bench_args(&["bench", "--degree", "0"])), "degree");
+        bad_value_for(
+            campaign(&campaign_args(&[
+                "campaign", "--sample", "0", "--scale", "0.1",
+            ])),
+            "sample",
+        );
+        bad_value_for(
+            campaign(&campaign_args(&[
+                "campaign",
+                "--strategy",
+                "successive-halving",
+                "--eta",
+                "1",
+                "--scale",
+                "0.1",
+            ])),
+            "eta",
+        );
+        bad_value_for(
+            campaign(&campaign_args(&[
+                "campaign",
+                "--strategy",
+                "successive-halving",
+                "--rungs",
+                "0",
+                "--scale",
+                "0.1",
+            ])),
+            "rungs",
+        );
+    }
+
+    #[test]
+    fn campaign_successive_halving_runs_and_reports_rungs() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("cli-halving.jsonl");
+        std::fs::remove_file(&store).ok();
+        let toks = [
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.2",
+            "--axes",
+            "aggbuf-mb=2,4,8,16",
+            "--strategy",
+            "successive-halving",
+            "--eta",
+            "2",
+            "--rungs",
+            "2",
+            "--store",
+            store.to_str().unwrap(),
+        ];
+        let first = campaign(&campaign_args(&toks)).unwrap();
+        assert!(first.contains("successive halving (2 rungs, metric: cycles)"));
+        assert!(first.contains("rung 0: fidelity 0.5"));
+        assert!(first.contains("-> 2 promoted"));
+        assert!(first.contains("6 simulated, 0 cached"));
+        // Re-run: zero simulations; identical promotions and point rows
+        // (only the simulated/cached counters may differ).
+        let second = campaign(&campaign_args(&toks)).unwrap();
+        assert!(second.contains("0 simulated, 6 cached"));
+        let stable = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| l.contains("promoted") || l.starts_with("| "))
+                .map(|l| l.split(')').next_back().unwrap_or(l).to_string())
+                .collect()
+        };
+        assert_eq!(stable(&first), stable(&second));
+        std::fs::remove_file(&store).ok();
+        assert!(campaign(&campaign_args(&[
+            "campaign",
+            "--strategy",
+            "warp",
+            "--scale",
+            "0.1",
+            "--store",
+            "none",
+        ]))
+        .is_err());
+        assert!(campaign(&campaign_args(&[
+            "campaign",
+            "--strategy",
+            "successive-halving",
+            "--metric",
+            "joules",
+            "--scale",
+            "0.1",
+            "--store",
+            "none",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn campaign_random_strategy_actually_samples() {
+        // `--strategy random` without `--sample` evaluates a bounded
+        // subset (default 16), never the full grid — and `--sample`
+        // tightens it.
+        let out = campaign(&campaign_args(&[
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.1",
+            "--axes",
+            "aggbuf-mb=2,4,8;sparsity=on,off",
+            "--strategy",
+            "random",
+            "--sample",
+            "3",
+            "--store",
+            "none",
+        ]))
+        .unwrap();
+        assert!(out.contains("## Campaign (3 points"), "{out}");
+    }
+
+    fn figure_args(toks: &[&str]) -> Args {
+        Args::parse_with_positionals(toks.iter().map(|s| s.to_string()), FIGURE_FLAGS, 1).unwrap()
+    }
+
+    #[test]
+    fn figures_rejects_unknown_artifact_and_bad_scale() {
+        let e = figures(&figure_args(&["figures", "fig99"])).unwrap_err();
+        assert!(e.to_string().contains("unknown figure"));
+        assert!(matches!(
+            figures(&figure_args(&["figures", "table07", "--scale", "2.0"])),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn figures_single_artifact_round_trips_through_store() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("cli-figures.jsonl");
+        std::fs::remove_file(&store).ok();
+        let toks = [
+            "figures",
+            "fig17",
+            "--scale",
+            "0.05",
+            "--store",
+            store.to_str().unwrap(),
+        ];
+        let first = figures(&figure_args(&toks)).unwrap();
+        assert!(first.contains("=== Fig. 17"));
+        assert!(first.contains("6 simulated, 0 cached"));
+        let second = figures(&figure_args(&toks)).unwrap();
+        assert!(second.contains("0 simulated, 6 cached"));
+        // The rendered tables are bit-identical whether simulated or
+        // served from the store (only the store banner's counts differ).
+        let tables = |out: &str| -> String {
+            out.lines()
+                .filter(|l| !l.contains("figures store:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tables(&first), tables(&second));
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn figures_static_artifact_needs_no_simulation() {
+        let out = figures(&figure_args(&["figures", "table07", "--store", "none"])).unwrap();
+        assert!(out.contains("=== Table 7"));
+        assert!(out.contains("0 simulated, 0 cached"));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! hygcn compare  --dataset PB --model GIN
 //! hygcn sweep    --dataset PB --knob aggbuf
 //! hygcn campaign --datasets CR,PB --axes "aggbuf-mb=2,8,32;sparsity=on,off"
+//! hygcn campaign --axes "aggbuf-mb=2,4,8,16" --strategy successive-halving
+//! hygcn figures  fig15 --store figures.jsonl
 //! hygcn bench    --vertices 131072 --json BENCH_sim.json
 //! hygcn datasets
 //! ```
@@ -14,8 +16,8 @@ mod commands;
 
 use args::Args;
 use commands::{
-    bench, campaign, compare, datasets, help, simulate, sweep, CliError, BENCH_FLAGS,
-    CAMPAIGN_FLAGS, WORKLOAD_FLAGS,
+    bench, campaign, compare, datasets, figures, help, simulate, sweep, CliError, BENCH_FLAGS,
+    CAMPAIGN_FLAGS, FIGURE_FLAGS, WORKLOAD_FLAGS,
 };
 
 fn run() -> Result<String, CliError> {
@@ -24,18 +26,20 @@ fn run() -> Result<String, CliError> {
         return Ok(help());
     }
     // Each command validates against its own flag set, so a bench-only
-    // flag passed to `simulate` still fails loudly.
-    let allowed = match raw[0].as_str() {
-        "bench" => BENCH_FLAGS,
-        "campaign" => CAMPAIGN_FLAGS,
-        _ => WORKLOAD_FLAGS,
+    // flag passed to `simulate` still fails loudly. `figures` is the one
+    // command with a positional (the artifact id).
+    let parsed = match raw[0].as_str() {
+        "bench" => Args::parse(raw, BENCH_FLAGS)?,
+        "campaign" => Args::parse(raw, CAMPAIGN_FLAGS)?,
+        "figures" => Args::parse_with_positionals(raw, FIGURE_FLAGS, 1)?,
+        _ => Args::parse(raw, WORKLOAD_FLAGS)?,
     };
-    let parsed = Args::parse(raw, allowed)?;
     match parsed.command() {
         "simulate" => simulate(&parsed),
         "compare" => compare(&parsed),
         "sweep" => sweep(&parsed),
         "campaign" => campaign(&parsed),
+        "figures" => figures(&parsed),
         "bench" => bench(&parsed),
         "datasets" => Ok(datasets()),
         "help" | "--help" | "-h" => Ok(help()),

@@ -76,6 +76,16 @@ pub struct HyGcnConfig {
     pub sample_policy_override: Option<SamplePolicy>,
     /// Record a per-step [`crate::timeline::ChunkTrace`] in the report.
     pub record_timeline: bool,
+    /// Evaluation fidelity in `(0, 1]`. `1.0` (the default) is a full-
+    /// fidelity run. Successive-halving search rungs evaluate surviving
+    /// design points with `fidelity < 1.0`: the campaign executor scales
+    /// the workload down by this factor (a dataset at `scale * fidelity`)
+    /// so early rungs are cheap. The simulator itself ignores the field;
+    /// it exists so a low-fidelity evaluation carries a *distinct*
+    /// canonical serialization — and therefore a distinct campaign cache
+    /// key — letting every rung's results persist in (and resume from)
+    /// the same `ResultStore` as full campaigns.
+    pub fidelity: f64,
 }
 
 impl Default for HyGcnConfig {
@@ -105,6 +115,7 @@ impl Default for HyGcnConfig {
             sample_seed: 0x4759,
             sample_policy_override: None,
             record_timeline: false,
+            fidelity: 1.0,
         }
     }
 }
@@ -176,6 +187,7 @@ impl HyGcnConfig {
             sample_seed,
             sample_policy_override,
             record_timeline,
+            fidelity,
         } = self;
         let HbmConfig {
             channels,
@@ -201,8 +213,26 @@ impl HyGcnConfig {
              coordination={coordination:?};pipeline={pipeline:?};\
              sparsity_elimination={sparsity_elimination};aggregation_mode={aggregation_mode:?};\
              sample_seed={sample_seed};sample_policy_override={sample_policy_override:?};\
-             record_timeline={record_timeline}"
+             record_timeline={record_timeline};fidelity={fidelity:?}"
         )
+    }
+
+    /// Validates the configuration's internal consistency — currently
+    /// the HBM geometry ([`HbmConfig::validate`]) plus the fidelity
+    /// range. Design-space enumeration calls this per point so that a
+    /// campaign axis producing an impossible combination (for example
+    /// `burst-bytes` larger than `row-bytes`) fails fast with a spec
+    /// error instead of panicking mid-campaign.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.hbm.validate().map_err(|e| format!("hbm: {e}"))?;
+        if !(self.fidelity > 0.0 && self.fidelity <= 1.0) {
+            return Err(format!("fidelity {:?} outside (0, 1]", self.fidelity));
+        }
+        Ok(())
     }
 
     /// A 64-bit FNV-1a hash of [`Self::canon`] — the configuration half
@@ -267,12 +297,12 @@ mod tests {
 
     #[test]
     fn canon_covers_every_field() {
-        // 19 scalar fields on HyGcnConfig plus 9 flattened HbmConfig
+        // 20 scalar fields on HyGcnConfig plus 9 flattened HbmConfig
         // fields. Coverage itself is enforced at compile time by the
         // exhaustive destructuring inside `canon()`; this pins the
         // key=value;... shape the store hash is computed over.
         let canon = HyGcnConfig::default().canon();
-        assert_eq!(canon.split(';').count(), 28, "{canon}");
+        assert_eq!(canon.split(';').count(), 29, "{canon}");
         for pair in canon.split(';') {
             assert!(pair.contains('='), "malformed pair '{pair}'");
         }
@@ -310,18 +340,59 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_impossible_geometry_and_fidelity() {
+        assert_eq!(HyGcnConfig::default().validate(), Ok(()));
+        let burst_over_row = HyGcnConfig {
+            hbm: HbmConfig {
+                burst_bytes: 4096,
+                ..HbmConfig::hbm1()
+            },
+            ..HyGcnConfig::default()
+        };
+        assert!(burst_over_row.validate().unwrap_err().contains("burst"));
+        let non_pow2 = HyGcnConfig {
+            hbm: HbmConfig {
+                channels: 6,
+                ..HbmConfig::hbm1()
+            },
+            ..HyGcnConfig::default()
+        };
+        assert!(non_pow2.validate().is_err());
+        for bad in [0.0, -0.5, 1.5] {
+            let cfg = HyGcnConfig {
+                fidelity: bad,
+                ..HyGcnConfig::default()
+            };
+            assert!(cfg.validate().unwrap_err().contains("fidelity"));
+        }
+    }
+
+    #[test]
+    fn fidelity_discriminates_the_hash() {
+        let base = HyGcnConfig::default();
+        let half = HyGcnConfig {
+            fidelity: 0.5,
+            ..base.clone()
+        };
+        assert_ne!(base.stable_hash(), half.stable_hash());
+        assert!(half.canon().ends_with("fidelity=0.5"));
+    }
+
+    #[test]
     fn stable_hash_pins_cross_process_value() {
         // The literal value pins the canonical serialization across
         // processes and releases: a persisted campaign store must remain
         // readable by future builds. Update it ONLY on an intentional
         // cache-format break (which invalidates stored campaign results).
+        // Last break: the `fidelity` field joined the key (successive-
+        // halving rung evaluations need distinct cache identities).
         let canon = HyGcnConfig::default().canon();
         assert_eq!(
             HyGcnConfig::default().stable_hash(),
-            0xaf02_b291_4312_dff3,
+            0x8ffd_4b5d_b7f4_c6e6,
             "canonical serialization drifted: {canon}"
         );
         assert!(canon.starts_with("clock_ghz=1.0;simd_cores=32;"));
-        assert!(canon.ends_with("record_timeline=false"));
+        assert!(canon.ends_with("fidelity=1.0"));
     }
 }

@@ -106,6 +106,24 @@ impl Campaign {
     /// * [`DseError::Store`] for store I/O problems.
     pub fn run(&self) -> Result<CampaignReport, DseError> {
         let points = self.space.enumerate()?;
+        self.run_points(&points)
+    }
+
+    /// Runs an explicit point list through the executor — the hook the
+    /// successive-halving search uses to evaluate each rung's survivors
+    /// (with per-rung fidelity overrides already stamped on the points).
+    ///
+    /// Workload sharing groups by `(workload_idx, config.fidelity)`:
+    /// every group builds its graph once via
+    /// [`WorkloadSpec::build_at`], so a half-fidelity rung shares one
+    /// half-scale graph across its survivors, and mixed-fidelity lists
+    /// never leak a graph across fidelities. Outcomes return in input
+    /// order; completions stream to the store exactly as in [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`], minus the enumeration errors.
+    pub fn run_points(&self, points: &[DesignPoint]) -> Result<CampaignReport, DseError> {
         let mut store = match &self.store_path {
             Some(p) => ResultStore::open(p)?,
             None => ResultStore::in_memory(),
@@ -114,23 +132,25 @@ impl Campaign {
         // Which points were already done before this run started.
         let preexisting: Vec<bool> = points.iter().map(|p| store.get(p.key).is_some()).collect();
 
-        // Group the missing points by workload, preserving point order
-        // within each group (workload_idx is the sharing handle).
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        // Group the missing points by (workload, fidelity), preserving
+        // point order within each group (the pair is the sharing handle:
+        // one built graph per group).
+        let mut groups: Vec<((usize, u64), Vec<usize>)> = Vec::new();
         for (i, p) in points.iter().enumerate() {
             if preexisting[i] {
                 continue;
             }
-            match groups.iter_mut().find(|(w, _)| *w == p.workload_idx) {
+            let handle = (p.workload_idx, p.config.fidelity.to_bits());
+            match groups.iter_mut().find(|(h, _)| *h == handle) {
                 Some((_, idxs)) => idxs.push(i),
-                None => groups.push((p.workload_idx, vec![i])),
+                None => groups.push((handle, vec![i])),
             }
         }
 
         let mut simulated = 0usize;
-        for (widx, idxs) in groups {
-            let workload = &self.space.workloads[widx];
-            let graph = workload.build()?;
+        for ((_, fidelity_bits), idxs) in groups {
+            let workload = &points[idxs[0]].workload;
+            let graph = workload.build_at(f64::from_bits(fidelity_bits))?;
             let graph_hash = graph.content_hash();
             // One model instance per kind in this group, shared across
             // every point of the group.
@@ -179,10 +199,9 @@ impl Campaign {
             }
         }
 
-        // Assemble outcomes in enumeration order from the (now complete)
-        // store.
+        // Assemble outcomes in input order from the (now complete) store.
         let mut outcomes = Vec::with_capacity(points.len());
-        for (i, p) in points.into_iter().enumerate() {
+        for (i, p) in points.iter().enumerate() {
             let rec = store
                 .get(p.key)
                 .expect("every enumerated point is stored by now");
@@ -193,7 +212,7 @@ impl Campaign {
                 dram_bytes: rec.dram_bytes,
                 report_json: rec.report_json.clone(),
                 cached: preexisting[i],
-                point: p,
+                point: p.clone(),
             });
         }
         Ok(CampaignReport {

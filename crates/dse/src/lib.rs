@@ -27,6 +27,11 @@
 //!   campaign performs **zero** simulations.
 //! * [`analysis`] — Pareto-front extraction over (cycles, energy,
 //!   DRAM bytes), per-axis marginal tables, and CSV/Markdown emitters.
+//! * [`search`] — strategies over a space: grid, seeded random
+//!   sampling, and multi-fidelity **successive halving**, whose rungs
+//!   evaluate surviving points at increasing workload fidelity with
+//!   deterministic promotion and every evaluation flowing through the
+//!   same cached store (halving runs are themselves resumable).
 //!
 //! ## Example
 //!
@@ -54,10 +59,12 @@
 
 pub mod analysis;
 pub mod campaign;
+pub mod search;
 pub mod space;
 pub mod store;
 
 pub use campaign::{Campaign, CampaignReport, PointOutcome};
+pub use search::{run_search, BudgetMetric, SearchOutcome, SearchStrategy};
 pub use space::{Axis, AxisValue, ConfigSpace, DesignPoint, SpaceSample, WorkloadSpec};
 pub use store::ResultStore;
 

@@ -1,0 +1,427 @@
+//! Search strategies over a [`ConfigSpace`] — grid, seeded random
+//! sampling, and successive halving with multi-fidelity rungs.
+//!
+//! ## Successive halving
+//!
+//! [`SearchStrategy::SuccessiveHalving`] evaluates the whole candidate
+//! grid cheaply and spends full-cost simulation only on the points that
+//! keep winning. Rung `r` of `R` evaluates the current survivors at
+//! fidelity `eta^-(R-1-r)` — dataset workloads instantiate at
+//! `scale * fidelity` ([`crate::space::WorkloadSpec::build_at`]) — then
+//! promotes the best `ceil(n/eta)`-ish fraction (`max(1, n/eta)`) to the
+//! next rung, ranked on the chosen [`BudgetMetric`]. The final rung runs
+//! at fidelity 1.0, so its design points carry exactly the same cache
+//! keys as a plain grid campaign over the same space.
+//!
+//! ## Determinism and resume invariants
+//!
+//! * **Deterministic promotion.** Survivors are ranked by
+//!   `(metric, cache key)` ascending — the cache key is the tie-break,
+//!   so equal-metric points promote in a stable, process-independent
+//!   order. Given the same space, strategy, and store, two runs produce
+//!   bit-identical rung reports and final survivors.
+//! * **Every rung is cached.** Rung evaluations flow through the same
+//!   [`crate::store::ResultStore`] as plain campaigns: a rung point's
+//!   key hashes its fidelity (via `HyGcnConfig::canon`), so a
+//!   half-fidelity result never masquerades as a full-fidelity one, and
+//!   a killed or re-run search re-simulates only what is missing. An
+//!   unchanged re-run performs **zero** simulations and reproduces the
+//!   identical [`SearchOutcome`].
+//! * **Shared final-rung results.** Because fidelity 1.0 is the default
+//!   config, final-rung records are interchangeable with plain-campaign
+//!   records for the same points — a later full grid campaign gets the
+//!   halving winners' simulations for free, and vice versa.
+
+use std::path::Path;
+
+use crate::campaign::{Campaign, CampaignReport, PointOutcome};
+use crate::space::ConfigSpace;
+use crate::DseError;
+
+/// The scalar a successive-halving rung ranks (and minimizes) on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetMetric {
+    /// End-to-end simulated cycles.
+    #[default]
+    Cycles,
+    /// Total dynamic energy in joules.
+    EnergyJ,
+    /// Total DRAM traffic in bytes.
+    DramBytes,
+}
+
+impl BudgetMetric {
+    /// Parses a CLI token (`cycles`, `energy`, `dram`).
+    pub fn parse(token: &str) -> Result<Self, DseError> {
+        match token {
+            "cycles" => Ok(BudgetMetric::Cycles),
+            "energy" => Ok(BudgetMetric::EnergyJ),
+            "dram" => Ok(BudgetMetric::DramBytes),
+            _ => Err(DseError::Spec(format!(
+                "unknown metric '{token}' (cycles/energy/dram)"
+            ))),
+        }
+    }
+
+    /// The metric's value for one outcome (as `f64`; all three metrics
+    /// are exactly representable at simulated magnitudes).
+    pub fn of(&self, o: &PointOutcome) -> f64 {
+        match self {
+            BudgetMetric::Cycles => o.cycles as f64,
+            BudgetMetric::EnergyJ => o.energy_j,
+            BudgetMetric::DramBytes => o.dram_bytes as f64,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BudgetMetric::Cycles => "cycles",
+            BudgetMetric::EnergyJ => "energy",
+            BudgetMetric::DramBytes => "dram",
+        }
+    }
+}
+
+/// How to spend simulations over a design space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchStrategy {
+    /// Evaluate every enumerated point (the plain campaign).
+    Grid,
+    /// Evaluate a deterministic random subset of the grid.
+    RandomSample {
+        /// Upper bound on evaluated points.
+        max_points: usize,
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Multi-fidelity successive halving (see the module docs).
+    SuccessiveHalving {
+        /// Reduction factor between rungs (>= 2); also sets the rung
+        /// fidelity ladder `eta^-(rungs-1-r)`.
+        eta: usize,
+        /// Number of rungs (>= 1); the last runs at fidelity 1.0.
+        rungs: usize,
+        /// The metric promotion ranks on.
+        budget_metric: BudgetMetric,
+    },
+}
+
+/// One rung's summary: what was evaluated and who got promoted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungReport {
+    /// Rung index (0-based, cheapest first).
+    pub rung: usize,
+    /// The fidelity every evaluation in this rung ran at.
+    pub fidelity: f64,
+    /// Points evaluated in this rung.
+    pub evaluated: usize,
+    /// Of those, simulated fresh this run.
+    pub simulated: usize,
+    /// Of those, served from the store.
+    pub cache_hits: usize,
+    /// Cache keys of the promoted points, best-first under the budget
+    /// metric (these are the *rung-level* keys — the rows this rung
+    /// wrote to the store). The last rung promotes everything it
+    /// evaluated, ranked.
+    pub survivors: Vec<u64>,
+}
+
+/// Everything a search produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Per-rung summaries (empty for [`SearchStrategy::Grid`] and
+    /// [`SearchStrategy::RandomSample`], which have no rung structure).
+    pub rungs: Vec<RungReport>,
+    /// The final full-fidelity report: every point for grid/random, the
+    /// surviving points (in rank order) for successive halving.
+    pub report: CampaignReport,
+}
+
+/// Runs `strategy` over `space`, persisting every evaluation to `store`
+/// (when given) so the search is resumable and an unchanged re-run
+/// performs zero simulations.
+///
+/// # Errors
+///
+/// [`DseError::Spec`] for malformed spaces or strategy parameters
+/// (`eta < 2`, `rungs == 0`); the campaign executor's errors otherwise.
+pub fn run_search(
+    space: &ConfigSpace,
+    strategy: &SearchStrategy,
+    store: Option<&Path>,
+) -> Result<SearchOutcome, DseError> {
+    let campaign_for = |space: ConfigSpace| {
+        let c = Campaign::new(space);
+        match store {
+            Some(p) => c.with_store(p),
+            None => c,
+        }
+    };
+    match strategy {
+        SearchStrategy::Grid => Ok(SearchOutcome {
+            rungs: Vec::new(),
+            report: campaign_for(space.clone()).run()?,
+        }),
+        SearchStrategy::RandomSample { max_points, seed } => {
+            let sampled = space.clone().with_sample(crate::space::SpaceSample {
+                max_points: *max_points,
+                seed: *seed,
+            });
+            Ok(SearchOutcome {
+                rungs: Vec::new(),
+                report: campaign_for(sampled).run()?,
+            })
+        }
+        SearchStrategy::SuccessiveHalving {
+            eta,
+            rungs,
+            budget_metric,
+        } => {
+            if *eta < 2 {
+                return Err(DseError::Spec(format!("eta must be >= 2 (got {eta})")));
+            }
+            if *rungs == 0 {
+                return Err(DseError::Spec("rungs must be >= 1".into()));
+            }
+            let campaign = campaign_for(space.clone());
+            let mut survivors = space.enumerate()?;
+            let mut rung_reports = Vec::with_capacity(*rungs);
+            let mut final_report = None;
+            for r in 0..*rungs {
+                let fidelity = 1.0 / (*eta as f64).powi((*rungs - 1 - r) as i32);
+                let rung_points = survivors
+                    .iter()
+                    .map(|p| p.at_fidelity(fidelity))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let report = campaign.run_points(&rung_points)?;
+
+                // Rank ascending on (metric, key): the key tie-break makes
+                // promotion deterministic across processes.
+                let mut order: Vec<usize> = (0..report.points.len()).collect();
+                order.sort_by(|&a, &b| {
+                    budget_metric
+                        .of(&report.points[a])
+                        .total_cmp(&budget_metric.of(&report.points[b]))
+                        .then(report.points[a].point.key.cmp(&report.points[b].point.key))
+                });
+                let keep = if r + 1 == *rungs {
+                    order.len()
+                } else {
+                    (order.len() / *eta).max(1)
+                };
+                order.truncate(keep);
+                rung_reports.push(RungReport {
+                    rung: r,
+                    fidelity,
+                    evaluated: report.points.len(),
+                    simulated: report.simulated,
+                    cache_hits: report.cache_hits,
+                    survivors: order.iter().map(|&i| report.points[i].point.key).collect(),
+                });
+                // Promote the original (full-fidelity) points; outcomes
+                // come back in input order, so index i maps 1:1.
+                survivors = order.iter().map(|&i| survivors[i].clone()).collect();
+                if r + 1 == *rungs {
+                    // The final rung ran at fidelity 1.0: re-assemble its
+                    // report in rank order as the search's result.
+                    let mut points: Vec<PointOutcome> = Vec::with_capacity(keep);
+                    for &i in &order {
+                        points.push(report.points[i].clone());
+                    }
+                    final_report = Some(CampaignReport {
+                        points,
+                        simulated: report.simulated,
+                        cache_hits: report.cache_hits,
+                    });
+                }
+            }
+            Ok(SearchOutcome {
+                rungs: rung_reports,
+                report: final_report.expect("rungs >= 1"),
+            })
+        }
+    }
+}
+
+/// Renders the rung ladder as a compact text table (the CLI's
+/// `--strategy successive-halving` banner).
+pub fn rungs_to_text(rungs: &[RungReport], metric: BudgetMetric) -> String {
+    let mut out = format!(
+        "successive halving ({} rungs, metric: {}):\n",
+        rungs.len(),
+        metric.name()
+    );
+    for r in rungs {
+        out += &format!(
+            "  rung {}: fidelity {:<6} {:>4} evaluated ({} simulated, {} cached) -> {} promoted\n",
+            r.rung,
+            format!("{:?}", r.fidelity),
+            r.evaluated,
+            r.simulated,
+            r.cache_hits,
+            r.survivors.len(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Axis, WorkloadSpec};
+    use hygcn_gcn::model::ModelKind;
+    use hygcn_graph::datasets::DatasetKey;
+
+    fn space8() -> ConfigSpace {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.2, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("aggbuf-mb", "2,4,8,16").unwrap())
+        .with_axis(Axis::parse("sparsity", "on,off").unwrap())
+    }
+
+    fn halving(eta: usize, rungs: usize) -> SearchStrategy {
+        SearchStrategy::SuccessiveHalving {
+            eta,
+            rungs,
+            budget_metric: BudgetMetric::Cycles,
+        }
+    }
+
+    #[test]
+    fn halving_ladder_counts_and_fidelities() {
+        let out = run_search(&space8(), &halving(2, 3), None).unwrap();
+        assert_eq!(out.rungs.len(), 3);
+        assert_eq!(out.rungs[0].fidelity, 0.25);
+        assert_eq!(out.rungs[1].fidelity, 0.5);
+        assert_eq!(out.rungs[2].fidelity, 1.0);
+        assert_eq!(out.rungs[0].evaluated, 8);
+        assert_eq!(out.rungs[0].survivors.len(), 4);
+        assert_eq!(out.rungs[1].evaluated, 4);
+        assert_eq!(out.rungs[1].survivors.len(), 2);
+        assert_eq!(out.rungs[2].evaluated, 2);
+        assert_eq!(out.rungs[2].survivors.len(), 2);
+        assert_eq!(out.report.points.len(), 2);
+        // Final-rung points run at full fidelity with untouched keys.
+        for p in &out.report.points {
+            assert_eq!(p.point.config.fidelity, 1.0);
+            assert!(!p.point.assignment.iter().any(|(k, _)| k == "fidelity"));
+        }
+        // Rank order: the best point leads.
+        assert!(out.report.points[0].cycles <= out.report.points[1].cycles);
+    }
+
+    #[test]
+    fn halving_is_deterministic_and_resumable() {
+        let dir = std::env::temp_dir().join("hygcn-dse-search-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("halving.jsonl");
+        std::fs::remove_file(&store).ok();
+
+        let first = run_search(&space8(), &halving(2, 2), Some(&store)).unwrap();
+        let total_sims: usize = first.rungs.iter().map(|r| r.simulated).sum();
+        assert_eq!(total_sims, 8 + 4, "8 half-fidelity + 4 full-fidelity");
+
+        // Unchanged re-run: zero simulations, bit-identical outcome.
+        let second = run_search(&space8(), &halving(2, 2), Some(&store)).unwrap();
+        assert!(second.rungs.iter().all(|r| r.simulated == 0));
+        assert!(second
+            .rungs
+            .iter()
+            .zip(&first.rungs)
+            .all(|(s, f)| s.survivors == f.survivors && s.fidelity == f.fidelity));
+        assert_eq!(second.report.points.len(), first.report.points.len());
+        for (s, f) in second.report.points.iter().zip(&first.report.points) {
+            assert_eq!(s.point.key, f.point.key);
+            assert_eq!(s.report_json, f.report_json);
+        }
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn halving_shares_final_rung_with_plain_campaigns() {
+        let dir = std::env::temp_dir().join("hygcn-dse-search-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("shared.jsonl");
+        std::fs::remove_file(&store).ok();
+
+        let out = run_search(&space8(), &halving(2, 2), Some(&store)).unwrap();
+        // A plain grid campaign over the same space reuses the winners'
+        // full-fidelity simulations (4 of 8 points cached).
+        let grid = Campaign::new(space8()).with_store(&store).run().unwrap();
+        assert_eq!(grid.cache_hits, out.report.points.len());
+        assert_eq!(grid.simulated, 8 - out.report.points.len());
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn single_rung_halving_is_a_full_fidelity_grid() {
+        let out = run_search(&space8(), &halving(4, 1), None).unwrap();
+        assert_eq!(out.rungs.len(), 1);
+        assert_eq!(out.rungs[0].fidelity, 1.0);
+        assert_eq!(out.report.points.len(), 8);
+    }
+
+    #[test]
+    fn grid_and_random_strategies_pass_through() {
+        let grid = run_search(&space8(), &SearchStrategy::Grid, None).unwrap();
+        assert!(grid.rungs.is_empty());
+        assert_eq!(grid.report.points.len(), 8);
+        let random = run_search(
+            &space8(),
+            &SearchStrategy::RandomSample {
+                max_points: 3,
+                seed: 5,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(random.report.points.len(), 3);
+    }
+
+    #[test]
+    fn bad_parameters_are_spec_errors() {
+        assert!(matches!(
+            run_search(&space8(), &halving(1, 2), None),
+            Err(DseError::Spec(_))
+        ));
+        assert!(matches!(
+            run_search(&space8(), &halving(2, 0), None),
+            Err(DseError::Spec(_))
+        ));
+        assert!(BudgetMetric::parse("joules").is_err());
+        assert_eq!(
+            BudgetMetric::parse("dram").unwrap(),
+            BudgetMetric::DramBytes
+        );
+    }
+
+    #[test]
+    fn metric_choice_changes_ranking_only_deterministically() {
+        for metric in [
+            BudgetMetric::Cycles,
+            BudgetMetric::EnergyJ,
+            BudgetMetric::DramBytes,
+        ] {
+            let strategy = SearchStrategy::SuccessiveHalving {
+                eta: 2,
+                rungs: 2,
+                budget_metric: metric,
+            };
+            let a = run_search(&space8(), &strategy, None).unwrap();
+            let b = run_search(&space8(), &strategy, None).unwrap();
+            assert_eq!(a.rungs, b.rungs, "{}", metric.name());
+        }
+    }
+
+    #[test]
+    fn rung_text_renders_every_rung() {
+        let out = run_search(&space8(), &halving(2, 2), None).unwrap();
+        let text = rungs_to_text(&out.rungs, BudgetMetric::Cycles);
+        assert!(text.contains("rung 0"));
+        assert!(text.contains("rung 1"));
+        assert!(text.contains("metric: cycles"));
+    }
+}

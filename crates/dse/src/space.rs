@@ -11,13 +11,15 @@
 
 use std::path::PathBuf;
 
-use hygcn_core::config::{HyGcnConfig, PipelineMode};
+use hygcn_core::config::{AggregationMode, HyGcnConfig, PipelineMode};
 use hygcn_gcn::model::ModelKind;
 use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
 use hygcn_graph::hashing::Fnv64;
+use hygcn_graph::reorder::{reorder, Ordering};
 use hygcn_graph::sampling::SamplePolicy;
 use hygcn_graph::Graph;
-use hygcn_mem::hbm::HbmConfig;
+use hygcn_mem::address::MappingScheme;
+use hygcn_mem::hbm::{ControllerPolicy, HbmConfig};
 use hygcn_mem::scheduler::CoordinationMode;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -36,6 +38,14 @@ pub const AXIS_NAMES: &[&str] = &[
     "factor",
     "simd-cores",
     "modules",
+    "module-geom",
+    "agg-mode",
+    "sched",
+    "remap",
+    "controller",
+    "channels",
+    "row-bytes",
+    "burst-bytes",
 ];
 
 /// One setting of one configuration knob.
@@ -59,6 +69,35 @@ pub enum AxisValue {
     SimdCores(usize),
     /// Systolic module count in the Combination Engine.
     SystolicModules(usize),
+    /// Full systolic geometry `modules x rows x group-vertices` at a
+    /// fixed PE budget — the Fig. 18(g) granularity axis (`8x4x16` is
+    /// the paper's chosen point).
+    ModuleGeometry {
+        /// Systolic module count.
+        modules: usize,
+        /// PE rows per module.
+        rows: usize,
+        /// Vertices per independent-mode group.
+        group: usize,
+    },
+    /// SIMD work-distribution mode (Fig. 4's ablation).
+    AggMode(AggregationMode),
+    /// Scheduler half of memory coordination in isolation (priority
+    /// batching without touching the address mapping).
+    Sched(CoordinationMode),
+    /// Mapping half of memory coordination in isolation: channel bits
+    /// low (`low`, coordinated) or high (`high`, the baseline).
+    Remap(MappingScheme),
+    /// Memory-controller reordering policy (`inorder` or `frfcfs`, the
+    /// row-hit-first rescue of the design ablation).
+    Controller(ControllerPolicy),
+    /// HBM channel count (memory-geometry axis; must be a power of two).
+    Channels(usize),
+    /// HBM row-buffer size in bytes (power of two).
+    RowBytes(u64),
+    /// HBM burst size in bytes (power of two; combinations with
+    /// `burst-bytes > row-bytes` are rejected at enumeration).
+    BurstBytes(u64),
 }
 
 impl AxisValue {
@@ -85,6 +124,15 @@ impl AxisValue {
                 ))),
             }
         };
+        let pow2 = |what: &str| -> Result<usize, DseError> {
+            let v = positive(what)?;
+            if !v.is_power_of_two() {
+                return Err(DseError::Spec(format!(
+                    "axis '{axis}': {v} is not a power of two"
+                )));
+            }
+            Ok(v)
+        };
         match axis {
             "aggbuf-mb" => Ok(AxisValue::AggBufMb(positive("an integer (MB)")?)),
             "inputbuf-kb" => Ok(AxisValue::InputBufKb(positive("an integer (KB)")?)),
@@ -102,6 +150,60 @@ impl AxisValue {
             "factor" => Ok(AxisValue::SampleFactor(positive("an integer factor")?)),
             "simd-cores" => Ok(AxisValue::SimdCores(positive("an integer")?)),
             "modules" => Ok(AxisValue::SystolicModules(positive("an integer")?)),
+            "module-geom" => {
+                let parts: Vec<usize> = token
+                    .split('x')
+                    .map(|t| t.parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| {
+                        DseError::Spec(format!(
+                            "axis 'module-geom': '{token}' is not MODULESxROWSxGROUP (e.g. 8x4x16)"
+                        ))
+                    })?;
+                match parts.as_slice() {
+                    [m, r, g] if *m >= 1 && *r >= 1 && *g >= 1 => Ok(AxisValue::ModuleGeometry {
+                        modules: *m,
+                        rows: *r,
+                        group: *g,
+                    }),
+                    _ => Err(DseError::Spec(format!(
+                        "axis 'module-geom': '{token}' is not MODULESxROWSxGROUP with all parts >= 1"
+                    ))),
+                }
+            }
+            "agg-mode" => match token {
+                "disperse" => Ok(AxisValue::AggMode(AggregationMode::VertexDisperse)),
+                "concentrated" => Ok(AxisValue::AggMode(AggregationMode::VertexConcentrated)),
+                _ => Err(DseError::Spec(format!(
+                    "axis 'agg-mode': '{token}' is not disperse|concentrated"
+                ))),
+            },
+            "sched" => match token {
+                "fcfs" => Ok(AxisValue::Sched(CoordinationMode::Fcfs)),
+                "priority" => Ok(AxisValue::Sched(CoordinationMode::PriorityBatched)),
+                _ => Err(DseError::Spec(format!(
+                    "axis 'sched': '{token}' is not fcfs|priority"
+                ))),
+            },
+            "remap" => match token {
+                "low" => Ok(AxisValue::Remap(MappingScheme::ChannelInterleaved)),
+                "high" => Ok(AxisValue::Remap(MappingScheme::RowInterleaved)),
+                _ => Err(DseError::Spec(format!(
+                    "axis 'remap': '{token}' is not low|high"
+                ))),
+            },
+            "controller" => match token {
+                "inorder" => Ok(AxisValue::Controller(ControllerPolicy::InOrder)),
+                "frfcfs" => Ok(AxisValue::Controller(ControllerPolicy::FrFcfs {
+                    window: 32,
+                })),
+                _ => Err(DseError::Spec(format!(
+                    "axis 'controller': '{token}' is not inorder|frfcfs"
+                ))),
+            },
+            "channels" => Ok(AxisValue::Channels(pow2("a power-of-two integer")?)),
+            "row-bytes" => Ok(AxisValue::RowBytes(pow2("a power-of-two integer")? as u64)),
+            "burst-bytes" => Ok(AxisValue::BurstBytes(pow2("a power-of-two integer")? as u64)),
             _ => Err(DseError::Spec(format!(
                 "unknown axis '{axis}' (known: {})",
                 AXIS_NAMES.join("/")
@@ -121,6 +223,14 @@ impl AxisValue {
             AxisValue::SampleFactor(_) => "factor",
             AxisValue::SimdCores(_) => "simd-cores",
             AxisValue::SystolicModules(_) => "modules",
+            AxisValue::ModuleGeometry { .. } => "module-geom",
+            AxisValue::AggMode(_) => "agg-mode",
+            AxisValue::Sched(_) => "sched",
+            AxisValue::Remap(_) => "remap",
+            AxisValue::Controller(_) => "controller",
+            AxisValue::Channels(_) => "channels",
+            AxisValue::RowBytes(_) => "row-bytes",
+            AxisValue::BurstBytes(_) => "burst-bytes",
         }
     }
 
@@ -139,6 +249,21 @@ impl AxisValue {
             AxisValue::Coordination(b) | AxisValue::Sparsity(b) => {
                 if *b { "on" } else { "off" }.into()
             }
+            AxisValue::ModuleGeometry {
+                modules,
+                rows,
+                group,
+            } => format!("{modules}x{rows}x{group}"),
+            AxisValue::AggMode(AggregationMode::VertexDisperse) => "disperse".into(),
+            AxisValue::AggMode(AggregationMode::VertexConcentrated) => "concentrated".into(),
+            AxisValue::Sched(CoordinationMode::Fcfs) => "fcfs".into(),
+            AxisValue::Sched(CoordinationMode::PriorityBatched) => "priority".into(),
+            AxisValue::Remap(MappingScheme::ChannelInterleaved) => "low".into(),
+            AxisValue::Remap(MappingScheme::RowInterleaved) => "high".into(),
+            AxisValue::Controller(ControllerPolicy::InOrder) => "inorder".into(),
+            AxisValue::Controller(ControllerPolicy::FrFcfs { .. }) => "frfcfs".into(),
+            AxisValue::Channels(v) => v.to_string(),
+            AxisValue::RowBytes(v) | AxisValue::BurstBytes(v) => v.to_string(),
         }
     }
 
@@ -173,6 +298,22 @@ impl AxisValue {
             }
             AxisValue::SimdCores(n) => cfg.simd_cores = n,
             AxisValue::SystolicModules(n) => cfg.systolic_modules = n,
+            AxisValue::ModuleGeometry {
+                modules,
+                rows,
+                group,
+            } => {
+                cfg.systolic_modules = modules;
+                cfg.module_rows = rows;
+                cfg.module_group_vertices = group;
+            }
+            AxisValue::AggMode(m) => cfg.aggregation_mode = m,
+            AxisValue::Sched(m) => cfg.coordination = m,
+            AxisValue::Remap(m) => cfg.hbm.mapping = m,
+            AxisValue::Controller(p) => cfg.hbm.controller = p,
+            AxisValue::Channels(n) => cfg.hbm.channels = n,
+            AxisValue::RowBytes(b) => cfg.hbm.row_bytes = b,
+            AxisValue::BurstBytes(b) => cfg.hbm.burst_bytes = b,
         }
     }
 }
@@ -243,6 +384,29 @@ pub enum WorkloadSpec {
         /// Feature vector length to attach.
         feature_len: usize,
     },
+    /// A dataset workload relabeled by a sequence of vertex orderings —
+    /// the vertex-ordering-sensitivity study (window sliding+shrinking
+    /// depends on id-space locality; random relabeling destroys it, BFS
+    /// relabeling restores it).
+    Reordered {
+        /// Dataset key.
+        key: DatasetKey,
+        /// Scale in `(0, 1]`.
+        scale: f64,
+        /// Generator seed.
+        seed: u64,
+        /// Relabelings applied in order after instantiation.
+        orderings: Vec<Ordering>,
+    },
+}
+
+/// Short token for one reorder step (the workload-label suffix).
+fn ordering_tag(o: &Ordering) -> String {
+    match o {
+        Ordering::Degree => "deg".into(),
+        Ordering::Bfs => "bfs".into(),
+        Ordering::Random(s) => format!("rnd{s}"),
+    }
 }
 
 impl WorkloadSpec {
@@ -251,11 +415,20 @@ impl WorkloadSpec {
         WorkloadSpec::Dataset { key, scale, seed }
     }
 
-    /// Short display label, e.g. `CR@0.5`.
+    /// Short display label, e.g. `CR@0.5` or `PB@1.0+rnd7+bfs`.
     pub fn label(&self) -> String {
         match self {
             WorkloadSpec::Dataset { key, scale, .. } => format!("{}@{scale:?}", key.abbrev()),
             WorkloadSpec::EdgeList { path, .. } => format!("edges:{}", path.display()),
+            WorkloadSpec::Reordered {
+                key,
+                scale,
+                orderings,
+                ..
+            } => {
+                let tags: Vec<String> = orderings.iter().map(ordering_tag).collect();
+                format!("{}@{scale:?}+{}", key.abbrev(), tags.join("+"))
+            }
         }
     }
 
@@ -281,21 +454,78 @@ impl WorkloadSpec {
                     h.finish()
                 ))
             }
+            WorkloadSpec::Reordered {
+                key,
+                scale,
+                seed,
+                orderings,
+            } => Ok(format!(
+                "dataset={};scale={scale:?};seed={seed};reorder={orderings:?}",
+                key.abbrev()
+            )),
         }
     }
 
-    /// Builds the graph.
+    /// Builds the graph at full fidelity.
     pub fn build(&self) -> Result<Graph, DseError> {
+        self.build_at(1.0)
+    }
+
+    /// Builds the graph at an evaluation fidelity in `(0, 1]` — the
+    /// campaign executor's successive-halving hook. Dataset-backed
+    /// workloads instantiate at `scale * fidelity`, so a half-fidelity
+    /// rung simulates a half-scale synthesis of the same dataset.
+    /// Edge-list workloads have no scale knob and always load the full
+    /// file (their rung evaluations are full-cost; halving still works,
+    /// it just saves nothing below fidelity 1.0).
+    pub fn build_at(&self, fidelity: f64) -> Result<Graph, DseError> {
+        if !(fidelity > 0.0 && fidelity <= 1.0) {
+            return Err(DseError::Spec(format!(
+                "fidelity {fidelity:?} outside (0, 1]"
+            )));
+        }
         match self {
             WorkloadSpec::Dataset { key, scale, seed } => DatasetSpec::get(*key)
-                .instantiate(*scale, *seed)
+                .instantiate(*scale * fidelity, *seed)
                 .map_err(|e| DseError::Workload(e.to_string())),
             WorkloadSpec::EdgeList { path, feature_len } => {
                 hygcn_graph::io::read_edge_list_file(path, (*feature_len).max(1), true)
                     .map_err(|e| DseError::Workload(e.to_string()))
             }
+            WorkloadSpec::Reordered {
+                key,
+                scale,
+                seed,
+                orderings,
+            } => {
+                let mut graph = DatasetSpec::get(*key)
+                    .instantiate(*scale * fidelity, *seed)
+                    .map_err(|e| DseError::Workload(e.to_string()))?;
+                for &o in orderings {
+                    graph = reorder(&graph, o).graph;
+                }
+                Ok(graph)
+            }
         }
     }
+}
+
+/// The stable cache key of one `(config, model, workload)` triple — an
+/// FNV-1a hash of the config's canonical serialization, the model
+/// abbreviation, and the workload canon. This single definition is
+/// shared by grid enumeration and by the successive-halving search's
+/// fidelity-overridden rung points, so a rung evaluation and a plain
+/// campaign that happen to describe the same triple always agree on
+/// identity (and therefore share stored results).
+pub fn cache_key(config: &HyGcnConfig, model: ModelKind, workload_canon: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("config=");
+    h.write_str(&config.canon());
+    h.write_str(";model=");
+    h.write_str(model.abbrev());
+    h.write_str(";workload=");
+    h.write_str(workload_canon);
+    h.finish()
 }
 
 /// Seeded random thinning of a grid: keep at most `max_points`, chosen by
@@ -423,14 +653,17 @@ impl ConfigSpace {
                     // Undo the reverse decode so labels read in axis order.
                     assignment[2..].reverse();
 
-                    let mut h = Fnv64::new();
-                    h.write_str("config=");
-                    h.write_str(&config.canon());
-                    h.write_str(";model=");
-                    h.write_str(model.abbrev());
-                    h.write_str(";workload=");
-                    h.write_str(&workload_canons[widx]);
-                    let key = h.finish();
+                    // Axes over memory-geometry knobs can combine into an
+                    // impossible configuration (e.g. burst > row, which
+                    // would corrupt the address decode); fail the whole
+                    // enumeration fast instead of panicking mid-campaign.
+                    config.validate().map_err(|e| {
+                        let label: Vec<String> =
+                            assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                        DseError::Spec(format!("point {}: {e}", label.join(",")))
+                    })?;
+
+                    let key = cache_key(&config, model, &workload_canons[widx]);
                     if seen.insert(key) {
                         points.push(DesignPoint {
                             workload: workload.clone(),
@@ -498,6 +731,36 @@ impl DesignPoint {
     /// The cache key as the 16-hex-digit string stored on disk.
     pub fn key_hex(&self) -> String {
         format!("{:016x}", self.key)
+    }
+
+    /// This point re-targeted at an evaluation fidelity — the
+    /// successive-halving rung transform. The config's `fidelity` field
+    /// is overwritten, the cache key recomputed (so rung evaluations are
+    /// cached independently of the full-fidelity result), and — for
+    /// fidelities below 1 — a `fidelity` column appended to the
+    /// assignment so rung tables are self-describing. At fidelity 1.0
+    /// the result is identical to the original point.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Spec`] for a fidelity outside `(0, 1]`;
+    /// [`DseError::Workload`] if the workload canon cannot be computed
+    /// (an unreadable edge-list file).
+    pub fn at_fidelity(&self, fidelity: f64) -> Result<DesignPoint, DseError> {
+        if !(fidelity > 0.0 && fidelity <= 1.0) {
+            return Err(DseError::Spec(format!(
+                "fidelity {fidelity:?} outside (0, 1]"
+            )));
+        }
+        let mut p = self.clone();
+        p.config.fidelity = fidelity;
+        p.assignment.retain(|(k, _)| k != "fidelity");
+        if fidelity < 1.0 {
+            p.assignment
+                .push(("fidelity".to_string(), format!("{fidelity:?}")));
+        }
+        p.key = cache_key(&p.config, p.model, &p.workload.canon()?);
+        Ok(p)
     }
 }
 
@@ -619,6 +882,132 @@ mod tests {
     }
 
     #[test]
+    fn memory_geometry_axes_fail_fast_as_spec_errors() {
+        // burst-bytes > row-bytes is impossible geometry: without the
+        // enumeration-time validation this combination panicked deep in
+        // the address decode, mid-campaign.
+        let space = ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("row-bytes", "1024,2048").unwrap())
+        .with_axis(Axis::parse("burst-bytes", "32,2048").unwrap());
+        let err = space.enumerate().unwrap_err();
+        match err {
+            DseError::Spec(m) => {
+                assert!(m.contains("burst"), "{m}");
+                assert!(m.contains("row-bytes=1024"), "{m}");
+            }
+            other => panic!("expected Spec error, got {other:?}"),
+        }
+        // Non-power-of-two values are rejected at parse time already.
+        assert!(Axis::parse("channels", "6").is_err());
+        assert!(Axis::parse("burst-bytes", "48").is_err());
+        // A consistent geometry sweep enumerates fine.
+        let ok = ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("channels", "2,4,8").unwrap())
+        .with_axis(Axis::parse("burst-bytes", "32,64").unwrap());
+        assert_eq!(ok.enumerate().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn decomposed_coordination_axes_touch_only_their_half() {
+        let mut cfg = HyGcnConfig::default();
+        AxisValue::parse("sched", "fcfs").unwrap().apply(&mut cfg);
+        assert_eq!(cfg.coordination, CoordinationMode::Fcfs);
+        assert_eq!(cfg.hbm.mapping, MappingScheme::ChannelInterleaved);
+        AxisValue::parse("remap", "high").unwrap().apply(&mut cfg);
+        assert_eq!(cfg.hbm.mapping, MappingScheme::RowInterleaved);
+        assert_eq!(cfg.coordination, CoordinationMode::Fcfs);
+        AxisValue::parse("controller", "frfcfs")
+            .unwrap()
+            .apply(&mut cfg);
+        assert_eq!(cfg.hbm.controller, ControllerPolicy::FrFcfs { window: 32 });
+    }
+
+    #[test]
+    fn module_geometry_axis_sets_all_three_knobs() {
+        let mut cfg = HyGcnConfig::default();
+        let v = AxisValue::parse("module-geom", "32x1x4").unwrap();
+        assert_eq!(v.label(), "32x1x4");
+        v.apply(&mut cfg);
+        assert_eq!(
+            (
+                cfg.systolic_modules,
+                cfg.module_rows,
+                cfg.module_group_vertices
+            ),
+            (32, 1, 4)
+        );
+        assert!(AxisValue::parse("module-geom", "8x4").is_err());
+        assert!(AxisValue::parse("module-geom", "8x4x0").is_err());
+        assert!(AxisValue::parse("module-geom", "axbxc").is_err());
+    }
+
+    #[test]
+    fn reordered_workload_has_distinct_canon_and_builds() {
+        use hygcn_graph::reorder::Ordering;
+        let natural = WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1);
+        let shuffled = WorkloadSpec::Reordered {
+            key: DatasetKey::Ib,
+            scale: 0.1,
+            seed: 1,
+            orderings: vec![Ordering::Random(7)],
+        };
+        let recovered = WorkloadSpec::Reordered {
+            key: DatasetKey::Ib,
+            scale: 0.1,
+            seed: 1,
+            orderings: vec![Ordering::Random(7), Ordering::Bfs],
+        };
+        let canons: Vec<String> = [&natural, &shuffled, &recovered]
+            .iter()
+            .map(|w| w.canon().unwrap())
+            .collect();
+        assert_ne!(canons[0], canons[1]);
+        assert_ne!(canons[1], canons[2]);
+        assert_eq!(shuffled.label(), "IB@0.1+rnd7");
+        assert_eq!(recovered.label(), "IB@0.1+rnd7+bfs");
+        let a = natural.build().unwrap();
+        let b = shuffled.build().unwrap();
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn fidelity_retarget_changes_key_and_is_identity_at_one() {
+        let points = space2x2().enumerate().unwrap();
+        let p = &points[0];
+        let half = p.at_fidelity(0.5).unwrap();
+        assert_ne!(half.key, p.key);
+        assert_eq!(half.config.fidelity, 0.5);
+        assert_eq!(half.assignment.last().unwrap().0, "fidelity");
+        // Re-targeting back to 1.0 restores the original identity.
+        let back = half.at_fidelity(1.0).unwrap();
+        assert_eq!(back.key, p.key);
+        assert_eq!(back.assignment, p.assignment);
+        assert!(p.at_fidelity(0.0).is_err());
+        assert!(p.at_fidelity(1.5).is_err());
+    }
+
+    #[test]
+    fn build_at_scales_dataset_workloads_down() {
+        let w = WorkloadSpec::dataset(DatasetKey::Ib, 0.5, 1);
+        let full = w.build_at(1.0).unwrap();
+        let half = w.build_at(0.5).unwrap();
+        assert!(half.num_vertices() < full.num_vertices());
+        // And matches instantiating at the product scale directly.
+        let direct = WorkloadSpec::dataset(DatasetKey::Ib, 0.25, 1)
+            .build()
+            .unwrap();
+        assert_eq!(half.num_vertices(), direct.num_vertices());
+        assert!(w.build_at(0.0).is_err());
+    }
+
+    #[test]
     fn coordination_axis_flips_mapping_and_scheduler() {
         let mut cfg = HyGcnConfig::default();
         AxisValue::Coordination(false).apply(&mut cfg);
@@ -635,6 +1024,13 @@ mod tests {
             let token = match name {
                 "pipeline" => "energy",
                 "coordination" | "sparsity" => "off",
+                "module-geom" => "16x2x8",
+                "agg-mode" => "concentrated",
+                "sched" => "fcfs",
+                "remap" => "high",
+                "controller" => "frfcfs",
+                "row-bytes" => "4096",
+                "burst-bytes" => "64",
                 _ => "4",
             };
             let v = AxisValue::parse(name, token).unwrap();

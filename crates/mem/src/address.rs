@@ -68,11 +68,56 @@ pub struct AddressMap {
 }
 
 impl AddressMap {
+    /// Creates a decoder, validating the geometry.
+    ///
+    /// Beyond the power-of-two requirement on every parameter, the burst
+    /// must fit inside a row (`burst_bytes <= row_bytes`): the decoder
+    /// derives the row index from `row_shift - burst_shift`, so an
+    /// oversized burst would underflow the shift — a panic in debug
+    /// builds and a garbage channel/bank/row decode in release. The
+    /// relationship is therefore rejected here, once, instead of
+    /// corrupting every decode on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn try_new(
+        scheme: MappingScheme,
+        channels: usize,
+        banks: usize,
+        row_bytes: u64,
+        burst_bytes: u64,
+    ) -> Result<Self, String> {
+        for (name, v) in [
+            ("channels", channels as u64),
+            ("banks", banks as u64),
+            ("row_bytes", row_bytes),
+            ("burst_bytes", burst_bytes),
+        ] {
+            if !(v > 0 && v.is_power_of_two()) {
+                return Err(format!("{name} must be a power of two (got {v})"));
+            }
+        }
+        if burst_bytes > row_bytes {
+            return Err(format!(
+                "burst_bytes ({burst_bytes}) must not exceed row_bytes ({row_bytes})"
+            ));
+        }
+        Ok(Self::assemble(
+            scheme,
+            channels,
+            banks,
+            row_bytes,
+            burst_bytes,
+        ))
+    }
+
     /// Creates a decoder.
     ///
     /// # Panics
     ///
-    /// Panics if any geometry parameter is zero or not a power of two.
+    /// Panics if any geometry parameter is zero or not a power of two,
+    /// or if `burst_bytes > row_bytes` (see [`Self::try_new`]).
     pub fn new(
         scheme: MappingScheme,
         channels: usize,
@@ -80,17 +125,19 @@ impl AddressMap {
         row_bytes: u64,
         burst_bytes: u64,
     ) -> Self {
-        for (name, v) in [
-            ("channels", channels as u64),
-            ("banks", banks as u64),
-            ("row_bytes", row_bytes),
-            ("burst_bytes", burst_bytes),
-        ] {
-            assert!(
-                v > 0 && v.is_power_of_two(),
-                "{name} must be a power of two"
-            );
+        match Self::try_new(scheme, channels, banks, row_bytes, burst_bytes) {
+            Ok(map) => map,
+            Err(e) => panic!("invalid address geometry: {e}"),
         }
+    }
+
+    fn assemble(
+        scheme: MappingScheme,
+        channels: usize,
+        banks: usize,
+        row_bytes: u64,
+        burst_bytes: u64,
+    ) -> Self {
         Self {
             scheme,
             channels,
@@ -290,6 +337,26 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = AddressMap::new(MappingScheme::ChannelInterleaved, 6, 16, 2048, 32);
+    }
+
+    #[test]
+    fn rejects_burst_larger_than_row() {
+        for scheme in [
+            MappingScheme::ChannelInterleaved,
+            MappingScheme::RowInterleaved,
+        ] {
+            let e = AddressMap::try_new(scheme, 8, 16, 2048, 4096).unwrap_err();
+            assert!(e.contains("burst_bytes"), "{e}");
+        }
+        // The boundary case (burst == row) is legal: row index shift is 0.
+        let m = AddressMap::try_new(MappingScheme::ChannelInterleaved, 8, 16, 2048, 2048).unwrap();
+        assert_eq!(m.decode(0).row, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst_bytes")]
+    fn new_panics_on_burst_larger_than_row() {
+        let _ = AddressMap::new(MappingScheme::ChannelInterleaved, 8, 16, 2048, 4096);
     }
 
     #[test]

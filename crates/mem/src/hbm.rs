@@ -99,6 +99,33 @@ impl HbmConfig {
         }
     }
 
+    /// Validates the geometry without constructing anything: every
+    /// count/size must be a power of two, the burst must fit inside a
+    /// row, and the burst transfer time must be nonzero.
+    ///
+    /// This is the config-level twin of [`AddressMap::try_new`]'s checks
+    /// — campaign axes over memory-geometry knobs call it while
+    /// *enumerating* a design space, so a bad combination fails fast
+    /// with a spec error instead of panicking mid-campaign inside the
+    /// decode hot path.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        AddressMap::try_new(
+            self.mapping,
+            self.channels,
+            self.banks,
+            self.row_bytes,
+            self.burst_bytes,
+        )?;
+        if self.t_burst == 0 {
+            return Err("t_burst must be >= 1 cycle".into());
+        }
+        Ok(())
+    }
+
     /// Peak bandwidth in bytes per cycle (all channels).
     pub fn peak_bytes_per_cycle(&self) -> f64 {
         (self.channels as u64 * self.burst_bytes / self.t_burst) as f64

@@ -268,3 +268,78 @@ proptest! {
         prop_assert_eq!(misses, hbm.stats().row_misses);
     }
 }
+
+/// Arbitrary geometry where every field is a power of two but
+/// `burst_bytes` may exceed `row_bytes` — the combination
+/// `AddressMap::try_new` must reject (issue: `row_shift - burst_shift`
+/// underflowed in `decode`, panicking in debug and decoding garbage in
+/// release).
+fn arb_geometry() -> impl Strategy<Value = (MappingScheme, usize, usize, u64, u64)> {
+    (
+        prop_oneof![
+            Just(MappingScheme::ChannelInterleaved),
+            Just(MappingScheme::RowInterleaved),
+        ],
+        0u32..7,  // channels = 1..=64
+        0u32..6,  // banks = 1..=32
+        5u32..14, // row_bytes = 32..=8192
+        3u32..16, // burst_bytes = 8..=32768 (can exceed row_bytes)
+    )
+        .prop_map(|(scheme, c, b, r, s)| (scheme, 1usize << c, 1usize << b, 1u64 << r, 1u64 << s))
+}
+
+proptest! {
+    /// For arbitrary power-of-two geometry, construction either rejects
+    /// the geometry (exactly when the burst exceeds the row) or yields a
+    /// decoder whose output is deterministic, in bounds, and consistent:
+    /// sub-burst offsets share a location, and a whole row's bursts land
+    /// in one (channel, bank, row).
+    #[test]
+    fn address_map_rejects_or_decodes_consistently(
+        (scheme, channels, banks, row_bytes, burst_bytes) in arb_geometry(),
+        addr in 0u64..(1 << 33),
+    ) {
+        match AddressMap::try_new(scheme, channels, banks, row_bytes, burst_bytes) {
+            Err(e) => {
+                prop_assert!(burst_bytes > row_bytes, "spurious rejection: {}", e);
+            }
+            Ok(map) => {
+                prop_assert!(burst_bytes <= row_bytes);
+                let loc = map.decode(addr);
+                prop_assert_eq!(loc, map.decode(addr), "decode must be pure");
+                prop_assert!(loc.channel < channels);
+                prop_assert!(loc.bank < banks);
+                // Any offset within the same burst shares the location.
+                let burst_start = addr & !(burst_bytes - 1);
+                prop_assert_eq!(map.decode(burst_start), map.decode(burst_start + burst_bytes - 1));
+                // All bursts of one row share (channel, bank, row) under
+                // the row-interleaved scheme (rows never straddle units).
+                if scheme == MappingScheme::RowInterleaved {
+                    let row_start = addr & !(row_bytes - 1);
+                    prop_assert_eq!(map.decode(row_start), map.decode(row_start + row_bytes - 1));
+                }
+            }
+        }
+    }
+
+    /// The partition built over any *accepted* geometry still covers the
+    /// request exactly, with no segment crossing a row boundary.
+    #[test]
+    fn partition_covers_request_under_arbitrary_geometry(
+        (scheme, channels, banks, row_bytes, burst_bytes) in arb_geometry(),
+        req in arb_request(),
+    ) {
+        if let Ok(map) = AddressMap::try_new(scheme, channels, banks, row_bytes, burst_bytes) {
+            let mut p = ChannelPartition::new(channels);
+            p.push_request(&map, &req);
+            let covered: u64 = (0..channels).flat_map(|c| p.channel(c).iter()).map(|s| u64::from(s.bytes)).sum();
+            prop_assert_eq!(covered, u64::from(req.bytes));
+            for c in 0..channels {
+                for s in p.channel(c) {
+                    prop_assert!(u64::from(s.bytes) <= row_bytes);
+                    prop_assert_eq!(map.decode(s.addr).channel, c);
+                }
+            }
+        }
+    }
+}

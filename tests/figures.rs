@@ -1,0 +1,115 @@
+//! End-to-end regression tests of the `hygcn figures` pipeline: the
+//! figure/table artifacts regenerate through the campaign engine, a
+//! second run against the same `figures.jsonl` store performs **zero**
+//! simulations, and one small figure's rendered table is pinned as a
+//! golden snapshot (regenerate intentionally with
+//! `BLESS=1 cargo test --test figures`).
+
+use std::path::PathBuf;
+
+use hygcn_bench::figures::{find_figure, run_figure, FigureCtx, FIGURES};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+#[test]
+fn second_figures_run_performs_zero_simulations() {
+    let dir = std::env::temp_dir().join("hygcn-figures-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("figures.jsonl");
+    std::fs::remove_file(&store).ok();
+
+    // A representative artifact mix at smoke scale: one simulated
+    // ablation (fig17), the shared-point Table 3, and the static
+    // Table 7 — all streaming into one store.
+    let ids = ["fig17", "table03", "table07"];
+    let run_all = |ctx: &mut FigureCtx| -> (usize, usize, Vec<String>) {
+        let mut simulated = 0;
+        let mut cached = 0;
+        let mut outputs = Vec::new();
+        for id in ids {
+            let run = run_figure(find_figure(id).unwrap(), ctx, Some(&store)).unwrap();
+            simulated += run.simulated;
+            cached += run.cache_hits;
+            outputs.push(run.output);
+        }
+        (simulated, cached, outputs)
+    };
+
+    let mut ctx = FigureCtx::new(0.05);
+    let (simulated, cached, first) = run_all(&mut ctx);
+    // fig17 simulates its 6 ablation points; table03's default-config
+    // PB point carries the same cache key as fig17's PB coordination=on
+    // cell, so it is already served from the store on the cold run.
+    assert_eq!(simulated, 6);
+    assert_eq!(cached, 1, "table03 shares fig17's PB point");
+
+    // Second run, fresh context (no in-process memoization carried
+    // over): zero simulations, bit-identical tables.
+    let mut ctx2 = FigureCtx::new(0.05);
+    let (simulated2, cached2, second) = run_all(&mut ctx2);
+    assert_eq!(simulated2, 0, "re-run must simulate nothing");
+    assert_eq!(cached2, 7);
+    assert_eq!(first, second);
+
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn fig17_table_matches_golden_snapshot() {
+    let mut ctx = FigureCtx::new(0.05);
+    let run = run_figure(find_figure("fig17").unwrap(), &mut ctx, None).unwrap();
+    let got = run.output;
+    let path = golden_path("figures_fig17");
+    if std::env::var("BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, &got)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden fixture {}; run `BLESS=1 cargo test --test figures` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "fig17 table drifted; intentional model changes regenerate with BLESS=1"
+    );
+}
+
+#[test]
+fn figure_campaigns_share_points_across_artifacts() {
+    let dir = std::env::temp_dir().join("hygcn-figures-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("figures-shared.jsonl");
+    std::fs::remove_file(&store).ok();
+
+    // Fig. 10 simulates the 20-point evaluation grid; Fig. 11 reads the
+    // same grid and must be served entirely from the store. (0.05 is
+    // the smallest multiplier at which scaled-down Reddit instantiates.)
+    let mut ctx = FigureCtx::new(0.05);
+    let fig10 = run_figure(find_figure("fig10").unwrap(), &mut ctx, Some(&store)).unwrap();
+    assert_eq!(fig10.simulated, 20);
+    let fig11 = run_figure(find_figure("fig11").unwrap(), &mut ctx, Some(&store)).unwrap();
+    assert_eq!(
+        (fig11.simulated, fig11.cache_hits),
+        (0, 20),
+        "fig11 reuses fig10's grid points"
+    );
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn every_artifact_id_is_documented_in_the_registry() {
+    let ids: Vec<&str> = FIGURES.iter().map(|f| f.id).collect();
+    for expected in [
+        "fig02", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "table02", "table03", "table07", "ablation",
+    ] {
+        assert!(ids.contains(&expected), "missing artifact {expected}");
+    }
+}
