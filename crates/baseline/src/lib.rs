@@ -34,6 +34,7 @@
 //! Every model returns a [`report::PlatformReport`] so the benchmark
 //! harness can compare platforms uniformly.
 
+pub mod backend;
 pub mod cache;
 pub mod characterize;
 pub mod cpu;
@@ -43,6 +44,7 @@ pub mod prefetch;
 pub mod report;
 pub mod trace;
 
+pub use backend::{CpuBackend, GpuBackend};
 pub use cpu::CpuModel;
 pub use gpu::GpuModel;
 pub use report::{PhaseBreakdown, PlatformReport};

@@ -248,20 +248,47 @@ fn eval_spaces(mult: f64) -> Result<Vec<ConfigSpace>, DseError> {
     ])
 }
 
-/// The grid point of one `(model, dataset)` pair (space 0 holds the
-/// 3-model block, space 1 the DiffPool pair).
+/// The cross-backend evaluation grid of Fig. 10/11: the 20-workload
+/// grid evaluated by the accelerator (spaces 0–1), PyG-CPU (2–3), and
+/// PyG-GPU (4–5) — every speedup/energy cell is a campaign point read,
+/// so baseline numbers are cached, resumable, and backend-key-isolated
+/// exactly like simulations.
+fn eval_cross_spaces(mult: f64) -> Result<Vec<ConfigSpace>, DseError> {
+    let mut spaces = eval_spaces(mult)?;
+    for backend in ["cpu", "gpu"] {
+        for space in eval_spaces(mult)? {
+            spaces.push(space.with_backend_id(backend));
+        }
+    }
+    Ok(spaces)
+}
+
+/// The grid point of one `(model, dataset)` pair within the two-space
+/// block starting at `offset` (space `offset` holds the 3-model block,
+/// `offset + 1` the DiffPool pair).
+fn grid_point_at(
+    reports: &[CampaignReport],
+    offset: usize,
+    kind: ModelKind,
+    key: DatasetKey,
+    mult: f64,
+) -> &PointOutcome {
+    let report = if kind == ModelKind::DiffPool {
+        &reports[offset + 1]
+    } else {
+        &reports[offset]
+    };
+    find(report, &ds(key, mult).label(), &[("model", kind.abbrev())])
+}
+
+/// The accelerator grid point of one `(model, dataset)` pair.
 fn grid_point(
     reports: &[CampaignReport],
     kind: ModelKind,
     key: DatasetKey,
     mult: f64,
 ) -> &PointOutcome {
-    let report = if kind == ModelKind::DiffPool {
-        &reports[1]
-    } else {
-        &reports[0]
-    };
-    find(report, &ds(key, mult).label(), &[("model", kind.abbrev())])
+    grid_point_at(reports, 0, kind, key, mult)
 }
 
 const ABLATION_DATASETS: [DatasetKey; 3] = [DatasetKey::Cr, DatasetKey::Cs, DatasetKey::Pb];
@@ -360,6 +387,8 @@ fn fig10_render(reports: &[CampaignReport], ctx: &mut FigureCtx) -> String {
     );
 
     out += "\n(c) HyGCN speedup (paper avg: 1509x over CPU, 6.5x over GPU)\n";
+    out += "    (all three columns are campaign point reads: HyGCN spaces 0-1,\n";
+    out += "     cpu backend spaces 2-3, gpu backend spaces 4-5 of one store)\n";
     out += &format!(
         "{:<6} {:<4} {:>12} {:>12}\n",
         "model", "ds", "vs PyG-CPU", "vs PyG-GPU"
@@ -368,11 +397,9 @@ fn fig10_render(reports: &[CampaignReport], ctx: &mut FigureCtx) -> String {
     let mut s_gpu = Vec::new();
     for (kind, key) in eval_grid() {
         let hygcn_time = grid_point(reports, kind, key, mult).time_s;
-        let b = ctx.baselines(kind, key);
-        let (vs_cpu, vs_gpu) = (
-            b.cpu_opt.time_s / hygcn_time,
-            b.gpu_naive.time_s / hygcn_time,
-        );
+        let cpu_time = grid_point_at(reports, 2, kind, key, mult).time_s;
+        let gpu_time = grid_point_at(reports, 4, kind, key, mult).time_s;
+        let (vs_cpu, vs_gpu) = (cpu_time / hygcn_time, gpu_time / hygcn_time);
         s_cpu.push(vs_cpu);
         s_gpu.push(vs_gpu);
         out += &format!(
@@ -405,15 +432,16 @@ fn fig11_render(reports: &[CampaignReport], ctx: &mut FigureCtx) -> String {
     let mut gpu_ratios = Vec::new();
     for (kind, key) in eval_grid() {
         let e_h = grid_point(reports, kind, key, mult).energy_j;
-        let b = ctx.baselines(kind, key);
-        let (r_cpu, r_gpu) = (e_h / b.cpu_opt.energy_j, e_h / b.gpu_naive.energy_j);
+        let e_cpu = grid_point_at(reports, 2, kind, key, mult).energy_j;
+        let e_gpu = grid_point_at(reports, 4, kind, key, mult).energy_j;
+        let (r_cpu, r_gpu) = (e_h / e_cpu, e_h / e_gpu);
         cpu_ratios.push(r_cpu);
         gpu_ratios.push(r_gpu);
         out += &format!(
             "{:<6} {:<4} {:>11.3}% {:>11.4}% {:>13.3}\n",
             kind.abbrev(),
             key.abbrev(),
-            b.gpu_naive.energy_j / b.cpu_opt.energy_j * 100.0,
+            e_gpu / e_cpu * 100.0,
             r_cpu * 100.0,
             r_gpu
         );
@@ -1063,13 +1091,13 @@ pub const FIGURES: &[FigureSpec] = &[
     FigureSpec {
         id: "fig10",
         title: "Fig. 10: overall performance comparison",
-        spaces: eval_spaces,
+        spaces: eval_cross_spaces,
         render: fig10_render,
     },
     FigureSpec {
         id: "fig11",
         title: "Fig. 11: energy normalized to PyG-CPU (%)",
-        spaces: eval_spaces,
+        spaces: eval_cross_spaces,
         render: fig11_render,
     },
     FigureSpec {
@@ -1159,28 +1187,50 @@ pub struct FigureRun {
     pub simulated: usize,
     /// Points served from the shared store.
     pub cache_hits: usize,
+    /// The raw campaign reports behind the render, one per space — the
+    /// plottable data the `--csv`/`--json` exporters serialize.
+    pub reports: Vec<CampaignReport>,
 }
 
 /// Regenerates one artifact through the campaign engine.
 ///
 /// Every space runs against `store` (the shared `figures.jsonl`), so
 /// points shared between artifacts — or with previous runs — are never
-/// re-simulated.
+/// re-simulated. Each space's evaluation backend is resolved from its
+/// own backend id (the cross-backend artifacts mix `cycle` with `cpu`
+/// and `gpu` spaces); `backend_override`, when given, re-targets the
+/// *default-backend* spaces only — `hygcn figures --backend analytical`
+/// screens the accelerator points analytically while the platform
+/// baselines stay themselves.
 ///
 /// # Errors
 ///
-/// The campaign executor's errors ([`DseError`]).
+/// The campaign executor's errors ([`DseError`]); `Spec` for an
+/// unresolvable backend id.
 pub fn run_figure(
     spec: &FigureSpec,
     ctx: &mut FigureCtx,
     store: Option<&Path>,
+    backend_override: Option<&str>,
 ) -> Result<FigureRun, DseError> {
     let spaces = (spec.spaces)(ctx.mult())?;
     let mut reports = Vec::with_capacity(spaces.len());
     let mut simulated = 0;
     let mut cache_hits = 0;
-    for space in spaces {
-        let mut campaign = Campaign::new(space);
+    for mut space in spaces {
+        if space.backend == hygcn_dse::DEFAULT_BACKEND {
+            if let Some(id) = backend_override {
+                space = space.with_backend_id(id);
+            }
+        }
+        let backend = hygcn_baseline::backend::resolve(&space.backend).ok_or_else(|| {
+            DseError::Spec(format!(
+                "unknown backend '{}' (known: {})",
+                space.backend,
+                hygcn_baseline::backend::BACKEND_IDS.join("/")
+            ))
+        })?;
+        let mut campaign = Campaign::new(space).with_backend(backend);
         if let Some(path) = store {
             campaign = campaign.with_store(path);
         }
@@ -1196,7 +1246,88 @@ pub fn run_figure(
         output,
         simulated,
         cache_hits,
+        reports,
     })
+}
+
+/// The artifact's campaign data as CSV — one section per space (spaces
+/// of one artifact can carry different axis columns, so each section
+/// owns its header), prefixed by a `#` comment naming the space and its
+/// backend. Space-less artifacts (Table 7) produce an empty string.
+pub fn figure_csv(run: &FigureRun) -> String {
+    let mut out = String::new();
+    for (i, report) in run.reports.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let backend = report
+            .points
+            .first()
+            .map_or(hygcn_dse::DEFAULT_BACKEND, |p| p.point.backend.as_str());
+        out += &format!(
+            "# {} space {} ({} points, backend {})\n",
+            run.id,
+            i,
+            report.points.len(),
+            backend
+        );
+        out += &hygcn_dse::analysis::to_csv(report);
+    }
+    out
+}
+
+/// Minimal JSON string escaping for labels embedded in
+/// [`figure_json`] output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out += &format!("\\u{:04x}", c as u32),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The artifact's campaign data as a JSON document: id, title, and one
+/// entry per space with its backend and per-point metrics — the
+/// machine-readable twin of the rendered table.
+pub fn figure_json(run: &FigureRun) -> String {
+    let mut out = format!(
+        "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"spaces\": [",
+        json_escape(run.id),
+        json_escape(run.title)
+    );
+    for (i, report) in run.reports.iter().enumerate() {
+        let backend = report
+            .points
+            .first()
+            .map_or(hygcn_dse::DEFAULT_BACKEND, |p| p.point.backend.as_str());
+        out += if i > 0 { ",\n    {" } else { "\n    {" };
+        out += &format!("\"backend\": \"{}\", \"points\": [", json_escape(backend));
+        for (j, p) in report.points.iter().enumerate() {
+            if j > 0 {
+                out += ",";
+            }
+            out += &format!(
+                "\n      {{\"label\": \"{}\", \"key\": \"{}\", \"cycles\": {}, \"time_s\": {:?}, \"energy_j\": {:?}, \"dram_bytes\": {}, \"cached\": {}}}",
+                json_escape(&p.point.label()),
+                p.point.key_hex(),
+                p.cycles,
+                p.time_s,
+                p.energy_j,
+                p.dram_bytes,
+                p.cached
+            );
+        }
+        out += "\n    ]}";
+    }
+    out += "\n  ]\n}\n";
+    out
 }
 
 #[cfg(test)]
@@ -1234,6 +1365,24 @@ mod tests {
     }
 
     #[test]
+    fn cross_backend_grid_covers_all_three_platforms() {
+        let spaces = eval_cross_spaces(0.05).unwrap();
+        assert_eq!(spaces.len(), 6);
+        let backends: Vec<&str> = spaces.iter().map(|s| s.backend.as_str()).collect();
+        assert_eq!(backends, ["cycle", "cycle", "cpu", "cpu", "gpu", "gpu"]);
+        // 20 points per platform, all pairwise key-disjoint.
+        let mut keys = std::collections::BTreeSet::new();
+        let mut total = 0;
+        for s in &spaces {
+            for p in s.enumerate().unwrap() {
+                assert!(keys.insert(p.key), "cross-backend key collision");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 60);
+    }
+
+    #[test]
     fn report_field_extraction_round_trips() {
         use hygcn_core::{HyGcnConfig, Simulator};
         let graph = ds(DatasetKey::Ib, 0.05).build().unwrap();
@@ -1267,20 +1416,48 @@ mod tests {
     #[test]
     fn small_figure_runs_end_to_end_in_memory() {
         let mut ctx = FigureCtx::new(0.05);
-        let run = run_figure(find_figure("fig17").unwrap(), &mut ctx, None).unwrap();
+        let run = run_figure(find_figure("fig17").unwrap(), &mut ctx, None, None).unwrap();
         assert_eq!(run.simulated, 6);
         assert_eq!(run.cache_hits, 0);
         assert!(run.output.contains("time saved"));
         assert!(run.output.contains("CR "));
+        // The exporters serialize the same six points.
+        let csv = figure_csv(&run);
+        assert!(csv.starts_with("# fig17 space 0 (6 points, backend cycle)\n"));
+        assert_eq!(csv.lines().filter(|l| !l.starts_with(['#'])).count(), 7);
+        let json = figure_json(&run);
+        assert!(json.contains("\"id\": \"fig17\""));
+        assert_eq!(json.matches("\"label\"").count(), 6);
     }
 
     #[test]
     fn static_artifacts_cost_zero_simulations() {
         let mut ctx = FigureCtx::new(0.05);
         for id in ["table07", "fig02"] {
-            let run = run_figure(find_figure(id).unwrap(), &mut ctx, None).unwrap();
+            let run = run_figure(find_figure(id).unwrap(), &mut ctx, None, None).unwrap();
             assert_eq!(run.simulated + run.cache_hits, 0, "{id}");
             assert!(!run.output.is_empty());
+            assert!(figure_csv(&run).is_empty(), "{id}");
+            assert!(figure_json(&run).contains("\"spaces\": [\n  ]"), "{id}");
         }
+    }
+
+    #[test]
+    fn backend_override_retargets_default_spaces_only() {
+        let mut ctx = FigureCtx::new(0.05);
+        let run = run_figure(
+            find_figure("fig15").unwrap(),
+            &mut ctx,
+            None,
+            Some("analytical"),
+        )
+        .unwrap();
+        assert_eq!(run.simulated, 6);
+        for report in &run.reports {
+            for p in &report.points {
+                assert_eq!(p.point.backend, "analytical");
+            }
+        }
+        assert!(run_figure(find_figure("fig15").unwrap(), &mut ctx, None, Some("warp")).is_err());
     }
 }

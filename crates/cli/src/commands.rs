@@ -2,12 +2,18 @@
 
 use std::path::PathBuf;
 
+use hygcn_baseline::backend::{resolve as resolve_backend, BACKEND_IDS};
 use hygcn_baseline::{CpuModel, GpuModel};
-use hygcn_bench::figures::{find_figure, run_figure, FigureCtx, FigureSpec, FIGURES};
+use hygcn_bench::figures::{
+    figure_csv, figure_json, find_figure, run_figure, FigureCtx, FigureSpec, FIGURES,
+};
+use hygcn_core::backend::SimBackend;
 use hygcn_core::config::{HyGcnConfig, PipelineMode};
 use hygcn_core::Simulator;
 use hygcn_dse::campaign::Campaign;
-use hygcn_dse::search::{run_search, rungs_to_text, BudgetMetric, SearchStrategy};
+use hygcn_dse::search::{
+    prefilter_to_text, run_search_with_backend, rungs_to_text, BudgetMetric, SearchStrategy,
+};
 use hygcn_dse::space::{Axis, ConfigSpace, SpaceSample, WorkloadSpec};
 use hygcn_dse::{analysis, DseError};
 use hygcn_gcn::model::{GcnModel, ModelKind};
@@ -60,10 +66,12 @@ pub const CAMPAIGN_FLAGS: &[&str] = &[
     "eta",
     "rungs",
     "metric",
+    "backend",
+    "prefilter",
 ];
 
 /// Flags accepted by `hygcn figures` (the artifact id is positional).
-pub const FIGURE_FLAGS: &[&str] = &["scale", "store"];
+pub const FIGURE_FLAGS: &[&str] = &["scale", "store", "backend", "csv", "json"];
 
 /// Flags accepted by `hygcn bench` (the config flags plus the
 /// benchmark's own workload/measurement knobs).
@@ -358,11 +366,26 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Resolves `--backend` into an evaluation backend object (default: the
+/// cycle-accurate simulator).
+fn backend_from_args(args: &Args) -> Result<std::sync::Arc<dyn SimBackend>, CliError> {
+    let id = args.get_or("backend", "cycle");
+    resolve_backend(id).ok_or_else(|| {
+        CliError::Unknown(format!(
+            "unknown backend '{id}' ({})",
+            BACKEND_IDS.join("/")
+        ))
+    })
+}
+
 /// `hygcn campaign` — a multi-axis design-space campaign: cached,
-/// resumable, with Pareto + marginal reporting and a pluggable search
-/// strategy (`--strategy grid|random|successive-halving`).
+/// resumable, with Pareto + marginal reporting, a pluggable search
+/// strategy (`--strategy grid|random|successive-halving`), and a
+/// pluggable evaluation backend (`--backend cycle|analytical|cpu|gpu|
+/// seed`).
 pub fn campaign(args: &Args) -> Result<String, CliError> {
     let axes = Axis::parse_spec(args.get_or("axes", ""))?;
+    let backend = backend_from_args(args)?;
     let mut space = ConfigSpace::new(workloads_from_args(args)?, models_from_args(args)?)
         .with_base(build_config(args)?);
     for axis in axes {
@@ -400,6 +423,15 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
                     eta: args.get_parsed_where("eta", 2, "an integer >= 2", |v| *v >= 2)?,
                     rungs: args.get_parsed_where("rungs", 3, "an integer >= 1", |v| *v >= 1)?,
                     budget_metric: BudgetMetric::parse(args.get_or("metric", "cycles"))?,
+                    analytical_prefilter: match args.get_or("prefilter", "off") {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(CliError::Unknown(format!(
+                                "unknown prefilter '{other}' (on/off)"
+                            )))
+                        }
+                    },
                 }
             }
         }
@@ -416,10 +448,11 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
 
     let store = args.get_or("store", "campaign.jsonl");
     let store_path = (store != "none").then(|| PathBuf::from(store));
-    let outcome = run_search(&space, &strategy, store_path.as_deref())?;
+    let outcome = run_search_with_backend(&space, &strategy, store_path.as_deref(), Some(backend))?;
 
     let mut out = String::new();
     if let SearchStrategy::SuccessiveHalving { budget_metric, .. } = strategy {
+        out += &prefilter_to_text(outcome.prefilter.as_ref());
         out += &rungs_to_text(&outcome.rungs, budget_metric);
         out += "\n";
     }
@@ -439,9 +472,12 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
         let (simulated, cached) = if outcome.rungs.is_empty() {
             (report.simulated, report.cache_hits)
         } else {
+            let pre = outcome.prefilter.as_ref();
             (
-                outcome.rungs.iter().map(|r| r.simulated).sum(),
-                outcome.rungs.iter().map(|r| r.cache_hits).sum(),
+                outcome.rungs.iter().map(|r| r.simulated).sum::<usize>()
+                    + pre.map_or(0, |p| p.simulated),
+                outcome.rungs.iter().map(|r| r.cache_hits).sum::<usize>()
+                    + pre.map_or(0, |p| p.cache_hits),
             )
         };
         out += &format!("\nstore: {store} ({simulated} simulated, {cached} cached this run)\n");
@@ -469,16 +505,57 @@ pub fn figures(args: &Args) -> Result<String, CliError> {
     let mult = scale_arg(args, 1.0)?;
     let store = args.get_or("store", "figures.jsonl");
     let store_path = (store != "none").then(|| PathBuf::from(store));
+    let backend_override = match args.get("backend") {
+        Some(id) => {
+            // Validate eagerly so a typo fails before any simulation.
+            resolve_backend(id).ok_or_else(|| {
+                CliError::Unknown(format!(
+                    "unknown backend '{id}' ({})",
+                    BACKEND_IDS.join("/")
+                ))
+            })?;
+            Some(id)
+        }
+        None => None,
+    };
+    let export_dir = |flag: &str| -> Result<Option<PathBuf>, CliError> {
+        match args.get(flag) {
+            None => Ok(None),
+            Some(dir) => {
+                let dir = PathBuf::from(dir);
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| CliError::Runtime(format!("creating {}: {e}", dir.display())))?;
+                Ok(Some(dir))
+            }
+        }
+    };
+    let csv_dir = export_dir("csv")?;
+    let json_dir = export_dir("json")?;
 
     let mut ctx = FigureCtx::new(mult);
     let mut out = String::new();
     let mut simulated = 0;
     let mut cached = 0;
     for spec in specs {
-        let run = run_figure(spec, &mut ctx, store_path.as_deref())?;
+        let run = run_figure(spec, &mut ctx, store_path.as_deref(), backend_override)?;
         out += &format!("\n=== {} ===\n{}", run.title, run.output);
         simulated += run.simulated;
         cached += run.cache_hits;
+        if let Some(dir) = &csv_dir {
+            let data = figure_csv(&run);
+            if !data.is_empty() {
+                let path = dir.join(format!("{}.csv", run.id));
+                std::fs::write(&path, data)
+                    .map_err(|e| CliError::Runtime(format!("writing {}: {e}", path.display())))?;
+                out += &format!("wrote {}\n", path.display());
+            }
+        }
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{}.json", run.id));
+            std::fs::write(&path, figure_json(&run))
+                .map_err(|e| CliError::Runtime(format!("writing {}: {e}", path.display())))?;
+            out += &format!("wrote {}\n", path.display());
+        }
     }
     out += &format!("\nfigures store: {store} ({simulated} simulated, {cached} cached this run)\n");
     Ok(out)
@@ -658,14 +735,20 @@ commands:
              --axes \"axis=v1,v2;axis2=...\" with axes
                aggbuf-mb/inputbuf-kb/edgebuf-kb/pipeline/coordination/
                sparsity/factor/simd-cores/modules/module-geom/agg-mode/
-               sched/remap/controller/channels/row-bytes/burst-bytes
+               sched/remap/controller/channels/row-bytes/burst-bytes/
+               clock-ghz/t-row
              --datasets IB,CR,...  --models GCN,GIN,...
              --scale F  --seed N
+             --backend cycle|analytical|cpu|gpu|seed (evaluation
+               backend; every backend caches under its own keys in the
+               same store — analytical screens points in microseconds)
              --sample N --sample-seed S (random subset of the grid)
              --strategy grid|random|successive-halving
                (halving: --eta N --rungs R --metric cycles|energy|dram;
                rungs evaluate survivors at fidelity eta^-(R-1-r), all
-               cached in the same store, promotion deterministic)
+               cached in the same store, promotion deterministic;
+               --prefilter on screens the full grid analytically and
+               admits only the best n/eta candidates into rung 0)
              --store FILE|none (default campaign.jsonl; completed points
                are skipped on re-run)
              --csv FILE  --md FILE
@@ -673,6 +756,11 @@ commands:
              engine: hygcn figures <fig02|fig10|...|fig18|table02|
              table03|table07|ablation|all>
              --scale F (multiplier on each dataset's bench scale)
+             --backend cycle|analytical|cpu|gpu|seed (re-targets the
+               accelerator spaces; fig10/fig11's cpu/gpu baseline
+               spaces always run their own backends)
+             --csv DIR / --json DIR (export each artifact's campaign
+               data as plottable DIR/<id>.csv / DIR/<id>.json)
              --store FILE|none (default figures.jsonl, shared across all
                artifacts; an unchanged re-run simulates nothing)
   bench      host-throughput benchmark: serial vs parallel simulate()
@@ -1114,6 +1202,138 @@ mod tests {
         let out = figures(&figure_args(&["figures", "table07", "--store", "none"])).unwrap();
         assert!(out.contains("=== Table 7"));
         assert!(out.contains("0 simulated, 0 cached"));
+    }
+
+    #[test]
+    fn campaign_analytical_backend_caches_separately_from_cycle() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("cli-backends.jsonl");
+        std::fs::remove_file(&store).ok();
+        let toks = |backend: &str| {
+            vec![
+                "campaign".to_string(),
+                "--datasets".into(),
+                "IB".into(),
+                "--scale".into(),
+                "0.1".into(),
+                "--axes".into(),
+                "aggbuf-mb=4,16".into(),
+                "--backend".into(),
+                backend.into(),
+                "--store".into(),
+                store.to_str().unwrap().into(),
+            ]
+        };
+        let run =
+            |backend: &str| campaign(&Args::parse(toks(backend), CAMPAIGN_FLAGS).unwrap()).unwrap();
+        // Cycle fills the store; analytical over the same store gets
+        // zero cross-backend hits; each re-run is 100% cached.
+        assert!(run("cycle").contains("2 simulated, 0 cached"));
+        assert!(run("analytical").contains("2 simulated, 0 cached"));
+        assert!(run("analytical").contains("0 simulated, 2 cached"));
+        assert!(run("cycle").contains("0 simulated, 2 cached"));
+        // The platform backends run through the same machinery (the
+        // accelerator-buffer axis still enumerates two points; the
+        // platform models simply produce equal metrics for both).
+        assert!(run("cpu").contains("2 simulated, 0 cached"));
+        assert!(run("gpu").contains("2 simulated, 0 cached"));
+        std::fs::remove_file(&store).ok();
+        // Unknown backends fail loudly.
+        assert!(campaign(&Args::parse(toks("warp"), CAMPAIGN_FLAGS).unwrap()).is_err());
+    }
+
+    #[test]
+    fn campaign_prefilter_screens_before_halving() {
+        let out = campaign(&campaign_args(&[
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.2",
+            "--axes",
+            "aggbuf-mb=2,4,8,16",
+            "--strategy",
+            "successive-halving",
+            "--eta",
+            "2",
+            "--rungs",
+            "2",
+            "--prefilter",
+            "on",
+            "--store",
+            "none",
+        ]))
+        .unwrap();
+        assert!(out.contains("analytical prefilter: 4 screened"), "{out}");
+        assert!(out.contains("-> 2 enter rung 0"), "{out}");
+        assert!(out.contains("rung 0: fidelity 0.5"), "{out}");
+        assert!(out.contains("2 evaluated (2 simulated"), "{out}");
+        assert!(campaign(&campaign_args(&[
+            "campaign",
+            "--strategy",
+            "successive-halving",
+            "--prefilter",
+            "maybe",
+            "--scale",
+            "0.1",
+            "--store",
+            "none",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn figures_csv_json_export_writes_plottable_artifacts() {
+        let dir = std::env::temp_dir().join("hygcn-cli-figures-export");
+        std::fs::remove_dir_all(&dir).ok();
+        let csv_dir = dir.join("csv");
+        let json_dir = dir.join("json");
+        let out = figures(&figure_args(&[
+            "figures",
+            "fig17",
+            "--scale",
+            "0.05",
+            "--store",
+            "none",
+            "--csv",
+            csv_dir.to_str().unwrap(),
+            "--json",
+            json_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("fig17.csv"), "{out}");
+        assert!(out.contains("fig17.json"), "{out}");
+        let csv = std::fs::read_to_string(csv_dir.join("fig17.csv")).unwrap();
+        assert!(csv.contains("dataset,model,coordination,cycles"));
+        let json = std::fs::read_to_string(json_dir.join("fig17.json")).unwrap();
+        assert!(json.contains("\"id\": \"fig17\""));
+        assert!(json.contains("\"cycles\": "));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn figures_backend_override_reruns_from_its_own_cache() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("cli-figures-analytical.jsonl");
+        std::fs::remove_file(&store).ok();
+        let toks = [
+            "figures",
+            "fig15",
+            "--scale",
+            "0.05",
+            "--backend",
+            "analytical",
+            "--store",
+            store.to_str().unwrap(),
+        ];
+        let first = figures(&figure_args(&toks)).unwrap();
+        assert!(first.contains("(6 simulated, 0 cached"), "{first}");
+        let second = figures(&figure_args(&toks)).unwrap();
+        assert!(second.contains("(0 simulated, 6 cached"), "{second}");
+        std::fs::remove_file(&store).ok();
+        assert!(figures(&figure_args(&["figures", "fig15", "--backend", "warp"])).is_err());
     }
 
     #[test]

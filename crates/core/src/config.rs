@@ -229,6 +229,12 @@ impl HyGcnConfig {
     /// A human-readable description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         self.hbm.validate().map_err(|e| format!("hbm: {e}"))?;
+        if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0) {
+            return Err(format!(
+                "clock_ghz {:?} must be a positive finite frequency",
+                self.clock_ghz
+            ));
+        }
         if !(self.fidelity > 0.0 && self.fidelity <= 1.0) {
             return Err(format!("fidelity {:?} outside (0, 1]", self.fidelity));
         }
@@ -337,6 +343,28 @@ mod tests {
         for v in &variants {
             assert_ne!(base.stable_hash(), v.stable_hash(), "{}", v.canon());
         }
+    }
+
+    #[test]
+    fn validate_rejects_bad_timing_knobs() {
+        // The knobs the clock-ghz / t-row campaign axes set must also be
+        // guarded at the config level, so a bad *base* config fails at
+        // enumeration exactly like a bad axis value.
+        for bad_clock in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = HyGcnConfig {
+                clock_ghz: bad_clock,
+                ..HyGcnConfig::default()
+            };
+            assert!(cfg.validate().unwrap_err().contains("clock"), "{bad_clock}");
+        }
+        let zero_t_row = HyGcnConfig {
+            hbm: HbmConfig {
+                t_row: 0,
+                ..HbmConfig::hbm1()
+            },
+            ..HyGcnConfig::default()
+        };
+        assert!(zero_t_row.validate().unwrap_err().contains("t_row"));
     }
 
     #[test]

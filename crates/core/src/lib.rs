@@ -53,6 +53,8 @@
 //! # }
 //! ```
 
+pub mod analytical;
+pub mod backend;
 pub mod config;
 pub mod coordinator;
 pub mod energy;
@@ -67,6 +69,8 @@ pub mod stack;
 pub mod timeline;
 pub mod training;
 
+pub use analytical::AnalyticalBackend;
+pub use backend::{core_backend, CycleAccurateBackend, SeedReferenceBackend, SimBackend};
 pub use config::HyGcnConfig;
 pub use error::SimError;
 pub use report::SimReport;

@@ -42,6 +42,17 @@ pub struct SimReport {
     pub macs: u64,
     /// Per-step timeline (only when the config enables recording).
     pub timeline: Vec<ChunkTrace>,
+    /// Provenance marker: which [`SimBackend`] produced this report.
+    /// Empty for the cycle-accurate simulator and its seed reference —
+    /// the two golden paths whose serialized form predates the backend
+    /// abstraction and must stay bit-identical — and a backend id
+    /// (`"analytical"`, `"cpu"`, `"gpu"`) for every model that fills
+    /// only a comparable subset of the fields. [`Self::to_json`] emits
+    /// the marker only when non-empty, so golden snapshots of the
+    /// cycle-accurate path are unaffected.
+    ///
+    /// [`SimBackend`]: crate::backend::SimBackend
+    pub provenance: &'static str,
 }
 
 impl SimReport {
@@ -116,6 +127,9 @@ impl SimReport {
         field("elem_ops", self.elem_ops.to_string());
         field("macs", self.macs.to_string());
         field("timeline_steps", self.timeline.len().to_string());
+        if !self.provenance.is_empty() {
+            field("backend", format!("\"{}\"", self.provenance));
+        }
         for (c, ch) in self.mem_channels.iter().enumerate() {
             field(
                 &format!("channel{c}"),
@@ -206,6 +220,24 @@ mod tests {
         for line in json.lines().filter(|l| l.contains(':')) {
             assert_eq!(line.matches("\": ").count(), 1, "line {line}");
         }
+    }
+
+    #[test]
+    fn provenance_marker_is_emitted_only_when_set() {
+        let golden = SimReport::default();
+        assert!(!golden.to_json().contains("\"backend\""));
+        let marked = SimReport {
+            provenance: "analytical",
+            ..SimReport::default()
+        };
+        let json = marked.to_json();
+        assert!(json.contains("\"backend\": \"analytical\","));
+        // The two forms differ only by the marker line.
+        let without: Vec<&str> = json
+            .lines()
+            .filter(|l| !l.contains("\"backend\""))
+            .collect();
+        assert_eq!(golden.to_json().lines().collect::<Vec<_>>(), without);
     }
 
     #[test]

@@ -491,6 +491,7 @@ impl Simulator {
             elem_ops: act.simd_ops,
             macs: act.macs,
             timeline,
+            provenance: "",
         })
     }
 }

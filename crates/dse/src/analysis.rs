@@ -241,6 +241,7 @@ mod tests {
                     ("aggbuf-mb".into(), axis_val.into()),
                 ],
                 key,
+                backend: "cycle".into(),
             },
             cycles,
             time_s: cycles as f64 * 1e-9,

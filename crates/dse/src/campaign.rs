@@ -20,8 +20,10 @@
 //!    stored.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use hygcn_core::{SimReport, Simulator};
+use hygcn_core::backend::{core_backend, SimBackend};
+use hygcn_core::SimReport;
 use hygcn_gcn::model::GcnModel;
 use hygcn_graph::Graph;
 
@@ -66,20 +68,30 @@ pub struct CampaignReport {
     pub cache_hits: usize,
 }
 
-/// A runnable campaign: a space plus an optional persistent store.
+/// A runnable campaign: a space, the backend evaluating its points, and
+/// an optional persistent store.
 #[derive(Debug, Clone)]
 pub struct Campaign {
     space: ConfigSpace,
     store_path: Option<PathBuf>,
+    backend: Option<Arc<dyn SimBackend>>,
 }
 
 impl Campaign {
     /// A campaign over `space` with no persistence (results are
     /// recomputed every run — the legacy `sweep` behavior).
+    ///
+    /// The evaluation backend is resolved from the space's backend id
+    /// when `hygcn-core` provides it (`cycle`, `seed`, `analytical`);
+    /// other ids (the platform backends of `hygcn-baseline`, which this
+    /// crate cannot depend on) must be supplied via
+    /// [`Self::with_backend`] before running.
     pub fn new(space: ConfigSpace) -> Self {
+        let backend = core_backend(&space.backend);
         Self {
             space,
             store_path: None,
+            backend,
         }
     }
 
@@ -89,9 +101,30 @@ impl Campaign {
         self
     }
 
+    /// Supplies the evaluation backend object. The space's backend id is
+    /// synced to it, so points enumerated by [`Self::run`] are keyed for
+    /// exactly the backend that will evaluate them.
+    pub fn with_backend(mut self, backend: Arc<dyn SimBackend>) -> Self {
+        self.space.backend = backend.backend_id().to_string();
+        self.backend = Some(backend);
+        self
+    }
+
     /// The space this campaign runs.
     pub fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    /// The resolved backend, or a spec error naming the missing id.
+    fn backend(&self) -> Result<&Arc<dyn SimBackend>, DseError> {
+        self.backend.as_ref().ok_or_else(|| {
+            DseError::Spec(format!(
+                "backend '{}' is not provided by hygcn-core; supply it with \
+                 Campaign::with_backend (hygcn_baseline::backend::resolve knows \
+                 the full vocabulary)",
+                self.space.backend
+            ))
+        })
     }
 
     /// Enumerates the space and runs every point not already in the
@@ -122,8 +155,21 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// As [`Self::run`], minus the enumeration errors.
+    /// As [`Self::run`], minus the enumeration errors; additionally
+    /// [`DseError::Spec`] when a point is keyed for a different backend
+    /// than this campaign evaluates with (the guard that makes serving a
+    /// cached result from the wrong backend structurally impossible).
     pub fn run_points(&self, points: &[DesignPoint]) -> Result<CampaignReport, DseError> {
+        let backend = self.backend()?;
+        if let Some(p) = points.iter().find(|p| p.backend != backend.backend_id()) {
+            return Err(DseError::Spec(format!(
+                "point {} is keyed for backend '{}' but this campaign evaluates \
+                 with '{}'",
+                p.label(),
+                p.backend,
+                backend.backend_id()
+            )));
+        }
         let mut store = match &self.store_path {
             Some(p) => ResultStore::open(p)?,
             None => ResultStore::in_memory(),
@@ -177,8 +223,8 @@ impl Campaign {
                             .find(|(k, _)| *k == p.model)
                             .expect("model prebuilt for every kind in group")
                             .1;
-                        Simulator::new(p.config.clone())
-                            .simulate(&graph, model)
+                        backend
+                            .evaluate(&graph, model, &p.config)
                             .map_err(|e| DseError::Sim(format!("{}: {e}", p.label())))
                     });
                 for (&i, report) in chunk.iter().zip(reports) {
@@ -291,6 +337,80 @@ mod tests {
         let report = Campaign::new(space).run().unwrap();
         assert_eq!(report.points.len(), 2);
         assert_ne!(report.points[0].cycles, report.points[1].cycles);
+    }
+
+    #[test]
+    fn analytical_campaign_runs_and_is_cache_isolated_from_cycle() {
+        let dir = std::env::temp_dir().join("hygcn-dse-backend-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("shared-backends.jsonl");
+        std::fs::remove_file(&store).ok();
+
+        // Cycle campaign fills the store...
+        let cycle = Campaign::new(tiny_space())
+            .with_store(&store)
+            .run()
+            .unwrap();
+        assert_eq!((cycle.simulated, cycle.cache_hits), (4, 0));
+        // ...and the analytical campaign over the SAME space and store
+        // gets zero cross-backend hits.
+        let analytical = Campaign::new(tiny_space().with_backend_id("analytical"))
+            .with_store(&store)
+            .run()
+            .unwrap();
+        assert_eq!((analytical.simulated, analytical.cache_hits), (4, 0));
+        for (c, a) in cycle.points.iter().zip(&analytical.points) {
+            assert_ne!(c.point.key, a.point.key);
+            assert_ne!(c.report_json, a.report_json);
+            assert!(a.report_json.contains("\"backend\": \"analytical\""));
+        }
+        // Each backend's own re-run is 100% hits.
+        let rerun = Campaign::new(tiny_space().with_backend_id("analytical"))
+            .with_store(&store)
+            .run()
+            .unwrap();
+        assert_eq!((rerun.simulated, rerun.cache_hits), (0, 4));
+        assert_eq!(rerun.points, {
+            let mut pts = analytical.points.clone();
+            for p in &mut pts {
+                p.cached = true;
+            }
+            pts
+        });
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn backend_mismatched_points_are_rejected() {
+        let points = tiny_space().enumerate().unwrap();
+        let retargeted: Vec<_> = points
+            .iter()
+            .map(|p| p.with_backend("analytical").unwrap())
+            .collect();
+        // A cycle campaign refuses analytical-keyed points...
+        match Campaign::new(tiny_space()).run_points(&retargeted) {
+            Err(DseError::Spec(m)) => assert!(m.contains("keyed for backend"), "{m}"),
+            other => panic!("expected Spec error, got {other:?}"),
+        }
+        // ...and an unresolvable backend id fails with guidance.
+        match Campaign::new(tiny_space().with_backend_id("gpu")).run() {
+            Err(DseError::Spec(m)) => assert!(m.contains("with_backend"), "{m}"),
+            other => panic!("expected Spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_backend_object_syncs_space_and_keys() {
+        let backend: std::sync::Arc<dyn SimBackend> =
+            std::sync::Arc::new(hygcn_core::AnalyticalBackend);
+        let campaign = Campaign::new(tiny_space()).with_backend(backend);
+        assert_eq!(campaign.space().backend, "analytical");
+        let report = campaign.run().unwrap();
+        assert_eq!(report.points.len(), 4);
+        for p in &report.points {
+            assert_eq!(p.point.backend, "analytical");
+            assert!(p.cycles > 0);
+        }
     }
 
     #[test]

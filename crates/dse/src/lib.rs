@@ -64,8 +64,12 @@ pub mod space;
 pub mod store;
 
 pub use campaign::{Campaign, CampaignReport, PointOutcome};
-pub use search::{run_search, BudgetMetric, SearchOutcome, SearchStrategy};
-pub use space::{Axis, AxisValue, ConfigSpace, DesignPoint, SpaceSample, WorkloadSpec};
+pub use search::{
+    run_search, run_search_with_backend, BudgetMetric, SearchOutcome, SearchStrategy,
+};
+pub use space::{
+    Axis, AxisValue, ConfigSpace, DesignPoint, SpaceSample, WorkloadSpec, DEFAULT_BACKEND,
+};
 pub use store::ResultStore;
 
 /// Top-level error for campaign construction and execution.

@@ -33,6 +33,9 @@
 //!   halving winners' simulations for free, and vice versa.
 
 use std::path::Path;
+use std::sync::Arc;
+
+use hygcn_core::backend::SimBackend;
 
 use crate::campaign::{Campaign, CampaignReport, PointOutcome};
 use crate::space::ConfigSpace;
@@ -104,6 +107,13 @@ pub enum SearchStrategy {
         rungs: usize,
         /// The metric promotion ranks on.
         budget_metric: BudgetMetric,
+        /// When set, the full candidate grid is first screened by the
+        /// `analytical` backend (microseconds per point, cached under
+        /// its own backend-keyed entries in the same store) and only the
+        /// best `n/eta` candidates enter rung 0 — so the cheapest *real*
+        /// rung already starts from a pruned field. The prefilter's
+        /// summary lands in [`SearchOutcome::prefilter`].
+        analytical_prefilter: bool,
     },
 }
 
@@ -130,6 +140,10 @@ pub struct RungReport {
 /// Everything a search produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchOutcome {
+    /// The analytical screening pass, when the strategy enabled it
+    /// (`fidelity` is 1.0 — the prefilter screens full workloads, just
+    /// under the cheap backend; `rung` is meaningless and set to 0).
+    pub prefilter: Option<RungReport>,
     /// Per-rung summaries (empty for [`SearchStrategy::Grid`] and
     /// [`SearchStrategy::RandomSample`], which have no rung structure).
     pub rungs: Vec<RungReport>,
@@ -140,7 +154,9 @@ pub struct SearchOutcome {
 
 /// Runs `strategy` over `space`, persisting every evaluation to `store`
 /// (when given) so the search is resumable and an unchanged re-run
-/// performs zero simulations.
+/// performs zero simulations. The evaluation backend is resolved from
+/// the space's backend id; use [`run_search_with_backend`] to supply a
+/// backend `hygcn-core` does not provide (the platform models).
 ///
 /// # Errors
 ///
@@ -151,8 +167,31 @@ pub fn run_search(
     strategy: &SearchStrategy,
     store: Option<&Path>,
 ) -> Result<SearchOutcome, DseError> {
+    run_search_with_backend(space, strategy, store, None)
+}
+
+/// [`run_search`] with an explicit backend object (syncs the space's
+/// backend id to it, exactly as [`Campaign::with_backend`] does).
+///
+/// # Errors
+///
+/// As [`run_search`].
+pub fn run_search_with_backend(
+    space: &ConfigSpace,
+    strategy: &SearchStrategy,
+    store: Option<&Path>,
+    backend: Option<Arc<dyn SimBackend>>,
+) -> Result<SearchOutcome, DseError> {
+    let space = match &backend {
+        Some(b) => space.clone().with_backend_id(b.backend_id()),
+        None => space.clone(),
+    };
+    let space = &space;
     let campaign_for = |space: ConfigSpace| {
-        let c = Campaign::new(space);
+        let mut c = Campaign::new(space);
+        if let Some(b) = &backend {
+            c = c.with_backend(b.clone());
+        }
         match store {
             Some(p) => c.with_store(p),
             None => c,
@@ -160,6 +199,7 @@ pub fn run_search(
     };
     match strategy {
         SearchStrategy::Grid => Ok(SearchOutcome {
+            prefilter: None,
             rungs: Vec::new(),
             report: campaign_for(space.clone()).run()?,
         }),
@@ -169,6 +209,7 @@ pub fn run_search(
                 seed: *seed,
             });
             Ok(SearchOutcome {
+                prefilter: None,
                 rungs: Vec::new(),
                 report: campaign_for(sampled).run()?,
             })
@@ -177,6 +218,7 @@ pub fn run_search(
             eta,
             rungs,
             budget_metric,
+            analytical_prefilter,
         } => {
             if *eta < 2 {
                 return Err(DseError::Spec(format!("eta must be >= 2 (got {eta})")));
@@ -186,6 +228,56 @@ pub fn run_search(
             }
             let campaign = campaign_for(space.clone());
             let mut survivors = space.enumerate()?;
+            let mut prefilter = None;
+            if *analytical_prefilter {
+                // Screen the whole field with the analytical backend:
+                // same store, backend-disjoint keys, so the screening is
+                // itself cached and a re-run re-screens nothing. The
+                // workload canon is computed once per workload, not per
+                // point (an edge-list canon hashes the file's content).
+                let mut canons: std::collections::BTreeMap<usize, String> =
+                    std::collections::BTreeMap::new();
+                let screen_points = survivors
+                    .iter()
+                    .map(|p| {
+                        let canon = match canons.entry(p.workload_idx) {
+                            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                            std::collections::btree_map::Entry::Vacant(e) => {
+                                e.insert(p.workload.canon()?)
+                            }
+                        };
+                        let mut sp = p.clone();
+                        sp.backend = "analytical".to_string();
+                        sp.key = crate::space::cache_key("analytical", &sp.config, sp.model, canon);
+                        Ok(sp)
+                    })
+                    .collect::<Result<Vec<_>, DseError>>()?;
+                let screen_campaign = {
+                    let c = Campaign::new(space.clone().with_backend_id("analytical"));
+                    match store {
+                        Some(p) => c.with_store(p),
+                        None => c,
+                    }
+                };
+                let report = screen_campaign.run_points(&screen_points)?;
+                let mut order: Vec<usize> = (0..report.points.len()).collect();
+                order.sort_by(|&a, &b| {
+                    budget_metric
+                        .of(&report.points[a])
+                        .total_cmp(&budget_metric.of(&report.points[b]))
+                        .then(report.points[a].point.key.cmp(&report.points[b].point.key))
+                });
+                order.truncate((order.len() / *eta).max(1));
+                prefilter = Some(RungReport {
+                    rung: 0,
+                    fidelity: 1.0,
+                    evaluated: report.points.len(),
+                    simulated: report.simulated,
+                    cache_hits: report.cache_hits,
+                    survivors: order.iter().map(|&i| report.points[i].point.key).collect(),
+                });
+                survivors = order.iter().map(|&i| survivors[i].clone()).collect();
+            }
             let mut rung_reports = Vec::with_capacity(*rungs);
             let mut final_report = None;
             for r in 0..*rungs {
@@ -237,10 +329,26 @@ pub fn run_search(
                 }
             }
             Ok(SearchOutcome {
+                prefilter,
                 rungs: rung_reports,
                 report: final_report.expect("rungs >= 1"),
             })
         }
+    }
+}
+
+/// Renders the analytical-prefilter summary line (the CLI's
+/// `--prefilter on` banner; empty when the search ran none).
+pub fn prefilter_to_text(prefilter: Option<&RungReport>) -> String {
+    match prefilter {
+        Some(p) => format!(
+            "analytical prefilter: {} screened ({} simulated, {} cached) -> {} enter rung 0\n",
+            p.evaluated,
+            p.simulated,
+            p.cache_hits,
+            p.survivors.len(),
+        ),
+        None => String::new(),
     }
 }
 
@@ -287,6 +395,7 @@ mod tests {
             eta,
             rungs,
             budget_metric: BudgetMetric::Cycles,
+            analytical_prefilter: false,
         }
     }
 
@@ -409,10 +518,70 @@ mod tests {
                 eta: 2,
                 rungs: 2,
                 budget_metric: metric,
+                analytical_prefilter: false,
             };
             let a = run_search(&space8(), &strategy, None).unwrap();
             let b = run_search(&space8(), &strategy, None).unwrap();
             assert_eq!(a.rungs, b.rungs, "{}", metric.name());
+        }
+    }
+
+    #[test]
+    fn analytical_prefilter_prunes_the_field_before_rung_zero() {
+        let dir = std::env::temp_dir().join("hygcn-dse-search-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("prefilter.jsonl");
+        std::fs::remove_file(&store).ok();
+        let strategy = SearchStrategy::SuccessiveHalving {
+            eta: 2,
+            rungs: 2,
+            budget_metric: BudgetMetric::Cycles,
+            analytical_prefilter: true,
+        };
+        let out = run_search(&space8(), &strategy, Some(&store)).unwrap();
+        let pre = out.prefilter.as_ref().expect("prefilter ran");
+        // 8 candidates screened analytically, 4 enter the rung ladder.
+        assert_eq!((pre.evaluated, pre.survivors.len()), (8, 4));
+        assert_eq!(pre.simulated, 8);
+        assert_eq!(out.rungs[0].evaluated, 4);
+        assert_eq!(out.rungs[1].evaluated, 2);
+        // Total cycle-accurate work: 4 half-fidelity + 2 full-fidelity,
+        // versus 8 + 4 without the prefilter.
+        let sims: usize = out.rungs.iter().map(|r| r.simulated).sum();
+        assert_eq!(sims, 6);
+        assert!(!prefilter_to_text(out.prefilter.as_ref()).is_empty());
+        assert!(prefilter_to_text(None).is_empty());
+
+        // Re-run: the screening pass itself is served from the store.
+        let again = run_search(&space8(), &strategy, Some(&store)).unwrap();
+        let pre2 = again.prefilter.as_ref().unwrap();
+        assert_eq!((pre2.simulated, pre2.cache_hits), (0, 8));
+        assert_eq!(pre2.survivors, pre.survivors);
+        assert!(again.rungs.iter().all(|r| r.simulated == 0));
+        assert_eq!(again.report.points.len(), out.report.points.len());
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn prefilter_keys_never_collide_with_cycle_keys() {
+        let strategy = SearchStrategy::SuccessiveHalving {
+            eta: 2,
+            rungs: 1,
+            budget_metric: BudgetMetric::Cycles,
+            analytical_prefilter: true,
+        };
+        let out = run_search(&space8(), &strategy, None).unwrap();
+        let screen: std::collections::BTreeSet<u64> = out
+            .prefilter
+            .as_ref()
+            .unwrap()
+            .survivors
+            .iter()
+            .copied()
+            .collect();
+        for p in &out.report.points {
+            assert!(!screen.contains(&p.point.key));
+            assert_eq!(p.point.backend, "cycle");
         }
     }
 

@@ -46,6 +46,8 @@ pub const AXIS_NAMES: &[&str] = &[
     "channels",
     "row-bytes",
     "burst-bytes",
+    "clock-ghz",
+    "t-row",
 ];
 
 /// One setting of one configuration knob.
@@ -98,6 +100,12 @@ pub enum AxisValue {
     /// HBM burst size in bytes (power of two; combinations with
     /// `burst-bytes > row-bytes` are rejected at enumeration).
     BurstBytes(u64),
+    /// Accelerator clock in GHz (scales cycle-to-time conversion and
+    /// therefore static energy; must be a positive finite float).
+    ClockGhz(f64),
+    /// HBM exposed row activate+precharge penalty `t_row` in cycles
+    /// (timing axis; must be >= 1).
+    TRow(u64),
 }
 
 impl AxisValue {
@@ -204,6 +212,19 @@ impl AxisValue {
             "channels" => Ok(AxisValue::Channels(pow2("a power-of-two integer")?)),
             "row-bytes" => Ok(AxisValue::RowBytes(pow2("a power-of-two integer")? as u64)),
             "burst-bytes" => Ok(AxisValue::BurstBytes(pow2("a power-of-two integer")? as u64)),
+            "clock-ghz" => {
+                let v = token
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v > 0.0);
+                match v {
+                    Some(ghz) => Ok(AxisValue::ClockGhz(ghz)),
+                    None => Err(DseError::Spec(format!(
+                        "axis 'clock-ghz': '{token}' is not a positive finite float (GHz)"
+                    ))),
+                }
+            }
+            "t-row" => Ok(AxisValue::TRow(positive("an integer (cycles)")? as u64)),
             _ => Err(DseError::Spec(format!(
                 "unknown axis '{axis}' (known: {})",
                 AXIS_NAMES.join("/")
@@ -231,6 +252,8 @@ impl AxisValue {
             AxisValue::Channels(_) => "channels",
             AxisValue::RowBytes(_) => "row-bytes",
             AxisValue::BurstBytes(_) => "burst-bytes",
+            AxisValue::ClockGhz(_) => "clock-ghz",
+            AxisValue::TRow(_) => "t-row",
         }
     }
 
@@ -263,7 +286,8 @@ impl AxisValue {
             AxisValue::Controller(ControllerPolicy::InOrder) => "inorder".into(),
             AxisValue::Controller(ControllerPolicy::FrFcfs { .. }) => "frfcfs".into(),
             AxisValue::Channels(v) => v.to_string(),
-            AxisValue::RowBytes(v) | AxisValue::BurstBytes(v) => v.to_string(),
+            AxisValue::RowBytes(v) | AxisValue::BurstBytes(v) | AxisValue::TRow(v) => v.to_string(),
+            AxisValue::ClockGhz(v) => format!("{v:?}"),
         }
     }
 
@@ -314,6 +338,8 @@ impl AxisValue {
             AxisValue::Channels(n) => cfg.hbm.channels = n,
             AxisValue::RowBytes(b) => cfg.hbm.row_bytes = b,
             AxisValue::BurstBytes(b) => cfg.hbm.burst_bytes = b,
+            AxisValue::ClockGhz(ghz) => cfg.clock_ghz = ghz,
+            AxisValue::TRow(t) => cfg.hbm.t_row = t,
         }
     }
 }
@@ -510,14 +536,29 @@ impl WorkloadSpec {
     }
 }
 
-/// The stable cache key of one `(config, model, workload)` triple — an
-/// FNV-1a hash of the config's canonical serialization, the model
-/// abbreviation, and the workload canon. This single definition is
+/// The stable cache key of one `(backend, config, model, workload)`
+/// quadruple — an FNV-1a hash of the config's canonical serialization,
+/// the model abbreviation, the workload canon, and (for every backend
+/// other than the default) the backend id. This single definition is
 /// shared by grid enumeration and by the successive-halving search's
 /// fidelity-overridden rung points, so a rung evaluation and a plain
-/// campaign that happen to describe the same triple always agree on
+/// campaign that happen to describe the same quadruple always agree on
 /// identity (and therefore share stored results).
-pub fn cache_key(config: &HyGcnConfig, model: ModelKind, workload_canon: &str) -> u64 {
+///
+/// The `"cycle"` backend id is deliberately **elided** from the hash:
+/// every store written before the backend abstraction existed holds
+/// cycle-accurate results under the legacy three-part key, and those
+/// stay valid. Any other backend contributes a `;backend=<id>` segment,
+/// which is what guarantees zero cross-backend cache hits — an
+/// analytical screening pass can share a `campaign.jsonl` with a
+/// cycle-accurate campaign without either ever serving the other's
+/// results.
+pub fn cache_key(
+    backend: &str,
+    config: &HyGcnConfig,
+    model: ModelKind,
+    workload_canon: &str,
+) -> u64 {
     let mut h = Fnv64::new();
     h.write_str("config=");
     h.write_str(&config.canon());
@@ -525,8 +566,16 @@ pub fn cache_key(config: &HyGcnConfig, model: ModelKind, workload_canon: &str) -
     h.write_str(model.abbrev());
     h.write_str(";workload=");
     h.write_str(workload_canon);
+    if backend != DEFAULT_BACKEND {
+        h.write_str(";backend=");
+        h.write_str(backend);
+    }
     h.finish()
 }
+
+/// The backend every space targets unless told otherwise — the
+/// cycle-accurate simulator.
+pub const DEFAULT_BACKEND: &str = "cycle";
 
 /// Seeded random thinning of a grid: keep at most `max_points`, chosen by
 /// a deterministic Fisher–Yates shuffle of the full enumeration.
@@ -538,7 +587,8 @@ pub struct SpaceSample {
     pub seed: u64,
 }
 
-/// A declarative design space: workloads x models x axis grid.
+/// A declarative design space: workloads x models x axis grid,
+/// evaluated by one named backend.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConfigSpace {
     /// The configuration every point starts from (axes mutate a clone).
@@ -551,6 +601,11 @@ pub struct ConfigSpace {
     pub axes: Vec<Axis>,
     /// Optional seeded random thinning of the grid.
     pub sample: Option<SpaceSample>,
+    /// The backend id every point of this space evaluates under
+    /// ([`DEFAULT_BACKEND`] unless overridden). Part of every point's
+    /// cache key, so spaces differing only in backend never collide in
+    /// a shared store.
+    pub backend: String,
 }
 
 impl ConfigSpace {
@@ -563,12 +618,21 @@ impl ConfigSpace {
             models,
             axes: Vec::new(),
             sample: None,
+            backend: DEFAULT_BACKEND.to_string(),
         }
     }
 
     /// Replaces the base configuration.
     pub fn with_base(mut self, base: HyGcnConfig) -> Self {
         self.base = base;
+        self
+    }
+
+    /// Targets a different evaluation backend (by id). Every enumerated
+    /// point is stamped and cache-keyed with it; the campaign executor
+    /// refuses to run points under a backend they were not keyed for.
+    pub fn with_backend_id(mut self, backend: impl Into<String>) -> Self {
+        self.backend = backend.into();
         self
     }
 
@@ -663,7 +727,7 @@ impl ConfigSpace {
                         DseError::Spec(format!("point {}: {e}", label.join(",")))
                     })?;
 
-                    let key = cache_key(&config, model, &workload_canons[widx]);
+                    let key = cache_key(&self.backend, &config, model, &workload_canons[widx]);
                     if seen.insert(key) {
                         points.push(DesignPoint {
                             workload: workload.clone(),
@@ -672,6 +736,7 @@ impl ConfigSpace {
                             config,
                             assignment,
                             key,
+                            backend: self.backend.clone(),
                         });
                     }
                 }
@@ -708,8 +773,11 @@ pub struct DesignPoint {
     /// columns from this.
     pub assignment: Vec<(String, String)>,
     /// Stable cache key: FNV-1a over config canon + model + workload
-    /// canon. Identical across processes for equal inputs.
+    /// canon (+ backend id for non-default backends). Identical across
+    /// processes for equal inputs.
     pub key: u64,
+    /// The backend id this point is keyed for (see [`cache_key`]).
+    pub backend: String,
 }
 
 impl DesignPoint {
@@ -759,7 +827,24 @@ impl DesignPoint {
             p.assignment
                 .push(("fidelity".to_string(), format!("{fidelity:?}")));
         }
-        p.key = cache_key(&p.config, p.model, &p.workload.canon()?);
+        p.key = cache_key(&p.backend, &p.config, p.model, &p.workload.canon()?);
+        Ok(p)
+    }
+
+    /// This point re-targeted at another evaluation backend — the
+    /// successive-halving search's analytical-prefilter transform. The
+    /// cache key is recomputed (so, e.g., an analytical screening
+    /// evaluation is cached independently of the cycle-accurate result
+    /// for the same configuration); everything else is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Workload`] if the workload canon cannot be computed
+    /// (an unreadable edge-list file).
+    pub fn with_backend(&self, backend: &str) -> Result<DesignPoint, DseError> {
+        let mut p = self.clone();
+        p.backend = backend.to_string();
+        p.key = cache_key(backend, &p.config, p.model, &p.workload.canon()?);
         Ok(p)
     }
 }
@@ -978,6 +1063,94 @@ mod tests {
     }
 
     #[test]
+    fn timing_axes_apply_and_reject_bad_values() {
+        let mut cfg = HyGcnConfig::default();
+        let v = AxisValue::parse("clock-ghz", "1.25").unwrap();
+        assert_eq!(v.label(), "1.25");
+        v.apply(&mut cfg);
+        assert_eq!(cfg.clock_ghz, 1.25);
+        let v = AxisValue::parse("t-row", "56").unwrap();
+        assert_eq!(v.label(), "56");
+        v.apply(&mut cfg);
+        assert_eq!(cfg.hbm.t_row, 56);
+        for bad in ["0", "-1.5", "inf", "NaN", "fast"] {
+            assert!(AxisValue::parse("clock-ghz", bad).is_err(), "{bad}");
+        }
+        for bad in ["0", "-3", "2.5", "slow"] {
+            assert!(AxisValue::parse("t-row", bad).is_err(), "{bad}");
+        }
+        // A bad clock arriving through the *base* config (not an axis)
+        // still fails at enumeration time as a spec error.
+        let space = ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_base(HyGcnConfig {
+            clock_ghz: 0.0,
+            ..HyGcnConfig::default()
+        });
+        match space.enumerate() {
+            Err(DseError::Spec(m)) => assert!(m.contains("clock"), "{m}"),
+            other => panic!("expected Spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timing_axes_enumerate_with_distinct_keys() {
+        let space = ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("clock-ghz", "0.8,1.0,1.2").unwrap())
+        .with_axis(Axis::parse("t-row", "14,28").unwrap());
+        let points = space.enumerate().unwrap();
+        assert_eq!(points.len(), 6);
+        let keys: std::collections::BTreeSet<u64> = points.iter().map(|p| p.key).collect();
+        assert_eq!(keys.len(), 6);
+        assert_eq!(points[0].label(), "IB@0.1/GCN/clock-ghz=0.8,t-row=14");
+    }
+
+    #[test]
+    fn backend_participates_in_the_key_with_cycle_elided() {
+        let cycle = space2x2().enumerate().unwrap();
+        let analytical = space2x2()
+            .with_backend_id("analytical")
+            .enumerate()
+            .unwrap();
+        // Legacy compatibility: the default backend hashes exactly as the
+        // pre-backend three-part key did.
+        let cfg = &cycle[0].config;
+        let legacy = {
+            use hygcn_graph::hashing::Fnv64;
+            let mut h = Fnv64::new();
+            h.write_str("config=");
+            h.write_str(&cfg.canon());
+            h.write_str(";model=GCN");
+            h.write_str(";workload=");
+            h.write_str(&cycle[0].workload.canon().unwrap());
+            h.finish()
+        };
+        assert_eq!(cycle[0].key, legacy);
+        assert_eq!(cycle[0].backend, "cycle");
+        // Every backend's keys are disjoint from every other's.
+        for (c, a) in cycle.iter().zip(&analytical) {
+            assert_ne!(c.key, a.key);
+            assert_eq!(a.backend, "analytical");
+        }
+        // Retargeting is reversible and composes with fidelity.
+        let back = analytical[0].with_backend("cycle").unwrap();
+        assert_eq!(back.key, cycle[0].key);
+        let half = analytical[0].at_fidelity(0.5).unwrap();
+        assert_eq!(half.backend, "analytical");
+        assert_ne!(half.key, analytical[0].key);
+        assert_ne!(
+            half.key,
+            cycle[0].at_fidelity(0.5).unwrap().key,
+            "fidelity rungs stay backend-isolated too"
+        );
+    }
+
+    #[test]
     fn fidelity_retarget_changes_key_and_is_identity_at_one() {
         let points = space2x2().enumerate().unwrap();
         let p = &points[0];
@@ -1031,6 +1204,8 @@ mod tests {
                 "controller" => "frfcfs",
                 "row-bytes" => "4096",
                 "burst-bytes" => "64",
+                "clock-ghz" => "1.25",
+                "t-row" => "21",
                 _ => "4",
             };
             let v = AxisValue::parse(name, token).unwrap();

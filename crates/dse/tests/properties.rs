@@ -100,6 +100,34 @@ proptest! {
         }
     }
 
+    /// Backend identity is part of the key: for any configuration, the
+    /// five backends' keys are pairwise distinct — so a shared store can
+    /// never serve one backend's cached result for another's query —
+    /// and the default backend's key equals the legacy (pre-backend)
+    /// three-part key, so existing stores stay valid.
+    #[test]
+    fn backends_never_collide_in_the_key_space(
+        values in proptest::collection::vec(arb_axis_value(), 0..4),
+        scale_milli in 30u64..200,
+        seed in 0u64..1000,
+    ) {
+        let space = space_with(values, scale_milli, seed);
+        let backends = ["cycle", "analytical", "cpu", "gpu", "seed"];
+        let mut keys = Vec::new();
+        for b in backends {
+            let points = space.clone().with_backend_id(b).enumerate().unwrap();
+            prop_assert_eq!(&points[0].backend, b);
+            keys.push(points[0].key);
+        }
+        let distinct: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), backends.len(), "{:?}", keys);
+        // Retargeting an enumerated point reproduces enumeration's key.
+        let cycle_points = space.enumerate().unwrap();
+        for (b, key) in backends.iter().zip(&keys) {
+            prop_assert_eq!(cycle_points[0].with_backend(b).unwrap().key, *key);
+        }
+    }
+
     /// Workload identity is part of the key: a different dataset seed or
     /// scale must produce different keys for the same configuration.
     #[test]

@@ -123,6 +123,11 @@ impl HbmConfig {
         if self.t_burst == 0 {
             return Err("t_burst must be >= 1 cycle".into());
         }
+        if self.t_row == 0 {
+            return Err("t_row must be >= 1 cycle (a free activate+precharge \
+                        makes every access a row hit)"
+                .into());
+        }
         Ok(())
     }
 

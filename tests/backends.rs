@@ -1,0 +1,250 @@
+//! Acceptance tests of the multi-backend evaluation system: analytical
+//! fidelity (rank correlation against the cycle-accurate backend over a
+//! pinned grid), cross-backend cache isolation in a shared store, and
+//! the screening-speed contract.
+
+use std::time::Instant;
+
+use hygcn_suite::baseline::backend::resolve;
+use hygcn_suite::core::backend::SimBackend;
+use hygcn_suite::core::{AnalyticalBackend, CycleAccurateBackend};
+use hygcn_suite::dse::campaign::Campaign;
+use hygcn_suite::dse::space::{Axis, ConfigSpace, WorkloadSpec};
+use hygcn_suite::gcn::model::ModelKind;
+use hygcn_suite::graph::datasets::DatasetKey;
+
+/// The pinned 20-point fidelity grid: buffer geometry x sparsity x
+/// pipeline over one mid-size workload. Changing it invalidates the
+/// recorded correlation threshold — extend, don't shrink.
+fn fidelity_grid() -> ConfigSpace {
+    ConfigSpace::new(
+        vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.15, 7)],
+        vec![ModelKind::Gcn],
+    )
+    .with_axis(Axis::parse("aggbuf-mb", "2,4,8,16,32").unwrap())
+    .with_axis(Axis::parse("sparsity", "on,off").unwrap())
+    .with_axis(Axis::parse("pipeline", "latency,none").unwrap())
+}
+
+/// Spearman rank correlation of two equal-length samples.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
+        let mut ranks = vec![0.0; xs.len()];
+        for (r, &i) in order.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for i in 0..a.len() {
+        cov += (ra[i] - mean) * (rb[i] - mean);
+        va += (ra[i] - mean).powi(2);
+        vb += (rb[i] - mean).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[test]
+fn analytical_rank_correlates_with_cycle_accurate_on_the_pinned_grid() {
+    let points = fidelity_grid().enumerate().unwrap();
+    assert_eq!(points.len(), 20, "the fidelity grid is pinned at 20 points");
+    let graph = points[0].workload.build().unwrap();
+    let model = ModelKind::Gcn;
+    let gcn = hygcn_suite::gcn::model::GcnModel::new(model, graph.feature_len(), 0xC0DE).unwrap();
+
+    let mut cycle_cycles = Vec::new();
+    let mut ana_cycles = Vec::new();
+    let mut cycle_dram = Vec::new();
+    let mut ana_dram = Vec::new();
+    for p in &points {
+        let c = CycleAccurateBackend
+            .evaluate(&graph, &gcn, &p.config)
+            .unwrap();
+        let a = AnalyticalBackend.evaluate(&graph, &gcn, &p.config).unwrap();
+        cycle_cycles.push(c.cycles as f64);
+        ana_cycles.push(a.cycles as f64);
+        cycle_dram.push(c.dram_bytes() as f64);
+        ana_dram.push(a.dram_bytes() as f64);
+    }
+    let rho_cycles = spearman(&cycle_cycles, &ana_cycles);
+    let rho_dram = spearman(&cycle_dram, &ana_dram);
+    println!("fidelity: rho(cycles) = {rho_cycles:.3}, rho(dram) = {rho_dram:.3}");
+    assert!(
+        rho_cycles >= 0.8,
+        "analytical cycles must rank-correlate with cycle-accurate: rho = {rho_cycles:.3}\n\
+         cycle: {cycle_cycles:?}\nanalytical: {ana_cycles:?}"
+    );
+    assert!(
+        rho_dram >= 0.8,
+        "analytical DRAM traffic must rank-correlate: rho = {rho_dram:.3}"
+    );
+}
+
+/// The screening-speed acceptance, measured on the Fig. 15 space
+/// itself: the three ablation datasets at their bench scales, sparsity
+/// on/off. Workload synthesis is shared by every backend (the campaign
+/// builds each graph once regardless of evaluator), so the screening
+/// economics live in the per-point evaluation time — which is what this
+/// measures. The release-build margin is ~500x (recorded in
+/// CHANGES.md); the assertion is a lenient 10x so debug builds and CI
+/// timing noise cannot flake the suite.
+#[test]
+fn analytical_screening_is_much_faster_than_simulation() {
+    // The Fig. 15 space: CR/CS/PB at bench scale (1.0), GCN,
+    // sparsity on/off — see `hygcn_bench::figures::fig15`.
+    let space = ConfigSpace::new(
+        vec![
+            WorkloadSpec::dataset(DatasetKey::Cr, 1.0, 0x5EED),
+            WorkloadSpec::dataset(DatasetKey::Cs, 1.0, 0x5EED),
+            WorkloadSpec::dataset(DatasetKey::Pb, 1.0, 0x5EED),
+        ],
+        vec![ModelKind::Gcn],
+    )
+    .with_axis(Axis::parse("sparsity", "on,off").unwrap());
+    let points = space.enumerate().unwrap();
+    assert_eq!(points.len(), 6);
+
+    let mut cycle_s = 0.0;
+    let mut analytical_s = 0.0;
+    for (widx, w) in space.workloads.iter().enumerate() {
+        let graph = w.build().unwrap();
+        let gcn =
+            hygcn_suite::gcn::model::GcnModel::new(ModelKind::Gcn, graph.feature_len(), 0xC0DE)
+                .unwrap();
+        for p in points.iter().filter(|p| p.workload_idx == widx) {
+            // Warm, then time each backend on the point.
+            CycleAccurateBackend
+                .evaluate(&graph, &gcn, &p.config)
+                .unwrap();
+            AnalyticalBackend.evaluate(&graph, &gcn, &p.config).unwrap();
+            let t0 = Instant::now();
+            CycleAccurateBackend
+                .evaluate(&graph, &gcn, &p.config)
+                .unwrap();
+            cycle_s += t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            AnalyticalBackend.evaluate(&graph, &gcn, &p.config).unwrap();
+            analytical_s += t0.elapsed().as_secs_f64();
+        }
+    }
+    assert!(
+        analytical_s * 10.0 < cycle_s,
+        "analytical screening must be >=10x faster on the Fig. 15 space: \
+         cycle {cycle_s:.4}s vs analytical {analytical_s:.6}s ({:.0}x)",
+        cycle_s / analytical_s.max(1e-12)
+    );
+    println!(
+        "fig15-space screening speedup: {:.0}x (cycle {:.2} ms/pt, analytical {:.1} us/pt)",
+        cycle_s / analytical_s.max(1e-12),
+        cycle_s / points.len() as f64 * 1e3,
+        analytical_s / points.len() as f64 * 1e6,
+    );
+}
+
+#[test]
+fn shared_store_isolates_all_five_backends() {
+    let dir = std::env::temp_dir().join("hygcn-backends-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("five-backends.jsonl");
+    std::fs::remove_file(&store).ok();
+
+    let space = || {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 3)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("sparsity", "on,off").unwrap())
+    };
+
+    let ids = ["cycle", "analytical", "cpu", "gpu", "seed"];
+    let mut first_jsons: Vec<Vec<String>> = Vec::new();
+    // Every backend runs the same space into the same store: each must
+    // simulate all its own points (zero cross-backend hits)...
+    for id in ids {
+        let backend = resolve(id).unwrap();
+        let report = Campaign::new(space())
+            .with_backend(backend)
+            .with_store(&store)
+            .run()
+            .unwrap();
+        assert_eq!(
+            (report.simulated, report.cache_hits),
+            (2, 0),
+            "{id}: a fresh backend must never hit another backend's cache"
+        );
+        first_jsons.push(
+            report
+                .points
+                .iter()
+                .map(|p| p.report_json.clone())
+                .collect(),
+        );
+    }
+    // ...and each backend's own re-run is bit-identical, 100% cached.
+    for (id, first) in ids.iter().zip(&first_jsons) {
+        let report = Campaign::new(space())
+            .with_backend(resolve(id).unwrap())
+            .with_store(&store)
+            .run()
+            .unwrap();
+        assert_eq!((report.simulated, report.cache_hits), (0, 2), "{id}");
+        let again: Vec<String> = report
+            .points
+            .iter()
+            .map(|p| p.report_json.clone())
+            .collect();
+        assert_eq!(&again, first, "{id}: cached re-run must be bit-identical");
+    }
+    // Cycle and seed agree numerically (the oracle contract) while
+    // remaining separately keyed; analytical/cpu/gpu are marked.
+    assert_eq!(first_jsons[0], first_jsons[4], "seed is the cycle oracle");
+    for (id, jsons) in ids.iter().zip(&first_jsons).skip(1).take(3) {
+        for j in jsons {
+            assert!(
+                j.contains(&format!("\"backend\": \"{id}\"")),
+                "{id} reports must carry provenance"
+            );
+        }
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn platform_backends_populate_comparable_fields_only() {
+    let space = ConfigSpace::new(
+        vec![WorkloadSpec::dataset(DatasetKey::Pb, 0.1, 3)],
+        vec![ModelKind::Gcn],
+    );
+    for id in ["cpu", "gpu"] {
+        let report = Campaign::new(space.clone().with_backend_id(id))
+            .with_backend(resolve(id).unwrap())
+            .run()
+            .unwrap();
+        let p = &report.points[0];
+        assert!(p.cycles > 0 && p.time_s > 0.0, "{id}");
+        assert!(p.energy_j > 0.0 && p.dram_bytes > 0, "{id}");
+        // Accelerator-only observability is zeroed in the stored report.
+        assert!(p.report_json.contains("\"channels\": 0"), "{id}");
+        assert!(p.report_json.contains("\"chunks\": 0"), "{id}");
+        assert!(p.report_json.contains("\"timeline_steps\": 0"), "{id}");
+    }
+    // The ranking the paper's Fig. 10 rests on: GPU beats CPU, the
+    // accelerator beats both.
+    let run = |id: &str| {
+        Campaign::new(space.clone().with_backend_id(id))
+            .with_backend(resolve(id).unwrap())
+            .run()
+            .unwrap()
+            .points[0]
+            .time_s
+    };
+    let (cpu, gpu, hygcn) = (run("cpu"), run("gpu"), run("cycle"));
+    assert!(gpu < cpu);
+    assert!(hygcn < gpu);
+}

@@ -73,6 +73,48 @@ fn campaign_end_to_end() {
     std::fs::remove_file(&store).ok();
 }
 
+/// A campaign killed *mid-append* leaves a torn final line — a partial
+/// record with no trailing newline. The store must discard (and
+/// truncate away) exactly that record, the resumed campaign must
+/// re-simulate only the torn point, and the recovered results must be
+/// bit-identical to an uninterrupted run.
+#[test]
+fn campaign_killed_mid_write_resumes_from_the_torn_record() {
+    let dir = std::env::temp_dir().join("hygcn-campaign-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("torn.jsonl");
+    std::fs::remove_file(&store).ok();
+
+    let full = Campaign::new(space()).with_store(&store).run().unwrap();
+    assert_eq!(full.points.len(), 8);
+
+    // Kill mid-append: keep 4 complete records plus the first half of
+    // the 5th line, with no terminating newline.
+    let content = std::fs::read_to_string(&store).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    let torn = &lines[4][..lines[4].len() / 2];
+    std::fs::write(&store, format!("{}\n{torn}", lines[..4].join("\n"))).unwrap();
+
+    let resumed = Campaign::new(space()).with_store(&store).run().unwrap();
+    assert_eq!(
+        (resumed.simulated, resumed.cache_hits),
+        (4, 4),
+        "the torn record and the three lost ones re-simulate; nothing else"
+    );
+    for (a, b) in full.points.iter().zip(&resumed.points) {
+        assert_eq!(a.report_json, b.report_json, "{}", a.point.label());
+    }
+
+    // The healed store round-trips: a further re-run is all hits and the
+    // file parses cleanly (no concatenated half-records).
+    let rerun = Campaign::new(space()).with_store(&store).run().unwrap();
+    assert_eq!((rerun.simulated, rerun.cache_hits), (0, 8));
+    let healed = std::fs::read_to_string(&store).unwrap();
+    assert_eq!(healed.lines().count(), 8);
+    assert!(healed.ends_with('\n'));
+    std::fs::remove_file(&store).ok();
+}
+
 #[test]
 fn campaign_metrics_match_direct_single_runs() {
     // Every campaign point must agree with an isolated simulation of the

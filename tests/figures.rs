@@ -7,7 +7,7 @@
 
 use std::path::PathBuf;
 
-use hygcn_bench::figures::{find_figure, run_figure, FigureCtx, FIGURES};
+use hygcn_bench::figures::{figure_csv, find_figure, run_figure, FigureCtx, FIGURES};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -31,7 +31,7 @@ fn second_figures_run_performs_zero_simulations() {
         let mut cached = 0;
         let mut outputs = Vec::new();
         for id in ids {
-            let run = run_figure(find_figure(id).unwrap(), ctx, Some(&store)).unwrap();
+            let run = run_figure(find_figure(id).unwrap(), ctx, Some(&store), None).unwrap();
             simulated += run.simulated;
             cached += run.cache_hits;
             outputs.push(run.output);
@@ -61,7 +61,7 @@ fn second_figures_run_performs_zero_simulations() {
 #[test]
 fn fig17_table_matches_golden_snapshot() {
     let mut ctx = FigureCtx::new(0.05);
-    let run = run_figure(find_figure("fig17").unwrap(), &mut ctx, None).unwrap();
+    let run = run_figure(find_figure("fig17").unwrap(), &mut ctx, None, None).unwrap();
     let got = run.output;
     let path = golden_path("figures_fig17");
     if std::env::var("BLESS").as_deref() == Ok("1") {
@@ -81,6 +81,33 @@ fn fig17_table_matches_golden_snapshot() {
     );
 }
 
+/// The `--csv` export of the same artifact is pinned too (the plottable
+/// twin of the rendered table must stay as stable as the table itself);
+/// regenerate with `BLESS=1 cargo test --test figures`. The export
+/// embeds the per-point cache keys, so this also pins backend keying.
+#[test]
+fn fig17_csv_export_matches_golden_snapshot() {
+    let mut ctx = FigureCtx::new(0.05);
+    let run = run_figure(find_figure("fig17").unwrap(), &mut ctx, None, None).unwrap();
+    let got = figure_csv(&run);
+    let path = golden_path("figures_fig17_csv");
+    if std::env::var("BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, &got)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden fixture {}; run `BLESS=1 cargo test --test figures` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "fig17 CSV export drifted; intentional model changes regenerate with BLESS=1"
+    );
+}
+
 #[test]
 fn figure_campaigns_share_points_across_artifacts() {
     let dir = std::env::temp_dir().join("hygcn-figures-e2e");
@@ -88,18 +115,23 @@ fn figure_campaigns_share_points_across_artifacts() {
     let store = dir.join("figures-shared.jsonl");
     std::fs::remove_file(&store).ok();
 
-    // Fig. 10 simulates the 20-point evaluation grid; Fig. 11 reads the
-    // same grid and must be served entirely from the store. (0.05 is
-    // the smallest multiplier at which scaled-down Reddit instantiates.)
+    // Fig. 10 evaluates the cross-backend grid — the 20-point
+    // accelerator block plus the same 20 workloads under the cpu and
+    // gpu backends; Fig. 11 reads the same 60 points and must be served
+    // entirely from the store. (0.05 is the smallest multiplier at
+    // which scaled-down Reddit instantiates.)
     let mut ctx = FigureCtx::new(0.05);
-    let fig10 = run_figure(find_figure("fig10").unwrap(), &mut ctx, Some(&store)).unwrap();
-    assert_eq!(fig10.simulated, 20);
-    let fig11 = run_figure(find_figure("fig11").unwrap(), &mut ctx, Some(&store)).unwrap();
+    let fig10 = run_figure(find_figure("fig10").unwrap(), &mut ctx, Some(&store), None).unwrap();
+    assert_eq!(fig10.simulated, 60);
+    let fig11 = run_figure(find_figure("fig11").unwrap(), &mut ctx, Some(&store), None).unwrap();
     assert_eq!(
         (fig11.simulated, fig11.cache_hits),
-        (0, 20),
-        "fig11 reuses fig10's grid points"
+        (0, 60),
+        "fig11 reuses fig10's cross-backend grid points"
     );
+    // Fig. 12 reads only the accelerator block — all 20 cached.
+    let fig12 = run_figure(find_figure("fig12").unwrap(), &mut ctx, Some(&store), None).unwrap();
+    assert_eq!((fig12.simulated, fig12.cache_hits), (0, 20));
     std::fs::remove_file(&store).ok();
 }
 
