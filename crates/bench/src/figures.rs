@@ -38,7 +38,7 @@ use hygcn_baseline::prefetch::phase_prefetch_coverage;
 use hygcn_baseline::{CpuModel, GpuModel, PlatformReport};
 use hygcn_core::energy::AreaPowerModel;
 use hygcn_core::HyGcnConfig;
-use hygcn_dse::campaign::{Campaign, CampaignReport, PointOutcome};
+use hygcn_dse::campaign::{Campaign, CampaignReport, CompletedPoint};
 use hygcn_dse::space::{Axis, ConfigSpace, WorkloadSpec};
 use hygcn_dse::DseError;
 use hygcn_gcn::model::{GcnModel, ModelKind};
@@ -175,7 +175,7 @@ impl FigureCtx {
 
 /// Extracts a numeric field from a stored compact `SimReport` JSON line
 /// (`"key": value` pairs, as `SimReport::to_json_compact` emits).
-pub fn report_f64(o: &PointOutcome, key: &str) -> f64 {
+pub fn report_f64(o: &CompletedPoint, key: &str) -> f64 {
     let json = &o.report_json;
     let marker = format!("\"{key}\": ");
     let start = json
@@ -194,7 +194,7 @@ pub fn report_f64(o: &PointOutcome, key: &str) -> f64 {
 
 /// Sum of the per-channel busy-cycle counters in a stored report
 /// (`"channelN": [hits, misses, bursts, busy, last]`).
-pub fn report_channel_busy_sum(o: &PointOutcome) -> f64 {
+pub fn report_channel_busy_sum(o: &CompletedPoint) -> f64 {
     let channels = report_f64(o, "channels") as usize;
     let json = &o.report_json;
     let mut sum = 0.0;
@@ -219,17 +219,21 @@ fn find<'a>(
     report: &'a CampaignReport,
     workload_label: &str,
     axes: &[(&str, &str)],
-) -> &'a PointOutcome {
+) -> &'a CompletedPoint {
     report
         .points
         .iter()
         .find(|p| {
-            p.point.assignment[0].1 == workload_label
-                && axes
-                    .iter()
-                    .all(|(k, v)| p.point.assignment.iter().any(|(ak, av)| ak == k && av == v))
+            p.point().assignment[0].1 == workload_label
+                && axes.iter().all(|(k, v)| {
+                    p.point()
+                        .assignment
+                        .iter()
+                        .any(|(ak, av)| ak == k && av == v)
+                })
         })
         .unwrap_or_else(|| panic!("no point {workload_label} with {axes:?}"))
+        .expect_done()
 }
 
 /// The 20-workload evaluation grid of Fig. 10–14 as two spaces: the
@@ -272,7 +276,7 @@ fn grid_point_at(
     kind: ModelKind,
     key: DatasetKey,
     mult: f64,
-) -> &PointOutcome {
+) -> &CompletedPoint {
     let report = if kind == ModelKind::DiffPool {
         &reports[offset + 1]
     } else {
@@ -287,7 +291,7 @@ fn grid_point(
     kind: ModelKind,
     key: DatasetKey,
     mult: f64,
-) -> &PointOutcome {
+) -> &CompletedPoint {
     grid_point_at(reports, 0, kind, key, mult)
 }
 
@@ -878,7 +882,7 @@ fn table03_render(reports: &[CampaignReport], ctx: &mut FigureCtx) -> String {
     );
     // Execution bound, from the stored accelerator point: engine-busy
     // cycle counters vs the mean per-channel memory busy fraction.
-    let p = &reports[0].points[0];
+    let p = reports[0].points[0].expect_done();
     let cycles = p.cycles as f64;
     let channels = report_f64(p, "channels");
     let mem_busy = report_channel_busy_sum(p) / (channels * cycles).max(1.0);
@@ -972,7 +976,7 @@ fn ablation_render(reports: &[CampaignReport], ctx: &mut FigureCtx) -> String {
     let mut out = String::from("1: SIMD work distribution (GCN on reduced Reddit)\n");
     let disperse = find(&reports[0], &rd, &[("agg-mode", "disperse")]);
     let concentrated = find(&reports[0], &rd, &[("agg-mode", "concentrated")]);
-    let busy = |p: &PointOutcome| report_f64(p, "agg_compute_cycles");
+    let busy = |p: &CompletedPoint| report_f64(p, "agg_compute_cycles");
     out += &format!(
         "vertex-disperse     {:>12} engine-busy cycles, {:>12} total\n",
         busy(disperse) as u64,
@@ -986,7 +990,7 @@ fn ablation_render(reports: &[CampaignReport], ctx: &mut FigureCtx) -> String {
     );
 
     out += "\n2: coordination decomposed (GCN on PB)\n";
-    let rows: [(&str, &PointOutcome); 5] = [
+    let rows: [(&str, &CompletedPoint); 5] = [
         (
             "priority + remap (full)",
             find(&reports[1], &pb, &[("sched", "priority"), ("remap", "low")]),
@@ -1263,7 +1267,7 @@ pub fn figure_csv(run: &FigureRun) -> String {
         let backend = report
             .points
             .first()
-            .map_or(hygcn_dse::DEFAULT_BACKEND, |p| p.point.backend.as_str());
+            .map_or(hygcn_dse::DEFAULT_BACKEND, |p| p.point().backend.as_str());
         out += &format!(
             "# {} space {} ({} points, backend {})\n",
             run.id,
@@ -1306,10 +1310,10 @@ pub fn figure_json(run: &FigureRun) -> String {
         let backend = report
             .points
             .first()
-            .map_or(hygcn_dse::DEFAULT_BACKEND, |p| p.point.backend.as_str());
+            .map_or(hygcn_dse::DEFAULT_BACKEND, |p| p.point().backend.as_str());
         out += if i > 0 { ",\n    {" } else { "\n    {" };
         out += &format!("\"backend\": \"{}\", \"points\": [", json_escape(backend));
-        for (j, p) in report.points.iter().enumerate() {
+        for (j, p) in report.completed().enumerate() {
             if j > 0 {
                 out += ",";
             }
@@ -1390,7 +1394,7 @@ mod tests {
         let r = Simulator::new(HyGcnConfig::default())
             .simulate(&graph, &model)
             .unwrap();
-        let o = PointOutcome {
+        let o = CompletedPoint {
             point: hygcn_dse::space::ConfigSpace::new(
                 vec![ds(DatasetKey::Ib, 0.05)],
                 vec![ModelKind::Gcn],
@@ -1455,7 +1459,7 @@ mod tests {
         assert_eq!(run.simulated, 6);
         for report in &run.reports {
             for p in &report.points {
-                assert_eq!(p.point.backend, "analytical");
+                assert_eq!(p.point().backend, "analytical");
             }
         }
         assert!(run_figure(find_figure("fig15").unwrap(), &mut ctx, None, Some("warp")).is_err());

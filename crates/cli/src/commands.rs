@@ -12,9 +12,10 @@ use hygcn_core::config::{HyGcnConfig, PipelineMode};
 use hygcn_core::Simulator;
 use hygcn_dse::campaign::Campaign;
 use hygcn_dse::search::{
-    prefilter_to_text, run_search_with_backend, rungs_to_text, BudgetMetric, SearchStrategy,
+    prefilter_to_text, run_search_io, rungs_to_text, BudgetMetric, SearchStrategy,
 };
 use hygcn_dse::space::{Axis, ConfigSpace, SpaceSample, WorkloadSpec};
+use hygcn_dse::store_io::{FaultPlan, FaultyIo, RealIo, StoreIo};
 use hygcn_dse::{analysis, DseError};
 use hygcn_gcn::model::{GcnModel, ModelKind};
 use hygcn_graph::datasets::{DatasetKey, DatasetSpec};
@@ -68,7 +69,12 @@ pub const CAMPAIGN_FLAGS: &[&str] = &[
     "metric",
     "backend",
     "prefilter",
+    "fault-plan",
 ];
+
+/// Flags accepted by `hygcn store` (the action — fsck/salvage/stats —
+/// is positional).
+pub const STORE_FLAGS: &[&str] = &["store"];
 
 /// Flags accepted by `hygcn figures` (the artifact id is positional).
 pub const FIGURE_FLAGS: &[&str] = &["scale", "store", "backend", "csv", "json"];
@@ -448,7 +454,14 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
 
     let store = args.get_or("store", "campaign.jsonl");
     let store_path = (store != "none").then(|| PathBuf::from(store));
-    let outcome = run_search_with_backend(&space, &strategy, store_path.as_deref(), Some(backend))?;
+    let store_io = fault_io_from_args(args)?;
+    let outcome = run_search_io(
+        &space,
+        &strategy,
+        store_path.as_deref(),
+        Some(backend),
+        store_io,
+    )?;
 
     let mut out = String::new();
     if let SearchStrategy::SuccessiveHalving { budget_metric, .. } = strategy {
@@ -481,8 +494,107 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
             )
         };
         out += &format!("\nstore: {store} ({simulated} simulated, {cached} cached this run)\n");
+        if report.failed > 0 {
+            out += &format!(
+                "warning: {} point(s) failed this run; they were not cached and will be \
+                 re-attempted on the next resume\n",
+                report.failed
+            );
+        }
     }
     Ok(out)
+}
+
+/// Build the optional fault-injecting store I/O layer from
+/// `--fault-plan` (durability testing; absent means real I/O).
+fn fault_io_from_args(args: &Args) -> Result<Option<std::sync::Arc<dyn StoreIo>>, CliError> {
+    match args.get("fault-plan") {
+        None => Ok(None),
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec)
+                .map_err(|e| CliError::Unknown(format!("bad --fault-plan '{spec}': {e}")))?;
+            Ok(Some(std::sync::Arc::new(FaultyIo::new(plan))))
+        }
+    }
+}
+
+/// `hygcn store <fsck|salvage|stats>` — result-store maintenance.
+///
+/// * `fsck` — read-only integrity check; exits non-zero when the store
+///   has quarantined lines, a torn tail, or duplicate keys.
+/// * `salvage` — sideline damaged lines to `<store>.quarantine` and
+///   rewrite the store canonically (checksummed, key-ordered,
+///   deduplicated last-write-wins). Idempotent.
+/// * `stats` — record/byte counts, checksum coverage, per-backend
+///   breakdown, quarantined-line count.
+pub fn store_cmd(args: &Args) -> Result<String, CliError> {
+    let action = args.positional(0).unwrap_or("stats");
+    let store = args.get_or("store", "campaign.jsonl");
+    let path = PathBuf::from(store);
+    let io = RealIo;
+    match action {
+        "fsck" => {
+            let report = hygcn_dse::store::fsck(&path, &io)?;
+            let mut out = format!(
+                "fsck {store}: {} bytes, {} lines, {} valid ({} checksummed), \
+                 {} unique, {} duplicate(s), torn tail: {}\n",
+                report.bytes,
+                report.lines,
+                report.valid,
+                report.checksummed,
+                report.unique,
+                report.duplicates,
+                if report.torn_tail { "yes" } else { "no" },
+            );
+            for q in &report.quarantined {
+                out += &format!("  line {}: {}\n", q.line_no, q.reason);
+            }
+            if report.is_clean() {
+                out += "status: clean\n";
+                Ok(out)
+            } else {
+                out += &format!(
+                    "status: {} damaged line(s) — run `hygcn store salvage --store {store}`\n",
+                    report.quarantined.len() + usize::from(report.torn_tail) + report.duplicates
+                );
+                Err(CliError::Runtime(out))
+            }
+        }
+        "salvage" => {
+            let report = hygcn_dse::store::salvage(&path, &io)?;
+            let mut out = format!(
+                "salvage {store}: kept {}, dropped {}, deduplicated {}\n",
+                report.kept, report.dropped, report.deduplicated
+            );
+            match &report.quarantine_path {
+                Some(q) => out += &format!("damaged lines sidelined to {}\n", q.display()),
+                None => out += "no damage found; store rewritten canonically\n",
+            }
+            Ok(out)
+        }
+        "stats" => {
+            let s = hygcn_dse::store::stats(&path, &io)?;
+            let mut out = format!(
+                "store {store}: {} record(s), {} bytes, {} checksummed, \
+                 {} quarantined line(s), torn tail: {}\n",
+                s.records,
+                s.bytes,
+                s.checksummed,
+                s.quarantined,
+                if s.torn_tail { "yes" } else { "no" },
+            );
+            if !s.per_backend.is_empty() {
+                out += "per backend:\n";
+                for (backend, count) in &s.per_backend {
+                    out += &format!("  {backend}: {count}\n");
+                }
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Unknown(format!(
+            "unknown store action '{other}' (fsck/salvage/stats)"
+        ))),
+    }
 }
 
 /// `hygcn figures <id|all>` — regenerate paper figure/table artifacts
@@ -750,7 +862,11 @@ commands:
                --prefilter on screens the full grid analytically and
                admits only the best n/eta candidates into rung 0)
              --store FILE|none (default campaign.jsonl; completed points
-               are skipped on re-run)
+               are skipped on re-run; failed points are never cached and
+               re-attempt on resume)
+             --fault-plan SPEC (deterministic store fault injection for
+               durability testing: kill-at-byte=N,transient-append=OP,
+               short-append=OP:BYTES,disk-full=OP)
              --csv FILE  --md FILE
   figures    regenerate paper figure/table artifacts via the campaign
              engine: hygcn figures <fig02|fig10|...|fig18|table02|
@@ -763,6 +879,13 @@ commands:
                data as plottable DIR/<id>.csv / DIR/<id>.json)
              --store FILE|none (default figures.jsonl, shared across all
                artifacts; an unchanged re-run simulates nothing)
+  store      result-store maintenance: hygcn store <fsck|salvage|stats>
+             --store FILE (default campaign.jsonl)
+             fsck: read-only integrity check, non-zero exit on damage
+             salvage: sideline damaged lines to FILE.quarantine, rewrite
+               the store canonically (checksummed, key-ordered, deduped)
+             stats: record/byte counts, checksum coverage, per-backend
+               breakdown, quarantined-line count
   bench      host-throughput benchmark: serial vs parallel simulate()
              --vertices N  --degree K  --feature-len F  --runs R
              --threads T  --json FILE (writes a BENCH_sim.json record)
@@ -1351,5 +1474,152 @@ mod tests {
         assert!(out.contains("via the campaign engine"));
         assert!(out.contains("| aggbuf-mb |") || out.contains("aggbuf-mb"));
         assert!(out.contains("5 points"));
+    }
+
+    fn store_args(toks: &[&str]) -> Args {
+        Args::parse_with_positionals(toks.iter().map(|s| s.to_string()), STORE_FLAGS, 1).unwrap()
+    }
+
+    #[test]
+    fn store_fsck_salvage_stats_round_trip() {
+        let dir = std::env::temp_dir().join("hygcn-cli-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("maint.jsonl");
+        std::fs::remove_file(&store).ok();
+        std::fs::remove_file(dir.join("maint.jsonl.quarantine")).ok();
+        let path = store.to_str().unwrap();
+        campaign(&campaign_args(&[
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.1",
+            "--axes",
+            "aggbuf-mb=4,16",
+            "--store",
+            path,
+        ]))
+        .unwrap();
+
+        let fsck = store_cmd(&store_args(&["store", "fsck", "--store", path])).unwrap();
+        assert!(fsck.contains("status: clean"), "{fsck}");
+        let stats = store_cmd(&store_args(&["store", "stats", "--store", path])).unwrap();
+        assert!(stats.contains("2 record(s)"), "{stats}");
+        assert!(stats.contains("cycle: 2"), "{stats}");
+        assert!(stats.contains("0 quarantined line(s)"), "{stats}");
+
+        // Corrupt one line and leave a torn tail: fsck now fails loudly,
+        // salvage sidelines the damage, and a re-fsck is clean.
+        let mut bytes = std::fs::read(&store).unwrap();
+        bytes.extend_from_slice(b"{ not json at all }\n");
+        bytes.extend_from_slice(b"{\"key\": 99");
+        std::fs::write(&store, &bytes).unwrap();
+        let err = store_cmd(&store_args(&["store", "fsck", "--store", path])).unwrap_err();
+        assert!(err.to_string().contains("salvage"), "{err}");
+        let salvaged = store_cmd(&store_args(&["store", "salvage", "--store", path])).unwrap();
+        assert!(salvaged.contains("kept 2"), "{salvaged}");
+        assert!(salvaged.contains("sidelined"), "{salvaged}");
+        let refsck = store_cmd(&store_args(&["store", "fsck", "--store", path])).unwrap();
+        assert!(refsck.contains("status: clean"), "{refsck}");
+
+        // The salvaged store still serves every point from cache.
+        let resumed = campaign(&campaign_args(&[
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.1",
+            "--axes",
+            "aggbuf-mb=4,16",
+            "--store",
+            path,
+        ]))
+        .unwrap();
+        assert!(resumed.contains("0 simulated, 2 cached"), "{resumed}");
+
+        assert!(store_cmd(&store_args(&["store", "defrag", "--store", path])).is_err());
+        std::fs::remove_file(&store).ok();
+        std::fs::remove_file(dir.join("maint.jsonl.quarantine")).ok();
+    }
+
+    #[test]
+    fn campaign_unwritable_store_names_operation_and_path() {
+        // `--store` pointing at a directory cannot be opened; the error
+        // wraps the failing operation and the offending path instead of
+        // a bare io::Error.
+        let dir = std::env::temp_dir().join("hygcn-cli-store-is-a-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = campaign(&campaign_args(&[
+            "campaign",
+            "--datasets",
+            "IB",
+            "--scale",
+            "0.1",
+            "--axes",
+            "aggbuf-mb=4,16",
+            "--store",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("result store"), "{msg}");
+        assert!(msg.contains("open"), "{msg}");
+        assert!(msg.contains("hygcn-cli-store-is-a-dir"), "{msg}");
+    }
+
+    #[test]
+    fn campaign_fault_plan_kills_then_resumes_without_resimulating() {
+        let dir = std::env::temp_dir().join("hygcn-cli-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("golden.jsonl");
+        let store = dir.join("faulted.jsonl");
+        std::fs::remove_file(&golden).ok();
+        std::fs::remove_file(&store).ok();
+        let path = store.to_str().unwrap();
+        let base = |store_path: &str, extra: &[&str]| {
+            let mut toks = vec![
+                "campaign",
+                "--datasets",
+                "IB",
+                "--scale",
+                "0.1",
+                "--axes",
+                "aggbuf-mb=4,16",
+                "--store",
+                store_path,
+            ];
+            toks.extend_from_slice(extra);
+            campaign_args(&toks)
+        };
+        // A clean golden run tells us where the first record ends; the
+        // store format is deterministic, so killing ten bytes into the
+        // second record tears exactly that record in the faulted run.
+        campaign(&base(golden.to_str().unwrap(), &[])).unwrap();
+        let first_line_end = std::fs::read(&golden)
+            .unwrap()
+            .iter()
+            .position(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        let plan = format!("kill-at-byte={}", first_line_end + 10);
+        // The injected kill aborts the campaign mid-store-write...
+        let err = campaign(&base(path, &["--fault-plan", &plan])).unwrap_err();
+        assert!(err.to_string().contains("result store"), "{err}");
+        // ...but a plain resume finishes the remaining points and a
+        // second resume is fully cached: no point ever re-simulates.
+        let resumed = campaign(&base(path, &[])).unwrap();
+        assert!(resumed.contains("1 simulated, 1 cached"), "{resumed}");
+        let again = campaign(&base(path, &[])).unwrap();
+        assert!(again.contains("0 simulated, 2 cached"), "{again}");
+        // The recovered store is bit-identical to the uninterrupted run.
+        assert_eq!(
+            std::fs::read(&store).unwrap(),
+            std::fs::read(&golden).unwrap()
+        );
+        // Malformed plans fail loudly before any simulation.
+        let bad = campaign(&base(path, &["--fault-plan", "explode=now"])).unwrap_err();
+        assert!(bad.to_string().contains("fault-plan"), "{bad}");
+        std::fs::remove_file(&golden).ok();
+        std::fs::remove_file(&store).ok();
     }
 }

@@ -7,6 +7,7 @@
 //! hygcn campaign --datasets CR,PB --axes "aggbuf-mb=2,8,32;sparsity=on,off"
 //! hygcn campaign --axes "aggbuf-mb=2,4,8,16" --strategy successive-halving
 //! hygcn figures  fig15 --store figures.jsonl
+//! hygcn store    fsck --store campaign.jsonl
 //! hygcn bench    --vertices 131072 --json BENCH_sim.json
 //! hygcn datasets
 //! ```
@@ -16,8 +17,8 @@ mod commands;
 
 use args::Args;
 use commands::{
-    bench, campaign, compare, datasets, figures, help, simulate, sweep, CliError, BENCH_FLAGS,
-    CAMPAIGN_FLAGS, FIGURE_FLAGS, WORKLOAD_FLAGS,
+    bench, campaign, compare, datasets, figures, help, simulate, store_cmd, sweep, CliError,
+    BENCH_FLAGS, CAMPAIGN_FLAGS, FIGURE_FLAGS, STORE_FLAGS, WORKLOAD_FLAGS,
 };
 
 fn run() -> Result<String, CliError> {
@@ -26,12 +27,13 @@ fn run() -> Result<String, CliError> {
         return Ok(help());
     }
     // Each command validates against its own flag set, so a bench-only
-    // flag passed to `simulate` still fails loudly. `figures` is the one
-    // command with a positional (the artifact id).
+    // flag passed to `simulate` still fails loudly. `figures` and
+    // `store` take a positional (artifact id / maintenance action).
     let parsed = match raw[0].as_str() {
         "bench" => Args::parse(raw, BENCH_FLAGS)?,
         "campaign" => Args::parse(raw, CAMPAIGN_FLAGS)?,
         "figures" => Args::parse_with_positionals(raw, FIGURE_FLAGS, 1)?,
+        "store" => Args::parse_with_positionals(raw, STORE_FLAGS, 1)?,
         _ => Args::parse(raw, WORKLOAD_FLAGS)?,
     };
     match parsed.command() {
@@ -40,6 +42,7 @@ fn run() -> Result<String, CliError> {
         "sweep" => sweep(&parsed),
         "campaign" => campaign(&parsed),
         "figures" => figures(&parsed),
+        "store" => store_cmd(&parsed),
         "bench" => bench(&parsed),
         "datasets" => Ok(datasets()),
         "help" | "--help" | "-h" => Ok(help()),

@@ -22,6 +22,11 @@ pub enum SimError {
     Gcn(GcnError),
     /// Graph-side failure.
     Graph(GraphError),
+    /// A pluggable [`crate::backend::SimBackend`] failed for a reason of
+    /// its own (platform model internals, external tooling, injected
+    /// test faults) — the catch-all that lets third-party backends
+    /// surface errors without extending this enum.
+    Backend(String),
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +42,7 @@ impl fmt::Display for SimError {
             ),
             SimError::Gcn(e) => write!(f, "model error: {e}"),
             SimError::Graph(e) => write!(f, "graph error: {e}"),
+            SimError::Backend(m) => write!(f, "backend error: {m}"),
         }
     }
 }

@@ -6,12 +6,16 @@
 //! all minimized. Marginal tables answer the Fig. 15/Fig. 18 question
 //! ("what does moving one axis do, averaged over everything else?") with
 //! per-value geometric means, the paper's own averaging convention.
+//!
+//! Failed points ([`PointOutcome::Failed`]) carry no metrics: they are
+//! excluded from the front, the marginals, and the CSV rows, and are
+//! listed (with their errors) in a dedicated Markdown section instead.
 
-use crate::campaign::{CampaignReport, PointOutcome};
+use crate::campaign::{CampaignReport, CompletedPoint, PointOutcome};
 
 /// Whether `a` dominates `b`: no worse on every objective, strictly
 /// better on at least one.
-fn dominates(a: &PointOutcome, b: &PointOutcome) -> bool {
+fn dominates(a: &CompletedPoint, b: &CompletedPoint) -> bool {
     let no_worse = a.cycles <= b.cycles && a.energy_j <= b.energy_j && a.dram_bytes <= b.dram_bytes;
     let better = a.cycles < b.cycles || a.energy_j < b.energy_j || a.dram_bytes < b.dram_bytes;
     no_worse && better
@@ -19,10 +23,19 @@ fn dominates(a: &PointOutcome, b: &PointOutcome) -> bool {
 
 /// Indices of the Pareto-optimal points over (cycles, energy, DRAM
 /// bytes), minimizing all three, in campaign order. Duplicated objective
-/// triples all survive (none strictly dominates its twin).
+/// triples all survive (none strictly dominates its twin); failed points
+/// never make the front.
 pub fn pareto_front(points: &[PointOutcome]) -> Vec<usize> {
     (0..points.len())
-        .filter(|&i| !points.iter().any(|other| dominates(other, &points[i])))
+        .filter(|&i| {
+            let Some(p) = points[i].done() else {
+                return false;
+            };
+            !points
+                .iter()
+                .filter_map(PointOutcome::done)
+                .any(|other| dominates(other, p))
+        })
         .collect()
 }
 
@@ -46,15 +59,17 @@ pub struct MarginalRow {
 
 /// Per-axis marginal tables over every assignment axis (including the
 /// implicit `dataset` and `model` axes), in assignment order; within an
-/// axis, values appear in first-occurrence order.
+/// axis, values appear in first-occurrence order. Failed points are
+/// excluded (they have no metrics to average).
 pub fn marginals(points: &[PointOutcome]) -> Vec<MarginalRow> {
-    let Some(first) = points.first() else {
+    let done: Vec<&CompletedPoint> = points.iter().filter_map(PointOutcome::done).collect();
+    let Some(first) = done.first() else {
         return Vec::new();
     };
     let mut rows = Vec::new();
     for (axis_i, (axis, _)) in first.point.assignment.iter().enumerate() {
         let mut values: Vec<String> = Vec::new();
-        for p in points {
+        for p in &done {
             let v = &p.point.assignment[axis_i].1;
             if !values.contains(v) {
                 values.push(v.clone());
@@ -64,12 +79,12 @@ pub fn marginals(points: &[PointOutcome]) -> Vec<MarginalRow> {
             continue; // a swept axis with one value has no marginal story
         }
         for value in values {
-            let members: Vec<&PointOutcome> = points
+            let members: Vec<&&CompletedPoint> = done
                 .iter()
                 .filter(|p| p.point.assignment[axis_i].1 == value)
                 .collect();
             let n = members.len() as f64;
-            let geo = |f: &dyn Fn(&PointOutcome) -> f64| -> f64 {
+            let geo = |f: &dyn Fn(&CompletedPoint) -> f64| -> f64 {
                 let ln_sum: f64 = members.iter().map(|p| f(p).max(1e-300).ln()).sum();
                 (ln_sum / n).exp()
             };
@@ -104,8 +119,10 @@ fn csv_field(s: &str) -> String {
 }
 
 /// The campaign as a Markdown document: the per-point table (with Pareto
-/// markers), the Pareto front, and the per-axis marginal tables — the
-/// Fig. 15/Fig. 18-shaped artifact one `hygcn campaign` invocation emits.
+/// markers), the Pareto front, the per-axis marginal tables — the
+/// Fig. 15/Fig. 18-shaped artifact one `hygcn campaign` invocation
+/// emits — and, when any evaluations failed, a section listing the
+/// failed points and their errors.
 pub fn to_markdown(report: &CampaignReport) -> String {
     let points = &report.points;
     let mut out = String::new();
@@ -114,24 +131,35 @@ pub fn to_markdown(report: &CampaignReport) -> String {
     }
     let front = pareto_front(points);
     let axes: Vec<&str> = points[0]
-        .point
+        .point()
         .assignment
         .iter()
         .map(|(k, _)| k.as_str())
         .collect();
 
-    out += &format!(
-        "## Campaign ({} points: {} simulated, {} cached)\n\n",
-        points.len(),
-        report.simulated,
-        report.cache_hits
-    );
+    if report.failed == 0 {
+        out += &format!(
+            "## Campaign ({} points: {} simulated, {} cached)\n\n",
+            points.len(),
+            report.simulated,
+            report.cache_hits
+        );
+    } else {
+        out += &format!(
+            "## Campaign ({} points: {} simulated, {} cached, {} failed)\n\n",
+            points.len(),
+            report.simulated,
+            report.cache_hits,
+            report.failed
+        );
+    }
     out += &format!(
         "| {} | cycles | time (ms) | energy (mJ) | DRAM (MB) | pareto |\n",
         axes.join(" | ")
     );
     out += &format!("|{}|\n", vec!["---"; axes.len() + 5].join("|"));
-    for (i, p) in points.iter().enumerate() {
+    for (i, o) in points.iter().enumerate() {
+        let Some(p) = o.done() else { continue };
         let values: Vec<String> = p.point.assignment.iter().map(|(_, v)| md_cell(v)).collect();
         out += &format!(
             "| {} | {} | {:.3} | {:.3} | {:.1} | {} |\n",
@@ -150,7 +178,7 @@ pub fn to_markdown(report: &CampaignReport) -> String {
         points.len()
     );
     for &i in &front {
-        let p = &points[i];
+        let p = points[i].expect_done();
         out += &format!(
             "- `{}`: {} cycles, {:.3} mJ, {:.1} MB DRAM\n",
             p.point.label(),
@@ -158,6 +186,15 @@ pub fn to_markdown(report: &CampaignReport) -> String {
             p.energy_j * 1e3,
             p.dram_bytes as f64 / 1e6
         );
+    }
+
+    if report.failed > 0 {
+        out += &format!("\n### Failed points ({})\n\n", report.failed);
+        for o in points {
+            if let Some(error) = o.error() {
+                out += &format!("- `{}`: {}\n", o.point().label(), md_cell(error));
+            }
+        }
     }
 
     let margin = marginals(points);
@@ -180,8 +217,9 @@ pub fn to_markdown(report: &CampaignReport) -> String {
     out
 }
 
-/// The campaign as CSV: one row per point, assignment columns first,
-/// then metrics, the Pareto flag, and the cache key.
+/// The campaign as CSV: one row per completed point, assignment columns
+/// first, then metrics, the Pareto flag, and the cache key. Failed
+/// points have no metrics and are omitted.
 pub fn to_csv(report: &CampaignReport) -> String {
     let points = &report.points;
     let Some(first) = points.first() else {
@@ -190,7 +228,7 @@ pub fn to_csv(report: &CampaignReport) -> String {
     let front = pareto_front(points);
     let mut out = String::new();
     let axes: Vec<&str> = first
-        .point
+        .point()
         .assignment
         .iter()
         .map(|(k, _)| k.as_str())
@@ -199,7 +237,8 @@ pub fn to_csv(report: &CampaignReport) -> String {
         "{},cycles,time_s,energy_j,dram_bytes,pareto,key\n",
         axes.join(",")
     );
-    for (i, p) in points.iter().enumerate() {
+    for (i, o) in points.iter().enumerate() {
+        let Some(p) = o.done() else { continue };
         let values: Vec<String> = p
             .point
             .assignment
@@ -228,36 +267,49 @@ mod tests {
     use hygcn_gcn::model::ModelKind;
     use hygcn_graph::datasets::DatasetKey;
 
+    fn point(key: u64, axis_val: &str) -> DesignPoint {
+        DesignPoint {
+            workload: WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1),
+            workload_idx: 0,
+            model: ModelKind::Gcn,
+            config: HyGcnConfig::default(),
+            assignment: vec![
+                ("dataset".into(), "IB@0.1".into()),
+                ("model".into(), "GCN".into()),
+                ("aggbuf-mb".into(), axis_val.into()),
+            ],
+            key,
+            backend: "cycle".into(),
+        }
+    }
+
     fn outcome(key: u64, axis_val: &str, cycles: u64, energy_j: f64, dram: u64) -> PointOutcome {
-        PointOutcome {
-            point: DesignPoint {
-                workload: WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 1),
-                workload_idx: 0,
-                model: ModelKind::Gcn,
-                config: HyGcnConfig::default(),
-                assignment: vec![
-                    ("dataset".into(), "IB@0.1".into()),
-                    ("model".into(), "GCN".into()),
-                    ("aggbuf-mb".into(), axis_val.into()),
-                ],
-                key,
-                backend: "cycle".into(),
-            },
+        PointOutcome::Done(CompletedPoint {
+            point: point(key, axis_val),
             cycles,
             time_s: cycles as f64 * 1e-9,
             energy_j,
             dram_bytes: dram,
             report_json: "{}".into(),
             cached: false,
+        })
+    }
+
+    fn failed(key: u64, axis_val: &str, error: &str) -> PointOutcome {
+        PointOutcome::Failed {
+            point: point(key, axis_val),
+            error: error.into(),
         }
     }
 
     fn report(points: Vec<PointOutcome>) -> CampaignReport {
         let n = points.len();
+        let failed = points.iter().filter(|p| p.is_failed()).count();
         CampaignReport {
-            points,
-            simulated: n,
+            simulated: n - failed,
             cache_hits: 0,
+            failed,
+            points,
         }
     }
 
@@ -276,6 +328,19 @@ mod tests {
     fn identical_points_all_survive() {
         let pts = vec![outcome(1, "2", 10, 1.0, 10), outcome(2, "4", 10, 1.0, 10)];
         assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn failed_points_never_make_the_front_or_marginals() {
+        let pts = vec![
+            outcome(1, "2", 100, 1.0, 100),
+            failed(2, "4", "backend exploded"),
+            outcome(3, "8", 200, 2.0, 200),
+        ];
+        // The failed point is skipped, not treated as a zero-cost winner.
+        assert_eq!(pareto_front(&pts), vec![0]);
+        let rows = marginals(&pts);
+        assert!(rows.iter().all(|r| r.value != "4"), "{rows:?}");
     }
 
     #[test]
@@ -307,11 +372,33 @@ mod tests {
         let md = to_markdown(&r);
         assert!(md.contains("| dataset | model | aggbuf-mb |"));
         assert!(md.contains("### Pareto front"));
+        assert!(!md.contains("failed"));
         assert_eq!(md.matches("| IB@0.1 | GCN |").count(), 2);
         let csv = to_csv(&r);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("dataset,model,aggbuf-mb,cycles"));
         assert!(csv.contains("0000000000000002"));
+    }
+
+    #[test]
+    fn failed_points_get_their_own_markdown_section_and_no_csv_row() {
+        let r = report(vec![
+            outcome(1, "2", 100, 1.0, 100),
+            failed(2, "4", "simulation: injected | failure"),
+        ]);
+        let md = to_markdown(&r);
+        assert!(md.contains("(2 points: 1 simulated, 0 cached, 1 failed)"));
+        assert!(md.contains("### Failed points (1)"));
+        // The error lands escaped, under the point's label.
+        assert!(md.contains("injected \\| failure"));
+        let csv = to_csv(&r);
+        assert_eq!(csv.lines().count(), 2, "header + the one completed row");
+        // An all-failed report still renders without panicking.
+        let all = report(vec![failed(1, "2", "boom")]);
+        let md = to_markdown(&all);
+        assert!(md.contains("### Failed points (1)"));
+        assert!(md.contains("— 0 of 1 points"));
+        assert_eq!(to_csv(&all).lines().count(), 1, "header only");
     }
 
     #[test]
@@ -326,7 +413,7 @@ mod tests {
         // An edge-list workload label carries a user path, which may
         // contain CSV/Markdown metacharacters.
         let mut p = outcome(1, "4", 100, 1.0, 100);
-        p.point.assignment[0].1 = "edges:web,la|rge \"x\".txt".into();
+        p.done_mut().unwrap().point.assignment[0].1 = "edges:web,la|rge \"x\".txt".into();
         let r = report(vec![p]);
         let csv = to_csv(&r);
         let data_row = csv.lines().nth(1).unwrap();

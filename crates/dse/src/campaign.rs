@@ -18,6 +18,10 @@
 //!    [`ResultStore`] before the next batch starts: a killed campaign
 //!    loses at most one batch, and the re-run skips everything already
 //!    stored.
+//! 4. **Isolate failures.** A backend evaluation that errors (after
+//!    bounded retries) or panics becomes a [`PointOutcome::Failed`] — it
+//!    is *not* persisted, so a resumed campaign re-attempts exactly the
+//!    failed points, and one bad point never aborts the rest of the run.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -29,6 +33,7 @@ use hygcn_graph::Graph;
 
 use crate::space::{ConfigSpace, DesignPoint};
 use crate::store::{ResultStore, StoreRecord};
+use crate::store_io::{default_sleeper, RetryPolicy, Sleeper, StoreIo};
 use crate::DseError;
 
 /// Seed for the shared model weights — the same constant the CLI's
@@ -36,9 +41,9 @@ use crate::DseError;
 /// `hygcn simulate` bit-for-bit.
 pub const MODEL_SEED: u64 = 0xC0DE;
 
-/// One executed (or cache-served) design point.
+/// One successfully executed (or cache-served) design point.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PointOutcome {
+pub struct CompletedPoint {
     /// The point.
     pub point: DesignPoint,
     /// Simulated cycles.
@@ -56,6 +61,73 @@ pub struct PointOutcome {
     pub cached: bool,
 }
 
+/// What became of one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point completed (fresh simulation or cache hit).
+    Done(CompletedPoint),
+    /// The backend evaluation failed — errored after bounded retries, or
+    /// panicked. Failed points are never persisted, so a resumed
+    /// campaign re-attempts exactly these.
+    Failed {
+        /// The point.
+        point: DesignPoint,
+        /// The terminal error (the last retry's message, or the panic
+        /// payload).
+        error: String,
+    },
+}
+
+impl PointOutcome {
+    /// The design point, completed or not.
+    pub fn point(&self) -> &DesignPoint {
+        match self {
+            PointOutcome::Done(c) => &c.point,
+            PointOutcome::Failed { point, .. } => point,
+        }
+    }
+
+    /// The completed result, if the point succeeded.
+    pub fn done(&self) -> Option<&CompletedPoint> {
+        match self {
+            PointOutcome::Done(c) => Some(c),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Mutable access to the completed result, if the point succeeded.
+    pub fn done_mut(&mut self) -> Option<&mut CompletedPoint> {
+        match self {
+            PointOutcome::Done(c) => Some(c),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The completed result; panics (with the stored error) on a failed
+    /// point — for harness code where a failure is itself a bug.
+    pub fn expect_done(&self) -> &CompletedPoint {
+        match self {
+            PointOutcome::Done(c) => c,
+            PointOutcome::Failed { point, error } => {
+                panic!("point {} failed: {error}", point.label())
+            }
+        }
+    }
+
+    /// The failure message, if the point failed.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            PointOutcome::Done(_) => None,
+            PointOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// Whether the point failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointOutcome::Failed { .. })
+    }
+}
+
 /// Everything a campaign run produced, in enumeration order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
@@ -66,15 +138,40 @@ pub struct CampaignReport {
     pub simulated: usize,
     /// Points served from the store.
     pub cache_hits: usize,
+    /// Points whose evaluation failed this run (not persisted; a re-run
+    /// re-attempts them).
+    pub failed: usize,
+}
+
+impl CampaignReport {
+    /// The completed outcomes, in campaign order (failed points skipped).
+    pub fn completed(&self) -> impl Iterator<Item = &CompletedPoint> {
+        self.points.iter().filter_map(PointOutcome::done)
+    }
 }
 
 /// A runnable campaign: a space, the backend evaluating its points, and
 /// an optional persistent store.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Campaign {
     space: ConfigSpace,
     store_path: Option<PathBuf>,
+    store_io: Option<Arc<dyn StoreIo>>,
+    retry: RetryPolicy,
+    sleeper: Option<Sleeper>,
     backend: Option<Arc<dyn SimBackend>>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("space", &self.space)
+            .field("store_path", &self.store_path)
+            .field("store_io", &self.store_io)
+            .field("retry", &self.retry)
+            .field("backend", &self.backend)
+            .finish()
+    }
 }
 
 impl Campaign {
@@ -91,6 +188,9 @@ impl Campaign {
         Self {
             space,
             store_path: None,
+            store_io: None,
+            retry: RetryPolicy::default(),
+            sleeper: None,
             backend,
         }
     }
@@ -98,6 +198,28 @@ impl Campaign {
     /// Persists results to (and resumes from) `path`.
     pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
         self.store_path = Some(path.into());
+        self
+    }
+
+    /// Routes all store file traffic through `io` — the fault-injection
+    /// hook ([`crate::store_io::FaultyIo`]); production runs keep the
+    /// default [`crate::store_io::RealIo`].
+    pub fn with_store_io(mut self, io: Arc<dyn StoreIo>) -> Self {
+        self.store_io = Some(io);
+        self
+    }
+
+    /// Sets the bounded retry-with-backoff policy shared by store
+    /// appends and backend evaluations.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces how retry backoff delays are executed (tests inject a
+    /// recorder so retries consume no wall-clock time).
+    pub fn with_sleeper(mut self, sleeper: Sleeper) -> Self {
+        self.sleeper = Some(sleeper);
         self
     }
 
@@ -134,9 +256,13 @@ impl Campaign {
     ///
     /// * [`DseError::Spec`] for an empty space.
     /// * [`DseError::Workload`] when a graph fails to build.
-    /// * [`DseError::Sim`] when the simulator rejects a point (already-
-    ///   completed points stay persisted, so a fixed re-run resumes).
-    /// * [`DseError::Store`] for store I/O problems.
+    /// * [`DseError::Sim`] when a model fails to instantiate.
+    /// * [`DseError::StoreIo`] for store I/O problems (already-completed
+    ///   points stay persisted, so a fixed re-run resumes).
+    ///
+    /// A backend evaluation that errors or panics is **not** an error:
+    /// the campaign completes and the report carries the point as
+    /// [`PointOutcome::Failed`].
     pub fn run(&self) -> Result<CampaignReport, DseError> {
         let points = self.space.enumerate()?;
         self.run_points(&points)
@@ -170,8 +296,16 @@ impl Campaign {
                 backend.backend_id()
             )));
         }
+        let sleeper = self.sleeper.clone().unwrap_or_else(default_sleeper);
         let mut store = match &self.store_path {
-            Some(p) => ResultStore::open(p)?,
+            Some(p) => ResultStore::open_with(
+                p,
+                self.store_io
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(crate::store_io::RealIo)),
+                self.retry,
+                sleeper.clone(),
+            )?,
             None => ResultStore::in_memory(),
         };
 
@@ -194,6 +328,8 @@ impl Campaign {
         }
 
         let mut simulated = 0usize;
+        let mut failures: std::collections::BTreeMap<usize, String> =
+            std::collections::BTreeMap::new();
         for ((_, fidelity_bits), idxs) in groups {
             let workload = &points[idxs[0]].workload;
             let graph = workload.build_at(f64::from_bits(fidelity_bits))?;
@@ -213,9 +349,12 @@ impl Campaign {
             // Fan the group out in batches of one point per worker; the
             // ordered collect keeps results in point order, and the store
             // append after each batch is the streaming/kill-safety point.
+            // Evaluations retry up to the campaign's policy; a panic is
+            // caught (and never retried — the backend's state is suspect)
+            // so one bad point cannot take the run down.
             let batch = hygcn_par::num_threads().max(1);
             for chunk in idxs.chunks(batch) {
-                let reports: Vec<Result<SimReport, DseError>> =
+                let reports: Vec<Result<SimReport, String>> =
                     hygcn_par::par_map_slice(chunk, |_, &i| {
                         let p = &points[i];
                         let model = &models
@@ -223,12 +362,37 @@ impl Campaign {
                             .find(|(k, _)| *k == p.model)
                             .expect("model prebuilt for every kind in group")
                             .1;
-                        backend
-                            .evaluate(&graph, model, &p.config)
-                            .map_err(|e| DseError::Sim(format!("{}: {e}", p.label())))
+                        let mut attempt = 0u32;
+                        loop {
+                            attempt += 1;
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    backend.evaluate(&graph, model, &p.config)
+                                }));
+                            match run {
+                                Ok(Ok(report)) => return Ok(report),
+                                Ok(Err(_)) if attempt < self.retry.max_attempts => {
+                                    sleeper(self.retry.delay(attempt));
+                                }
+                                Ok(Err(e)) => return Err(format!("{}: {e}", p.label())),
+                                Err(payload) => {
+                                    return Err(format!(
+                                        "{}: backend panicked: {}",
+                                        p.label(),
+                                        panic_message(payload.as_ref())
+                                    ))
+                                }
+                            }
+                        }
                     });
                 for (&i, report) in chunk.iter().zip(reports) {
-                    let report = report?;
+                    let report = match report {
+                        Ok(r) => r,
+                        Err(error) => {
+                            failures.insert(i, error);
+                            continue;
+                        }
+                    };
                     let p = &points[i];
                     store.append(StoreRecord {
                         key: p.key,
@@ -248,10 +412,17 @@ impl Campaign {
         // Assemble outcomes in input order from the (now complete) store.
         let mut outcomes = Vec::with_capacity(points.len());
         for (i, p) in points.iter().enumerate() {
+            if let Some(error) = failures.get(&i) {
+                outcomes.push(PointOutcome::Failed {
+                    point: p.clone(),
+                    error: error.clone(),
+                });
+                continue;
+            }
             let rec = store
                 .get(p.key)
-                .expect("every enumerated point is stored by now");
-            outcomes.push(PointOutcome {
+                .expect("every non-failed point is stored by now");
+            outcomes.push(PointOutcome::Done(CompletedPoint {
                 cycles: rec.cycles,
                 time_s: rec.time_s,
                 energy_j: rec.energy_j,
@@ -259,13 +430,26 @@ impl Campaign {
                 report_json: rec.report_json.clone(),
                 cached: preexisting[i],
                 point: p.clone(),
-            });
+            }));
         }
         Ok(CampaignReport {
             points: outcomes,
             simulated,
             cache_hits: preexisting.iter().filter(|&&c| c).count(),
+            failed: failures.len(),
         })
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` cases `panic!`
+/// produces; anything else is labeled opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -286,8 +470,10 @@ pub fn build_workload(
 mod tests {
     use super::*;
     use crate::space::{Axis, SpaceSample, WorkloadSpec};
+    use hygcn_core::{AnalyticalBackend, HyGcnConfig, SimError};
     use hygcn_gcn::model::ModelKind;
     use hygcn_graph::datasets::DatasetKey;
+    use std::sync::Mutex;
 
     fn tiny_space() -> ConfigSpace {
         ConfigSpace::new(
@@ -304,16 +490,21 @@ mod tests {
         assert_eq!(report.points.len(), 4);
         assert_eq!(report.simulated, 4);
         assert_eq!(report.cache_hits, 0);
-        for p in &report.points {
+        assert_eq!(report.failed, 0);
+        for p in report.completed() {
             assert!(p.cycles > 0);
             assert!(p.energy_j > 0.0);
             assert!(!p.cached);
         }
         // The sparsity on/off pair shares a workload and buffer size but
         // must diverge in the simulated report.
-        assert_eq!(report.points[0].point.assignment[3].1, "on");
-        assert_eq!(report.points[1].point.assignment[3].1, "off");
-        assert_ne!(report.points[0].report_json, report.points[1].report_json);
+        let (a, b) = (
+            report.points[0].expect_done(),
+            report.points[1].expect_done(),
+        );
+        assert_eq!(a.point.assignment[3].1, "on");
+        assert_eq!(b.point.assignment[3].1, "off");
+        assert_ne!(a.report_json, b.report_json);
     }
 
     #[test]
@@ -336,7 +527,10 @@ mod tests {
         );
         let report = Campaign::new(space).run().unwrap();
         assert_eq!(report.points.len(), 2);
-        assert_ne!(report.points[0].cycles, report.points[1].cycles);
+        assert_ne!(
+            report.points[0].expect_done().cycles,
+            report.points[1].expect_done().cycles
+        );
     }
 
     #[test]
@@ -359,7 +553,7 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!((analytical.simulated, analytical.cache_hits), (4, 0));
-        for (c, a) in cycle.points.iter().zip(&analytical.points) {
+        for (c, a) in cycle.completed().zip(analytical.completed()) {
             assert_ne!(c.point.key, a.point.key);
             assert_ne!(c.report_json, a.report_json);
             assert!(a.report_json.contains("\"backend\": \"analytical\""));
@@ -373,7 +567,7 @@ mod tests {
         assert_eq!(rerun.points, {
             let mut pts = analytical.points.clone();
             for p in &mut pts {
-                p.cached = true;
+                p.done_mut().unwrap().cached = true;
             }
             pts
         });
@@ -407,7 +601,7 @@ mod tests {
         assert_eq!(campaign.space().backend, "analytical");
         let report = campaign.run().unwrap();
         assert_eq!(report.points.len(), 4);
-        for p in &report.points {
+        for p in report.completed() {
             assert_eq!(p.point.backend, "analytical");
             assert!(p.cycles > 0);
         }
@@ -421,5 +615,161 @@ mod tests {
         )
         .unwrap();
         assert_eq!(graph.feature_len(), model.feature_len());
+    }
+
+    /// A backend that misbehaves deterministically: evaluations of
+    /// configs whose aggregation buffer matches `fail_aggbuf` fail (by
+    /// erroring or panicking), after burning through `transient` global
+    /// transient failures first. Everything else delegates to the
+    /// analytical backend.
+    #[derive(Debug)]
+    struct MisbehavingBackend {
+        inner: AnalyticalBackend,
+        fail_aggbuf: Option<usize>,
+        panic_instead: bool,
+        transient: Mutex<usize>,
+    }
+
+    impl MisbehavingBackend {
+        fn failing_on(aggbuf_bytes: usize, panic_instead: bool) -> Self {
+            Self {
+                inner: AnalyticalBackend,
+                fail_aggbuf: Some(aggbuf_bytes),
+                panic_instead,
+                transient: Mutex::new(0),
+            }
+        }
+
+        fn transient_failures(n: usize) -> Self {
+            Self {
+                inner: AnalyticalBackend,
+                fail_aggbuf: None,
+                panic_instead: false,
+                transient: Mutex::new(n),
+            }
+        }
+    }
+
+    impl SimBackend for MisbehavingBackend {
+        fn backend_id(&self) -> &'static str {
+            "analytical"
+        }
+
+        fn evaluate(
+            &self,
+            graph: &Graph,
+            model: &GcnModel,
+            config: &HyGcnConfig,
+        ) -> Result<SimReport, SimError> {
+            {
+                let mut left = self.transient.lock().unwrap();
+                if *left > 0 {
+                    *left -= 1;
+                    return Err(SimError::Backend(
+                        "injected transient backend failure".into(),
+                    ));
+                }
+            }
+            if self.fail_aggbuf == Some(config.aggregation_buffer_bytes) {
+                if self.panic_instead {
+                    panic!("injected backend panic");
+                }
+                return Err(SimError::Backend("injected permanent failure".into()));
+            }
+            self.inner.evaluate(graph, model, config)
+        }
+    }
+
+    #[test]
+    fn failing_point_is_isolated_and_reattempted_on_resume() {
+        let dir = std::env::temp_dir().join("hygcn-dse-failure-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("failed-points.jsonl");
+        std::fs::remove_file(&store).ok();
+
+        // The two aggbuf=4MB points fail permanently; the campaign must
+        // still complete and report them.
+        let (sleeper, _slept) = recording_sleeper();
+        let broken = Campaign::new(tiny_space())
+            .with_backend(Arc::new(MisbehavingBackend::failing_on(4 << 20, false)))
+            .with_store(&store)
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_delay_ms: 1,
+            })
+            .with_sleeper(sleeper)
+            .run()
+            .unwrap();
+        assert_eq!(broken.points.len(), 4);
+        assert_eq!((broken.simulated, broken.failed), (2, 2));
+        let errors: Vec<&str> = broken.points.iter().filter_map(|p| p.error()).collect();
+        assert_eq!(errors.len(), 2);
+        assert!(
+            errors[0].contains("injected permanent failure"),
+            "{errors:?}"
+        );
+        for p in &broken.points {
+            let failed = p.point().assignment[2].1 == "4";
+            assert_eq!(p.is_failed(), failed, "{}", p.point().label());
+        }
+
+        // Failed points were not persisted: a resumed run with a healthy
+        // backend re-attempts exactly those two and nothing else.
+        let healed = Campaign::new(tiny_space().with_backend_id("analytical"))
+            .with_store(&store)
+            .run()
+            .unwrap();
+        assert_eq!(
+            (healed.simulated, healed.cache_hits, healed.failed),
+            (2, 2, 0)
+        );
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn panicking_backend_is_caught_not_fatal() {
+        let report = Campaign::new(tiny_space())
+            .with_backend(Arc::new(MisbehavingBackend::failing_on(4 << 20, true)))
+            .with_retry(RetryPolicy::none())
+            .run()
+            .unwrap();
+        assert_eq!((report.simulated, report.failed), (2, 2));
+        let err = report
+            .points
+            .iter()
+            .find_map(|p| p.error())
+            .expect("a failed point");
+        assert!(err.contains("backend panicked"), "{err}");
+        assert!(err.contains("injected backend panic"), "{err}");
+    }
+
+    fn recording_sleeper() -> (Sleeper, Arc<Mutex<Vec<std::time::Duration>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let writer = log.clone();
+        let sleeper: Sleeper = Arc::new(move |d| writer.lock().unwrap().push(d));
+        (sleeper, log)
+    }
+
+    #[test]
+    fn transient_eval_errors_retry_and_succeed() {
+        let (sleeper, slept) = recording_sleeper();
+        let report = Campaign::new(tiny_space())
+            .with_backend(Arc::new(MisbehavingBackend::transient_failures(2)))
+            .with_retry(RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 5,
+            })
+            .with_sleeper(sleeper)
+            .run()
+            .unwrap();
+        // Both injected failures were absorbed by retries: every point
+        // completed, and the backoff schedule was executed (2 sleeps,
+        // deterministic durations — no wall clock in the test itself).
+        assert_eq!((report.simulated, report.failed), (4, 0));
+        let slept = slept.lock().unwrap();
+        assert_eq!(slept.len(), 2);
+        for d in slept.iter() {
+            assert!(d.as_millis() >= 5);
+        }
     }
 }

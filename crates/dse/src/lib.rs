@@ -62,15 +62,17 @@ pub mod campaign;
 pub mod search;
 pub mod space;
 pub mod store;
+pub mod store_io;
 
-pub use campaign::{Campaign, CampaignReport, PointOutcome};
+pub use campaign::{Campaign, CampaignReport, CompletedPoint, PointOutcome};
 pub use search::{
-    run_search, run_search_with_backend, BudgetMetric, SearchOutcome, SearchStrategy,
+    run_search, run_search_io, run_search_with_backend, BudgetMetric, SearchOutcome, SearchStrategy,
 };
 pub use space::{
     Axis, AxisValue, ConfigSpace, DesignPoint, SpaceSample, WorkloadSpec, DEFAULT_BACKEND,
 };
-pub use store::ResultStore;
+pub use store::{FsckReport, QuarantinedLine, ResultStore, SalvageReport, StoreStats};
+pub use store_io::{Fault, FaultPlan, FaultyIo, RealIo, RetryPolicy, Sleeper, StoreIo};
 
 /// Top-level error for campaign construction and execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,8 +84,34 @@ pub enum DseError {
     Workload(String),
     /// The simulator rejected a design point.
     Sim(String),
-    /// The result store could not be read or written.
+    /// The result store's *contents* are unusable (parse/corruption
+    /// problems with no I/O failure involved).
     Store(String),
+    /// A store I/O operation failed, with the operation and path that
+    /// failed — the diagnosable form every filesystem error surfaces as.
+    StoreIo {
+        /// The failing operation: `open`, `append`, `truncate`, or
+        /// `rewrite`.
+        op: &'static str,
+        /// The store path the operation targeted.
+        path: String,
+        /// The underlying I/O error, stringified.
+        error: String,
+        /// Whether retrying could plausibly help (see
+        /// [`store_io::is_transient`]).
+        transient: bool,
+    },
+}
+
+impl DseError {
+    pub(crate) fn store_io(op: &'static str, path: &std::path::Path, e: &std::io::Error) -> Self {
+        DseError::StoreIo {
+            op,
+            path: path.display().to_string(),
+            error: e.to_string(),
+            transient: store_io::is_transient(e),
+        }
+    }
 }
 
 impl std::fmt::Display for DseError {
@@ -93,6 +121,9 @@ impl std::fmt::Display for DseError {
             DseError::Workload(m) => write!(f, "workload: {m}"),
             DseError::Sim(m) => write!(f, "simulation: {m}"),
             DseError::Store(m) => write!(f, "result store: {m}"),
+            DseError::StoreIo {
+                op, path, error, ..
+            } => write!(f, "result store: {op} {path}: {error}"),
         }
     }
 }

@@ -37,8 +37,9 @@ use std::sync::Arc;
 
 use hygcn_core::backend::SimBackend;
 
-use crate::campaign::{Campaign, CampaignReport, PointOutcome};
+use crate::campaign::{Campaign, CampaignReport, CompletedPoint, PointOutcome};
 use crate::space::ConfigSpace;
+use crate::store_io::StoreIo;
 use crate::DseError;
 
 /// The scalar a successive-halving rung ranks (and minimizes) on.
@@ -66,9 +67,9 @@ impl BudgetMetric {
         }
     }
 
-    /// The metric's value for one outcome (as `f64`; all three metrics
-    /// are exactly representable at simulated magnitudes).
-    pub fn of(&self, o: &PointOutcome) -> f64 {
+    /// The metric's value for one completed point (as `f64`; all three
+    /// metrics are exactly representable at simulated magnitudes).
+    pub fn of(&self, o: &CompletedPoint) -> f64 {
         match self {
             BudgetMetric::Cycles => o.cycles as f64,
             BudgetMetric::EnergyJ => o.energy_j,
@@ -182,6 +183,25 @@ pub fn run_search_with_backend(
     store: Option<&Path>,
     backend: Option<Arc<dyn SimBackend>>,
 ) -> Result<SearchOutcome, DseError> {
+    run_search_io(space, strategy, store, backend, None)
+}
+
+/// [`run_search_with_backend`] with an explicit [`StoreIo`]
+/// implementation routing all store file traffic — the entry point the
+/// CLI's `--fault-plan` flag uses to run a whole search through
+/// [`crate::store_io::FaultyIo`]. `None` keeps the default
+/// [`crate::store_io::RealIo`].
+///
+/// # Errors
+///
+/// As [`run_search`].
+pub fn run_search_io(
+    space: &ConfigSpace,
+    strategy: &SearchStrategy,
+    store: Option<&Path>,
+    backend: Option<Arc<dyn SimBackend>>,
+    store_io: Option<Arc<dyn StoreIo>>,
+) -> Result<SearchOutcome, DseError> {
     let space = match &backend {
         Some(b) => space.clone().with_backend_id(b.backend_id()),
         None => space.clone(),
@@ -191,6 +211,9 @@ pub fn run_search_with_backend(
         let mut c = Campaign::new(space);
         if let Some(b) = &backend {
             c = c.with_backend(b.clone());
+        }
+        if let Some(io) = &store_io {
+            c = c.with_store_io(io.clone());
         }
         match store {
             Some(p) => c.with_store(p),
@@ -253,20 +276,17 @@ pub fn run_search_with_backend(
                     })
                     .collect::<Result<Vec<_>, DseError>>()?;
                 let screen_campaign = {
-                    let c = Campaign::new(space.clone().with_backend_id("analytical"));
+                    let mut c = Campaign::new(space.clone().with_backend_id("analytical"));
+                    if let Some(io) = &store_io {
+                        c = c.with_store_io(io.clone());
+                    }
                     match store {
                         Some(p) => c.with_store(p),
                         None => c,
                     }
                 };
                 let report = screen_campaign.run_points(&screen_points)?;
-                let mut order: Vec<usize> = (0..report.points.len()).collect();
-                order.sort_by(|&a, &b| {
-                    budget_metric
-                        .of(&report.points[a])
-                        .total_cmp(&budget_metric.of(&report.points[b]))
-                        .then(report.points[a].point.key.cmp(&report.points[b].point.key))
-                });
+                let mut order = ranked(&report.points, *budget_metric);
                 order.truncate((order.len() / *eta).max(1));
                 prefilter = Some(RungReport {
                     rung: 0,
@@ -274,7 +294,10 @@ pub fn run_search_with_backend(
                     evaluated: report.points.len(),
                     simulated: report.simulated,
                     cache_hits: report.cache_hits,
-                    survivors: order.iter().map(|&i| report.points[i].point.key).collect(),
+                    survivors: order
+                        .iter()
+                        .map(|&i| report.points[i].point().key)
+                        .collect(),
                 });
                 survivors = order.iter().map(|&i| survivors[i].clone()).collect();
             }
@@ -289,14 +312,11 @@ pub fn run_search_with_backend(
                 let report = campaign.run_points(&rung_points)?;
 
                 // Rank ascending on (metric, key): the key tie-break makes
-                // promotion deterministic across processes.
-                let mut order: Vec<usize> = (0..report.points.len()).collect();
-                order.sort_by(|&a, &b| {
-                    budget_metric
-                        .of(&report.points[a])
-                        .total_cmp(&budget_metric.of(&report.points[b]))
-                        .then(report.points[a].point.key.cmp(&report.points[b].point.key))
-                });
+                // promotion deterministic across processes. Failed
+                // evaluations are never ranked — a point that failed at a
+                // cheap rung is simply not promoted, and a re-run
+                // re-attempts it because it was never persisted.
+                let mut order = ranked(&report.points, *budget_metric);
                 let keep = if r + 1 == *rungs {
                     order.len()
                 } else {
@@ -309,7 +329,10 @@ pub fn run_search_with_backend(
                     evaluated: report.points.len(),
                     simulated: report.simulated,
                     cache_hits: report.cache_hits,
-                    survivors: order.iter().map(|&i| report.points[i].point.key).collect(),
+                    survivors: order
+                        .iter()
+                        .map(|&i| report.points[i].point().key)
+                        .collect(),
                 });
                 // Promote the original (full-fidelity) points; outcomes
                 // come back in input order, so index i maps 1:1.
@@ -325,6 +348,7 @@ pub fn run_search_with_backend(
                         points,
                         simulated: report.simulated,
                         cache_hits: report.cache_hits,
+                        failed: report.failed,
                     });
                 }
             }
@@ -335,6 +359,22 @@ pub fn run_search_with_backend(
             })
         }
     }
+}
+
+/// Indices of the completed points, ranked ascending on
+/// `(metric, cache key)` — the deterministic promotion order. Failed
+/// points are excluded.
+fn ranked(points: &[PointOutcome], metric: BudgetMetric) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].done().is_some())
+        .collect();
+    order.sort_by(|&a, &b| {
+        metric
+            .of(points[a].expect_done())
+            .total_cmp(&metric.of(points[b].expect_done()))
+            .then(points[a].point().key.cmp(&points[b].point().key))
+    });
+    order
 }
 
 /// Renders the analytical-prefilter summary line (the CLI's
@@ -415,11 +455,13 @@ mod tests {
         assert_eq!(out.report.points.len(), 2);
         // Final-rung points run at full fidelity with untouched keys.
         for p in &out.report.points {
-            assert_eq!(p.point.config.fidelity, 1.0);
-            assert!(!p.point.assignment.iter().any(|(k, _)| k == "fidelity"));
+            assert_eq!(p.point().config.fidelity, 1.0);
+            assert!(!p.point().assignment.iter().any(|(k, _)| k == "fidelity"));
         }
         // Rank order: the best point leads.
-        assert!(out.report.points[0].cycles <= out.report.points[1].cycles);
+        assert!(
+            out.report.points[0].expect_done().cycles <= out.report.points[1].expect_done().cycles
+        );
     }
 
     #[test]
@@ -443,8 +485,8 @@ mod tests {
             .all(|(s, f)| s.survivors == f.survivors && s.fidelity == f.fidelity));
         assert_eq!(second.report.points.len(), first.report.points.len());
         for (s, f) in second.report.points.iter().zip(&first.report.points) {
-            assert_eq!(s.point.key, f.point.key);
-            assert_eq!(s.report_json, f.report_json);
+            assert_eq!(s.point().key, f.point().key);
+            assert_eq!(s.expect_done().report_json, f.expect_done().report_json);
         }
         std::fs::remove_file(&store).ok();
     }
@@ -580,8 +622,8 @@ mod tests {
             .copied()
             .collect();
         for p in &out.report.points {
-            assert!(!screen.contains(&p.point.key));
-            assert_eq!(p.point.backend, "cycle");
+            assert!(!screen.contains(&p.point().key));
+            assert_eq!(p.point().backend, "cycle");
         }
     }
 

@@ -11,20 +11,48 @@
 //!
 //! ```text
 //! {"key":"<16 hex>","label":"...","graph":"<16 hex>","cycles":N,
-//!  "time_s":F,"energy_j":F,"dram_bytes":N,"report":{...}}
+//!  "time_s":F,"energy_j":F,"dram_bytes":N,"report":{...},"crc":"<16 hex>"}
 //! ```
 //!
 //! `report` is [`hygcn_core::SimReport::to_json_compact`] verbatim — the
 //! stored report of a point is bit-identical to what `hygcn simulate`
-//! serializes for the same configuration and workload.
+//! serializes for the same configuration and workload. `crc` is an
+//! FNV-1a checksum of the record without it; legacy lines that predate
+//! the field still load (unverified), so existing stores keep working
+//! byte-for-byte with no cache invalidation.
+//!
+//! ## Failure model
+//!
+//! All file traffic flows through the [`crate::store_io::StoreIo`] seam,
+//! which the durability tests replace with a fault injector. The store's
+//! contract:
+//!
+//! * A **torn tail** (kill mid-append: partial last line, no trailing
+//!   newline) is truncated away on open; only the in-flight record is
+//!   lost.
+//! * A damaged line **mid-file** (bit flip, checksum mismatch, partial
+//!   overwrite) is *quarantined*, not fatal: the rest of the store loads
+//!   and the affected point simply re-runs. [`fsck`] reports damage
+//!   read-only; [`salvage`] rewrites the store canonically and sidelines
+//!   damaged lines to `<store>.quarantine`.
+//! * **Transient append errors** are retried with bounded exponential
+//!   backoff ([`crate::store_io::RetryPolicy`]); any partial write is
+//!   rolled back before the retry so records can never concatenate.
 
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use crate::store_io::{default_sleeper, is_transient, RealIo, RetryPolicy, Sleeper, StoreIo};
 use crate::DseError;
 
 /// One completed design point as persisted in the store.
+///
+/// **Duplicate-key semantics:** the store is append-only, so a salvaged
+/// or hand-compacted file may carry several lines with one key. Load
+/// resolves these **last-write-wins** — the record appended latest (the
+/// line furthest down the file) is the one served — making re-appended
+/// records deterministic across open/salvage cycles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreRecord {
     /// The point's stable cache key.
@@ -46,8 +74,50 @@ pub struct StoreRecord {
     pub report_json: String,
 }
 
+/// FNV-1a over a byte stream — the same family as the cache key hash,
+/// kept local so the record checksum is self-contained.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The checksum stored in a record's `crc` field: FNV-1a of the record
+/// line *without* the crc suffix (i.e. of the legacy line shape).
+fn line_checksum(body: &str) -> u64 {
+    fnv1a(body.bytes())
+}
+
+/// `,"crc":"` + 16 hex digits + `"}`.
+const CRC_TAIL: usize = 8 + 16 + 2;
+
+/// Splits a checksummed line into its legacy body and the stored crc;
+/// `None` for legacy (checksum-less) lines.
+fn split_crc(line: &str) -> Option<(String, u64)> {
+    let b = line.as_bytes();
+    if b.len() < CRC_TAIL + 2 || !line.ends_with("\"}") {
+        return None;
+    }
+    let cut = b.len() - CRC_TAIL;
+    if &b[cut..cut + 8] != b",\"crc\":\"" {
+        return None;
+    }
+    let hex = std::str::from_utf8(&b[cut + 8..cut + 24]).ok()?;
+    let crc = u64::from_str_radix(hex, 16).ok()?;
+    // `cut` lands on the ASCII `,` of the suffix, so it is a char
+    // boundary; restore the object's closing brace the suffix replaced.
+    let mut body = line[..cut].to_string();
+    body.push('}');
+    Some((body, crc))
+}
+
 impl StoreRecord {
-    fn to_line(&self) -> String {
+    /// The legacy (pre-checksum) line shape — what `parse_line` accepts
+    /// from old stores, and the byte string the crc covers.
+    fn legacy_body(&self) -> String {
         format!(
             "{{\"key\":\"{:016x}\",\"label\":\"{}\",\"graph\":\"{:016x}\",\"cycles\":{},\"time_s\":{:?},\"energy_j\":{:?},\"dram_bytes\":{},\"report\":{}}}",
             self.key,
@@ -61,8 +131,35 @@ impl StoreRecord {
         )
     }
 
+    fn to_line(&self) -> String {
+        let body = self.legacy_body();
+        let crc = line_checksum(&body);
+        format!("{},\"crc\":\"{:016x}\"}}", &body[..body.len() - 1], crc)
+    }
+
     fn parse_line(line: &str) -> Result<Self, DseError> {
-        let bad = |what: &str| DseError::Store(format!("{what} in line: {line}"));
+        Self::parse_line_checked(line).map(|(rec, _)| rec)
+    }
+
+    /// Parses a line, verifying the checksum when present; the flag says
+    /// whether the line carried one (legacy lines parse unverified).
+    fn parse_line_checked(line: &str) -> Result<(Self, bool), DseError> {
+        match split_crc(line) {
+            Some((body, stored)) => {
+                let computed = line_checksum(&body);
+                if computed != stored {
+                    return Err(DseError::Store(format!(
+                        "checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+                    )));
+                }
+                Ok((Self::parse_body(&body)?, true))
+            }
+            None => Ok((Self::parse_body(line)?, false)),
+        }
+    }
+
+    fn parse_body(line: &str) -> Result<Self, DseError> {
+        let bad = |what: &str| DseError::Store(what.to_string());
         let key = u64::from_str_radix(
             &field_str(line, "key").ok_or_else(|| bad("missing key"))?,
             16,
@@ -103,6 +200,20 @@ impl StoreRecord {
             dram_bytes,
             report_json,
         })
+    }
+
+    /// The backend id this record's report carries in its provenance;
+    /// the cycle and seed reference paths store no provenance marker and
+    /// share the `cycle` bucket.
+    pub fn backend_id(&self) -> &str {
+        let marker = "\"backend\": \"";
+        if let Some(at) = self.report_json.find(marker) {
+            let rest = &self.report_json[at + marker.len()..];
+            if let Some(end) = rest.find('"') {
+                return &rest[..end];
+            }
+        }
+        "cycle"
     }
 }
 
@@ -157,12 +268,39 @@ fn field_raw(line: &str, name: &str) -> Option<String> {
     Some(rest[..end].to_string())
 }
 
+/// A damaged store line a tolerant open preserved instead of loading —
+/// the line stays on disk untouched until [`salvage`] sidelines it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedLine {
+    /// 1-based line number in the store file.
+    pub line_no: usize,
+    /// The damaged line, verbatim.
+    pub line: String,
+    /// Why it failed to load.
+    pub reason: String,
+}
+
 /// An append-only, keyed store of completed points; optionally backed by
-/// a `campaign.jsonl` file.
-#[derive(Debug)]
+/// a `campaign.jsonl` file reached through a [`StoreIo`] seam.
 pub struct ResultStore {
     path: Option<PathBuf>,
+    io: Arc<dyn StoreIo>,
+    retry: RetryPolicy,
+    sleeper: Sleeper,
     records: BTreeMap<u64, StoreRecord>,
+    quarantined: Vec<QuarantinedLine>,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("io", &self.io)
+            .field("retry", &self.retry)
+            .field("records", &self.records.len())
+            .field("quarantined", &self.quarantined.len())
+            .finish()
+    }
 }
 
 impl ResultStore {
@@ -171,60 +309,100 @@ impl ResultStore {
     pub fn in_memory() -> Self {
         Self {
             path: None,
+            io: Arc::new(RealIo),
+            retry: RetryPolicy::default(),
+            sleeper: default_sleeper(),
             records: BTreeMap::new(),
+            quarantined: Vec::new(),
         }
     }
 
+    /// Opens (or creates) a file-backed store over the real filesystem
+    /// with the default retry policy. See [`Self::open_with`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DseError> {
+        Self::open_with(
+            path,
+            Arc::new(RealIo),
+            RetryPolicy::default(),
+            default_sleeper(),
+        )
+    }
+
     /// Opens (or creates) a file-backed store, loading every existing
-    /// record.
+    /// record through `io`.
     ///
-    /// A campaign killed mid-append can leave a *torn* final line — a
-    /// partial record with no trailing newline. That is exactly the state
-    /// the store exists to recover from, so an unparseable final line in
-    /// a file that does not end with `\n` is discarded (and truncated
-    /// away, so the next append cannot concatenate onto it); the point it
-    /// belonged to simply re-runs.
+    /// Damage tolerance:
+    ///
+    /// * A campaign killed mid-append leaves a *torn* final line — a
+    ///   partial record with no trailing newline. That is exactly the
+    ///   state the store exists to recover from, so an unparseable final
+    ///   line in a file that does not end with `\n` is discarded (and
+    ///   truncated away, so the next append cannot concatenate onto it);
+    ///   the point it belonged to simply re-runs.
+    /// * Any other damaged line (parse failure or checksum mismatch) is
+    ///   **quarantined**: skipped, left on disk, reported via
+    ///   [`Self::quarantined`]. The rest of the store loads normally.
+    /// * Duplicate keys resolve last-write-wins (see [`StoreRecord`]).
     ///
     /// # Errors
     ///
-    /// [`DseError::Store`] on I/O failure or a malformed *complete* line
-    /// — real corruption is reported, never silently skipped.
-    pub fn open(path: impl AsRef<Path>) -> Result<Self, DseError> {
+    /// [`DseError::StoreIo`] when reading the file (or truncating a torn
+    /// tail) fails, naming the operation and path.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        io: Arc<dyn StoreIo>,
+        retry: RetryPolicy,
+        sleeper: Sleeper,
+    ) -> Result<Self, DseError> {
         let path = path.as_ref().to_path_buf();
         let mut records = BTreeMap::new();
-        match std::fs::read_to_string(&path) {
-            Ok(content) => {
-                let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
-                for (i, line) in lines.iter().enumerate() {
-                    match StoreRecord::parse_line(line) {
-                        Ok(rec) => {
-                            records.insert(rec.key, rec);
+        let mut quarantined = Vec::new();
+        if let Some(content) = io
+            .read(&path)
+            .map_err(|e| DseError::store_io("open", &path, &e))?
+        {
+            let lines: Vec<&str> = content.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match StoreRecord::parse_line(line) {
+                    Ok(rec) => {
+                        records.insert(rec.key, rec);
+                        if i + 1 == lines.len() && !content.ends_with('\n') {
+                            // A kill that lost *only* the record's
+                            // trailing newline: the record is intact,
+                            // but the terminator must be restored before
+                            // any future append can concatenate onto it.
+                            io.append(&path, b"\n")
+                                .map_err(|e| DseError::store_io("repair", &path, &e))?;
                         }
-                        Err(_) if i + 1 == lines.len() && !content.ends_with('\n') => {
-                            // Torn tail from a killed append: drop it on
-                            // disk too, so future appends start clean.
-                            let keep = content.len() - line.len();
-                            std::fs::OpenOptions::new()
-                                .write(true)
-                                .open(&path)
-                                .and_then(|f| f.set_len(keep as u64))
-                                .map_err(|e| {
-                                    DseError::Store(format!(
-                                        "truncating torn tail of {}: {e}",
-                                        path.display()
-                                    ))
-                                })?;
-                        }
-                        Err(e) => return Err(e),
                     }
+                    Err(_) if i + 1 == lines.len() && !content.ends_with('\n') => {
+                        // Torn tail from a killed append: drop it on
+                        // disk too, so future appends start clean.
+                        let keep = (content.len() - line.len()) as u64;
+                        io.truncate(&path, keep)
+                            .map_err(|e| DseError::store_io("truncate", &path, &e))?;
+                    }
+                    Err(e) => quarantined.push(QuarantinedLine {
+                        line_no: i + 1,
+                        line: line.to_string(),
+                        reason: match e {
+                            DseError::Store(m) => m,
+                            other => other.to_string(),
+                        },
+                    }),
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(DseError::Store(format!("reading {}: {e}", path.display()))),
         }
         Ok(Self {
             path: Some(path),
+            io,
+            retry,
+            sleeper,
             records,
+            quarantined,
         })
     }
 
@@ -248,30 +426,284 @@ impl ResultStore {
         self.records.get(&key)
     }
 
+    /// Damaged lines the open pass skipped (empty for a healthy store).
+    pub fn quarantined(&self) -> &[QuarantinedLine] {
+        &self.quarantined
+    }
+
     /// Inserts a record and appends it to the backing file immediately
     /// (streaming: a campaign killed mid-run keeps everything already
     /// appended). Re-inserting an existing key is a no-op.
+    ///
+    /// Transient write failures retry with the store's
+    /// [`RetryPolicy`]; every failed attempt's partial bytes are rolled
+    /// back first, so records can never concatenate. (After a hard kill
+    /// the rollback fails too — the torn tail then heals on next open.)
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::StoreIo`] once retries are exhausted (or immediately
+    /// for permanent errors such as a full disk), naming the operation
+    /// and path.
     pub fn append(&mut self, rec: StoreRecord) -> Result<(), DseError> {
         if self.records.contains_key(&rec.key) {
             return Ok(());
         }
         if let Some(path) = &self.path {
-            let mut file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .map_err(|e| DseError::Store(format!("opening {}: {e}", path.display())))?;
-            writeln!(file, "{}", rec.to_line())
-                .map_err(|e| DseError::Store(format!("appending to {}: {e}", path.display())))?;
+            let mut line = rec.to_line();
+            line.push('\n');
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                let pre = self
+                    .io
+                    .len(path)
+                    .map_err(|e| DseError::store_io("append", path, &e))?;
+                match self.io.append(path, line.as_bytes()) {
+                    Ok(()) => break,
+                    Err(e) => {
+                        let _ = self.io.truncate(path, pre);
+                        if is_transient(&e) && attempt < self.retry.max_attempts {
+                            (self.sleeper)(self.retry.delay(attempt));
+                            continue;
+                        }
+                        return Err(DseError::store_io("append", path, &e));
+                    }
+                }
+            }
         }
         self.records.insert(rec.key, rec);
         Ok(())
     }
 }
 
+/// What a read-only [`fsck`] scan found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsckReport {
+    /// File size in bytes (0 when absent).
+    pub bytes: u64,
+    /// Non-blank lines scanned.
+    pub lines: usize,
+    /// Lines that parsed (and, when checksummed, verified).
+    pub valid: usize,
+    /// Distinct keys among the valid lines.
+    pub unique: usize,
+    /// Valid lines superseded by a later line with the same key.
+    pub duplicates: usize,
+    /// Valid lines carrying a verified `crc` field.
+    pub checksummed: usize,
+    /// Whether the file ends in a torn (unparseable, newline-less) tail.
+    pub torn_tail: bool,
+    /// Damaged complete lines.
+    pub quarantined: Vec<QuarantinedLine>,
+}
+
+impl FsckReport {
+    /// Whether the store needs no repair.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && !self.torn_tail && self.duplicates == 0
+    }
+}
+
+struct Scan {
+    report: FsckReport,
+    records: BTreeMap<u64, StoreRecord>,
+    torn_line: Option<String>,
+}
+
+fn scan(content: &str) -> Scan {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut report = FsckReport {
+        bytes: content.len() as u64,
+        lines: 0,
+        valid: 0,
+        unique: 0,
+        duplicates: 0,
+        checksummed: 0,
+        torn_tail: false,
+        quarantined: Vec::new(),
+    };
+    let mut records: BTreeMap<u64, StoreRecord> = BTreeMap::new();
+    let mut torn_line = None;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        match StoreRecord::parse_line_checked(line) {
+            Ok((rec, checksummed)) => {
+                report.valid += 1;
+                report.checksummed += usize::from(checksummed);
+                if records.insert(rec.key, rec).is_some() {
+                    report.duplicates += 1;
+                }
+            }
+            Err(_) if i + 1 == lines.len() && !content.ends_with('\n') => {
+                report.torn_tail = true;
+                torn_line = Some(line.to_string());
+            }
+            Err(e) => report.quarantined.push(QuarantinedLine {
+                line_no: i + 1,
+                line: line.to_string(),
+                reason: match e {
+                    DseError::Store(m) => m,
+                    other => other.to_string(),
+                },
+            }),
+        }
+    }
+    report.unique = records.len();
+    Scan {
+        report,
+        records,
+        torn_line,
+    }
+}
+
+/// Read-only integrity check of a store file: parses and checksums every
+/// line without modifying anything (unlike [`ResultStore::open_with`],
+/// which truncates a torn tail). An absent file scans as empty-and-clean.
+///
+/// # Errors
+///
+/// [`DseError::StoreIo`] when the file cannot be read.
+pub fn fsck(path: &Path, io: &dyn StoreIo) -> Result<FsckReport, DseError> {
+    let content = io
+        .read(path)
+        .map_err(|e| DseError::store_io("open", path, &e))?
+        .unwrap_or_default();
+    Ok(scan(&content).report)
+}
+
+/// What [`salvage`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvageReport {
+    /// Records surviving into the rewritten store.
+    pub kept: usize,
+    /// Damaged lines sidelined to the quarantine file.
+    pub dropped: usize,
+    /// Duplicate lines collapsed (last-write-wins).
+    pub deduplicated: usize,
+    /// Where the damaged lines went, when there were any.
+    pub quarantine_path: Option<PathBuf>,
+}
+
+/// Repairs a store in place: damaged lines (including a torn tail) are
+/// appended to `<store>.quarantine`, and the store is rewritten
+/// **canonically** — every surviving record checksummed, one line per
+/// key in ascending key order. Canonical form makes salvage idempotent
+/// (a second run is byte-identical) and a salvaged store deterministic
+/// regardless of the append order that produced it. Record keys are
+/// untouched, so cached campaigns resume exactly as before.
+///
+/// An absent file is left absent.
+///
+/// # Errors
+///
+/// [`DseError::StoreIo`] when reading, sidelining, or rewriting fails.
+pub fn salvage(path: &Path, io: &dyn StoreIo) -> Result<SalvageReport, DseError> {
+    let Some(content) = io
+        .read(path)
+        .map_err(|e| DseError::store_io("open", path, &e))?
+    else {
+        return Ok(SalvageReport {
+            kept: 0,
+            dropped: 0,
+            deduplicated: 0,
+            quarantine_path: None,
+        });
+    };
+    let Scan {
+        report,
+        records,
+        torn_line,
+    } = scan(&content);
+
+    let mut damaged: Vec<&str> = report.quarantined.iter().map(|q| q.line.as_str()).collect();
+    if let Some(torn) = &torn_line {
+        damaged.push(torn);
+    }
+    let mut quarantine_path = None;
+    if !damaged.is_empty() {
+        let qpath = PathBuf::from(format!("{}.quarantine", path.display()));
+        let mut bytes = String::new();
+        for line in &damaged {
+            bytes.push_str(line);
+            bytes.push('\n');
+        }
+        io.append(&qpath, bytes.as_bytes())
+            .map_err(|e| DseError::store_io("append", &qpath, &e))?;
+        quarantine_path = Some(qpath);
+    }
+
+    let mut canonical = String::new();
+    for rec in records.values() {
+        canonical.push_str(&rec.to_line());
+        canonical.push('\n');
+    }
+    io.rewrite(path, canonical.as_bytes())
+        .map_err(|e| DseError::store_io("rewrite", path, &e))?;
+    Ok(SalvageReport {
+        kept: records.len(),
+        dropped: damaged.len(),
+        deduplicated: report.duplicates,
+        quarantine_path,
+    })
+}
+
+/// Summary statistics for `hygcn store stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// Loadable records (after last-write-wins dedup).
+    pub records: usize,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Records whose line carries a verified checksum.
+    pub checksummed: usize,
+    /// Damaged lines a tolerant open would skip.
+    pub quarantined: usize,
+    /// Whether the file ends in a torn tail.
+    pub torn_tail: bool,
+    /// Record counts per backend id (from report provenance; the cycle
+    /// and seed paths store none and share the `cycle` bucket), sorted
+    /// by id.
+    pub per_backend: Vec<(String, usize)>,
+}
+
+/// Read-only store statistics: record/byte counts, per-backend record
+/// counts, and damage tallies. An absent file reports all zeros.
+///
+/// # Errors
+///
+/// [`DseError::StoreIo`] when the file cannot be read.
+pub fn stats(path: &Path, io: &dyn StoreIo) -> Result<StoreStats, DseError> {
+    let content = io
+        .read(path)
+        .map_err(|e| DseError::store_io("open", path, &e))?
+        .unwrap_or_default();
+    let Scan {
+        report, records, ..
+    } = scan(&content);
+    let mut per_backend: BTreeMap<String, usize> = BTreeMap::new();
+    for rec in records.values() {
+        *per_backend.entry(rec.backend_id().to_string()).or_insert(0) += 1;
+    }
+    Ok(StoreStats {
+        records: records.len(),
+        bytes: report.bytes,
+        checksummed: report.checksummed,
+        quarantined: report.quarantined.len(),
+        torn_tail: report.torn_tail,
+        per_backend: per_backend.into_iter().collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store_io::{Fault, FaultPlan, FaultyIo};
+    use std::sync::Mutex;
+    use std::time::Duration;
 
     fn rec(key: u64) -> StoreRecord {
         StoreRecord {
@@ -286,12 +718,55 @@ mod tests {
         }
     }
 
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hygcn-dse-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(format!("{}.quarantine", path.display())).ok();
+        path
+    }
+
+    /// A sleeper that records instead of sleeping — retry tests stay
+    /// wall-clock-free.
+    fn recording_sleeper() -> (Sleeper, Arc<Mutex<Vec<Duration>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let writer = log.clone();
+        let sleeper: Sleeper = Arc::new(move |d| writer.lock().unwrap().push(d));
+        (sleeper, log)
+    }
+
     #[test]
     fn record_round_trips_through_its_line() {
         let r = rec(0xABCD);
         let line = r.to_line();
         assert!(!line.contains('\n'));
         assert_eq!(StoreRecord::parse_line(&line).unwrap(), r);
+        // The line is checksummed, and the parser knows it.
+        let (parsed, checksummed) = StoreRecord::parse_line_checked(&line).unwrap();
+        assert_eq!(parsed, r);
+        assert!(checksummed);
+    }
+
+    #[test]
+    fn legacy_checksum_less_lines_still_parse() {
+        let r = rec(0xABCD);
+        let legacy = r.legacy_body();
+        let (parsed, checksummed) = StoreRecord::parse_line_checked(&legacy).unwrap();
+        assert_eq!(parsed, r);
+        assert!(!checksummed, "legacy lines load unverified");
+    }
+
+    #[test]
+    fn flipped_bytes_fail_the_checksum() {
+        let line = rec(7).to_line();
+        // Flip one digit of the cycles field.
+        let flipped = line.replacen("123456", "123457", 1);
+        assert_ne!(line, flipped);
+        match StoreRecord::parse_line(&flipped) {
+            Err(DseError::Store(m)) => assert!(m.contains("checksum mismatch"), "{m}"),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -302,11 +777,16 @@ mod tests {
     }
 
     #[test]
+    fn backend_id_comes_from_report_provenance() {
+        let mut r = rec(1);
+        assert_eq!(r.backend_id(), "cycle");
+        r.report_json = "{\"cycles\": 5,\"backend\": \"analytical\"}".into();
+        assert_eq!(r.backend_id(), "analytical");
+    }
+
+    #[test]
     fn file_store_persists_and_reloads() {
-        let dir = std::env::temp_dir().join("hygcn-dse-store-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("roundtrip.jsonl");
-        std::fs::remove_file(&path).ok();
+        let path = tmp("roundtrip.jsonl");
         {
             let mut store = ResultStore::open(&path).unwrap();
             assert!(store.is_empty());
@@ -319,24 +799,70 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert_eq!(store.get(1).unwrap(), &rec(1));
         assert_eq!(store.get(3), None);
+        assert!(store.quarantined().is_empty());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn corrupt_lines_are_reported() {
-        let dir = std::env::temp_dir().join("hygcn-dse-store-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("corrupt.jsonl");
-        std::fs::write(&path, "{\"key\":\"zz\"}\n").unwrap();
-        assert!(matches!(ResultStore::open(&path), Err(DseError::Store(_))));
+    fn missing_final_newline_is_repaired_so_appends_cannot_fuse() {
+        // A kill that lost only the record terminator: the record is
+        // whole, so it must survive — and the reopened store must not
+        // concatenate the next append onto the unterminated line.
+        let path = tmp("no-terminator.jsonl");
+        std::fs::write(&path, rec(1).to_line()).unwrap();
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            assert_eq!(store.len(), 1);
+            assert!(store.quarantined().is_empty());
+            store.append(rec(2)).unwrap();
+        }
+        let reopened = ResultStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert!(reopened.quarantined().is_empty());
+        assert_eq!(reopened.get(1).unwrap(), &rec(1));
+        assert_eq!(reopened.get(2).unwrap(), &rec(2));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.ends_with('\n'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_quarantined_not_fatal() {
+        let path = tmp("corrupt.jsonl");
+        std::fs::write(&path, format!("{{\"key\":\"zz\"}}\n{}\n", rec(4).to_line())).unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        // The good record loads; the damaged line is preserved on disk
+        // and reported.
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(4).unwrap(), &rec(4));
+        assert_eq!(store.quarantined().len(), 1);
+        assert_eq!(store.quarantined()[0].line_no, 1);
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("{\"key\":\"zz\"}"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_last_write_wins() {
+        let path = tmp("dups.jsonl");
+        let mut newer = rec(1);
+        newer.cycles = 999;
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n", rec(1).to_line(), newer.to_line()),
+        )
+        .unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(1).unwrap().cycles, 999, "the later line wins");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn torn_final_line_is_discarded_and_truncated() {
-        let dir = std::env::temp_dir().join("hygcn-dse-store-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("torn.jsonl");
+        let path = tmp("torn.jsonl");
         // Two complete records plus a torn tail (a kill mid-append: no
         // trailing newline).
         let torn = &rec(3).to_line()[..40];
@@ -347,15 +873,22 @@ mod tests {
         .unwrap();
         let mut store = ResultStore::open(&path).unwrap();
         assert_eq!(store.len(), 2);
+        assert!(
+            store.quarantined().is_empty(),
+            "a torn tail is expected damage"
+        );
         // The torn bytes are gone from disk, so a fresh append starts on
         // its own line and the file round-trips cleanly.
         store.append(rec(3)).unwrap();
         let reopened = ResultStore::open(&path).unwrap();
         assert_eq!(reopened.len(), 3);
         assert_eq!(reopened.get(3).unwrap(), &rec(3));
-        // A torn line mid-file (followed by a newline) is NOT tolerated.
+        // A torn line mid-file (followed by a newline) is quarantined,
+        // not fatal: the records after it still load.
         std::fs::write(&path, format!("{torn}\n{}\n", rec(1).to_line())).unwrap();
-        assert!(matches!(ResultStore::open(&path), Err(DseError::Store(_))));
+        let mixed = ResultStore::open(&path).unwrap();
+        assert_eq!(mixed.len(), 1);
+        assert_eq!(mixed.quarantined().len(), 1);
         std::fs::remove_file(&path).ok();
     }
 
@@ -374,5 +907,170 @@ mod tests {
         store.append(rec(7)).unwrap();
         assert_eq!(store.path(), None);
         assert_eq!(store.get(7).unwrap().cycles, 123_456);
+    }
+
+    #[test]
+    fn append_retries_transient_faults_with_backoff() {
+        let path = tmp("retry.jsonl");
+        let io = Arc::new(FaultyIo::new(FaultPlan {
+            faults: vec![
+                Fault::TransientAppend { op: 0 },
+                Fault::ShortAppend { op: 1, written: 10 },
+            ],
+        }));
+        let (sleeper, slept) = recording_sleeper();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 10,
+        };
+        let mut store = ResultStore::open_with(&path, io, retry, sleeper).unwrap();
+        // Attempt 1 fails transiently, attempt 2 tears 10 bytes (rolled
+        // back), attempt 3 succeeds.
+        store.append(rec(1)).unwrap();
+        assert_eq!(
+            slept.lock().unwrap().as_slice(),
+            &[Duration::from_millis(10), Duration::from_millis(20)],
+            "deterministic exponential backoff, no wall clock"
+        );
+        // The rollback kept the file clean: exactly one record, parseable.
+        let reopened = ResultStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.get(1).unwrap(), &rec(1));
+        assert!(reopened.quarantined().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn permanent_append_errors_carry_path_and_operation() {
+        let path = tmp("enospc.jsonl");
+        let io = Arc::new(FaultyIo::new(FaultPlan {
+            faults: vec![Fault::DiskFull { op: 0 }],
+        }));
+        let (sleeper, slept) = recording_sleeper();
+        let mut store = ResultStore::open_with(&path, io, RetryPolicy::default(), sleeper).unwrap();
+        match store.append(rec(1)) {
+            Err(DseError::StoreIo {
+                op,
+                path: p,
+                transient,
+                error,
+            }) => {
+                assert_eq!(op, "append");
+                assert!(p.contains("enospc.jsonl"), "{p}");
+                assert!(!transient, "a full disk is not retryable");
+                assert!(error.contains("no space left"), "{error}");
+            }
+            other => panic!("expected StoreIo error, got {other:?}"),
+        }
+        assert!(
+            slept.lock().unwrap().is_empty(),
+            "permanent errors never retry"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsck_reports_damage_without_modifying_the_file() {
+        let path = tmp("fsck.jsonl");
+        let mut newer = rec(1);
+        newer.cycles = 999;
+        let torn = &rec(5).to_line()[..30];
+        let content = format!(
+            "{}\n{}\nGARBAGE\n{}\n{torn}",
+            rec(1).to_line(),
+            rec(2).to_line(),
+            newer.to_line()
+        );
+        std::fs::write(&path, &content).unwrap();
+        let report = fsck(&path, &RealIo).unwrap();
+        assert_eq!((report.lines, report.valid, report.unique), (5, 3, 2));
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.checksummed, 3);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].line_no, 3);
+        assert!(report.torn_tail);
+        assert!(!report.is_clean());
+        // Read-only: the file is byte-identical, torn tail included.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), content);
+
+        // A healthy store is clean; an absent one scans empty-and-clean.
+        std::fs::write(&path, format!("{}\n", rec(1).to_line())).unwrap();
+        assert!(fsck(&path, &RealIo).unwrap().is_clean());
+        std::fs::remove_file(&path).ok();
+        let absent = fsck(&path, &RealIo).unwrap();
+        assert_eq!((absent.bytes, absent.lines), (0, 0));
+        assert!(absent.is_clean());
+    }
+
+    #[test]
+    fn salvage_sidelines_damage_and_rewrites_canonically() {
+        let path = tmp("salvage.jsonl");
+        let mut newer = rec(2);
+        newer.cycles = 999;
+        let torn = &rec(5).to_line()[..30];
+        // Deliberately out of key order, with damage and a duplicate.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\nBROKEN LINE\n{}\n{}\n{torn}",
+                rec(2).to_line(),
+                rec(1).to_line(),
+                newer.to_line()
+            ),
+        )
+        .unwrap();
+        let report = salvage(&path, &RealIo).unwrap();
+        assert_eq!(
+            (report.kept, report.dropped, report.deduplicated),
+            (2, 2, 1)
+        );
+        let qpath = report.quarantine_path.unwrap();
+        let sidelined = std::fs::read_to_string(&qpath).unwrap();
+        assert!(sidelined.contains("BROKEN LINE"));
+        assert!(sidelined.contains(torn));
+
+        // The rewritten store is canonical: key-ordered, checksummed,
+        // fully loadable, last-write-wins applied.
+        let healed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            healed,
+            format!("{}\n{}\n", rec(1).to_line(), newer.to_line())
+        );
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(2).unwrap().cycles, 999);
+
+        // Idempotent: a second salvage changes nothing and drops nothing.
+        let again = salvage(&path, &RealIo).unwrap();
+        assert_eq!((again.kept, again.dropped), (2, 0));
+        assert_eq!(again.quarantine_path, None);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), healed);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&qpath).ok();
+    }
+
+    #[test]
+    fn stats_count_records_bytes_and_backends() {
+        let path = tmp("stats.jsonl");
+        let mut analytical = rec(9);
+        analytical.report_json = "{\"cycles\": 5,\"backend\": \"analytical\"}".into();
+        let content = format!(
+            "{}\n{}\n{}\nJUNK\n",
+            rec(1).to_line(),
+            rec(2).to_line(),
+            analytical.to_line()
+        );
+        std::fs::write(&path, &content).unwrap();
+        let s = stats(&path, &RealIo).unwrap();
+        assert_eq!(s.records, 3);
+        assert_eq!(s.bytes, content.len() as u64);
+        assert_eq!(s.checksummed, 3);
+        assert_eq!(s.quarantined, 1);
+        assert!(!s.torn_tail);
+        assert_eq!(
+            s.per_backend,
+            vec![("analytical".to_string(), 1), ("cycle".to_string(), 2)]
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -145,6 +145,134 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The I/O seam itself must not change behavior: a store written
+    /// through `FaultyIo` with zero injected faults is byte-identical to
+    /// one written through `RealIo`, and both reload identically.
+    #[test]
+    fn zero_fault_io_is_byte_identical_to_real_io(
+        recs in proptest::collection::vec(
+            (
+                0u64..u64::MAX,
+                1u64..1_000_000,
+                1u64..1_000_000_000,
+                (0u64..100_000).prop_map(|n| format!("ib@0.{n}=gcn")),
+            ),
+            1..8,
+        ),
+    ) {
+        use hygcn_dse::store::StoreRecord;
+        use hygcn_dse::store_io::{default_sleeper, FaultPlan, FaultyIo, RetryPolicy};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join("hygcn-dse-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let real_path = dir.join("diff-real.jsonl");
+        let faulty_path = dir.join("diff-faulty.jsonl");
+        std::fs::remove_file(&real_path).ok();
+        std::fs::remove_file(&faulty_path).ok();
+
+        let record = |&(key, cycles, dram, ref label): &(u64, u64, u64, String)| StoreRecord {
+            key,
+            label: label.clone(),
+            graph_hash: key.rotate_left(17),
+            cycles,
+            time_s: cycles as f64 * 1e-9,
+            energy_j: cycles as f64 * 1e-12,
+            dram_bytes: dram,
+            report_json: format!("{{\"cycles\": {cycles}}}"),
+        };
+
+        let mut real = ResultStore::open(&real_path).unwrap();
+        let mut faulty = ResultStore::open_with(
+            &faulty_path,
+            Arc::new(FaultyIo::new(FaultPlan::none())),
+            RetryPolicy::default(),
+            default_sleeper(),
+        )
+        .unwrap();
+        for r in &recs {
+            real.append(record(r)).unwrap();
+            faulty.append(record(r)).unwrap();
+        }
+        let real_bytes = std::fs::read(&real_path).unwrap();
+        let faulty_bytes = std::fs::read(&faulty_path).unwrap();
+        prop_assert_eq!(&real_bytes, &faulty_bytes);
+
+        // Cross-reload: each file reopens cleanly under the other impl.
+        let reload_real = ResultStore::open(&faulty_path).unwrap();
+        let reload_faulty = ResultStore::open_with(
+            &real_path,
+            Arc::new(FaultyIo::new(FaultPlan::none())),
+            RetryPolicy::default(),
+            default_sleeper(),
+        )
+        .unwrap();
+        prop_assert_eq!(reload_real.len(), real.len());
+        prop_assert_eq!(reload_faulty.len(), real.len());
+        prop_assert!(reload_real.quarantined().is_empty());
+        std::fs::remove_file(&real_path).ok();
+        std::fs::remove_file(&faulty_path).ok();
+    }
+
+    /// A kill injected at an arbitrary byte offset never corrupts the
+    /// records below the boundary: reopening quarantines nothing,
+    /// truncates at most the in-flight record, and keeps every fully
+    /// persisted prefix record readable.
+    #[test]
+    fn arbitrary_byte_kills_lose_at_most_the_in_flight_record(
+        kill_byte in 0u64..4096,
+        n in 1usize..6,
+    ) {
+        use hygcn_dse::store::StoreRecord;
+        use hygcn_dse::store_io::{default_sleeper, FaultPlan, FaultyIo, RetryPolicy};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join("hygcn-dse-killbyte-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("kill-{kill_byte}-{n}.jsonl"));
+        std::fs::remove_file(&path).ok();
+
+        let record = |i: usize| StoreRecord {
+            key: i as u64 + 1,
+            label: format!("point-{i}"),
+            graph_hash: 42,
+            cycles: 1000 + i as u64,
+            time_s: 1e-6,
+            energy_j: 1e-9,
+            dram_bytes: 64,
+            report_json: format!("{{\"cycles\": {}}}", 1000 + i),
+        };
+
+        let mut store = ResultStore::open_with(
+            &path,
+            Arc::new(FaultyIo::new(FaultPlan::kill_at_byte(kill_byte))),
+            RetryPolicy::none(),
+            default_sleeper(),
+        )
+        .unwrap();
+        let mut appended = 0usize;
+        for i in 0..n {
+            match store.append(record(i)) {
+                Ok(()) => appended += 1,
+                Err(_) => break,
+            }
+        }
+        drop(store);
+
+        let reopened = ResultStore::open(&path).unwrap();
+        prop_assert!(reopened.quarantined().is_empty(), "{:?}", reopened.quarantined());
+        // Exactly the fully appended records survive: the in-flight
+        // (torn) one is lost, nothing below it is.
+        prop_assert_eq!(reopened.len(), appended);
+        // Every surviving record is bit-exact.
+        for i in 0..reopened.len() {
+            prop_assert_eq!(reopened.get(i as u64 + 1).unwrap(), &record(i));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 #[test]
 fn empty_campaigns_error_cleanly() {
     let empty = ConfigSpace::new(vec![], vec![ModelKind::Gcn]);
@@ -174,12 +302,13 @@ fn one_point_campaign_matches_direct_simulate() {
 
     let graph = spec.build().unwrap();
     let model = GcnModel::new(ModelKind::Gin, graph.feature_len(), MODEL_SEED).unwrap();
-    let direct = Simulator::new(report.points[0].point.config.clone())
+    let direct = Simulator::new(report.points[0].point().config.clone())
         .simulate(&graph, &model)
         .unwrap();
-    assert_eq!(report.points[0].report_json, direct.to_json_compact());
-    assert_eq!(report.points[0].cycles, direct.cycles);
-    assert_eq!(report.points[0].dram_bytes, direct.dram_bytes());
+    let p = report.points[0].expect_done();
+    assert_eq!(p.report_json, direct.to_json_compact());
+    assert_eq!(p.cycles, direct.cycles);
+    assert_eq!(p.dram_bytes, direct.dram_bytes());
 }
 
 /// Interrupting a campaign (simulated by pre-seeding the store with a
@@ -219,7 +348,7 @@ fn killed_campaign_resumes_and_rerun_is_all_hits() {
     assert_eq!((resumed.simulated, resumed.cache_hits), (2, 2));
     // The resumed campaign reproduces the full run's results exactly.
     for (a, b) in full.points.iter().zip(&resumed.points) {
-        assert_eq!(a.report_json, b.report_json);
+        assert_eq!(a.expect_done().report_json, b.expect_done().report_json);
     }
 
     let rerun = Campaign::new(space())
@@ -228,6 +357,7 @@ fn killed_campaign_resumes_and_rerun_is_all_hits() {
         .unwrap();
     assert_eq!((rerun.simulated, rerun.cache_hits), (0, 4));
     for (a, b) in full.points.iter().zip(&rerun.points) {
+        let (a, b) = (a.expect_done(), b.expect_done());
         assert_eq!(a.report_json, b.report_json);
         assert!(b.cached);
     }

@@ -182,7 +182,7 @@ fn shared_store_isolates_all_five_backends() {
             report
                 .points
                 .iter()
-                .map(|p| p.report_json.clone())
+                .map(|p| p.expect_done().report_json.clone())
                 .collect(),
         );
     }
@@ -197,7 +197,7 @@ fn shared_store_isolates_all_five_backends() {
         let again: Vec<String> = report
             .points
             .iter()
-            .map(|p| p.report_json.clone())
+            .map(|p| p.expect_done().report_json.clone())
             .collect();
         assert_eq!(&again, first, "{id}: cached re-run must be bit-identical");
     }
@@ -226,7 +226,7 @@ fn platform_backends_populate_comparable_fields_only() {
             .with_backend(resolve(id).unwrap())
             .run()
             .unwrap();
-        let p = &report.points[0];
+        let p = report.points[0].expect_done();
         assert!(p.cycles > 0 && p.time_s > 0.0, "{id}");
         assert!(p.energy_j > 0.0 && p.dram_bytes > 0, "{id}");
         // Accelerator-only observability is zeroed in the stored report.
@@ -242,6 +242,7 @@ fn platform_backends_populate_comparable_fields_only() {
             .run()
             .unwrap()
             .points[0]
+            .expect_done()
             .time_s
     };
     let (cpu, gpu, hygcn) = (run("cpu"), run("gpu"), run("cycle"));

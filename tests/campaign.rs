@@ -40,7 +40,7 @@ fn campaign_end_to_end() {
     assert_eq!(first.points, {
         let mut pts = resumed.points.clone();
         for p in &mut pts {
-            p.cached = false;
+            p.done_mut().unwrap().cached = false;
         }
         pts
     });
@@ -102,6 +102,7 @@ fn campaign_killed_mid_write_resumes_from_the_torn_record() {
         "the torn record and the three lost ones re-simulate; nothing else"
     );
     for (a, b) in full.points.iter().zip(&resumed.points) {
+        let (a, b) = (a.expect_done(), b.expect_done());
         assert_eq!(a.report_json, b.report_json, "{}", a.point.label());
     }
 
@@ -122,6 +123,7 @@ fn campaign_metrics_match_direct_single_runs() {
     // state between them).
     let report = Campaign::new(space()).run().unwrap();
     for p in &report.points {
+        let p = p.expect_done();
         let (graph, model) =
             hygcn_suite::dse::campaign::build_workload(&p.point.workload, p.point.model).unwrap();
         let direct = hygcn_suite::core::Simulator::new(p.point.config.clone())

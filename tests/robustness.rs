@@ -1,9 +1,16 @@
 //! Robustness and failure-injection tests: degenerate graphs, extreme
-//! configurations, and error paths across the whole stack.
+//! configurations, error paths across the whole stack, and the
+//! crash-point sweep over the campaign result store.
+
+use std::sync::Arc;
 
 use hygcn_suite::core::config::{HyGcnConfig, PipelineMode};
 use hygcn_suite::core::{SimError, Simulator};
+use hygcn_suite::dse::campaign::Campaign;
+use hygcn_suite::dse::space::{Axis, ConfigSpace, WorkloadSpec};
+use hygcn_suite::dse::{FaultPlan, FaultyIo};
 use hygcn_suite::gcn::model::{GcnModel, ModelKind};
+use hygcn_suite::graph::datasets::DatasetKey;
 use hygcn_suite::graph::{GraphBuilder, GraphError};
 use hygcn_suite::mem::hbm::{ControllerPolicy, HbmConfig};
 use hygcn_suite::mem::{Hbm, MemRequest, RequestKind};
@@ -229,6 +236,103 @@ fn timeline_recording_is_consistent() {
     // And the render is printable.
     let text = hygcn_suite::core::timeline::render(&r.timeline);
     assert!(text.lines().count() == r.timeline.len() + 1);
+}
+
+/// The crash-point sweep: kill the store at a battery of byte offsets
+/// spanning every append boundary, and prove the full recovery contract
+/// at each one — the crash loses at most the in-flight record, the
+/// resume re-simulates exactly the lost points (zero duplicates), and
+/// the recovered store ends bit-identical to an uninterrupted run.
+#[test]
+fn campaign_survives_a_kill_at_every_append_boundary() {
+    let dir = std::env::temp_dir().join("hygcn-crash-sweep");
+    std::fs::create_dir_all(&dir).unwrap();
+    let space = || {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 3)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("aggbuf-mb", "4,16").unwrap())
+        .with_axis(Axis::parse("pipeline", "latency,none").unwrap())
+    };
+
+    // Golden uninterrupted run: 4 points, byte-deterministic store.
+    let golden_path = dir.join("golden.jsonl");
+    std::fs::remove_file(&golden_path).ok();
+    let golden_report = Campaign::new(space())
+        .with_store(&golden_path)
+        .run()
+        .unwrap();
+    assert_eq!(golden_report.points.len(), 4);
+    let golden = std::fs::read(&golden_path).unwrap();
+    std::fs::remove_file(&golden_path).ok();
+
+    // Cumulative end offset of each record (newline included).
+    let boundaries: Vec<usize> = golden
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(boundaries.len(), 4);
+
+    // For every record: crash 1 byte in, mid-record, 1 byte short of
+    // the boundary, and exactly on it.
+    let mut crash_points = Vec::new();
+    let mut prev = 0usize;
+    for &end in &boundaries {
+        crash_points.extend([prev + 1, (prev + end) / 2, end - 1, end]);
+        prev = end;
+    }
+
+    for kill_byte in crash_points {
+        let store = dir.join(format!("kill-{kill_byte}.jsonl"));
+        std::fs::remove_file(&store).ok();
+        let killed = Campaign::new(space())
+            .with_store(&store)
+            .with_store_io(Arc::new(FaultyIo::new(FaultPlan::kill_at_byte(
+                kill_byte as u64,
+            ))))
+            .run();
+        if kill_byte >= golden.len() {
+            // The final append ends exactly on the kill boundary: the
+            // campaign completes and the store is already golden.
+            killed.unwrap_or_else(|e| panic!("kill at {kill_byte}: {e}"));
+            assert_eq!(std::fs::read(&store).unwrap(), golden);
+            std::fs::remove_file(&store).ok();
+            continue;
+        }
+        killed.expect_err("a mid-store kill must abort the campaign");
+
+        // The dying process persisted exactly the golden prefix: every
+        // append below the kill byte, plus the torn head of the
+        // in-flight record.
+        assert_eq!(
+            std::fs::read(&store).unwrap(),
+            golden[..kill_byte],
+            "kill at byte {kill_byte}"
+        );
+
+        // Resume with healthy I/O: only the lost records re-simulate. A
+        // record survives if at most its trailing newline was lost —
+        // the reopen repairs the missing terminator.
+        let complete = boundaries.iter().filter(|&&e| e - 1 <= kill_byte).count();
+        let resumed = Campaign::new(space()).with_store(&store).run().unwrap();
+        assert_eq!(
+            (resumed.simulated, resumed.cache_hits),
+            (4 - complete, complete),
+            "kill at byte {kill_byte}: zero duplicate simulations"
+        );
+
+        // Recovery is bit-perfect: the healed store matches the
+        // uninterrupted run's bytes exactly.
+        assert_eq!(
+            std::fs::read(&store).unwrap(),
+            golden,
+            "kill at byte {kill_byte}"
+        );
+        std::fs::remove_file(&store).ok();
+    }
 }
 
 #[test]
