@@ -247,9 +247,9 @@ impl SimBackend for GpuBackend {
 }
 
 /// Every backend id the workspace knows, in CLI display order.
-pub const BACKEND_IDS: &[&str] = &["cycle", "analytical", "cpu", "gpu", "seed"];
+pub const BACKEND_IDS: &[&str] = &["cycle", "cycle-fast", "analytical", "cpu", "gpu", "seed"];
 
-/// Resolves any backend id in the workspace vocabulary — the three
+/// Resolves any backend id in the workspace vocabulary — the four
 /// `hygcn-core` backends plus the two platform models here.
 pub fn resolve(id: &str) -> Option<Arc<dyn SimBackend>> {
     match id {

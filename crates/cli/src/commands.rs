@@ -387,7 +387,7 @@ fn backend_from_args(args: &Args) -> Result<std::sync::Arc<dyn SimBackend>, CliE
 /// `hygcn campaign` — a multi-axis design-space campaign: cached,
 /// resumable, with Pareto + marginal reporting, a pluggable search
 /// strategy (`--strategy grid|random|successive-halving`), and a
-/// pluggable evaluation backend (`--backend cycle|analytical|cpu|gpu|
+/// pluggable evaluation backend (`--backend cycle|cycle-fast|analytical|cpu|gpu|
 /// seed`).
 pub fn campaign(args: &Args) -> Result<String, CliError> {
     let axes = Axis::parse_spec(args.get_or("axes", ""))?;
@@ -673,10 +673,11 @@ pub fn figures(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `hygcn bench` — host-throughput benchmark of `simulate()`: times the
-/// serial (1-thread) path against the parallel chunk pipeline on an
-/// RMAT-scale graph, verifies the two reports are bit-identical, and
-/// optionally writes a `BENCH_sim.json` trajectory file.
+/// `hygcn bench` — host-throughput benchmark of the cycle paths: times
+/// the seed reference, `simulate()` (serial and parallel), and the
+/// `cycle-fast` event-schedule backend on an RMAT-scale graph, verifies
+/// all reports are bit-identical, and optionally writes a
+/// `BENCH_sim.json` trajectory file.
 pub fn bench(args: &Args) -> Result<String, CliError> {
     use std::time::Instant;
 
@@ -707,56 +708,57 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
     let cfg = build_config(args)?;
     let sim = Simulator::new(cfg);
 
-    let time_best = |threads: usize| -> Result<(f64, hygcn_core::SimReport), CliError> {
-        hygcn_par::set_thread_override(Some(threads));
-        let mut best = f64::INFINITY;
-        let mut report = None;
-        let runs_result: Result<(), CliError> = (|| {
+    // Best-of-`runs` timing of one evaluation path. A missing report is
+    // a hard error, not a panic: arg validation guarantees `runs >= 1`,
+    // but the benchmark must degrade to a `CliError` if that invariant
+    // ever breaks rather than take the process down.
+    let time_path =
+        |eval: &dyn Fn() -> Result<hygcn_core::SimReport, hygcn_core::SimError>|
+         -> Result<(f64, hygcn_core::SimReport), CliError> {
+            let mut best = f64::INFINITY;
+            let mut report = None;
             for _ in 0..runs {
                 let t0 = Instant::now();
-                let r = sim
-                    .simulate(&graph, &model)
-                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                let r = eval().map_err(|e| CliError::Runtime(e.to_string()))?;
                 best = best.min(t0.elapsed().as_secs_f64());
                 report = Some(r);
             }
-            Ok(())
-        })();
+            report
+                .map(|r| (best, r))
+                .ok_or_else(|| CliError::Runtime("bench completed zero runs".to_string()))
+        };
+    let time_best = |threads: usize| -> Result<(f64, hygcn_core::SimReport), CliError> {
+        hygcn_par::set_thread_override(Some(threads));
+        let result = time_path(&|| sim.simulate(&graph, &model));
         hygcn_par::set_thread_override(None);
-        runs_result.map(|()| (best, report.expect("runs >= 1")))
+        result
     };
 
     // The seed path: serial, gather-and-sort planning, per-chunk
     // allocations — the "before" this benchmark measures against.
-    let time_reference = || -> Result<(f64, hygcn_core::SimReport), CliError> {
-        let mut best = f64::INFINITY;
-        let mut report = None;
-        for _ in 0..runs {
-            let t0 = Instant::now();
-            let r = sim
-                .simulate_reference(&graph, &model)
-                .map_err(|e| CliError::Runtime(e.to_string()))?;
-            best = best.min(t0.elapsed().as_secs_f64());
-            report = Some(r);
-        }
-        Ok((best, report.expect("runs >= 1")))
-    };
-
-    let (reference_s, reference_report) = time_reference()?;
-    let (serial_s, serial_report) = time_best(1)?;
+    let (seed_s, seed_report) = time_path(&|| sim.simulate_reference(&graph, &model))?;
+    let (cycle_s, cycle_report) = time_best(1)?;
+    // The event-schedule backend; the first run builds the graph's
+    // occupancy index, later runs hit its cache, so best-of-N reports
+    // the warm cost a campaign or figure grid would pay.
+    let (fast_s, fast_report) =
+        time_path(&|| hygcn_core::cycle_fast::simulate_fast(sim.config(), &graph, &model))?;
     let (parallel_s, parallel_report) = time_best(threads.max(1))?;
-    let identical = serial_report == parallel_report && reference_report == parallel_report;
-    let speedup = reference_s / parallel_s;
-    let thread_speedup = serial_s / parallel_s;
+    let identical = cycle_report == parallel_report
+        && seed_report == parallel_report
+        && fast_report == parallel_report;
+    let speedup = seed_s / fast_s;
+    let thread_speedup = cycle_s / parallel_s;
 
     let mut out = format!(
         "simulate() host throughput: {} on RMAT ({} vertices, {} edges, f={})\n\
          chunks: {}   threads: {}   best of {} runs\n\
          seed path:  {:>9.1} ms   (serial, gather+sort, per-chunk allocs)\n\
-         optimized:  {:>9.1} ms   (1 thread)\n\
+         cycle:      {:>9.1} ms   (1 thread)\n\
+         cycle-fast: {:>9.1} ms   (1 thread, precompiled event schedule)\n\
          parallel:   {:>9.1} ms   ({} threads)\n\
          speedup:    {:>9.2}x vs seed path   ({:.2}x from threads)\n\
-         reports bit-identical across all three paths: {}\n\
+         reports bit-identical across all four paths: {}\n\
          HBM: {} channels, row hit rate {:.3}\n",
         kind.abbrev(),
         graph.num_vertices(),
@@ -765,8 +767,9 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
         parallel_report.chunks,
         threads,
         runs,
-        reference_s * 1e3,
-        serial_s * 1e3,
+        seed_s * 1e3,
+        cycle_s * 1e3,
+        fast_s * 1e3,
         parallel_s * 1e3,
         threads,
         speedup,
@@ -777,12 +780,12 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
     );
     if !identical {
         return Err(CliError::Runtime(
-            "seed, serial, and parallel SimReports diverged".to_string(),
+            "seed, cycle, cycle-fast, and parallel SimReports diverged".to_string(),
         ));
     }
     if let Some(path) = args.get("json") {
         let json = format!(
-            "{{\n  \"bench\": \"sim\",\n  \"model\": \"{}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"feature_len\": {},\n  \"chunks\": {},\n  \"threads\": {},\n  \"runs\": {},\n  \"seed_ms\": {:.3},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup_vs_seed\": {:.3},\n  \"thread_speedup\": {:.3},\n  \"identical_reports\": {},\n  \"cycles\": {},\n  \"dram_bytes\": {},\n  \"hbm_channels\": {},\n  \"row_hit_rate\": {:.6}\n}}\n",
+            "{{\n  \"bench\": \"sim\",\n  \"model\": \"{}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"feature_len\": {},\n  \"chunks\": {},\n  \"threads\": {},\n  \"runs\": {},\n  \"seed_ms\": {:.3},\n  \"cycle_ms\": {:.3},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup_vs_seed\": {:.3},\n  \"thread_speedup\": {:.3},\n  \"identical_reports\": {},\n  \"cycles\": {},\n  \"dram_bytes\": {},\n  \"hbm_channels\": {},\n  \"row_hit_rate\": {:.6}\n}}\n",
             kind.abbrev(),
             graph.num_vertices(),
             graph.num_edges(),
@@ -790,8 +793,9 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
             parallel_report.chunks,
             threads,
             runs,
-            reference_s * 1e3,
-            serial_s * 1e3,
+            seed_s * 1e3,
+            cycle_s * 1e3,
+            fast_s * 1e3,
             parallel_s * 1e3,
             speedup,
             thread_speedup,
@@ -801,7 +805,15 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
             parallel_report.mem_channels.len(),
             parallel_report.mem.row_hit_rate(),
         );
-        std::fs::write(path, json).map_err(|e| CliError::Runtime(e.to_string()))?;
+        // Same durability idiom as the campaign store: stage next to the
+        // destination, then rename, so a crash mid-write can never leave
+        // a torn trajectory file behind.
+        let dest = std::path::Path::new(path);
+        let tmp = dest.with_extension("tmp");
+        std::fs::write(&tmp, json)
+            .map_err(|e| CliError::Runtime(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, dest)
+            .map_err(|e| CliError::Runtime(format!("renaming {} -> {path}: {e}", tmp.display())))?;
         out += &format!("wrote {path}\n");
     }
     Ok(out)
@@ -851,7 +863,7 @@ commands:
                clock-ghz/t-row
              --datasets IB,CR,...  --models GCN,GIN,...
              --scale F  --seed N
-             --backend cycle|analytical|cpu|gpu|seed (evaluation
+             --backend cycle|cycle-fast|analytical|cpu|gpu|seed (evaluation
                backend; every backend caches under its own keys in the
                same store — analytical screens points in microseconds)
              --sample N --sample-seed S (random subset of the grid)
@@ -872,7 +884,7 @@ commands:
              engine: hygcn figures <fig02|fig10|...|fig18|table02|
              table03|table07|ablation|all>
              --scale F (multiplier on each dataset's bench scale)
-             --backend cycle|analytical|cpu|gpu|seed (re-targets the
+             --backend cycle|cycle-fast|analytical|cpu|gpu|seed (re-targets the
                accelerator spaces; fig10/fig11's cpu/gpu baseline
                spaces always run their own backends)
              --csv DIR / --json DIR (export each artifact's campaign
@@ -886,7 +898,8 @@ commands:
                the store canonically (checksummed, key-ordered, deduped)
              stats: record/byte counts, checksum coverage, per-backend
                breakdown, quarantined-line count
-  bench      host-throughput benchmark: serial vs parallel simulate()
+  bench      host-throughput benchmark: seed vs cycle (serial and
+             parallel) vs the cycle-fast event-schedule backend
              --vertices N  --degree K  --feature-len F  --runs R
              --threads T  --json FILE (writes a BENCH_sim.json record)
   datasets   list the Table 4 benchmark datasets
@@ -1364,6 +1377,110 @@ mod tests {
         std::fs::remove_file(&store).ok();
         // Unknown backends fail loudly.
         assert!(campaign(&Args::parse(toks("warp"), CAMPAIGN_FLAGS).unwrap()).is_err());
+    }
+
+    #[test]
+    fn campaign_cycle_fast_backend_caches_separately_from_cycle() {
+        // `cycle-fast` reports are bit-identical to `cycle`'s, which
+        // makes silent cross-backend cache hits especially easy to miss
+        // — so prove the ids key separate store records.
+        let dir = std::env::temp_dir().join("hygcn-cli-test-fastkey");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("cli-fast-backend.jsonl");
+        std::fs::remove_file(&store).ok();
+        let toks = |backend: &str| {
+            vec![
+                "campaign".to_string(),
+                "--datasets".into(),
+                "IB".into(),
+                "--scale".into(),
+                "0.1".into(),
+                "--axes".into(),
+                "aggbuf-mb=4,16".into(),
+                "--backend".into(),
+                backend.into(),
+                "--store".into(),
+                store.to_str().unwrap().into(),
+            ]
+        };
+        let run =
+            |backend: &str| campaign(&Args::parse(toks(backend), CAMPAIGN_FLAGS).unwrap()).unwrap();
+        assert!(run("cycle").contains("2 simulated, 0 cached"));
+        // cycle-fast never hits cycle-keyed records...
+        assert!(run("cycle-fast").contains("2 simulated, 0 cached"));
+        // ...but re-hits its own, and leaves cycle's untouched.
+        assert!(run("cycle-fast").contains("0 simulated, 2 cached"));
+        assert!(run("cycle").contains("0 simulated, 2 cached"));
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn bench_simulation_failure_is_an_error_not_a_panic() {
+        let bench_args =
+            |toks: &[&str]| Args::parse(toks.iter().map(|s| s.to_string()), BENCH_FLAGS).unwrap();
+        // Half of an 8 KB input buffer cannot hold one f=4096 feature
+        // row, so every timed path fails — which must surface as a
+        // CliError from the timing loop, not a panic.
+        let err = bench(&bench_args(&[
+            "bench",
+            "--vertices",
+            "1024",
+            "--feature-len",
+            "4096",
+            "--inputbuf-kb",
+            "8",
+            "--runs",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(
+            format!("{err}").contains("buffer"),
+            "expected a buffer error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn bench_json_is_atomic_and_covers_all_four_paths() {
+        let dir = std::env::temp_dir().join("hygcn-cli-test-bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("bench.json");
+        std::fs::remove_file(&json).ok();
+        let bench_args =
+            |toks: &[&str]| Args::parse(toks.iter().map(|s| s.to_string()), BENCH_FLAGS).unwrap();
+        let out = bench(&bench_args(&[
+            "bench",
+            "--vertices",
+            "1024",
+            "--degree",
+            "4",
+            "--feature-len",
+            "32",
+            "--runs",
+            "1",
+            "--threads",
+            "1",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("cycle-fast:"), "{out}");
+        assert!(
+            out.contains("bit-identical across all four paths: true"),
+            "{out}"
+        );
+        let body = std::fs::read_to_string(&json).unwrap();
+        for field in [
+            "\"seed_ms\"",
+            "\"cycle_ms\"",
+            "\"serial_ms\"",
+            "\"parallel_ms\"",
+            "\"identical_reports\": true",
+        ] {
+            assert!(body.contains(field), "missing {field} in {body}");
+        }
+        // The staged write leaves no temp file behind.
+        assert!(!json.with_extension("tmp").exists());
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

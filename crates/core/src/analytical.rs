@@ -85,6 +85,24 @@ impl SimBackend for AnalyticalBackend {
     }
 }
 
+/// Saturating `f64 → u64` with round-to-nearest, for folding the
+/// model's floating-point quantities into integer report fields. The
+/// bare `as u64` casts this replaces truncated toward zero silently —
+/// biasing every accounting total low by up to one unit per cast and
+/// mapping out-of-range garbage to arbitrary values. NaN and negative
+/// inputs map to 0; values beyond `u64::MAX` saturate.
+fn round_u64(x: f64) -> u64 {
+    if x.is_nan() || x <= 0.0 {
+        return 0;
+    }
+    let r = x.round();
+    if r >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        r as u64
+    }
+}
+
 /// Expected occupied rows, effectual windows, and loaded rows for one
 /// chunk: `m` edges uniform over `n` source rows, window height `h`.
 ///
@@ -132,28 +150,9 @@ fn analytical_report(
     cfg: &HyGcnConfig,
 ) -> Result<SimReport, SimError> {
     // --- Input validation: identical contract to `simulate()`. ---
+    crate::validate::validate_inputs(graph, model, cfg)?;
     let f_in = model.feature_len();
-    if graph.feature_len() != f_in {
-        return Err(SimError::Gcn(hygcn_gcn::GcnError::FeatureShape {
-            expected: (graph.num_vertices(), f_in),
-            found: (graph.num_vertices(), graph.feature_len()),
-        }));
-    }
     let row_bytes = (f_in * 4) as u64;
-    if cfg.input_buffer_bytes / 2 < row_bytes as usize {
-        return Err(SimError::BufferTooSmall {
-            buffer: "input",
-            needed: row_bytes as usize,
-            available: cfg.input_buffer_bytes / 2,
-        });
-    }
-    if cfg.aggregation_buffer_bytes / 2 < row_bytes as usize {
-        return Err(SimError::BufferTooSmall {
-            buffer: "aggregation",
-            needed: row_bytes as usize,
-            available: cfg.aggregation_buffer_bytes / 2,
-        });
-    }
 
     let kind = model.kind();
     let policy = cfg.sample_policy_override.unwrap_or(kind.sample_policy());
@@ -274,9 +273,11 @@ fn analytical_report(
 
         // Combination: the real engine's O(1) cost formulas, reused.
         let extra_macs = if kind == ModelKind::DiffPool {
-            (verts * fw * clusters
-                + verts * clusters * out_len
-                + edges * clusters * clusters / 64.0) as u64
+            round_u64(
+                verts * fw * clusters
+                    + verts * clusters * out_len
+                    + edges * clusters * clusters / 64.0,
+            )
         } else {
             0
         };
@@ -302,16 +303,16 @@ fn analytical_report(
         };
 
         // Activity accounting (mirrors `simulate()`'s fold).
-        act.simd_ops += elem_ops as u64;
-        act.agg_buffer_traffic += (2.0 * edges * 4.0 * paths
-            + rows * row_bytes as f64
-            + edges * row_bytes as f64 * paths) as u64;
-        act.coordinator_buffer_traffic += (2.0 * elem_ops * 4.0) as u64 + c.agg_buffer_bytes;
-        act.agg_hbm_bytes += agg_bytes as u64;
+        act.simd_ops += round_u64(elem_ops);
+        act.agg_buffer_traffic += round_u64(
+            2.0 * edges * 4.0 * paths + rows * row_bytes as f64 + edges * row_bytes as f64 * paths,
+        );
+        act.coordinator_buffer_traffic += round_u64(2.0 * elem_ops * 4.0) + c.agg_buffer_bytes;
+        act.agg_hbm_bytes += round_u64(agg_bytes);
         act.macs += c.macs;
         act.comb_buffer_traffic += c.weight_buffer_bytes + c.output_buffer_bytes;
         act.comb_hbm_bytes += c.summary.total_bytes();
-        act.spill_hbm_bytes += (2.0 * spill_bytes) as u64;
+        act.spill_hbm_bytes += round_u64(2.0 * spill_bytes);
 
         elem_ops_total += elem_ops;
         macs_total += c.macs;
@@ -404,16 +405,16 @@ fn analytical_report(
     }
 
     // --- Report assembly. ---
-    let cycles_u = (cycles.round() as u64).max(1);
+    let cycles_u = round_u64(cycles).max(1);
     let time_s = cfg.cycles_to_seconds(cycles_u);
-    let bursts_total = ((bytes_read + bytes_written) / burst).ceil();
-    let misses_u = (misses_total.round() as u64).min(bursts_total as u64);
+    let bursts_total = round_u64(((bytes_read + bytes_written) / burst).ceil());
+    let misses_u = round_u64(misses_total).min(bursts_total);
     let stats = MemStats {
-        bytes_read: bytes_read as u64,
-        bytes_written: bytes_written as u64,
-        row_hits: bursts_total as u64 - misses_u,
+        bytes_read: round_u64(bytes_read),
+        bytes_written: round_u64(bytes_written),
+        row_hits: bursts_total - misses_u,
         row_misses: misses_u,
-        requests: requests_total.round() as u64,
+        requests: round_u64(requests_total),
         last_completion: cycles_u,
     };
     let baseline_rows = n * nchunks as f64;
@@ -421,8 +422,8 @@ fn analytical_report(
     Ok(SimReport {
         cycles: cycles_u,
         time_s,
-        agg_compute_cycles: agg_compute.round() as u64,
-        comb_compute_cycles: comb_compute.round() as u64,
+        agg_compute_cycles: round_u64(agg_compute),
+        comb_compute_cycles: round_u64(comb_compute),
         bandwidth_utilization: stats.bandwidth_utilization(cycles_u, hbm.peak_bytes_per_cycle()),
         mem: stats,
         mem_channels: Vec::new(),
@@ -434,7 +435,7 @@ fn analytical_report(
             0.0
         },
         chunks: nchunks,
-        elem_ops: elem_ops_total.round() as u64,
+        elem_ops: round_u64(elem_ops_total),
         macs: macs_total,
         timeline: Vec::new(),
         provenance: "analytical",
@@ -571,6 +572,56 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// Adding edges to a fixed vertex set never makes the analytical
+        /// model report fewer cycles or less DRAM traffic. Before the
+        /// rounding fix this held only by luck: the bare `as u64` casts
+        /// truncated each chunk's totals independently, so a larger
+        /// float total could land on a smaller integer.
+        #[test]
+        fn analytical_is_monotone_in_edge_count(
+            n in 256usize..2048,
+            m1 in 1usize..20_000,
+            extra in 1usize..20_000,
+            seed in 0u64..64,
+        ) {
+            let m2 = m1 + extra;
+            let f = 64;
+            let make = |m: usize| {
+                rmat(n, m, RmatParams::default(), seed)
+                    .unwrap()
+                    .with_feature_len(f)
+            };
+            let model = GcnModel::new(ModelKind::Gcn, f, 1).unwrap();
+            let cfg = HyGcnConfig::default();
+            let sparse = AnalyticalBackend.evaluate(&make(m1), &model, &cfg).unwrap();
+            let dense = AnalyticalBackend.evaluate(&make(m2), &model, &cfg).unwrap();
+            proptest::prop_assert!(
+                dense.cycles >= sparse.cycles,
+                "cycles fell when edges grew: {} edges -> {}, {} edges -> {}",
+                m1, sparse.cycles, m2, dense.cycles,
+            );
+            proptest::prop_assert!(
+                dense.dram_bytes() >= sparse.dram_bytes(),
+                "dram fell when edges grew: {} edges -> {}, {} edges -> {}",
+                m1, sparse.dram_bytes(), m2, dense.dram_bytes(),
+            );
+        }
+    }
+
+    #[test]
+    fn round_u64_rounds_and_saturates() {
+        assert_eq!(round_u64(0.0), 0);
+        assert_eq!(round_u64(-3.7), 0);
+        assert_eq!(round_u64(f64::NAN), 0);
+        assert_eq!(round_u64(99.4), 99);
+        assert_eq!(round_u64(99.5), 100, "round, not truncate");
+        assert_eq!(round_u64(99.999_999), 100, "the old cast lost this");
+        assert_eq!(round_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(round_u64(1e300), u64::MAX);
     }
 
     #[test]

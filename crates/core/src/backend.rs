@@ -24,7 +24,7 @@
 //!   that backend's cached campaigns.
 //! * Fields a backend does not model are **zeroed, never invented**, and
 //!   [`SimReport::provenance`] carries the backend id for every backend
-//!   other than the two golden cycle paths (whose serialized form
+//!   other than the three golden cycle paths (whose serialized form
 //!   predates the marker and is pinned by golden snapshots).
 //!
 //! ## Which backend to use
@@ -32,6 +32,7 @@
 //! | id           | models                                   | cost per point | use for |
 //! |--------------|------------------------------------------|----------------|---------|
 //! | `cycle`      | execution-driven, per-request HBM walk   | ms             | results |
+//! | `cycle-fast` | same physics on a precompiled event schedule ([`crate::cycle_fast`]) | ms (≥5x faster warm) | repeated evaluations of one graph |
 //! | `seed`       | the seed implementation (oracle)         | ms (slower)    | differential testing |
 //! | `analytical` | O(chunks) roofline ([`crate::analytical`]) | µs           | campaign screening |
 //! | `cpu`, `gpu` | PyG platform models (`hygcn-baseline`)   | µs             | speedup/energy baselines |
@@ -110,12 +111,13 @@ impl SimBackend for SeedReferenceBackend {
 }
 
 /// Resolves a backend id to one of the backends *this crate* provides
-/// (`cycle`, `seed`, `analytical`). The platform backends (`cpu`, `gpu`)
-/// live in `hygcn-baseline`; `hygcn_baseline::backend::resolve` covers
-/// the full vocabulary.
+/// (`cycle`, `cycle-fast`, `seed`, `analytical`). The platform backends
+/// (`cpu`, `gpu`) live in `hygcn-baseline`;
+/// `hygcn_baseline::backend::resolve` covers the full vocabulary.
 pub fn core_backend(id: &str) -> Option<std::sync::Arc<dyn SimBackend>> {
     match id {
         "cycle" => Some(std::sync::Arc::new(CycleAccurateBackend)),
+        "cycle-fast" => Some(std::sync::Arc::new(crate::cycle_fast::CycleFastBackend)),
         "seed" => Some(std::sync::Arc::new(SeedReferenceBackend)),
         "analytical" => Some(std::sync::Arc::new(crate::analytical::AnalyticalBackend)),
         _ => None,
@@ -157,7 +159,7 @@ mod tests {
 
     #[test]
     fn core_resolver_knows_its_backends() {
-        for id in ["cycle", "seed", "analytical"] {
+        for id in ["cycle", "cycle-fast", "seed", "analytical"] {
             let b = core_backend(id).unwrap_or_else(|| panic!("{id} must resolve"));
             assert_eq!(b.backend_id(), id);
         }
@@ -172,6 +174,7 @@ mod tests {
         for backend in [
             &CycleAccurateBackend as &dyn SimBackend,
             &SeedReferenceBackend,
+            &crate::cycle_fast::CycleFastBackend,
         ] {
             assert!(matches!(
                 backend.evaluate(&g, &wrong, &HyGcnConfig::default()),

@@ -1,0 +1,426 @@
+//! The `cycle-fast` backend: the cycle-accurate model on a precompiled
+//! event schedule.
+//!
+//! Same physics, faster machinery. Where [`Simulator::simulate`] plans
+//! every effectual window with an O(V+E) sweep per call and walks DRAM
+//! by materializing per-channel segment queues, this path:
+//!
+//! * pulls window spans from the design point's [`EventSchedule`] —
+//!   backed by the graph's cached occupancy bitmaps, so repeated
+//!   evaluations of one graph (a campaign, a figure grid, a benchmark
+//!   loop) skip planning almost entirely;
+//! * advances the HBM timeline with [`SpanWalker`], which services each
+//!   request's row-aligned spans inline in one pass instead of staging
+//!   [`Segment`] queues — jumping event-to-event over precomputed spans
+//!   rather than interpreting a segment stream.
+//!
+//! ## Contract: bit-identical to `cycle`
+//!
+//! Every [`SimReport`] field — cycles, DRAM traffic, energy,
+//! `mem_channels`, timeline — equals [`Simulator::simulate`]'s output
+//! exactly (`tests/backends.rs` and `tests/oracle.rs` enforce this over
+//! a differential proptest corpus and the pinned figure grid). The two
+//! ingredients that make the equivalence exact:
+//!
+//! * bitmap-extracted windows have the same row spans as Algorithm 4's,
+//!   and the engine derives per-chunk edge counts from CSC offsets, so
+//!   the lost multiplicity is never missed;
+//! * the span walk is bit-identical to the staged channel drain under
+//!   the in-order controller (see [`hygcn_mem::spanwalk`]).
+//!
+//! Design points the fast machinery cannot reproduce exactly delegate
+//! wholesale to [`Simulator::simulate`]: reordering controllers
+//! (FR-FCFS needs the staged queues) and sampling models (the sampled
+//! graph is rebuilt per call, so cached bitmaps would thrash on
+//! throwaway topology).
+//!
+//! [`Segment`]: hygcn_mem::address::Segment
+//! [`SpanWalker`]: hygcn_mem::SpanWalker
+
+use hygcn_gcn::aggregate::SelfTerm;
+use hygcn_gcn::model::{GcnModel, ModelKind, DIFFPOOL_CLUSTERS};
+use hygcn_graph::Graph;
+use hygcn_mem::request::{MemRequest, RequestArena, RequestKind};
+use hygcn_mem::scheduler::AccessScheduler;
+use hygcn_mem::SpanWalker;
+
+use crate::backend::SimBackend;
+use crate::config::{HyGcnConfig, PipelineMode};
+use crate::energy::{Activity, EnergyBreakdown};
+use crate::engine::aggregation::{AggregationEngine, ChunkAggregation};
+use crate::engine::combination::{ChunkCombination, CombinationEngine, SystolicMode};
+use crate::error::SimError;
+use crate::layout::AddressLayout;
+use crate::report::SimReport;
+use crate::schedule::EventSchedule;
+use crate::sim::Simulator;
+use crate::timeline::ChunkTrace;
+
+/// The event-schedule cycle backend (id `"cycle-fast"`). Bit-identical
+/// to [`crate::backend::CycleAccurateBackend`]; prefer it when the same
+/// graph is evaluated many times. Reports carry no provenance marker —
+/// they *are* the golden cycle form.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleFastBackend;
+
+impl SimBackend for CycleFastBackend {
+    fn backend_id(&self) -> &'static str {
+        "cycle-fast"
+    }
+
+    fn evaluate(
+        &self,
+        graph: &Graph,
+        model: &GcnModel,
+        config: &HyGcnConfig,
+    ) -> Result<SimReport, SimError> {
+        simulate_fast(config, graph, model)
+    }
+}
+
+/// [`Simulator::simulate`] on the fast machinery; see the module docs.
+///
+/// # Errors
+///
+/// Exactly the errors of [`Simulator::simulate`].
+#[allow(clippy::too_many_lines)]
+pub fn simulate_fast(
+    cfg: &HyGcnConfig,
+    graph: &Graph,
+    model: &GcnModel,
+) -> Result<SimReport, SimError> {
+    crate::validate::validate_inputs(graph, model, cfg)?;
+
+    let kind = model.kind();
+    let policy = cfg.sample_policy_override.unwrap_or(kind.sample_policy());
+    let walker = SpanWalker::new(&cfg.hbm);
+    let (Some(mut hbm), false) = (walker, policy.is_sampling()) else {
+        // Reordering controller or per-call sampled topology: the slow
+        // path is the only exact evaluator.
+        return Simulator::new(cfg.clone()).simulate(graph, model);
+    };
+    let g = graph;
+
+    let f_in = model.feature_len();
+    let row_bytes = f_in * 4;
+    let n = g.num_vertices() as u64;
+    let dims = kind.mlp_dims(f_in);
+    let layout = AddressLayout::new(n, g.num_edges() as u64, row_bytes as u64, &dims);
+    let agg_engine = AggregationEngine::new(cfg, f_in, layout.feature_base, layout.edge_base);
+    let comb_engine = CombinationEngine::new(cfg, &dims, layout.weight_base, layout.output_base);
+    let spill_base = layout.spill_base;
+
+    let include_self = !matches!(kind.self_term(), SelfTerm::None);
+    let paths: u64 = if kind == ModelKind::DiffPool { 2 } else { 1 };
+    let sched = EventSchedule::build(g, cfg, f_in);
+    let intervals = sched.intervals();
+    let nchunks = intervals.len();
+
+    let mode = match cfg.pipeline {
+        PipelineMode::LatencyAware => SystolicMode::Independent,
+        PipelineMode::EnergyAware | PipelineMode::None => SystolicMode::Cooperative,
+    };
+    let weights_resident = comb_engine.weights_resident();
+    let clusters = DIFFPOOL_CLUSTERS as u64;
+
+    // --- Per-chunk engine records (serial: the records are cheap once
+    // planning is precompiled, and the walk below is the long pole). ---
+    let mut arena = RequestArena::with_capacity(sched.total_windows() + 3 * nchunks);
+    let mut aggs: Vec<ChunkAggregation> = Vec::with_capacity(nchunks);
+    let mut combs: Vec<ChunkCombination> = Vec::with_capacity(nchunks);
+    for (i, &dst) in intervals.iter().enumerate() {
+        let a = agg_engine.process_chunk_with_windows(
+            g,
+            dst,
+            f_in,
+            include_self,
+            0, // no sampling on this path
+            paths,
+            &mut arena,
+            sched.windows(i),
+        );
+        let extra_macs = if kind == ModelKind::DiffPool {
+            dst.len() as u64 * f_in as u64 * clusters
+                + dst.len() as u64 * clusters * comb_engine.out_len()
+                + a.edges * clusters * clusters / 64
+        } else {
+            0
+        };
+        let c = comb_engine.process_chunk(
+            dst.len() as u64,
+            mode,
+            i == 0 || !weights_resident,
+            extra_macs,
+            i as u64,
+            &mut arena,
+        );
+        aggs.push(a);
+        combs.push(c);
+    }
+
+    // --- Activity accounting (energy). ---
+    let mut act = Activity::default();
+    for a in &aggs {
+        act.simd_ops += a.elem_ops;
+        act.agg_buffer_traffic += a.edge_buffer_bytes + a.input_buffer_bytes;
+        act.coordinator_buffer_traffic += a.agg_buffer_bytes;
+        act.agg_hbm_bytes += a.summary.total_bytes();
+    }
+    for c in &combs {
+        act.macs += c.macs;
+        act.comb_buffer_traffic += c.weight_buffer_bytes + c.output_buffer_bytes;
+        act.coordinator_buffer_traffic += c.agg_buffer_bytes;
+        act.comb_hbm_bytes += c.summary.total_bytes();
+    }
+
+    // --- Timeline via the span walk. ---
+    let scheduler = AccessScheduler::new(cfg.coordination);
+    let mut now = 0u64;
+    let mut vertex_latency_weighted = 0f64;
+    let mut timeline: Vec<ChunkTrace> = Vec::new();
+    let mut batch: Vec<MemRequest> = Vec::new();
+    let mut order_scratch: Vec<MemRequest> = Vec::new();
+
+    match cfg.pipeline {
+        PipelineMode::None => {
+            for (i, dst) in intervals.iter().enumerate() {
+                let spill_bytes = (dst.len() * row_bytes) as u64 * paths;
+                let spill_addr = spill_base + u64::from(dst.start) * row_bytes as u64;
+
+                batch.clear();
+                batch.extend_from_slice(arena.slice(aggs[i].span));
+                batch.push(MemRequest::write(
+                    RequestKind::OutputFeatures,
+                    spill_addr,
+                    spill_bytes as u32,
+                ));
+                scheduler.order_in_place(&mut batch, &mut order_scratch);
+                let mem_a = hbm.service_batch(&batch, now);
+                let step_a = aggs[i].compute_cycles.max(mem_a.saturating_sub(now));
+                if cfg.record_timeline {
+                    timeline.push(ChunkTrace {
+                        step: 2 * i,
+                        agg_cycles: aggs[i].compute_cycles,
+                        comb_cycles: 0,
+                        mem_cycles: mem_a.saturating_sub(now),
+                        step_cycles: step_a,
+                    });
+                }
+                now += step_a;
+
+                batch.clear();
+                batch.extend_from_slice(arena.slice(combs[i].span));
+                batch.push(MemRequest::read(
+                    RequestKind::InputFeatures,
+                    spill_addr,
+                    spill_bytes as u32,
+                ));
+                scheduler.order_in_place(&mut batch, &mut order_scratch);
+                let mem_b = hbm.service_batch(&batch, now);
+                let step_b = combs[i].compute_cycles.max(mem_b.saturating_sub(now));
+                if cfg.record_timeline {
+                    timeline.push(ChunkTrace {
+                        step: 2 * i + 1,
+                        agg_cycles: 0,
+                        comb_cycles: combs[i].compute_cycles,
+                        mem_cycles: mem_b.saturating_sub(now),
+                        step_cycles: step_b,
+                    });
+                }
+                now += step_b;
+
+                act.spill_hbm_bytes += 2 * spill_bytes;
+                vertex_latency_weighted += (step_a + step_b) as f64 * dst.len() as f64;
+            }
+        }
+        PipelineMode::LatencyAware | PipelineMode::EnergyAware => {
+            let same_chunk = cfg.pipeline == PipelineMode::LatencyAware;
+            let steps = if same_chunk { nchunks } else { nchunks + 1 };
+            let mut agg_step_time = vec![0u64; nchunks];
+            for s in 0..steps {
+                let comb_idx = if same_chunk {
+                    Some(s)
+                } else {
+                    s.checked_sub(1)
+                };
+                batch.clear();
+                if s < nchunks {
+                    batch.extend_from_slice(arena.slice(aggs[s].span));
+                }
+                if let Some(c) = comb_idx {
+                    batch.extend_from_slice(arena.slice(combs[c].span));
+                }
+                let mem_done = if batch.is_empty() {
+                    now
+                } else {
+                    scheduler.order_in_place(&mut batch, &mut order_scratch);
+                    hbm.service_batch(&batch, now)
+                };
+                let compute_a = if s < nchunks {
+                    aggs[s].compute_cycles
+                } else {
+                    0
+                };
+                let compute_b = comb_idx.map_or(0, |c| combs[c].compute_cycles);
+                let step = compute_a.max(compute_b).max(mem_done.saturating_sub(now));
+                if s < nchunks {
+                    agg_step_time[s] = step;
+                }
+                if cfg.record_timeline {
+                    timeline.push(ChunkTrace {
+                        step: s,
+                        agg_cycles: compute_a,
+                        comb_cycles: compute_b,
+                        mem_cycles: mem_done.saturating_sub(now),
+                        step_cycles: step,
+                    });
+                }
+                now += step;
+            }
+            for (i, dst) in intervals.iter().enumerate() {
+                let latency = match mode {
+                    SystolicMode::Independent => {
+                        let assembly = cfg.module_group_vertices as u64 * agg_step_time[i]
+                            / dst.len().max(1) as u64;
+                        agg_step_time[i] * 3 / 4 + assembly + combs[i].first_group_cycles
+                    }
+                    SystolicMode::Cooperative => agg_step_time[i] + combs[i].compute_cycles,
+                };
+                vertex_latency_weighted += latency as f64 * dst.len() as f64;
+            }
+        }
+    }
+
+    // --- Report. ---
+    let total_rows_loaded: u64 = aggs.iter().map(|a| a.feature_rows_loaded).sum();
+    let baseline_rows = n * nchunks as u64;
+    let sparsity_reduction = if baseline_rows > 0 {
+        1.0 - total_rows_loaded as f64 / baseline_rows as f64
+    } else {
+        0.0
+    };
+    let stats = hbm.stats();
+    let cycles = now.max(1);
+    let time_s = cfg.cycles_to_seconds(cycles);
+    Ok(SimReport {
+        cycles,
+        time_s,
+        agg_compute_cycles: aggs.iter().map(|a| a.compute_cycles).sum(),
+        comb_compute_cycles: combs.iter().map(|c| c.compute_cycles).sum(),
+        mem: stats,
+        mem_channels: hbm.channel_stats(),
+        bandwidth_utilization: stats.bandwidth_utilization(cycles, cfg.hbm.peak_bytes_per_cycle()),
+        energy: EnergyBreakdown::from_activity(&act).with_static(time_s),
+        avg_vertex_latency_cycles: vertex_latency_weighted / n.max(1) as f64,
+        sparsity_reduction: sparsity_reduction.max(0.0),
+        chunks: nchunks,
+        elem_ops: act.simd_ops,
+        macs: act.macs,
+        timeline,
+        provenance: "",
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use hygcn_graph::generator::{preferential_attachment, rmat, RmatParams};
+    use hygcn_mem::hbm::ControllerPolicy;
+    use hygcn_mem::scheduler::CoordinationMode;
+
+    fn assert_identical(g: &Graph, m: &GcnModel, cfg: &HyGcnConfig, what: &str) {
+        let fast = simulate_fast(cfg, g, m).unwrap();
+        let slow = Simulator::new(cfg.clone()).simulate(g, m).unwrap();
+        assert_eq!(fast, slow, "cycle-fast diverged from cycle: {what}");
+    }
+
+    #[test]
+    fn matches_cycle_across_pipeline_modes() {
+        let g = rmat(2048, 24_000, RmatParams::default(), 4)
+            .unwrap()
+            .with_feature_len(128);
+        let m = GcnModel::new(ModelKind::Gcn, 128, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.aggregation_buffer_bytes = 1 << 20; // several chunks
+        for pipeline in [
+            PipelineMode::LatencyAware,
+            PipelineMode::EnergyAware,
+            PipelineMode::None,
+        ] {
+            cfg.pipeline = pipeline;
+            assert_identical(&g, &m, &cfg, &format!("{pipeline:?}"));
+        }
+    }
+
+    #[test]
+    fn matches_cycle_with_sparsity_off_and_fcfs() {
+        let g = rmat(1500, 9000, RmatParams::default(), 9)
+            .unwrap()
+            .with_feature_len(64);
+        let m = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.sparsity_elimination = false;
+        assert_identical(&g, &m, &cfg, "sparsity off");
+        cfg.sparsity_elimination = true;
+        cfg.coordination = CoordinationMode::Fcfs;
+        cfg.hbm = hygcn_mem::HbmConfig::hbm1_uncoordinated();
+        assert_identical(&g, &m, &cfg, "fcfs + uncoordinated mapping");
+    }
+
+    #[test]
+    fn matches_cycle_with_timeline_and_models() {
+        let g = preferential_attachment(1024, 4, 1)
+            .unwrap()
+            .with_feature_len(64);
+        let mut cfg = HyGcnConfig::default();
+        cfg.record_timeline = true;
+        for kind in [ModelKind::Gcn, ModelKind::DiffPool, ModelKind::Gin] {
+            let m = GcnModel::new(kind, 64, 1).unwrap();
+            assert_identical(&g, &m, &cfg, &format!("{kind:?} with timeline"));
+        }
+    }
+
+    #[test]
+    fn delegates_on_frfcfs_and_sampling() {
+        let g = rmat(1024, 20_000, RmatParams::default(), 5)
+            .unwrap()
+            .with_feature_len(64);
+        // FR-FCFS: delegation must still be bit-identical (it *is* the
+        // slow path).
+        let m = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.hbm.controller = ControllerPolicy::FrFcfs { window: 16 };
+        assert_identical(&g, &m, &cfg, "frfcfs delegation");
+        // GraphSage samples at runtime: same story.
+        let gs = GcnModel::new(ModelKind::GraphSage, 64, 1).unwrap();
+        assert_identical(&g, &gs, &HyGcnConfig::default(), "sampling delegation");
+    }
+
+    #[test]
+    fn backend_id_and_errors_match_contract() {
+        assert_eq!(CycleFastBackend.backend_id(), "cycle-fast");
+        let g = preferential_attachment(64, 4, 1)
+            .unwrap()
+            .with_feature_len(32);
+        let wrong = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        assert!(matches!(
+            CycleFastBackend.evaluate(&g, &wrong, &HyGcnConfig::default()),
+            Err(SimError::Gcn(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_evaluations_are_deterministic() {
+        let g = rmat(2000, 16_000, RmatParams::default(), 6)
+            .unwrap()
+            .with_feature_len(128);
+        let m = GcnModel::new(ModelKind::Gcn, 128, 1).unwrap();
+        let cfg = HyGcnConfig::default();
+        // Second call hits the graph's occupancy-index cache; the report
+        // must not care.
+        let first = simulate_fast(&cfg, &g, &m).unwrap();
+        let second = simulate_fast(&cfg, &g, &m).unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -183,15 +183,32 @@ impl AggregationEngine {
         let mut out = ChunkAggregation::default();
         let span_start = arena.begin();
 
+        // The chunk's edge count comes straight from the CSC offsets:
+        // `dst`'s columns are contiguous, so the range length is the sum
+        // every per-window `edge_count` would add up to. Deriving it here
+        // (rather than summing window counts) lets span-only window
+        // sources — the event-schedule fast path extracts windows from
+        // occupancy bitmaps, which carry no multiplicity — reuse this
+        // record construction unchanged.
+        let offsets = graph.csc().offsets();
+        let e_start = offsets[dst.start as usize] as u64;
+        let e_end = offsets[dst.end as usize] as u64;
+        out.edges = e_end - e_start;
+
         // --- Sparsity Eliminator: plan the effectual windows. ---
         if self.sparsity_elimination {
             let feature_base = self.feature_base;
-            let (mut rows_loaded, mut edges) = (0u64, 0u64);
+            let mut rows_loaded = 0u64;
+            #[cfg(debug_assertions)]
+            let mut planned_edges = 0u64;
             let mut summary = out.summary;
             plan(&mut |w| {
                 let rows = w.rows.len() as u64;
                 rows_loaded += rows;
-                edges += w.edge_count as u64;
+                #[cfg(debug_assertions)]
+                {
+                    planned_edges += w.edge_count as u64;
+                }
                 let req = MemRequest::read(
                     RequestKind::InputFeatures,
                     feature_base + u64::from(w.rows.start) * row_bytes,
@@ -200,8 +217,13 @@ impl AggregationEngine {
                 summary.record(&req);
                 arena.push(req);
             });
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                planned_edges == 0 || planned_edges == out.edges,
+                "window edge counts disagree with CSC: {planned_edges} vs {}",
+                out.edges
+            );
             out.feature_rows_loaded = rows_loaded;
-            out.edges = edges;
             out.summary = summary;
         } else {
             // Full sweep: every source interval is loaded whole.
@@ -220,14 +242,9 @@ impl AggregationEngine {
                 arena.push(req);
                 row += rows;
             }
-            out.edges = dst.iter().map(|v| graph.in_degree(v) as u64).sum::<u64>();
         }
 
         // --- Edge loads: the chunk's CSC columns are contiguous. ---
-        let offsets = graph.csc().offsets();
-        let e_start = offsets[dst.start as usize] as u64;
-        let e_end = offsets[dst.end as usize] as u64;
-        debug_assert_eq!(e_end - e_start, out.edges, "edge accounting");
         if out.edges > 0 {
             let req = MemRequest::read(
                 RequestKind::Edges,

@@ -57,21 +57,25 @@ pub mod analytical;
 pub mod backend;
 pub mod config;
 pub mod coordinator;
+pub mod cycle_fast;
 pub mod energy;
 pub mod engine;
 pub mod error;
 pub mod functional;
 pub mod layout;
 pub mod report;
+pub mod schedule;
 pub mod sim;
 pub mod sim_reference;
 pub mod stack;
 pub mod timeline;
 pub mod training;
+pub mod validate;
 
 pub use analytical::AnalyticalBackend;
 pub use backend::{core_backend, CycleAccurateBackend, SeedReferenceBackend, SimBackend};
 pub use config::HyGcnConfig;
+pub use cycle_fast::CycleFastBackend;
 pub use error::SimError;
 pub use report::SimReport;
 pub use sim::Simulator;

@@ -232,28 +232,9 @@ impl Simulator {
         model: &GcnModel,
     ) -> Result<SimReport, SimError> {
         let cfg = self.config();
+        crate::validate::validate_inputs(graph, model, cfg)?;
         let f_in = model.feature_len();
-        if graph.feature_len() != f_in {
-            return Err(SimError::Gcn(hygcn_gcn::GcnError::FeatureShape {
-                expected: (graph.num_vertices(), f_in),
-                found: (graph.num_vertices(), graph.feature_len()),
-            }));
-        }
         let row_bytes = f_in * 4;
-        if cfg.input_buffer_bytes / 2 < row_bytes {
-            return Err(SimError::BufferTooSmall {
-                buffer: "input",
-                needed: row_bytes,
-                available: cfg.input_buffer_bytes / 2,
-            });
-        }
-        if cfg.aggregation_buffer_bytes / 2 < row_bytes {
-            return Err(SimError::BufferTooSmall {
-                buffer: "aggregation",
-                needed: row_bytes,
-                available: cfg.aggregation_buffer_bytes / 2,
-            });
-        }
 
         let kind = model.kind();
         let policy = cfg.sample_policy_override.unwrap_or(kind.sample_policy());

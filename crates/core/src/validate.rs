@@ -1,0 +1,119 @@
+//! Shared input validation for every evaluation backend.
+//!
+//! The feature-shape and buffer-capacity checks used to be hand-copied
+//! into `Simulator::simulate`, `Simulator::simulate_reference`, and the
+//! analytical backend, and the copies had already started to drift in
+//! type detail. Every backend now calls [`validate_inputs`] so the
+//! accept/reject contract — and the exact error values — cannot diverge
+//! (`tests/backends.rs` locks all backends to identical errors).
+
+use hygcn_gcn::model::GcnModel;
+use hygcn_graph::Graph;
+
+use crate::config::HyGcnConfig;
+use crate::error::SimError;
+
+/// Validates that `(graph, model, cfg)` is a simulable design point.
+///
+/// The checks, in order (the order is part of the contract — callers and
+/// tests rely on the first violated constraint being reported):
+///
+/// 1. the graph's feature length matches the model's input length;
+/// 2. half the (ping-pong) Input Buffer holds one feature vector;
+/// 3. half the (ping-pong) Aggregation Buffer holds one feature vector.
+///
+/// # Errors
+///
+/// * [`SimError::Gcn`] with `GcnError::FeatureShape` on mismatch (1);
+/// * [`SimError::BufferTooSmall`] naming the offending buffer (2, 3).
+pub fn validate_inputs(graph: &Graph, model: &GcnModel, cfg: &HyGcnConfig) -> Result<(), SimError> {
+    let f_in = model.feature_len();
+    if graph.feature_len() != f_in {
+        return Err(SimError::Gcn(hygcn_gcn::GcnError::FeatureShape {
+            expected: (graph.num_vertices(), f_in),
+            found: (graph.num_vertices(), graph.feature_len()),
+        }));
+    }
+    let row_bytes = f_in * 4;
+    if cfg.input_buffer_bytes / 2 < row_bytes {
+        return Err(SimError::BufferTooSmall {
+            buffer: "input",
+            needed: row_bytes,
+            available: cfg.input_buffer_bytes / 2,
+        });
+    }
+    if cfg.aggregation_buffer_bytes / 2 < row_bytes {
+        return Err(SimError::BufferTooSmall {
+            buffer: "aggregation",
+            needed: row_bytes,
+            available: cfg.aggregation_buffer_bytes / 2,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygcn_gcn::model::ModelKind;
+    use hygcn_graph::generator::preferential_attachment;
+
+    fn graph(n: usize, f: usize) -> Graph {
+        preferential_attachment(n, 4, 1)
+            .unwrap()
+            .with_feature_len(f)
+    }
+
+    #[test]
+    fn accepts_consistent_inputs() {
+        let g = graph(64, 32);
+        let m = GcnModel::new(ModelKind::Gcn, 32, 1).unwrap();
+        assert!(validate_inputs(&g, &m, &HyGcnConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn feature_mismatch_reported_first() {
+        // Both the shape and the buffers are wrong; the shape wins.
+        let g = graph(64, 32);
+        let m = GcnModel::new(ModelKind::Gcn, 4096, 1).unwrap();
+        let cfg = HyGcnConfig {
+            input_buffer_bytes: 16,
+            ..HyGcnConfig::default()
+        };
+        assert!(matches!(
+            validate_inputs(&g, &m, &cfg),
+            Err(SimError::Gcn(_))
+        ));
+    }
+
+    #[test]
+    fn input_buffer_checked_before_aggregation() {
+        let g = graph(64, 4096);
+        let m = GcnModel::new(ModelKind::Gcn, 4096, 1).unwrap();
+        let cfg = HyGcnConfig {
+            input_buffer_bytes: 8 << 10,
+            aggregation_buffer_bytes: 8 << 10,
+            ..HyGcnConfig::default()
+        };
+        assert!(matches!(
+            validate_inputs(&g, &m, &cfg),
+            Err(SimError::BufferTooSmall {
+                buffer: "input",
+                needed: 16384,
+                available: 4096,
+            })
+        ));
+        // With a roomy input buffer, the aggregation check fires.
+        let cfg = HyGcnConfig {
+            aggregation_buffer_bytes: 8 << 10,
+            ..HyGcnConfig::default()
+        };
+        assert!(matches!(
+            validate_inputs(&g, &m, &cfg),
+            Err(SimError::BufferTooSmall {
+                buffer: "aggregation",
+                ..
+            })
+        ));
+    }
+}

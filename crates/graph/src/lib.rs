@@ -81,6 +81,42 @@ pub struct Graph {
     csr: Csr,
     feature_len: usize,
     name: String,
+    plan_cache: PlanCache,
+}
+
+/// Shared cache of derived planning structures (currently the
+/// per-chunking [`window::OccupancyIndex`]), keyed by interval
+/// boundaries.
+///
+/// The cache is *identity-transparent*: it never affects equality,
+/// hashing, or any observable graph property — entries are pure
+/// functions of the (immutable) topology, so clones share one cache via
+/// the `Arc` and a populated cache always agrees with an empty one.
+#[derive(Clone, Default)]
+struct PlanCache(std::sync::Arc<std::sync::Mutex<Vec<PlanCacheEntry>>>);
+
+type PlanCacheEntry = (
+    Box<[partition::Interval]>,
+    std::sync::Arc<window::OccupancyIndex>,
+);
+
+/// Distinct chunkings worth remembering per graph: campaigns mostly
+/// alternate between a couple of buffer sizes, and each entry can be
+/// megabytes.
+const PLAN_CACHE_ENTRIES: usize = 4;
+
+impl PartialEq for PlanCache {
+    fn eq(&self, _: &Self) -> bool {
+        true // cache contents are derived state, not graph identity
+    }
+}
+
+impl Eq for PlanCache {}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PlanCache")
+    }
 }
 
 impl Graph {
@@ -94,6 +130,7 @@ impl Graph {
             csr: Csr::from_coo(coo),
             feature_len,
             name: String::from("unnamed"),
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -180,6 +217,35 @@ impl Graph {
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices() as VertexId)
             .flat_map(move |dst| self.csc.sources(dst).iter().map(move |&src| (src, dst)))
+    }
+
+    /// The per-interval source-occupancy bitmaps for `intervals`, built
+    /// on first use and cached on the graph afterwards (clones — e.g.
+    /// [`Graph::with_feature_len`] copies for multi-layer models — share
+    /// the cache, since the index depends only on topology and interval
+    /// boundaries).
+    ///
+    /// Returns `None` when the index would exceed
+    /// [`window::OccupancyIndex::MAX_WORDS`]; callers fall back to a
+    /// [`window::WindowPlanner`] sweep.
+    pub fn occupancy_index(
+        &self,
+        intervals: &[partition::Interval],
+    ) -> Option<std::sync::Arc<window::OccupancyIndex>> {
+        let mut cache = self
+            .plan_cache
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((_, idx)) = cache.iter().find(|(k, _)| k.as_ref() == intervals) {
+            return Some(std::sync::Arc::clone(idx));
+        }
+        let idx = std::sync::Arc::new(window::OccupancyIndex::build(self, intervals)?);
+        if cache.len() >= PLAN_CACHE_ENTRIES {
+            cache.remove(0);
+        }
+        cache.push((intervals.into(), std::sync::Arc::clone(&idx)));
+        Some(idx)
     }
 
     /// A process-independent FNV-1a hash of the graph's *content*: vertex
@@ -269,6 +335,50 @@ mod tests {
     fn name_roundtrip() {
         let g = toy().with_name("Cora");
         assert_eq!(g.name(), "Cora");
+    }
+
+    #[test]
+    fn occupancy_index_is_cached_and_shared_with_clones() {
+        let g = toy();
+        let intervals = [
+            partition::Interval::new(0, 2),
+            partition::Interval::new(2, 4),
+        ];
+        let a = g.occupancy_index(&intervals).expect("tiny graph fits");
+        let b = g.occupancy_index(&intervals).expect("tiny graph fits");
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "repeat lookups must reuse the cached index"
+        );
+        // A feature-length override clones the graph but shares topology,
+        // so it must also share the cache.
+        let c = g
+            .with_feature_len(64)
+            .occupancy_index(&intervals)
+            .expect("tiny graph fits");
+        assert!(std::sync::Arc::ptr_eq(&a, &c));
+        // A different chunking is a distinct entry, not a collision.
+        let other = [partition::Interval::new(0, 4)];
+        let d = g.occupancy_index(&other).expect("tiny graph fits");
+        assert!(!std::sync::Arc::ptr_eq(&a, &d));
+        assert_eq!(d.num_intervals(), 1);
+    }
+
+    #[test]
+    fn occupancy_index_cache_is_bounded() {
+        let g = toy();
+        let first = [partition::Interval::new(0, 4)];
+        let a = g.occupancy_index(&first).expect("fits");
+        for w in 0..PLAN_CACHE_ENTRIES as u32 {
+            // PLAN_CACHE_ENTRIES fresh chunkings evict the oldest entry.
+            let intervals = [partition::Interval::new(w, w + 1)];
+            g.occupancy_index(&intervals).expect("fits");
+        }
+        let again = g.occupancy_index(&first).expect("fits");
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &again),
+            "evicted entries are rebuilt, not resurrected"
+        );
     }
 
     #[test]

@@ -268,6 +268,153 @@ impl WindowPlanner {
     }
 }
 
+/// Per-interval source-row occupancy bitmaps — the precompiled form of
+/// the window planner's input.
+///
+/// For each destination interval, one bit per source row records whether
+/// any edge lands in that interval. The bitmaps depend only on the graph
+/// topology and the interval boundaries — **not** on the window height —
+/// so one index serves every design point that shares the chunking, and
+/// [`OccupancyIndex::for_each_window`] re-derives the effectual windows
+/// of any height with a word-level scan instead of an O(V+E) sweep.
+/// This is what lets the `cycle-fast` backend amortize planning across a
+/// campaign: the index is built once per `(graph, intervals)` pair and
+/// cached on the [`Graph`] (see [`Graph::occupancy_index`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyIndex {
+    num_vertices: usize,
+    /// `ceil(num_vertices / 64)` — words per interval bitmap.
+    words_per_interval: usize,
+    num_intervals: usize,
+    /// Interval `i`'s bitmap is `bits[i*wpi..(i+1)*wpi]`; bit `v` is set
+    /// iff some edge `(v, d)` has `d` in interval `i`.
+    bits: Vec<u64>,
+}
+
+impl OccupancyIndex {
+    /// Memory budget in `u64` words (64 MB). [`OccupancyIndex::build`]
+    /// refuses larger indexes so a pathological chunking (thousands of
+    /// intervals over a huge vertex set) degrades to the planner sweep
+    /// instead of exhausting memory.
+    pub const MAX_WORDS: usize = 1 << 23;
+
+    /// Builds the per-interval occupancy bitmaps with one pass over each
+    /// interval's CSC columns, or `None` when the index would exceed
+    /// [`OccupancyIndex::MAX_WORDS`].
+    ///
+    /// `intervals` follow the same contract as
+    /// [`WindowPlanner::plan_all`]: destination ranges within the vertex
+    /// id space (out-of-range ids panic).
+    pub fn build(graph: &Graph, intervals: &[Interval]) -> Option<Self> {
+        let n = graph.num_vertices();
+        let wpi = n.div_ceil(64);
+        let total = wpi.checked_mul(intervals.len())?;
+        if total > Self::MAX_WORDS {
+            return None;
+        }
+        let mut bits = vec![0u64; total];
+        let offsets = graph.csc().offsets();
+        let sources = graph.csc().raw_sources();
+        for (i, dst) in intervals.iter().enumerate() {
+            let words = &mut bits[i * wpi..(i + 1) * wpi];
+            let lo = offsets[dst.start as usize];
+            let hi = offsets[dst.end as usize];
+            for &u in &sources[lo..hi] {
+                words[(u >> 6) as usize] |= 1u64 << (u & 63);
+            }
+        }
+        Some(Self {
+            num_vertices: n,
+            words_per_interval: wpi,
+            num_intervals: intervals.len(),
+            bits,
+        })
+    }
+
+    /// Number of intervals indexed.
+    pub fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Heap footprint of the bitmaps in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Emits interval `interval`'s effectual windows for `window_height`
+    /// as source-row ranges, in ascending order — exactly the `rows`
+    /// fields [`WindowPlanner::plan`] would produce (Algorithm 4 on the
+    /// distinct occupied rows; edge multiplicity never changes window
+    /// geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_height` is zero or `interval` is out of range.
+    pub fn for_each_window<F: FnMut(Interval)>(
+        &self,
+        interval: usize,
+        window_height: usize,
+        mut emit: F,
+    ) {
+        assert!(window_height > 0, "window height must be nonzero");
+        let wpi = self.words_per_interval;
+        let words = &self.bits[interval * wpi..(interval + 1) * wpi];
+        let h = window_height as u64;
+        let nbits = self.num_vertices as u64;
+        let mut pos = 0u64;
+        while pos < nbits {
+            let Some(start) = next_set_bit(words, pos) else {
+                break;
+            };
+            // Window Sliding + provisional extension (same clamp as
+            // `WindowPlanner::plan_rows`), then Shrinking to the last
+            // occupied row at or below the provisional end.
+            let pre_end = start
+                .saturating_add(h - 1)
+                .min(u64::from(VertexId::MAX))
+                .min(nbits - 1);
+            let end = last_set_bit_in(words, start, pre_end);
+            emit(Interval::new(start as VertexId, end as VertexId + 1));
+            pos = pre_end + 1;
+        }
+    }
+}
+
+/// Index of the first set bit at or after `from`, if any.
+fn next_set_bit(words: &[u64], from: u64) -> Option<u64> {
+    let mut wi = (from >> 6) as usize;
+    if wi >= words.len() {
+        return None;
+    }
+    let mut w = words[wi] & (!0u64 << (from & 63));
+    loop {
+        if w != 0 {
+            return Some(((wi as u64) << 6) + u64::from(w.trailing_zeros()));
+        }
+        wi += 1;
+        if wi >= words.len() {
+            return None;
+        }
+        w = words[wi];
+    }
+}
+
+/// Index of the last set bit in `[lo, hi]`. At least bit `lo` must be
+/// set (the caller found the window start there), which guarantees the
+/// backward scan terminates.
+fn last_set_bit_in(words: &[u64], lo: u64, hi: u64) -> u64 {
+    debug_assert!(words[(lo >> 6) as usize] & (1 << (lo & 63)) != 0);
+    let mut wi = (hi >> 6) as usize;
+    let mut w = words[wi] & (!0u64 >> (63 - (hi & 63)));
+    loop {
+        if w != 0 {
+            return ((wi as u64) << 6) + 63 - u64::from(w.leading_zeros());
+        }
+        wi -= 1;
+        w = words[wi];
+    }
+}
+
 /// Row-load accounting with and without sparsity elimination, feeding
 /// Fig. 15(c) and Fig. 18(c)/(f).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -407,6 +554,68 @@ mod tests {
             planner.plan_with(&g, dst, &mut scratch, |w| streamed.push(w));
             assert_eq!(direct, streamed, "height {h}");
         }
+    }
+
+    /// Uniform contiguous chunking of `n` vertices into `k`-wide chunks.
+    fn chunking(n: u32, w: u32) -> Vec<Interval> {
+        let mut out = Vec::new();
+        let mut start = 0u32;
+        while start < n {
+            let end = (start + w).min(n);
+            out.push(Interval::new(start, end));
+            start = end;
+        }
+        out
+    }
+
+    #[test]
+    fn occupancy_index_windows_match_plan_all() {
+        use crate::generator::{rmat, RmatParams};
+        for (n, edges, seed) in [(64usize, 40usize, 1u64), (500, 2500, 2), (1500, 12000, 3)] {
+            let g = rmat(n, edges, RmatParams::default(), seed)
+                .unwrap()
+                .with_feature_len(8);
+            for chunk_w in [7u32, 64, 1 << 20] {
+                let intervals = chunking(n as u32, chunk_w);
+                let idx = OccupancyIndex::build(&g, &intervals).unwrap();
+                assert_eq!(idx.num_intervals(), intervals.len());
+                for h in [1usize, 3, 16, 128, 1 << 24] {
+                    let ws = WindowPlanner::new(h).plan_all(&g, &intervals);
+                    for i in 0..intervals.len() {
+                        let expect: Vec<Interval> = ws.windows(i).iter().map(|w| w.rows).collect();
+                        let mut got = Vec::new();
+                        idx.for_each_window(i, h, |rows| got.push(rows));
+                        assert_eq!(expect, got, "n {n} chunk_w {chunk_w} h {h} interval {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_index_empty_graph_and_interval() {
+        let g = GraphBuilder::new(128).feature_len(4).build();
+        let intervals = chunking(128, 32);
+        let idx = OccupancyIndex::build(&g, &intervals).unwrap();
+        for i in 0..intervals.len() {
+            idx.for_each_window(i, 8, |_| panic!("no edges, no windows"));
+        }
+        // Zero intervals is legal and holds no bitmaps.
+        let empty = OccupancyIndex::build(&g, &[]).unwrap();
+        assert_eq!(empty.num_intervals(), 0);
+        assert_eq!(empty.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn occupancy_index_respects_budget() {
+        let g = sparse_graph();
+        // 64 vertices -> 1 word per interval; a fake chunking of
+        // MAX_WORDS + 1 single-vertex intervals would blow the budget.
+        let too_many: Vec<Interval> = (0..=OccupancyIndex::MAX_WORDS)
+            .map(|_| Interval::new(0, 1))
+            .collect();
+        assert!(OccupancyIndex::build(&g, &too_many).is_none());
+        assert!(OccupancyIndex::build(&g, &[Interval::new(0, 64)]).is_some());
     }
 
     #[test]

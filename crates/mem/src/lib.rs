@@ -48,9 +48,11 @@ pub mod energy;
 pub mod hbm;
 pub mod request;
 pub mod scheduler;
+pub mod spanwalk;
 pub mod stats;
 
 pub use address::{ChannelPartition, Segment};
 pub use hbm::{ChannelTimeline, Hbm, HbmConfig};
 pub use request::{MemRequest, RequestArena, RequestKind, RequestSpan, RequestSummary};
+pub use spanwalk::SpanWalker;
 pub use stats::{ChannelStats, HbmStats, MemStats};

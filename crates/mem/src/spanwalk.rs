@@ -1,0 +1,398 @@
+//! Span-granular HBM walk for the event-schedule fast path.
+//!
+//! [`SpanWalker`] services a request batch in one pass over the request
+//! stream, decoding and timing each row-aligned span inline instead of
+//! first materializing [`crate::address::Segment`] queues in a
+//! [`crate::address::ChannelPartition`] and then draining them
+//! channel-by-channel the way [`crate::hbm::Hbm`] does. The state it
+//! advances — per-bank open rows and ready cycles, per-channel bus
+//! availability and [`ChannelStats`] — is exactly the state of the
+//! equivalent `Hbm`, held in flat arrays.
+//!
+//! ## Equivalence to [`crate::hbm::Hbm::service_batch`]
+//!
+//! Under [`ControllerPolicy::InOrder`] the walk is bit-identical to the
+//! staged drain, because:
+//!
+//! * a span's service time depends only on its own channel's state and
+//!   the batch arrival cycle `now` (shared by every span of a batch);
+//! * global arrival order restricted to one channel *is* that channel's
+//!   queue order, so each channel observes the same span sequence either
+//!   way;
+//! * the batch completion is `max(now, every span's completion)` and the
+//!   statistics fold by summation — both order-independent.
+//!
+//! [`ControllerPolicy::FrFcfs`] reorders within a per-channel lookahead
+//! window, which genuinely requires the staged queues; [`SpanWalker::new`]
+//! refuses such configs (returns `None`) so callers fall back to the
+//! full [`crate::hbm::Hbm`] model.
+
+use crate::address::MappingScheme;
+use crate::hbm::{ControllerPolicy, HbmConfig};
+use crate::request::MemRequest;
+use crate::stats::{ChannelStats, HbmStats, MemStats};
+
+/// Sentinel for "no row open" (mirrors `hbm::NO_ROW`).
+const NO_ROW: u64 = u64::MAX;
+
+/// Flat-state in-order HBM walk, bit-identical to [`crate::hbm::Hbm`]
+/// under [`ControllerPolicy::InOrder`] (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SpanWalker {
+    scheme: MappingScheme,
+    banks_per_channel: usize,
+    t_burst: u64,
+    t_row: u64,
+    t_cas: u64,
+    /// `log2(burst_bytes)` for the bursts-per-span shift.
+    burst_shift: u32,
+    /// `log2(row_bytes)` for row-aligned span splitting.
+    row_shift: u32,
+    /// `channels - 1` / `log2(channels)` for the inlined decode.
+    channel_mask: u64,
+    channel_shift: u32,
+    /// `banks - 1` / `log2(banks)` for the inlined decode.
+    bank_mask: u64,
+    bank_shift: u32,
+    /// Open row per (channel-major) bank, [`NO_ROW`] when closed.
+    bank_row: Vec<u64>,
+    /// Ready cycle per (channel-major) bank.
+    bank_ready: Vec<u64>,
+    /// Data-bus availability per channel.
+    bus_free: Vec<u64>,
+    /// Per-channel counters, in channel order.
+    stats: Vec<ChannelStats>,
+    /// Request-level counters (bytes, request count).
+    traffic: MemStats,
+}
+
+impl SpanWalker {
+    /// An idle walker for `config`, or `None` when the config needs the
+    /// full [`crate::hbm::Hbm`] model (invalid geometry, or a reordering
+    /// controller policy).
+    pub fn new(config: &HbmConfig) -> Option<Self> {
+        config.validate().ok()?;
+        if config.controller != ControllerPolicy::InOrder {
+            return None;
+        }
+        Some(Self {
+            scheme: config.mapping,
+            banks_per_channel: config.banks,
+            t_burst: config.t_burst,
+            t_row: config.t_row,
+            t_cas: config.t_cas,
+            burst_shift: config.burst_bytes.trailing_zeros(),
+            row_shift: config.row_bytes.trailing_zeros(),
+            channel_mask: config.channels as u64 - 1,
+            channel_shift: (config.channels as u64).trailing_zeros(),
+            bank_mask: config.banks as u64 - 1,
+            bank_shift: (config.banks as u64).trailing_zeros(),
+            bank_row: vec![NO_ROW; config.channels * config.banks],
+            bank_ready: vec![0; config.channels * config.banks],
+            bus_free: vec![0; config.channels],
+            stats: vec![ChannelStats::default(); config.channels],
+            traffic: MemStats::default(),
+        })
+    }
+
+    /// Services a batch arriving at `now` in request order; returns the
+    /// cycle the last span (plus CAS latency) completes, or `now` for an
+    /// empty batch.
+    ///
+    /// This is the long pole of the `cycle-fast` backend (one iteration
+    /// per row span, ~hundreds of thousands per simulated layer), so the
+    /// loop keeps all timing state in hoisted locals and skips bounds
+    /// checks that the decoder's masking already guarantees.
+    pub fn service_batch(&mut self, reqs: &[MemRequest], now: u64) -> u64 {
+        let banks_per_channel = self.banks_per_channel;
+        let (t_burst, t_row, t_cas) = (self.t_burst, self.t_row, self.t_cas);
+        let (burst_shift, row_shift) = (self.burst_shift, self.row_shift);
+        let (ch_mask, ch_shift) = (self.channel_mask, self.channel_shift);
+        let (b_mask, b_shift) = (self.bank_mask, self.bank_shift);
+        let bank_row = self.bank_row.as_mut_slice();
+        let bank_ready = self.bank_ready.as_mut_slice();
+        let bus_free = self.bus_free.as_mut_slice();
+        let stats = self.stats.as_mut_slice();
+        let mut done = now;
+        for r in reqs {
+            debug_assert!(r.bytes > 0, "zero-length request");
+            self.traffic.requests += 1;
+            if r.is_write {
+                self.traffic.bytes_written += u64::from(r.bytes);
+            } else {
+                self.traffic.bytes_read += u64::from(r.bytes);
+            }
+            let end = r.addr + u64::from(r.bytes);
+            match self.scheme {
+                // `HbmConfig::address_map()` interleaves at page
+                // granularity (its burst field == row_bytes), so the
+                // decode reduces to bit fields of the page index —
+                // mirrored from `AddressMap::decode` with
+                // `burst_shift == row_shift`.
+                MappingScheme::ChannelInterleaved => walk_spans(
+                    r.addr,
+                    end,
+                    now,
+                    &mut done,
+                    banks_per_channel,
+                    t_burst,
+                    t_row,
+                    t_cas,
+                    burst_shift,
+                    row_shift,
+                    bank_row,
+                    bank_ready,
+                    bus_free,
+                    stats,
+                    |addr| {
+                        let page = addr >> row_shift;
+                        let rest = page >> ch_shift;
+                        (
+                            (page & ch_mask) as usize,
+                            (rest & b_mask) as usize,
+                            rest >> b_shift,
+                        )
+                    },
+                ),
+                MappingScheme::RowInterleaved => walk_spans(
+                    r.addr,
+                    end,
+                    now,
+                    &mut done,
+                    banks_per_channel,
+                    t_burst,
+                    t_row,
+                    t_cas,
+                    burst_shift,
+                    row_shift,
+                    bank_row,
+                    bank_ready,
+                    bus_free,
+                    stats,
+                    |addr| {
+                        // 128 MB channel span, as in `AddressMap::decode`.
+                        const CHANNEL_SPAN_SHIFT: u32 = 27;
+                        let page = (addr & ((1u64 << CHANNEL_SPAN_SHIFT) - 1)) >> row_shift;
+                        (
+                            ((addr >> CHANNEL_SPAN_SHIFT) & ch_mask) as usize,
+                            (page & b_mask) as usize,
+                            page >> b_shift,
+                        )
+                    },
+                ),
+            }
+        }
+        done
+    }
+
+    /// Accumulated statistics, per-channel counters folded into totals.
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.traffic;
+        for ch in &self.stats {
+            ch.fold_into(&mut s);
+        }
+        s
+    }
+
+    /// The per-channel statistics, in channel order.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.stats.clone()
+    }
+
+    /// The fully decomposed statistics view.
+    pub fn hbm_stats(&self) -> HbmStats {
+        HbmStats {
+            totals: self.stats(),
+            channels: self.channel_stats(),
+        }
+    }
+}
+
+/// Walks one request's row-aligned spans with a scheme-specialized
+/// `decode` returning `(channel, bank, row)`, advancing the flat
+/// bank/bus/stats state exactly as `Hbm` would.
+///
+/// Monomorphized per mapping scheme so the decode inlines to pure
+/// shifts and masks with no per-span dispatch.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn walk_spans(
+    mut addr: u64,
+    end: u64,
+    now: u64,
+    done: &mut u64,
+    banks_per_channel: usize,
+    t_burst: u64,
+    t_row: u64,
+    t_cas: u64,
+    burst_shift: u32,
+    row_shift: u32,
+    bank_row: &mut [u64],
+    bank_ready: &mut [u64],
+    bus_free: &mut [u64],
+    stats: &mut [ChannelStats],
+    decode: impl Fn(u64) -> (usize, usize, u64),
+) {
+    while addr < end {
+        let row_end = ((addr >> row_shift) + 1) << row_shift;
+        let span_end = row_end.min(end);
+        let bursts = ((span_end - addr) + (1u64 << burst_shift) - 1) >> burst_shift;
+        let (channel, bank_in_channel, row) = decode(addr);
+        let bank = channel * banks_per_channel + bank_in_channel;
+        debug_assert!(channel < stats.len() && bank < bank_row.len());
+        // SAFETY: `decode` masks the channel with `channels - 1` and the
+        // bank with `banks - 1` (both powers of two, validated at
+        // construction), and the arrays are sized `channels` resp.
+        // `channels * banks`, so every index is in range.
+        unsafe {
+            let ch = stats.get_unchecked_mut(channel);
+            let open_row = bank_row.get_unchecked_mut(bank);
+            let ready_at = bank_ready.get_unchecked_mut(bank);
+            let bus = bus_free.get_unchecked_mut(channel);
+            let mut ready = (*ready_at).max(now);
+            if *open_row != row {
+                ready += t_row;
+                *open_row = row;
+                ch.row_misses += 1;
+            } else {
+                ch.row_hits += 1;
+            }
+            let start = ready.max(*bus);
+            let burst_cycles = bursts * t_burst;
+            let finish = start + burst_cycles;
+            *bus = finish;
+            *ready_at = finish;
+            ch.bursts += bursts;
+            ch.busy_cycles += burst_cycles;
+            let span_done = finish + t_cas;
+            ch.last_completion = ch.last_completion.max(span_done);
+            *done = (*done).max(span_done);
+        }
+        addr = span_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::MappingScheme;
+    use crate::hbm::Hbm;
+    use crate::request::RequestKind;
+
+    /// Deterministic request stream generator (xorshift-ish LCG).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    fn random_batch(rng: &mut Lcg, len: usize) -> Vec<MemRequest> {
+        (0..len)
+            .map(|_| {
+                let kind = RequestKind::ALL[(rng.next() % 4) as usize];
+                let addr = rng.next() % (1 << 30);
+                let bytes = 1 + (rng.next() % 9000) as u32;
+                if kind == RequestKind::OutputFeatures && rng.next().is_multiple_of(2) {
+                    MemRequest::write(kind, addr, bytes)
+                } else {
+                    MemRequest::read(kind, addr, bytes)
+                }
+            })
+            .collect()
+    }
+
+    fn assert_matches_hbm(cfg: HbmConfig, seed: u64) {
+        let mut rng = Lcg(seed);
+        let mut hbm = Hbm::new(cfg);
+        let mut walker = SpanWalker::new(&cfg).expect("in-order config");
+        let mut now = 0;
+        for batch_len in [0usize, 1, 7, 64, 300] {
+            let batch = random_batch(&mut rng, batch_len);
+            let t_hbm = hbm.service_batch(&batch, now);
+            let t_walk = walker.service_batch(&batch, now);
+            assert_eq!(t_hbm, t_walk, "batch completion diverged (seed {seed})");
+            // Next batch arrives strictly later, with some slack.
+            now = t_hbm + rng.next() % 50;
+        }
+        assert_eq!(hbm.stats(), walker.stats());
+        assert_eq!(hbm.channel_stats(), walker.channel_stats());
+        assert!(walker.hbm_stats().consistent());
+    }
+
+    #[test]
+    fn matches_hbm_coordinated() {
+        for seed in 1..=8 {
+            assert_matches_hbm(HbmConfig::hbm1(), seed);
+        }
+    }
+
+    #[test]
+    fn matches_hbm_uncoordinated_mapping() {
+        for seed in 1..=8 {
+            assert_matches_hbm(HbmConfig::hbm1_uncoordinated(), seed);
+        }
+    }
+
+    #[test]
+    fn matches_hbm_across_geometries() {
+        let base = HbmConfig::hbm1();
+        let variants = [
+            HbmConfig {
+                channels: 1,
+                banks: 1,
+                ..base
+            },
+            HbmConfig {
+                channels: 2,
+                banks: 4,
+                row_bytes: 512,
+                burst_bytes: 64,
+                ..base
+            },
+            HbmConfig {
+                channels: 16,
+                banks: 32,
+                t_burst: 3,
+                t_row: 11,
+                t_cas: 5,
+                ..base
+            },
+            HbmConfig {
+                row_bytes: 4096,
+                burst_bytes: 4096,
+                mapping: MappingScheme::RowInterleaved,
+                ..base
+            },
+        ];
+        for (i, cfg) in variants.into_iter().enumerate() {
+            assert_matches_hbm(cfg, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn rejects_reordering_controllers_and_bad_geometry() {
+        let fr = HbmConfig {
+            controller: ControllerPolicy::FrFcfs { window: 16 },
+            ..HbmConfig::hbm1()
+        };
+        assert!(SpanWalker::new(&fr).is_none());
+        let bad = HbmConfig {
+            channels: 6,
+            ..HbmConfig::hbm1()
+        };
+        assert!(SpanWalker::new(&bad).is_none());
+    }
+
+    #[test]
+    fn empty_batch_returns_now() {
+        let mut w = SpanWalker::new(&HbmConfig::hbm1()).unwrap();
+        assert_eq!(w.service_batch(&[], 42), 42);
+        assert_eq!(w.stats(), MemStats::default());
+    }
+}

@@ -50,6 +50,27 @@ fn spearman(a: &[f64], b: &[f64]) -> f64 {
     cov / (va.sqrt() * vb.sqrt())
 }
 
+/// The tentpole contract of the `cycle-fast` backend: bit-identical
+/// [`hygcn_suite::core::SimReport`]s — cycles, DRAM, energy, per-channel
+/// stats, everything — to the cycle-accurate backend over the same
+/// pinned 20-point grid the fidelity suite uses.
+#[test]
+fn cycle_fast_is_bit_identical_to_cycle_on_the_pinned_grid() {
+    let points = fidelity_grid().enumerate().unwrap();
+    assert_eq!(points.len(), 20, "the fidelity grid is pinned at 20 points");
+    let graph = points[0].workload.build().unwrap();
+    let gcn = hygcn_suite::gcn::model::GcnModel::new(ModelKind::Gcn, graph.feature_len(), 0xC0DE)
+        .unwrap();
+    let fast = resolve("cycle-fast").unwrap();
+    for p in &points {
+        let c = CycleAccurateBackend
+            .evaluate(&graph, &gcn, &p.config)
+            .unwrap();
+        let f = fast.evaluate(&graph, &gcn, &p.config).unwrap();
+        assert_eq!(f, c, "cycle-fast diverged at {:?}", p.config);
+    }
+}
+
 #[test]
 fn analytical_rank_correlates_with_cycle_accurate_on_the_pinned_grid() {
     let points = fidelity_grid().enumerate().unwrap();
@@ -148,10 +169,10 @@ fn analytical_screening_is_much_faster_than_simulation() {
 }
 
 #[test]
-fn shared_store_isolates_all_five_backends() {
+fn shared_store_isolates_all_six_backends() {
     let dir = std::env::temp_dir().join("hygcn-backends-e2e");
     std::fs::create_dir_all(&dir).unwrap();
-    let store = dir.join("five-backends.jsonl");
+    let store = dir.join("six-backends.jsonl");
     std::fs::remove_file(&store).ok();
 
     let space = || {
@@ -162,7 +183,7 @@ fn shared_store_isolates_all_five_backends() {
         .with_axis(Axis::parse("sparsity", "on,off").unwrap())
     };
 
-    let ids = ["cycle", "analytical", "cpu", "gpu", "seed"];
+    let ids = ["cycle", "seed", "cycle-fast", "analytical", "cpu", "gpu"];
     let mut first_jsons: Vec<Vec<String>> = Vec::new();
     // Every backend runs the same space into the same store: each must
     // simulate all its own points (zero cross-backend hits)...
@@ -201,10 +222,16 @@ fn shared_store_isolates_all_five_backends() {
             .collect();
         assert_eq!(&again, first, "{id}: cached re-run must be bit-identical");
     }
-    // Cycle and seed agree numerically (the oracle contract) while
-    // remaining separately keyed; analytical/cpu/gpu are marked.
-    assert_eq!(first_jsons[0], first_jsons[4], "seed is the cycle oracle");
-    for (id, jsons) in ids.iter().zip(&first_jsons).skip(1).take(3) {
+    // Cycle, seed, and cycle-fast agree numerically (the oracle and
+    // event-schedule contracts) while remaining separately keyed —
+    // the bit-identity is exactly why the key isolation matters;
+    // analytical/cpu/gpu are provenance-marked.
+    assert_eq!(first_jsons[0], first_jsons[1], "seed is the cycle oracle");
+    assert_eq!(
+        first_jsons[0], first_jsons[2],
+        "cycle-fast is bit-identical to cycle"
+    );
+    for (id, jsons) in ids.iter().zip(&first_jsons).skip(3) {
         for j in jsons {
             assert!(
                 j.contains(&format!("\"backend\": \"{id}\"")),

@@ -12,7 +12,9 @@
 //! The fixtures are produced by `simulate()`, whose bit-identity across
 //! thread counts and against `simulate_reference()` is enforced by the
 //! determinism and oracle suites — so these snapshots pin down the
-//! *model*, not the execution strategy.
+//! *model*, not the execution strategy. The `cycle-fast` event-schedule
+//! backend shares the same contract, so every fixture config is replayed
+//! through it too: the snapshots pin all golden cycle paths at once.
 
 #![allow(clippy::field_reassign_with_default)]
 
@@ -86,14 +88,23 @@ fn check(name: &str, report: &SimReport) {
     );
 }
 
+/// Runs both golden cycle paths — `simulate()` and the `cycle-fast`
+/// event-schedule backend — asserts they agree bit-for-bit, and checks
+/// the shared result against the snapshot.
+fn simulate_and_check(name: &str, cfg: HyGcnConfig, g: &hygcn_suite::graph::Graph, m: &GcnModel) {
+    let r = Simulator::new(cfg.clone()).simulate(g, m).unwrap();
+    let fast = hygcn_suite::core::cycle_fast::simulate_fast(&cfg, g, m).unwrap();
+    assert_eq!(fast, r, "`{name}`: cycle-fast diverged from simulate()");
+    check(name, &r);
+}
+
 #[test]
 fn golden_gcn_latency_pipeline() {
     let g = erdos_renyi(512, 4096, 42).unwrap().with_feature_len(64);
     let m = GcnModel::new(ModelKind::Gcn, 64, 7).unwrap();
     let mut cfg = HyGcnConfig::default();
     cfg.aggregation_buffer_bytes = 1 << 16; // several chunks
-    let r = Simulator::new(cfg).simulate(&g, &m).unwrap();
-    check("gcn_latency", &r);
+    simulate_and_check("gcn_latency", cfg, &g, &m);
 }
 
 #[test]
@@ -103,8 +114,7 @@ fn golden_gcn_no_pipeline_spills() {
     let mut cfg = HyGcnConfig::default();
     cfg.pipeline = PipelineMode::None;
     cfg.aggregation_buffer_bytes = 1 << 16;
-    let r = Simulator::new(cfg).simulate(&g, &m).unwrap();
-    check("gcn_nopipe", &r);
+    simulate_and_check("gcn_nopipe", cfg, &g, &m);
 }
 
 #[test]
@@ -116,8 +126,7 @@ fn golden_diffpool_energy_pipeline() {
     let mut cfg = HyGcnConfig::default();
     cfg.pipeline = PipelineMode::EnergyAware;
     cfg.aggregation_buffer_bytes = 1 << 16;
-    let r = Simulator::new(cfg).simulate(&g, &m).unwrap();
-    check("dfp_energy", &r);
+    simulate_and_check("dfp_energy", cfg, &g, &m);
 }
 
 #[test]
@@ -130,8 +139,7 @@ fn golden_gcn_single_channel() {
         ..HbmConfig::hbm1()
     };
     cfg.aggregation_buffer_bytes = 1 << 16;
-    let r = Simulator::new(cfg).simulate(&g, &m).unwrap();
-    check("gcn_1ch", &r);
+    simulate_and_check("gcn_1ch", cfg, &g, &m);
 }
 
 #[test]
@@ -142,6 +150,5 @@ fn golden_gcn_uncoordinated() {
     cfg.coordination = CoordinationMode::Fcfs;
     cfg.hbm = HbmConfig::hbm1_uncoordinated();
     cfg.aggregation_buffer_bytes = 1 << 16;
-    let r = Simulator::new(cfg).simulate(&g, &m).unwrap();
-    check("gcn_uncoord", &r);
+    simulate_and_check("gcn_uncoord", cfg, &g, &m);
 }

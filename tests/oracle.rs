@@ -1,10 +1,11 @@
 //! Differential oracle: the optimized, per-channel `simulate()` against
-//! the seed-faithful `simulate_reference()` over randomized
-//! configuration × workload sweeps.
+//! the seed-faithful `simulate_reference()` — and the event-schedule
+//! `cycle-fast` backend against both — over randomized configuration ×
+//! workload sweeps.
 //!
 //! Every generated case asserts the full [`hygcn_suite::core::SimReport`]
 //! — cycles, energy, per-channel memory decomposition, everything — is
-//! **bit-for-bit identical** between the two paths, and that the
+//! **bit-for-bit identical** between the paths, and that the
 //! per-channel walk stays identical at 1, 2, and 8 host threads. This is
 //! the harness that lets future perf PRs refactor the memory system
 //! without fear: any timing drift, however small, fails here with the
@@ -77,6 +78,7 @@ proptest! {
         seed in 0u64..1_000,
         sparsity in any::<bool>(),
         coordinated in any::<bool>(),
+        frfcfs in any::<bool>(),
         chpow in 0u32..4, // channels 1/2/4/8
         small_aggbuf in any::<bool>(),
     ) {
@@ -92,6 +94,9 @@ proptest! {
             cfg.hbm = HbmConfig::hbm1_uncoordinated();
         }
         cfg.hbm.channels = 1 << chpow;
+        if frfcfs {
+            cfg.hbm.controller = hygcn_suite::mem::hbm::ControllerPolicy::FrFcfs { window: 16 };
+        }
         if small_aggbuf {
             // Force several chunks so the pipeline actually interleaves.
             cfg.aggregation_buffer_bytes = 1 << 18;
@@ -106,6 +111,17 @@ proptest! {
             &reference,
             "serial vs reference: {:?} {:?} {:?} n={} d={} f={} seed={} sparsity={} coord={} ch={}",
             wl, kind, pipeline, n, density, feature_len, seed, sparsity, coordinated, 1 << chpow
+        );
+
+        // The event-schedule backend — including its delegation paths
+        // (sampling models, FR-FCFS) — is bit-identical to both.
+        let fast =
+            hygcn_suite::core::cycle_fast::simulate_fast(sim.config(), &graph, &model).unwrap();
+        prop_assert_eq!(
+            &serial,
+            &fast,
+            "serial vs cycle-fast: {:?} {:?} {:?} n={} d={} f={} seed={} sparsity={} coord={} frfcfs={} ch={}",
+            wl, kind, pipeline, n, density, feature_len, seed, sparsity, coordinated, frfcfs, 1 << chpow
         );
 
         for threads in [2usize, 8] {
