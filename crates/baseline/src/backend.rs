@@ -187,16 +187,18 @@ impl SimBackend for CpuBackend {
         model: &GcnModel,
         config: &HyGcnConfig,
     ) -> Result<SimReport, SimError> {
-        check_features(graph, model)?;
-        let w = workload_for(graph, model, config);
-        let r = self.model.run_workload(&w);
-        Ok(to_sim_report(
-            &r,
-            &w,
-            CPU_CLOCK_GHZ,
-            self.model.params().dram_j_per_byte,
-            "cpu",
-        ))
+        hygcn_obs::observe_eval(self.backend_id(), || {
+            check_features(graph, model)?;
+            let w = workload_for(graph, model, config);
+            let r = self.model.run_workload(&w);
+            Ok(to_sim_report(
+                &r,
+                &w,
+                CPU_CLOCK_GHZ,
+                self.model.params().dram_j_per_byte,
+                "cpu",
+            ))
+        })
     }
 }
 
@@ -233,16 +235,18 @@ impl SimBackend for GpuBackend {
         model: &GcnModel,
         config: &HyGcnConfig,
     ) -> Result<SimReport, SimError> {
-        check_features(graph, model)?;
-        let w = workload_for(graph, model, config);
-        let r = self.model.run_workload(&w);
-        Ok(to_sim_report(
-            &r,
-            &w,
-            GPU_CLOCK_GHZ,
-            self.model.params().dram_j_per_byte,
-            "gpu",
-        ))
+        hygcn_obs::observe_eval(self.backend_id(), || {
+            check_features(graph, model)?;
+            let w = workload_for(graph, model, config);
+            let r = self.model.run_workload(&w);
+            Ok(to_sim_report(
+                &r,
+                &w,
+                GPU_CLOCK_GHZ,
+                self.model.params().dram_j_per_byte,
+                "gpu",
+            ))
+        })
     }
 }
 

@@ -1217,6 +1217,7 @@ pub fn run_figure(
     store: Option<&Path>,
     backend_override: Option<&str>,
 ) -> Result<FigureRun, DseError> {
+    let _obs = hygcn_obs::span(hygcn_obs::Phase::FigureRender);
     let spaces = (spec.spaces)(ctx.mult())?;
     let mut reports = Vec::with_capacity(spaces.len());
     let mut simulated = 0;

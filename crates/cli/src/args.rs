@@ -4,7 +4,9 @@
 //! are typed at the call site via the accessor methods; unknown flags
 //! are rejected up front so typos fail loudly. Bare positionals are
 //! rejected unless the command opts in ([`Args::parse_with_positionals`]
-//! — `hygcn figures fig15` is the one user).
+//! — `hygcn figures fig15` is the one user). Commands can also declare
+//! *boolean* flags (`--progress`, `--profile`, `--json`) that take no
+//! value ([`Args::parse_full`]).
 //!
 //! Numeric flags are validated, not just parsed: every accessor whose
 //! `expected` string promises a bound (`a float in (0,1]`, `an integer
@@ -77,6 +79,18 @@ impl Args {
         allowed: &[&str],
         max_positionals: usize,
     ) -> Result<Args, ArgError> {
+        Self::parse_full(raw, allowed, &[], max_positionals)
+    }
+
+    /// The full grammar: valued flags from `allowed`, valueless boolean
+    /// flags from `boolean` (presence means `true`), and up to
+    /// `max_positionals` bare tokens.
+    pub fn parse_full<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+        boolean: &[&str],
+        max_positionals: usize,
+    ) -> Result<Args, ArgError> {
         let mut it = raw.into_iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
         let mut positionals = Vec::new();
@@ -89,6 +103,10 @@ impl Args {
                 }
                 return Err(ArgError::Malformed(tok));
             };
+            if boolean.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             if !allowed.contains(&name) {
                 return Err(ArgError::UnknownFlag(name.to_string()));
             }
@@ -120,6 +138,11 @@ impl Args {
     /// A string flag with a default.
     pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
         self.get(flag).unwrap_or(default)
+    }
+
+    /// Whether a boolean flag was given (see [`Self::parse_full`]).
+    pub fn get_bool(&self, flag: &str) -> bool {
+        self.get(flag) == Some("true")
     }
 
     /// A parsed numeric flag with a default (no range constraint — use
@@ -260,6 +283,29 @@ mod tests {
             Args::parse_with_positionals(["figures", "fig15", "fig16"].map(String::from), &[], 1)
                 .unwrap_err();
         assert!(matches!(e, ArgError::Malformed(t) if t == "fig16"));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse_full(
+            ["campaign", "--progress", "--datasets", "IB"].map(String::from),
+            &["datasets"],
+            &["progress"],
+            0,
+        )
+        .unwrap();
+        assert!(a.get_bool("progress"));
+        assert!(!a.get_bool("missing"));
+        assert_eq!(a.get("datasets"), Some("IB"));
+        // A boolean flag not in the list is still unknown.
+        let e = Args::parse_full(
+            ["campaign", "--oops"].map(String::from),
+            &["datasets"],
+            &["progress"],
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, ArgError::UnknownFlag(f) if f == "oops"));
     }
 
     #[test]

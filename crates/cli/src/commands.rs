@@ -70,11 +70,19 @@ pub const CAMPAIGN_FLAGS: &[&str] = &[
     "backend",
     "prefilter",
     "fault-plan",
+    "metrics-out",
+    "trace-out",
 ];
+
+/// Boolean (valueless) flags accepted by `hygcn campaign`.
+pub const CAMPAIGN_BOOL_FLAGS: &[&str] = &["progress"];
 
 /// Flags accepted by `hygcn store` (the action — fsck/salvage/stats —
 /// is positional).
 pub const STORE_FLAGS: &[&str] = &["store"];
+
+/// Boolean (valueless) flags accepted by `hygcn store`.
+pub const STORE_BOOL_FLAGS: &[&str] = &["json"];
 
 /// Flags accepted by `hygcn figures` (the artifact id is positional).
 pub const FIGURE_FLAGS: &[&str] = &["scale", "store", "backend", "csv", "json"];
@@ -94,7 +102,11 @@ pub const BENCH_FLAGS: &[&str] = &[
     "runs",
     "json",
     "threads",
+    "trace-out",
 ];
+
+/// Boolean (valueless) flags accepted by `hygcn bench`.
+pub const BENCH_BOOL_FLAGS: &[&str] = &["profile"];
 
 /// Top-level error for command execution.
 #[derive(Debug)]
@@ -105,6 +117,15 @@ pub enum CliError {
     Unknown(String),
     /// A substrate error.
     Runtime(String),
+    /// The campaign ran to completion but some points failed. Carries
+    /// the full report so `main` can still print it before exiting with
+    /// the dedicated non-zero code (3, distinct from the generic 2).
+    CampaignFailed {
+        /// The rendered campaign report.
+        output: String,
+        /// How many points failed.
+        failed: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -113,6 +134,9 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Unknown(msg) => write!(f, "{msg}"),
             CliError::Runtime(msg) => write!(f, "{msg}"),
+            CliError::CampaignFailed { failed, .. } => {
+                write!(f, "campaign completed with {failed} failed point(s)")
+            }
         }
     }
 }
@@ -455,13 +479,34 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
     let store = args.get_or("store", "campaign.jsonl");
     let store_path = (store != "none").then(|| PathBuf::from(store));
     let store_io = fault_io_from_args(args)?;
-    let outcome = run_search_io(
+
+    // Observability: collection stays off unless the user asked for one
+    // of its outputs, so by default the campaign pays only relaxed-load
+    // checks. The executor's counters drive both the periodic progress
+    // lines and the exported metrics.
+    let progress = args.get_bool("progress");
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let observing = progress || metrics_out.is_some() || trace_out.is_some();
+    if observing {
+        hygcn_obs::reset();
+        hygcn_obs::enable();
+    }
+    let reporter = progress.then(ProgressReporter::start);
+    let result = run_search_io(
         &space,
         &strategy,
         store_path.as_deref(),
         Some(backend),
         store_io,
-    )?;
+    );
+    if let Some(r) = reporter {
+        r.finish();
+    }
+    if observing {
+        hygcn_obs::disable();
+    }
+    let outcome = result?;
 
     let mut out = String::new();
     if let SearchStrategy::SuccessiveHalving { budget_metric, .. } = strategy {
@@ -502,7 +547,94 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
             );
         }
     }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, hygcn_obs::metrics_json())
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+        out += &format!("wrote {path}\n");
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, hygcn_obs::chrome_trace_json())
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+        out += &format!("wrote {path}\n");
+    }
+    if observing {
+        hygcn_obs::reset();
+    }
+    // A campaign with failed points must not exit 0: the report still
+    // prints (main writes `output` to stdout), but the process exits
+    // with the dedicated failed-points code.
+    if report.failed > 0 {
+        return Err(CliError::CampaignFailed {
+            output: out,
+            failed: report.failed,
+        });
+    }
     Ok(out)
+}
+
+/// Background thread emitting periodic `--progress` lines on stderr,
+/// driven entirely by the obs counters the campaign executor maintains.
+struct ProgressReporter {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+    started: std::time::Instant,
+}
+
+impl ProgressReporter {
+    const PERIOD: std::time::Duration = std::time::Duration::from_millis(500);
+
+    fn start() -> Self {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let started = std::time::Instant::now();
+        let handle = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(Self::PERIOD);
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    eprintln!("{}", render_progress(started.elapsed().as_secs_f64()));
+                }
+            })
+        };
+        Self {
+            stop,
+            handle,
+            started,
+        }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.handle.join();
+        // One final line so short campaigns still report.
+        eprintln!("{}", render_progress(self.started.elapsed().as_secs_f64()));
+    }
+}
+
+/// One `--progress` line from the current obs counters.
+fn render_progress(elapsed_s: f64) -> String {
+    use hygcn_obs::{counter_value, Counter};
+    let total = counter_value(Counter::PointsTotal);
+    let simulated = counter_value(Counter::PointsSimulated);
+    let cached = counter_value(Counter::PointsCached);
+    let failed = counter_value(Counter::PointsFailed);
+    let done = simulated + cached + failed;
+    let rate = if elapsed_s > 0.0 {
+        simulated as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let eta = if rate > 0.0 && total > done {
+        format!("{:.1}s", (total - done) as f64 / rate)
+    } else {
+        "-".to_string()
+    };
+    format!(
+        "progress: {done}/{total} points ({simulated} simulated, {cached} cached, \
+         {failed} failed, {rate:.1} pts/s, eta {eta})"
+    )
 }
 
 /// Build the optional fault-injecting store I/O layer from
@@ -574,6 +706,9 @@ pub fn store_cmd(args: &Args) -> Result<String, CliError> {
         }
         "stats" => {
             let s = hygcn_dse::store::stats(&path, &io)?;
+            if args.get_bool("json") {
+                return Ok(store_stats_json(store, &s));
+            }
             let mut out = format!(
                 "store {store}: {} record(s), {} bytes, {} checksummed, \
                  {} quarantined line(s), torn tail: {}\n",
@@ -595,6 +730,40 @@ pub fn store_cmd(args: &Args) -> Result<String, CliError> {
             "unknown store action '{other}' (fsck/salvage/stats)"
         ))),
     }
+}
+
+/// `hygcn store stats --json`: the machine-readable form dashboards and
+/// CI assertions consume.
+fn store_stats_json(store: &str, s: &hygcn_dse::StoreStats) -> String {
+    let coverage = if s.records > 0 {
+        s.checksummed as f64 / s.records as f64
+    } else {
+        0.0
+    };
+    let per_backend = s
+        .per_backend
+        .iter()
+        .map(|(backend, count)| format!("\"{}\": {count}", json_escape(backend)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"store\": \"{}\",\n  \"records\": {},\n  \"bytes\": {},\n  \
+         \"checksummed\": {},\n  \"checksum_coverage\": {:.4},\n  \"quarantined\": {},\n  \
+         \"torn_tail\": {},\n  \"per_backend\": {{{per_backend}}}\n}}\n",
+        json_escape(store),
+        s.records,
+        s.bytes,
+        s.checksummed,
+        coverage,
+        s.quarantined,
+        s.torn_tail,
+    )
+}
+
+/// Minimal JSON string escaping for values we interpolate (paths,
+/// backend ids).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// `hygcn figures <id|all>` — regenerate paper figure/table artifacts
@@ -816,6 +985,41 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
             .map_err(|e| CliError::Runtime(format!("renaming {} -> {path}: {e}", tmp.display())))?;
         out += &format!("wrote {path}\n");
     }
+
+    // --profile / --trace-out: a separate instrumented pass AFTER the
+    // timed section, so collection can never perturb the numbers above.
+    // One run of each single-thread cycle path covers the whole span
+    // taxonomy (window planning, schedule build, both engines, both
+    // memory walks, backend evaluate).
+    let profile = args.get_bool("profile");
+    let trace_out = args.get("trace-out");
+    if profile || trace_out.is_some() {
+        hygcn_obs::reset();
+        hygcn_obs::enable();
+        hygcn_par::set_thread_override(Some(1));
+        let profiled: Result<(), CliError> = (|| {
+            hygcn_core::CycleAccurateBackend
+                .evaluate(&graph, &model, sim.config())
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            hygcn_core::CycleFastBackend
+                .evaluate(&graph, &model, sim.config())
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            Ok(())
+        })();
+        hygcn_par::set_thread_override(None);
+        hygcn_obs::disable();
+        profiled?;
+        if profile {
+            out += "\nphase profile (one instrumented run of cycle + cycle-fast):\n";
+            out += &hygcn_obs::phase_table();
+        }
+        if let Some(path) = trace_out {
+            std::fs::write(path, hygcn_obs::chrome_trace_json())
+                .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+            out += &format!("wrote {path}\n");
+        }
+        hygcn_obs::reset();
+    }
     Ok(out)
 }
 
@@ -880,6 +1084,12 @@ commands:
                durability testing: kill-at-byte=N,transient-append=OP,
                short-append=OP:BYTES,disk-full=OP)
              --csv FILE  --md FILE
+             --progress (periodic progress lines on stderr)
+             --metrics-out FILE (flat metrics.json: counters, cache-hit
+               ratio, phase timings, per-backend eval latency)
+             --trace-out FILE (Chrome-trace JSON, loadable in Perfetto)
+             exit code 3 if any point failed (report still printed;
+               failed points re-attempt on resume)
   figures    regenerate paper figure/table artifacts via the campaign
              engine: hygcn figures <fig02|fig10|...|fig18|table02|
              table03|table07|ablation|all>
@@ -897,11 +1107,14 @@ commands:
              salvage: sideline damaged lines to FILE.quarantine, rewrite
                the store canonically (checksummed, key-ordered, deduped)
              stats: record/byte counts, checksum coverage, per-backend
-               breakdown, quarantined-line count
+               breakdown, quarantined-line count (--json for machines)
   bench      host-throughput benchmark: seed vs cycle (serial and
              parallel) vs the cycle-fast event-schedule backend
              --vertices N  --degree K  --feature-len F  --runs R
              --threads T  --json FILE (writes a BENCH_sim.json record)
+             --profile (phase-time table from one instrumented run,
+               collected after the timed section so timings are clean)
+             --trace-out FILE (Chrome-trace JSON of the profiled run)
   datasets   list the Table 4 benchmark datasets
   help       this text
 
@@ -1682,6 +1895,32 @@ mod tests {
         assert!(msg.contains("result store"), "{msg}");
         assert!(msg.contains("open"), "{msg}");
         assert!(msg.contains("hygcn-cli-store-is-a-dir"), "{msg}");
+    }
+
+    #[test]
+    fn render_progress_formats_counters_and_eta() {
+        // With collection off (the default in this process) every
+        // counter reads zero: no rate, no ETA.
+        let line = render_progress(1.0);
+        assert!(line.starts_with("progress: 0/0 points"), "{line}");
+        assert!(line.contains("0.0 pts/s, eta -"), "{line}");
+    }
+
+    #[test]
+    fn store_stats_json_escapes_and_derives_coverage() {
+        let s = hygcn_dse::StoreStats {
+            records: 4,
+            bytes: 512,
+            checksummed: 3,
+            quarantined: 1,
+            torn_tail: true,
+            per_backend: vec![("cycle".to_string(), 3)],
+        };
+        let json = store_stats_json("a\"b.jsonl", &s);
+        assert!(json.contains("\"store\": \"a\\\"b.jsonl\""), "{json}");
+        assert!(json.contains("\"checksum_coverage\": 0.7500"), "{json}");
+        assert!(json.contains("\"torn_tail\": true"), "{json}");
+        assert!(json.contains("\"cycle\": 3"), "{json}");
     }
 
     #[test]

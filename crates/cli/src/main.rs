@@ -18,7 +18,8 @@ mod commands;
 use args::Args;
 use commands::{
     bench, campaign, compare, datasets, figures, help, simulate, store_cmd, sweep, CliError,
-    BENCH_FLAGS, CAMPAIGN_FLAGS, FIGURE_FLAGS, STORE_FLAGS, WORKLOAD_FLAGS,
+    BENCH_BOOL_FLAGS, BENCH_FLAGS, CAMPAIGN_BOOL_FLAGS, CAMPAIGN_FLAGS, FIGURE_FLAGS,
+    STORE_BOOL_FLAGS, STORE_FLAGS, WORKLOAD_FLAGS,
 };
 
 fn run() -> Result<String, CliError> {
@@ -30,10 +31,10 @@ fn run() -> Result<String, CliError> {
     // flag passed to `simulate` still fails loudly. `figures` and
     // `store` take a positional (artifact id / maintenance action).
     let parsed = match raw[0].as_str() {
-        "bench" => Args::parse(raw, BENCH_FLAGS)?,
-        "campaign" => Args::parse(raw, CAMPAIGN_FLAGS)?,
+        "bench" => Args::parse_full(raw, BENCH_FLAGS, BENCH_BOOL_FLAGS, 0)?,
+        "campaign" => Args::parse_full(raw, CAMPAIGN_FLAGS, CAMPAIGN_BOOL_FLAGS, 0)?,
         "figures" => Args::parse_with_positionals(raw, FIGURE_FLAGS, 1)?,
-        "store" => Args::parse_with_positionals(raw, STORE_FLAGS, 1)?,
+        "store" => Args::parse_full(raw, STORE_FLAGS, STORE_BOOL_FLAGS, 1)?,
         _ => Args::parse(raw, WORKLOAD_FLAGS)?,
     };
     match parsed.command() {
@@ -55,6 +56,15 @@ fn run() -> Result<String, CliError> {
 fn main() {
     match run() {
         Ok(out) => print!("{out}"),
+        // A campaign that completed with failed points still prints its
+        // report, then exits with the dedicated code 3 (distinct from
+        // the generic error exit 2) so scripts can tell "some points
+        // failed, resume will retry" from "the invocation was wrong".
+        Err(CliError::CampaignFailed { output, failed }) => {
+            print!("{output}");
+            eprintln!("error: campaign completed with {failed} failed point(s)");
+            std::process::exit(3);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

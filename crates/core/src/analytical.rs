@@ -81,7 +81,9 @@ impl SimBackend for AnalyticalBackend {
         model: &GcnModel,
         config: &HyGcnConfig,
     ) -> Result<SimReport, SimError> {
-        analytical_report(graph, model, config)
+        hygcn_obs::observe_eval(self.backend_id(), || {
+            analytical_report(graph, model, config)
+        })
     }
 }
 

@@ -82,7 +82,9 @@ impl SimBackend for CycleAccurateBackend {
         model: &GcnModel,
         config: &HyGcnConfig,
     ) -> Result<SimReport, SimError> {
-        Simulator::new(config.clone()).simulate(graph, model)
+        hygcn_obs::observe_eval(self.backend_id(), || {
+            Simulator::new(config.clone()).simulate(graph, model)
+        })
     }
 }
 
@@ -106,7 +108,9 @@ impl SimBackend for SeedReferenceBackend {
         model: &GcnModel,
         config: &HyGcnConfig,
     ) -> Result<SimReport, SimError> {
-        Simulator::new(config.clone()).simulate_reference(graph, model)
+        hygcn_obs::observe_eval(self.backend_id(), || {
+            Simulator::new(config.clone()).simulate_reference(graph, model)
+        })
     }
 }
 

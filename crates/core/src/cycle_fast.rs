@@ -74,7 +74,7 @@ impl SimBackend for CycleFastBackend {
         model: &GcnModel,
         config: &HyGcnConfig,
     ) -> Result<SimReport, SimError> {
-        simulate_fast(config, graph, model)
+        hygcn_obs::observe_eval(self.backend_id(), || simulate_fast(config, graph, model))
     }
 }
 
@@ -129,6 +129,7 @@ pub fn simulate_fast(
     let mut aggs: Vec<ChunkAggregation> = Vec::with_capacity(nchunks);
     let mut combs: Vec<ChunkCombination> = Vec::with_capacity(nchunks);
     for (i, &dst) in intervals.iter().enumerate() {
+        let obs_a = hygcn_obs::span(hygcn_obs::Phase::Aggregation);
         let a = agg_engine.process_chunk_with_windows(
             g,
             dst,
@@ -139,6 +140,8 @@ pub fn simulate_fast(
             &mut arena,
             sched.windows(i),
         );
+        drop(obs_a);
+        let _obs_c = hygcn_obs::span(hygcn_obs::Phase::Combination);
         let extra_macs = if kind == ModelKind::DiffPool {
             dst.len() as u64 * f_in as u64 * clusters
                 + dst.len() as u64 * clusters * comb_engine.out_len()

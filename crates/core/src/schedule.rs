@@ -39,6 +39,7 @@ impl EventSchedule {
     /// Builds the schedule for one design point. `graph` must be the
     /// graph the chunk loop will run over (i.e. post-sampling).
     pub fn build(graph: &Graph, cfg: &HyGcnConfig, f_in: usize) -> Self {
+        let _obs = hygcn_obs::span(hygcn_obs::Phase::ScheduleBuild);
         let n = graph.num_vertices() as u64;
         let chunk_w = cfg.chunk_width(f_in) as u32;
         let mut intervals = Vec::new();

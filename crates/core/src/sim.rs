@@ -115,6 +115,7 @@ impl Simulator {
         // every chunk's effectual windows so chunk workers never re-scan
         // (or sort) adjacency.
         let window_set = if cfg.sparsity_elimination {
+            let _obs = hygcn_obs::span(hygcn_obs::Phase::WindowPlan);
             let planner = WindowPlanner::new(agg_engine.window_height());
             Some(planner.plan_all(g, &intervals))
         } else {
@@ -129,6 +130,7 @@ impl Simulator {
                              arena: &mut RequestArena,
                              scratch: &mut Vec<VertexId>|
          -> (ChunkAggregation, ChunkCombination) {
+            let obs_a = hygcn_obs::span(hygcn_obs::Phase::Aggregation);
             let a = match &window_set {
                 Some(ws) => agg_engine.process_chunk_with_windows(
                     g,
@@ -151,6 +153,8 @@ impl Simulator {
                     scratch,
                 ),
             };
+            drop(obs_a);
+            let _obs_c = hygcn_obs::span(hygcn_obs::Phase::Combination);
             let extra_macs = if kind == ModelKind::DiffPool {
                 // Pool-path MLP + the coarsening products of Eq. 8.
                 dst.len() as u64 * f_in as u64 * clusters

@@ -43,6 +43,7 @@ impl ChannelWalk {
     /// Services one batch arriving at `now`; returns the deterministic
     /// min-cycle merge of the per-channel completions.
     pub fn service_batch(&mut self, reqs: &[MemRequest], now: u64) -> u64 {
+        let _obs = hygcn_obs::span(hygcn_obs::Phase::HbmWalk);
         self.hbm.stage_batch(reqs);
         let policy = self.hbm.config().controller;
         let (partition, channels) = self.hbm.staged();

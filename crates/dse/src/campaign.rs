@@ -311,6 +311,11 @@ impl Campaign {
 
         // Which points were already done before this run started.
         let preexisting: Vec<bool> = points.iter().map(|p| store.get(p.key).is_some()).collect();
+        let hits = preexisting.iter().filter(|&&c| c).count() as u64;
+        hygcn_obs::count(hygcn_obs::Counter::PointsTotal, points.len() as u64);
+        hygcn_obs::count(hygcn_obs::Counter::CacheHits, hits);
+        hygcn_obs::count(hygcn_obs::Counter::PointsCached, hits);
+        hygcn_obs::count(hygcn_obs::Counter::CacheMisses, points.len() as u64 - hits);
 
         // Group the missing points by (workload, fidelity), preserving
         // point order within each group (the pair is the sharing handle:
@@ -332,8 +337,10 @@ impl Campaign {
             std::collections::BTreeMap::new();
         for ((_, fidelity_bits), idxs) in groups {
             let workload = &points[idxs[0]].workload;
+            let obs_build = hygcn_obs::span(hygcn_obs::Phase::WorkloadBuild);
             let graph = workload.build_at(f64::from_bits(fidelity_bits))?;
             let graph_hash = graph.content_hash();
+            drop(obs_build);
             // One model instance per kind in this group, shared across
             // every point of the group.
             let mut models: Vec<(hygcn_gcn::model::ModelKind, GcnModel)> = Vec::new();
@@ -354,6 +361,7 @@ impl Campaign {
             // so one bad point cannot take the run down.
             let batch = hygcn_par::num_threads().max(1);
             for chunk in idxs.chunks(batch) {
+                let _obs_batch = hygcn_obs::span(hygcn_obs::Phase::CampaignBatch);
                 let reports: Vec<Result<SimReport, String>> =
                     hygcn_par::par_map_slice(chunk, |_, &i| {
                         let p = &points[i];
@@ -372,6 +380,7 @@ impl Campaign {
                             match run {
                                 Ok(Ok(report)) => return Ok(report),
                                 Ok(Err(_)) if attempt < self.retry.max_attempts => {
+                                    hygcn_obs::count(hygcn_obs::Counter::EvalRetries, 1);
                                     sleeper(self.retry.delay(attempt));
                                 }
                                 Ok(Err(e)) => return Err(format!("{}: {e}", p.label())),
@@ -389,6 +398,7 @@ impl Campaign {
                     let report = match report {
                         Ok(r) => r,
                         Err(error) => {
+                            hygcn_obs::count(hygcn_obs::Counter::PointsFailed, 1);
                             failures.insert(i, error);
                             continue;
                         }
@@ -404,6 +414,7 @@ impl Campaign {
                         dram_bytes: report.dram_bytes(),
                         report_json: report.to_json_compact(),
                     })?;
+                    hygcn_obs::count(hygcn_obs::Counter::PointsSimulated, 1);
                     simulated += 1;
                 }
             }

@@ -354,6 +354,7 @@ impl ResultStore {
         retry: RetryPolicy,
         sleeper: Sleeper,
     ) -> Result<Self, DseError> {
+        let _obs = hygcn_obs::span(hygcn_obs::Phase::StoreOpen);
         let path = path.as_ref().to_path_buf();
         let mut records = BTreeMap::new();
         let mut quarantined = Vec::new();
@@ -385,14 +386,17 @@ impl ResultStore {
                         io.truncate(&path, keep)
                             .map_err(|e| DseError::store_io("truncate", &path, &e))?;
                     }
-                    Err(e) => quarantined.push(QuarantinedLine {
-                        line_no: i + 1,
-                        line: line.to_string(),
-                        reason: match e {
-                            DseError::Store(m) => m,
-                            other => other.to_string(),
-                        },
-                    }),
+                    Err(e) => {
+                        hygcn_obs::count(hygcn_obs::Counter::QuarantinedLines, 1);
+                        quarantined.push(QuarantinedLine {
+                            line_no: i + 1,
+                            line: line.to_string(),
+                            reason: match e {
+                                DseError::Store(m) => m,
+                                other => other.to_string(),
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -450,6 +454,7 @@ impl ResultStore {
             return Ok(());
         }
         if let Some(path) = &self.path {
+            let _obs = hygcn_obs::span(hygcn_obs::Phase::StoreAppend);
             let mut line = rec.to_line();
             line.push('\n');
             let mut attempt = 0u32;
@@ -464,6 +469,7 @@ impl ResultStore {
                     Err(e) => {
                         let _ = self.io.truncate(path, pre);
                         if is_transient(&e) && attempt < self.retry.max_attempts {
+                            hygcn_obs::count(hygcn_obs::Counter::StoreRetries, 1);
                             (self.sleeper)(self.retry.delay(attempt));
                             continue;
                         }
@@ -602,6 +608,7 @@ pub struct SalvageReport {
 ///
 /// [`DseError::StoreIo`] when reading, sidelining, or rewriting fails.
 pub fn salvage(path: &Path, io: &dyn StoreIo) -> Result<SalvageReport, DseError> {
+    let _obs = hygcn_obs::span(hygcn_obs::Phase::StoreCompact);
     let Some(content) = io
         .read(path)
         .map_err(|e| DseError::store_io("open", path, &e))?

@@ -429,6 +429,7 @@ impl Hbm {
     /// batch is staged channel-major first and the channels drain
     /// independently.
     pub fn service_batch(&mut self, reqs: &[MemRequest], now: u64) -> u64 {
+        let _obs = hygcn_obs::span(hygcn_obs::Phase::HbmWalk);
         self.stage_batch(reqs);
         self.drain_staged(now)
     }

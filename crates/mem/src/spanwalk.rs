@@ -104,6 +104,9 @@ impl SpanWalker {
     /// loop keeps all timing state in hoisted locals and skips bounds
     /// checks that the decoder's masking already guarantees.
     pub fn service_batch(&mut self, reqs: &[MemRequest], now: u64) -> u64 {
+        // One relaxed load when collection is off; the guard sits outside
+        // the per-span hot loop so the walk itself stays untouched.
+        let _obs = hygcn_obs::span(hygcn_obs::Phase::SpanWalk);
         let banks_per_channel = self.banks_per_channel;
         let (t_burst, t_row, t_cas) = (self.t_burst, self.t_row, self.t_cas);
         let (burst_shift, row_shift) = (self.burst_shift, self.row_shift);

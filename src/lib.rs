@@ -14,6 +14,9 @@
 //! * [`core`] — the HyGCN accelerator simulator.
 //! * [`dse`] — design-space-exploration campaigns: cached, resumable
 //!   multi-axis sweeps with Pareto reporting.
+//! * [`obs`] — zero-overhead phase tracing and metrics: scoped spans,
+//!   counters, Chrome-trace export. Collection is off by default and
+//!   never perturbs simulation results (see `tests/observability.rs`).
 //!
 //! ## Quickstart
 //!
@@ -37,4 +40,5 @@ pub use hygcn_dse as dse;
 pub use hygcn_gcn as gcn;
 pub use hygcn_graph as graph;
 pub use hygcn_mem as mem;
+pub use hygcn_obs as obs;
 pub use hygcn_tensor as tensor;

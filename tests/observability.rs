@@ -1,0 +1,279 @@
+//! Inertness contract of the `hygcn-obs` collector: turning tracing on
+//! may record spans and counters, but it must never change a single
+//! simulated bit. Every test here runs the same work twice — collection
+//! off, then on — and asserts bit-identical results: `SimReport`s from
+//! all six backends, campaign store bytes, and cache keys.
+//!
+//! The collector's state is process-global, so every test serializes on
+//! one mutex; a poisoned lock (a failed sibling) is recovered, not
+//! propagated, to keep failures independent.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::sync::{Mutex, MutexGuard};
+
+use hygcn_suite::baseline::backend::resolve;
+use hygcn_suite::core::config::{HyGcnConfig, PipelineMode};
+use hygcn_suite::dse::campaign::Campaign;
+use hygcn_suite::dse::space::{cache_key, Axis, ConfigSpace, WorkloadSpec};
+use hygcn_suite::gcn::model::{GcnModel, ModelKind};
+use hygcn_suite::graph::datasets::DatasetKey;
+use hygcn_suite::graph::generator::{erdos_renyi, rmat, RmatParams};
+use hygcn_suite::obs;
+use proptest::prelude::*;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Take the global collector lock and restore the off-and-empty state
+/// the rest of the process assumes.
+fn obs_guard() -> MutexGuard<'static, ()> {
+    let guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::disable();
+    obs::reset();
+    guard
+}
+
+const ALL_BACKENDS: [&str; 6] = ["cycle", "cycle-fast", "seed", "analytical", "cpu", "gpu"];
+
+fn workload() -> (hygcn_suite::graph::Graph, GcnModel) {
+    let g = erdos_renyi(512, 4096, 42).unwrap().with_feature_len(64);
+    let m = GcnModel::new(ModelKind::Gcn, 64, 7).unwrap();
+    (g, m)
+}
+
+/// Every backend produces the same report whether or not the collector
+/// is recording — the tentpole "never perturbs" contract, backend by
+/// backend.
+#[test]
+fn all_six_backends_are_bit_identical_with_collection_on() {
+    let _guard = obs_guard();
+    let (graph, model) = workload();
+    let mut cfg = HyGcnConfig::default();
+    cfg.aggregation_buffer_bytes = 1 << 16; // several chunks
+    for id in ALL_BACKENDS {
+        let backend = resolve(id).unwrap_or_else(|| panic!("unknown backend {id}"));
+        let quiet = backend.evaluate(&graph, &model, &cfg).unwrap();
+        obs::reset();
+        obs::enable();
+        let traced = backend.evaluate(&graph, &model, &cfg).unwrap();
+        obs::disable();
+        assert_eq!(traced, quiet, "{id}: collection perturbed the report");
+        // And the traced run did actually record its evaluation.
+        let snap = obs::snapshot();
+        assert!(
+            snap.evals.iter().any(|h| h.backend == id && h.count == 1),
+            "{id}: no eval latency recorded while enabled"
+        );
+    }
+    obs::reset();
+}
+
+/// Golden-replay flavor: the committed `gcn_latency` fixture is
+/// reproduced byte-for-byte with tracing enabled, so the snapshot suite
+/// and the observability layer can never drift apart silently.
+#[test]
+fn golden_fixture_replays_bit_identically_under_tracing() {
+    let _guard = obs_guard();
+    let (graph, model) = workload();
+    let mut cfg = HyGcnConfig::default();
+    cfg.aggregation_buffer_bytes = 1 << 16;
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/gcn_latency.json");
+    let want = std::fs::read_to_string(&path).unwrap();
+    obs::reset();
+    obs::enable();
+    let report = hygcn_suite::core::Simulator::new(cfg)
+        .simulate(&graph, &model)
+        .unwrap();
+    obs::disable();
+    obs::reset();
+    assert_eq!(
+        report.to_json(),
+        want,
+        "tracing perturbed the golden gcn_latency replay"
+    );
+}
+
+/// A campaign writes byte-identical store files with collection off and
+/// on: spans and counters never leak into persisted records.
+#[test]
+fn campaign_store_bytes_are_identical_with_collection_on() {
+    let _guard = obs_guard();
+    let dir = std::env::temp_dir().join("hygcn-obs-store-identity");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let space = || {
+        ConfigSpace::new(
+            vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 3)],
+            vec![ModelKind::Gcn],
+        )
+        .with_axis(Axis::parse("aggbuf-mb", "4,16").unwrap())
+        .with_axis(Axis::parse("sparsity", "on,off").unwrap())
+    };
+    let quiet_store = dir.join("quiet.jsonl");
+    let traced_store = dir.join("traced.jsonl");
+
+    let quiet = Campaign::new(space())
+        .with_store(&quiet_store)
+        .run()
+        .unwrap();
+
+    obs::reset();
+    obs::enable();
+    let traced = Campaign::new(space())
+        .with_store(&traced_store)
+        .run()
+        .unwrap();
+    obs::disable();
+
+    assert_eq!(traced.points, quiet.points, "collection perturbed points");
+    assert_eq!(
+        std::fs::read(&traced_store).unwrap(),
+        std::fs::read(&quiet_store).unwrap(),
+        "collection perturbed the persisted store bytes"
+    );
+    // The traced run counted its work.
+    assert_eq!(obs::counter_value(obs::Counter::PointsTotal), 4);
+    assert_eq!(obs::counter_value(obs::Counter::PointsSimulated), 4);
+    obs::reset();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cache keys are a pure function of (backend, config, model, workload)
+/// — the collector state cannot reach them. Locks in the exact keys for
+/// a representative point per backend.
+#[test]
+fn cache_keys_ignore_collector_state() {
+    let _guard = obs_guard();
+    let cfg = HyGcnConfig::default();
+    let canon = WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 3)
+        .canon()
+        .unwrap();
+    let quiet: Vec<u64> = ALL_BACKENDS
+        .iter()
+        .map(|b| cache_key(b, &cfg, ModelKind::Gcn, &canon))
+        .collect();
+    obs::reset();
+    obs::enable();
+    let traced: Vec<u64> = ALL_BACKENDS
+        .iter()
+        .map(|b| cache_key(b, &cfg, ModelKind::Gcn, &canon))
+        .collect();
+    obs::disable();
+    obs::reset();
+    assert_eq!(traced, quiet);
+    // The keys themselves are distinct per backend (cycle elides its id;
+    // the other five must not collide with it or each other).
+    let mut sorted = quiet.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ALL_BACKENDS.len(), "cache keys collided");
+}
+
+/// One instrumented pass over the cycle, cycle-fast, and campaign paths
+/// covers the whole span taxonomy — at least six distinct phases, which
+/// is what makes a `--trace-out` file worth opening in Perfetto.
+#[test]
+fn trace_covers_at_least_six_distinct_phases() {
+    let _guard = obs_guard();
+    let dir = std::env::temp_dir().join("hygcn-obs-taxonomy");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (graph, model) = workload();
+    let mut cfg = HyGcnConfig::default();
+    cfg.aggregation_buffer_bytes = 1 << 16;
+
+    obs::reset();
+    obs::enable();
+    resolve("cycle")
+        .unwrap()
+        .evaluate(&graph, &model, &cfg)
+        .unwrap();
+    resolve("cycle-fast")
+        .unwrap()
+        .evaluate(&graph, &model, &cfg)
+        .unwrap();
+    let space = ConfigSpace::new(
+        vec![WorkloadSpec::dataset(DatasetKey::Ib, 0.1, 3)],
+        vec![ModelKind::Gcn],
+    )
+    .with_axis(Axis::parse("aggbuf-mb", "4,16").unwrap());
+    Campaign::new(space)
+        .with_store(dir.join("taxonomy.jsonl"))
+        .run()
+        .unwrap();
+    obs::disable();
+
+    let events = obs::take_events();
+    let mut phases: Vec<&str> = events.iter().map(|e| e.phase.name()).collect();
+    phases.sort_unstable();
+    phases.dedup();
+    assert!(
+        phases.len() >= 6,
+        "expected >= 6 distinct phases, got {phases:?}"
+    );
+    for must in [
+        "window_plan",
+        "aggregation",
+        "combination",
+        "hbm_walk",
+        "backend_eval",
+        "schedule_build",
+        "store_append",
+    ] {
+        assert!(phases.contains(&must), "missing phase {must} in {phases:?}");
+    }
+    // Spans nest sanely: every event has a positive duration and a
+    // stable thread id.
+    assert!(events.iter().all(|e| e.dur_us >= 1 && e.tid >= 1));
+    obs::reset();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Property form of the inertness contract: over random workloads
+    /// and configs, the cycle and cycle-fast backends report the same
+    /// bits whether the collector is recording or not.
+    #[test]
+    fn tracing_never_perturbs_reports(
+        n in 64usize..512,
+        density in 2usize..8,
+        fpow in 4u32..7,
+        seed in 0u64..500,
+        sparsity in any::<bool>(),
+        pipeline_none in any::<bool>(),
+        rmat_graph in any::<bool>(),
+        backend_fast in any::<bool>(),
+    ) {
+        let _guard = obs_guard();
+        let f = 1usize << fpow;
+        let graph = if rmat_graph {
+            rmat(n, n * density, RmatParams::default(), seed).unwrap()
+        } else {
+            erdos_renyi(n, n * density, seed).unwrap()
+        }
+        .with_feature_len(f);
+        let model = GcnModel::new(ModelKind::Gcn, f, seed).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.sparsity_elimination = sparsity;
+        if pipeline_none {
+            cfg.pipeline = PipelineMode::None;
+        }
+        cfg.aggregation_buffer_bytes = 1 << 18;
+        let backend = resolve(if backend_fast { "cycle-fast" } else { "cycle" }).unwrap();
+
+        let quiet = backend.evaluate(&graph, &model, &cfg).unwrap();
+        obs::reset();
+        obs::enable();
+        let traced = backend.evaluate(&graph, &model, &cfg).unwrap();
+        obs::disable();
+        obs::reset();
+        prop_assert_eq!(
+            traced,
+            quiet,
+            "collection perturbed n={} d={} f={} seed={} sparsity={} nopipe={} rmat={} fast={}",
+            n, density, f, seed, sparsity, pipeline_none, rmat_graph, backend_fast
+        );
+    }
+}
