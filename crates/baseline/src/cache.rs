@@ -9,6 +9,8 @@
 //! 256 KB/8-way L2 per core, 30 MB/20-way shared L3 (one socket; the trace
 //! is single-threaded, matching PyG's mostly-serial scatter kernel).
 
+use hygcn_mem::cast::{saturating_usize, widen_u64};
+
 /// One inclusive cache level with LRU replacement.
 #[derive(Debug, Clone)]
 pub struct CacheLevel {
@@ -33,15 +35,15 @@ impl CacheLevel {
             assoc > 0 && line_bytes > 0,
             "cache geometry must be nonzero"
         );
-        let lines = capacity_bytes as u64 / line_bytes;
-        assert!(lines >= assoc as u64, "capacity smaller than one set");
-        let num_sets = lines / assoc as u64;
+        let lines = widen_u64(capacity_bytes) / line_bytes;
+        assert!(lines >= widen_u64(assoc), "capacity smaller than one set");
+        let num_sets = lines / widen_u64(assoc);
         assert!(
             num_sets.is_power_of_two(),
             "set count must be a power of two"
         );
         Self {
-            sets: vec![Vec::with_capacity(assoc); num_sets as usize],
+            sets: vec![Vec::with_capacity(assoc); saturating_usize(num_sets)],
             assoc,
             line_bytes,
             num_sets,
@@ -53,7 +55,7 @@ impl CacheLevel {
     /// Accesses the line containing `addr`; returns `true` on hit.
     pub fn access(&mut self, addr: u64) -> bool {
         let tag = addr / self.line_bytes;
-        let set = &mut self.sets[(tag % self.num_sets) as usize];
+        let set = &mut self.sets[saturating_usize(tag % self.num_sets)];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
             // Move to MRU position.
             let t = set.remove(pos);

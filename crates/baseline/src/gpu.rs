@@ -12,6 +12,7 @@
 use hygcn_gcn::model::GcnModel;
 use hygcn_gcn::workload::LayerWorkload;
 use hygcn_graph::Graph;
+use hygcn_mem::cast::trunc_u64;
 
 use crate::params::GpuParams;
 use crate::report::{PhaseBreakdown, PlatformReport};
@@ -107,7 +108,7 @@ impl GpuModel {
             combination_s,
         };
         let time_s = phases.total_s();
-        let dram_bytes = (agg_bytes + comb_bytes) as u64;
+        let dram_bytes = trunc_u64(agg_bytes + comb_bytes);
         let energy_j = p.power_w * time_s + dram_bytes as f64 * p.dram_j_per_byte;
         let bandwidth_utilization =
             (dram_bytes as f64 / time_s.max(1e-12) / (p.dram_peak_gbs * 1e9)).min(1.0);

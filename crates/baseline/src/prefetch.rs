@@ -14,7 +14,7 @@
 //! useless ones are counted (they waste bandwidth on a real machine).
 
 use crate::cache::Hierarchy;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Number of independent stride streams tracked (one per access PC in
 /// real hardware; our traces have few logical streams).
@@ -27,7 +27,7 @@ pub struct PrefetchingHierarchy {
     line: u64,
     depth: u64,
     streams: Vec<Stream>,
-    prefetched: HashSet<u64>,
+    prefetched: BTreeSet<u64>,
     issued: u64,
     useful: u64,
     demand_accesses: u64,
@@ -50,7 +50,7 @@ impl PrefetchingHierarchy {
             line: 64,
             depth: depth.max(1),
             streams: vec![Stream::default(); STREAMS],
-            prefetched: HashSet::new(),
+            prefetched: BTreeSet::new(),
             issued: 0,
             useful: 0,
             demand_accesses: 0,

@@ -56,11 +56,13 @@ pub fn bench_scale(spec: &DatasetSpec) -> f64 {
 pub fn bench_graph(key: DatasetKey) -> Graph {
     let spec = DatasetSpec::get(key);
     spec.instantiate(bench_scale(&spec), 0x5EED)
+        // lint: allow(unwrap) -- bench_scale returns the spec's own validated scale
         .expect("dataset instantiation cannot fail at valid scales")
 }
 
 /// Builds the Table 5 model for a graph's feature length.
 pub fn bench_model(kind: ModelKind, graph: &Graph) -> GcnModel {
+    // lint: allow(unwrap) -- Graph guarantees feature_len >= 1, the only failure mode
     GcnModel::new(kind, graph.feature_len(), 0xC0DE).expect("nonzero feature length")
 }
 
@@ -82,6 +84,7 @@ impl TriRun {
         let model = bench_model(kind, &graph);
         let hygcn = Simulator::new(HyGcnConfig::default())
             .simulate(&graph, &model)
+            // lint: allow(unwrap) -- bench harness invariant: the default config runs every Table 4 dataset
             .expect("default config simulates all bench datasets");
         let cpu = CpuModel::optimized().run(&graph, &model);
         let gpu = GpuModel::naive().run(&graph, &model);

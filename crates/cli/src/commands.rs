@@ -108,6 +108,12 @@ pub const BENCH_FLAGS: &[&str] = &[
 /// Boolean (valueless) flags accepted by `hygcn bench`.
 pub const BENCH_BOOL_FLAGS: &[&str] = &["profile"];
 
+/// Flags accepted by `hygcn lint`.
+pub const LINT_FLAGS: &[&str] = &["rule", "config", "root"];
+
+/// Boolean (valueless) flags accepted by `hygcn lint`.
+pub const LINT_BOOL_FLAGS: &[&str] = &["json"];
+
 /// Top-level error for command execution.
 #[derive(Debug)]
 pub enum CliError {
@@ -126,6 +132,15 @@ pub enum CliError {
         /// How many points failed.
         failed: usize,
     },
+    /// `hygcn lint` found violations. Carries the rendered findings so
+    /// `main` prints them to stdout (machine-readable) while the count
+    /// summary goes to stderr, then exits 2.
+    LintViolations {
+        /// The rendered findings (text or JSON per `--json`).
+        output: String,
+        /// How many findings.
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -136,6 +151,9 @@ impl std::fmt::Display for CliError {
             CliError::Runtime(msg) => write!(f, "{msg}"),
             CliError::CampaignFailed { failed, .. } => {
                 write!(f, "campaign completed with {failed} failed point(s)")
+            }
+            CliError::LintViolations { count, .. } => {
+                write!(f, "lint found {count} violation(s)")
             }
         }
     }
@@ -1043,6 +1061,32 @@ pub fn datasets() -> String {
     out
 }
 
+/// `hygcn lint` — scan the workspace sources against the committed
+/// invariant policy (`lint.toml`). Exit code contract: 0 when clean,
+/// 2 when violations (or stale allowlist entries) remain. Findings go
+/// to stdout — text or, with `--json`, a machine-readable report —
+/// and the count summary to stderr, so pipelines can consume stdout
+/// unconditionally.
+pub fn lint(args: &Args) -> Result<String, CliError> {
+    let root = PathBuf::from(args.get_or("root", "."));
+    let config = args.get("config").map(PathBuf::from);
+    let report = hygcn_lint::run_with_config_file(&root, config.as_deref(), args.get("rule"))
+        .map_err(CliError::Runtime)?;
+    let output = if args.get_bool("json") {
+        report.to_json()
+    } else {
+        report.to_text()
+    };
+    if report.clean() {
+        Ok(output)
+    } else {
+        Err(CliError::LintViolations {
+            output,
+            count: report.findings.len(),
+        })
+    }
+}
+
 /// `hygcn help`.
 pub fn help() -> String {
     "hygcn — HyGCN (HPCA 2020) accelerator simulator
@@ -1115,6 +1159,11 @@ commands:
              --profile (phase-time table from one instrumented run,
                collected after the timed section so timings are clean)
              --trace-out FILE (Chrome-trace JSON of the profiled run)
+  lint       scan workspace sources against the invariant policy
+             (determinism, cast-safety, panic-freedom, unsafe audit)
+             --json (machine-readable report)  --rule R (one rule only)
+             --config FILE (default lint.toml)  --root DIR (default .)
+             findings on stdout, summary on stderr; exit 2 on findings
   datasets   list the Table 4 benchmark datasets
   help       this text
 

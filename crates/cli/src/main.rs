@@ -17,9 +17,9 @@ mod commands;
 
 use args::Args;
 use commands::{
-    bench, campaign, compare, datasets, figures, help, simulate, store_cmd, sweep, CliError,
+    bench, campaign, compare, datasets, figures, help, lint, simulate, store_cmd, sweep, CliError,
     BENCH_BOOL_FLAGS, BENCH_FLAGS, CAMPAIGN_BOOL_FLAGS, CAMPAIGN_FLAGS, FIGURE_FLAGS,
-    STORE_BOOL_FLAGS, STORE_FLAGS, WORKLOAD_FLAGS,
+    LINT_BOOL_FLAGS, LINT_FLAGS, STORE_BOOL_FLAGS, STORE_FLAGS, WORKLOAD_FLAGS,
 };
 
 fn run() -> Result<String, CliError> {
@@ -35,6 +35,7 @@ fn run() -> Result<String, CliError> {
         "campaign" => Args::parse_full(raw, CAMPAIGN_FLAGS, CAMPAIGN_BOOL_FLAGS, 0)?,
         "figures" => Args::parse_with_positionals(raw, FIGURE_FLAGS, 1)?,
         "store" => Args::parse_full(raw, STORE_FLAGS, STORE_BOOL_FLAGS, 1)?,
+        "lint" => Args::parse_full(raw, LINT_FLAGS, LINT_BOOL_FLAGS, 0)?,
         _ => Args::parse(raw, WORKLOAD_FLAGS)?,
     };
     match parsed.command() {
@@ -45,6 +46,7 @@ fn run() -> Result<String, CliError> {
         "figures" => figures(&parsed),
         "store" => store_cmd(&parsed),
         "bench" => bench(&parsed),
+        "lint" => lint(&parsed),
         "datasets" => Ok(datasets()),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(CliError::Unknown(format!(
@@ -64,6 +66,14 @@ fn main() {
             print!("{output}");
             eprintln!("error: campaign completed with {failed} failed point(s)");
             std::process::exit(3);
+        }
+        // Lint findings go to stdout (they ARE the report — text or
+        // JSON) with only the summary on stderr, exit 2 as the issue's
+        // "violations present" contract.
+        Err(CliError::LintViolations { output, count }) => {
+            print!("{output}");
+            eprintln!("error: lint found {count} violation(s)");
+            std::process::exit(2);
         }
         Err(e) => {
             eprintln!("error: {e}");

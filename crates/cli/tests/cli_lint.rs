@@ -1,0 +1,168 @@
+//! End-to-end tests of `hygcn lint`, driving the real binary. The
+//! exit-code contract (0 clean / 2 violations) and the stream split
+//! (findings on stdout, summary on stderr) are what CI and pre-commit
+//! hooks script against, so they are pinned here as subprocess
+//! behaviour, not as internal `LintReport` assertions.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn hygcn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hygcn"))
+        .args(args)
+        .output()
+        .expect("failed to spawn hygcn")
+}
+
+/// The workspace root, two levels up from crates/cli.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/cli has a workspace root two levels up")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Builds a throwaway "workspace" whose single library file violates
+/// the default policy (a `HashMap` in a deterministic crate and a bare
+/// `.unwrap()` in library code). No `lint.toml` is written, so the
+/// scan runs under the built-in default config.
+fn seeded_violation_root(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&root).ok();
+    let src = root.join("crates").join("demo").join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         \n\
+         pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> u32 {\n\
+             *m.get(&k).unwrap()\n\
+         }\n",
+    )
+    .unwrap();
+    root
+}
+
+/// The committed workspace must scan clean: exit 0, the zero-findings
+/// summary on stdout, and nothing on stderr. This is the same
+/// invariant `crates/lint/tests/workspace_clean.rs` pins in-process;
+/// here it is the user-facing process contract.
+#[test]
+fn clean_workspace_exits_0_with_summary_on_stdout() {
+    let root = workspace_root();
+    let out = hygcn(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("lint: 0 finding(s)"),
+        "summary missing from stdout: {text}"
+    );
+    assert!(
+        stderr(&out).is_empty(),
+        "clean run must not write to stderr: {}",
+        stderr(&out)
+    );
+}
+
+/// A seeded violation exits 2. Findings and the report summary go to
+/// stdout; stderr carries only the one-line error, so a pipeline can
+/// consume stdout unconditionally and still see failures on stderr.
+#[test]
+fn violations_exit_2_with_findings_on_stdout_and_error_on_stderr() {
+    let root = seeded_violation_root("hygcn-lint-seeded");
+    let out = hygcn(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("[hash-collections]"),
+        "HashMap finding missing from stdout: {text}"
+    );
+    assert!(
+        text.contains("[unwrap]"),
+        "unwrap finding missing from stdout: {text}"
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("error: lint found") && err.contains("violation(s)"),
+        "summary missing on stderr: {err}"
+    );
+    assert!(
+        !err.contains("[unwrap]"),
+        "findings belong on stdout, not stderr: {err}"
+    );
+}
+
+/// `--rule` narrows the report to one rule; the other seeded violation
+/// disappears from the output but the exit code still signals failure.
+#[test]
+fn rule_filter_narrows_the_report() {
+    let root = seeded_violation_root("hygcn-lint-rule-filter");
+    let out = hygcn(&["lint", "--root", root.to_str().unwrap(), "--rule", "unwrap"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = stdout(&out);
+    assert!(text.contains("[unwrap]"), "filtered rule missing: {text}");
+    assert!(
+        !text.contains("[hash-collections]"),
+        "filter leaked another rule: {text}"
+    );
+}
+
+/// `--json` emits the machine-readable report on stdout — violations
+/// included — and still exits 2.
+#[test]
+fn json_report_carries_counts_and_findings() {
+    let root = seeded_violation_root("hygcn-lint-json");
+    let out = hygcn(&["lint", "--root", root.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = stdout(&out);
+    // `HashMap` fires at both the `use` and the signature, plus the
+    // unwrap: three findings total.
+    assert!(
+        text.contains("\"findings_total\": 3"),
+        "expected all three seeded findings in JSON: {text}"
+    );
+    assert!(
+        text.contains("\"rule\": \"unwrap\"") && text.contains("\"rule\": \"hash-collections\""),
+        "JSON findings array incomplete: {text}"
+    );
+}
+
+/// An unknown `--rule` is an argument error (generic exit 2 with the
+/// known-rule list on stderr), not a silent empty-but-green scan.
+#[test]
+fn unknown_rule_is_an_error_not_a_green_scan() {
+    let root = workspace_root();
+    let out = hygcn(&["lint", "--root", root.to_str().unwrap(), "--rule", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown rule 'bogus'"), "stderr: {err}");
+}
+
+/// A `--config` path that does not exist must be reported, not fall
+/// back to the default policy (which could mask a typo'd CI path as a
+/// clean scan).
+#[test]
+fn missing_explicit_config_is_an_error() {
+    let root = workspace_root();
+    let out = hygcn(&[
+        "lint",
+        "--root",
+        root.to_str().unwrap(),
+        "--config",
+        "/nonexistent/lint.toml",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("does not exist"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}

@@ -32,6 +32,7 @@ use hygcn_gcn::model::{GcnModel, ModelKind, DIFFPOOL_CLUSTERS};
 use hygcn_graph::sampling::SamplePolicy;
 use hygcn_graph::Graph;
 use hygcn_mem::address::MappingScheme;
+use hygcn_mem::cast::{round_u64, round_usize, widen_u64};
 use hygcn_mem::hbm::ControllerPolicy;
 use hygcn_mem::request::RequestArena;
 use hygcn_mem::scheduler::CoordinationMode;
@@ -87,23 +88,9 @@ impl SimBackend for AnalyticalBackend {
     }
 }
 
-/// Saturating `f64 → u64` with round-to-nearest, for folding the
-/// model's floating-point quantities into integer report fields. The
-/// bare `as u64` casts this replaces truncated toward zero silently —
-/// biasing every accounting total low by up to one unit per cast and
-/// mapping out-of-range garbage to arbitrary values. NaN and negative
-/// inputs map to 0; values beyond `u64::MAX` saturate.
-fn round_u64(x: f64) -> u64 {
-    if x.is_nan() || x <= 0.0 {
-        return 0;
-    }
-    let r = x.round();
-    if r >= u64::MAX as f64 {
-        u64::MAX
-    } else {
-        r as u64
-    }
-}
+// `round_u64` and its relatives live in `hygcn_mem::cast` (shared with
+// the baseline cost models); this file is a `cost_paths` member in
+// `lint.toml`, so every numeric conversion below must name one.
 
 /// Expected occupied rows, effectual windows, and loaded rows for one
 /// chunk: `m` edges uniform over `n` source rows, window height `h`.
@@ -154,7 +141,7 @@ fn analytical_report(
     // --- Input validation: identical contract to `simulate()`. ---
     crate::validate::validate_inputs(graph, model, cfg)?;
     let f_in = model.feature_len();
-    let row_bytes = (f_in * 4) as u64;
+    let row_bytes = widen_u64(f_in * 4);
 
     let kind = model.kind();
     let policy = cfg.sample_policy_override.unwrap_or(kind.sample_policy());
@@ -179,7 +166,7 @@ fn analytical_report(
     };
 
     let chunk_w = cfg.chunk_width(f_in) as f64;
-    let nchunks = (n / chunk_w).ceil().max(1.0) as usize;
+    let nchunks = round_usize((n / chunk_w).ceil().max(1.0));
     let h = cfg.window_height(f_in) as f64;
     let lanes = cfg.simd_lanes().max(1) as f64;
     let cores = cfg.simd_cores.max(1) as f64;
@@ -187,8 +174,8 @@ fn analytical_report(
     // --- Roofline memory term from the HBM geometry. ---
     let hbm = &cfg.hbm;
     let layout = AddressLayout::new(
-        graph.num_vertices() as u64,
-        graph.num_edges() as u64,
+        widen_u64(graph.num_vertices()),
+        widen_u64(graph.num_edges()),
         row_bytes,
         &dims,
     );
@@ -285,11 +272,13 @@ fn analytical_report(
         };
         let load_weights = i == 0 || !weights_resident;
         let c = comb.process_chunk(
-            verts as u64,
+            // verts is an integral f64 (chunk width or remainder), so
+            // rounding and the old truncation agree exactly.
+            round_u64(verts),
             mode,
             load_weights,
             extra_macs,
-            i as u64,
+            widen_u64(i),
             &mut arena,
         );
 

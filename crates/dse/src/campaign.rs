@@ -109,6 +109,7 @@ impl PointOutcome {
         match self {
             PointOutcome::Done(c) => c,
             PointOutcome::Failed { point, error } => {
+                // lint: allow(panic-macro) -- panicking on failure is this accessor's documented contract; error() is the fallible form
                 panic!("point {} failed: {error}", point.label())
             }
         }
@@ -365,11 +366,13 @@ impl Campaign {
                 let reports: Vec<Result<SimReport, String>> =
                     hygcn_par::par_map_slice(chunk, |_, &i| {
                         let p = &points[i];
-                        let model = &models
-                            .iter()
-                            .find(|(k, _)| *k == p.model)
-                            .expect("model prebuilt for every kind in group")
-                            .1;
+                        // Prebuilt above for every kind in the group; a
+                        // miss fails the point instead of the process.
+                        let Some(model) =
+                            models.iter().find(|(k, _)| *k == p.model).map(|(_, m)| m)
+                        else {
+                            return Err(format!("{}: model not prebuilt", p.label()));
+                        };
                         let mut attempt = 0u32;
                         loop {
                             attempt += 1;
@@ -430,9 +433,12 @@ impl Campaign {
                 });
                 continue;
             }
-            let rec = store
-                .get(p.key)
-                .expect("every non-failed point is stored by now");
+            let rec = store.get(p.key).ok_or_else(|| {
+                DseError::Store(format!(
+                    "point {} completed but is missing from the store",
+                    p.label()
+                ))
+            })?;
             outcomes.push(PointOutcome::Done(CompletedPoint {
                 cycles: rec.cycles,
                 time_s: rec.time_s,

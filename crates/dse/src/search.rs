@@ -352,10 +352,12 @@ pub fn run_search_io(
                     });
                 }
             }
+            let report = final_report
+                .ok_or_else(|| DseError::Spec("successive halving needs rungs >= 1".into()))?;
             Ok(SearchOutcome {
                 prefilter,
                 rungs: rung_reports,
-                report: final_report.expect("rungs >= 1"),
+                report,
             })
         }
     }

@@ -102,14 +102,14 @@ fn split_crc(line: &str) -> Option<(String, u64)> {
         return None;
     }
     let cut = b.len() - CRC_TAIL;
-    if &b[cut..cut + 8] != b",\"crc\":\"" {
+    if b.get(cut..cut + 8) != Some(b",\"crc\":\"".as_slice()) {
         return None;
     }
-    let hex = std::str::from_utf8(&b[cut + 8..cut + 24]).ok()?;
+    let hex = std::str::from_utf8(b.get(cut + 8..cut + 24)?).ok()?;
     let crc = u64::from_str_radix(hex, 16).ok()?;
     // `cut` lands on the ASCII `,` of the suffix, so it is a char
     // boundary; restore the object's closing brace the suffix replaced.
-    let mut body = line[..cut].to_string();
+    let mut body = line.get(..cut)?.to_string();
     body.push('}');
     Some((body, crc))
 }
@@ -134,7 +134,8 @@ impl StoreRecord {
     fn to_line(&self) -> String {
         let body = self.legacy_body();
         let crc = line_checksum(&body);
-        format!("{},\"crc\":\"{:016x}\"}}", &body[..body.len() - 1], crc)
+        let trimmed = body.strip_suffix('}').unwrap_or(&body);
+        format!("{trimmed},\"crc\":\"{crc:016x}\"}}")
     }
 
     fn parse_line(line: &str) -> Result<Self, DseError> {
@@ -186,7 +187,10 @@ impl StoreRecord {
         // The report object runs to the line's final closing brace.
         let marker = "\"report\":";
         let at = line.find(marker).ok_or_else(|| bad("missing report"))?;
-        let report_json = line[at + marker.len()..line.len() - 1].to_string();
+        let report_json = line
+            .get(at + marker.len()..line.len() - 1)
+            .ok_or_else(|| bad("malformed report object"))?
+            .to_string();
         if !report_json.starts_with('{') || !report_json.ends_with('}') {
             return Err(bad("malformed report object"));
         }
@@ -208,9 +212,12 @@ impl StoreRecord {
     pub fn backend_id(&self) -> &str {
         let marker = "\"backend\": \"";
         if let Some(at) = self.report_json.find(marker) {
-            let rest = &self.report_json[at + marker.len()..];
-            if let Some(end) = rest.find('"') {
-                return &rest[..end];
+            if let Some(s) = self
+                .report_json
+                .get(at + marker.len()..)
+                .and_then(|rest| rest.find('"').and_then(|end| rest.get(..end)))
+            {
+                return s;
             }
         }
         "cycle"
@@ -246,13 +253,13 @@ fn unescape(s: &str) -> String {
 fn field_str(line: &str, name: &str) -> Option<String> {
     let marker = format!("\"{name}\":\"");
     let start = line.find(&marker)? + marker.len();
-    let rest = &line[start..];
+    let rest = line.get(start..)?;
     let mut end = 0;
     let bytes = rest.as_bytes();
-    while end < bytes.len() {
-        match bytes[end] {
+    while let Some(&b) = bytes.get(end) {
+        match b {
             b'\\' => end += 2,
-            b'"' => return Some(rest[..end].to_string()),
+            b'"' => return rest.get(..end).map(str::to_string),
             _ => end += 1,
         }
     }
@@ -263,9 +270,9 @@ fn field_str(line: &str, name: &str) -> Option<String> {
 fn field_raw(line: &str, name: &str) -> Option<String> {
     let marker = format!("\"{name}\":");
     let start = line.find(&marker)? + marker.len();
-    let rest = &line[start..];
+    let rest = line.get(start..)?;
     let end = rest.find([',', '}'])?;
-    Some(rest[..end].to_string())
+    rest.get(..end).map(str::to_string)
 }
 
 /// A damaged store line a tolerant open preserved instead of loading —

@@ -16,7 +16,7 @@
 
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// The file operations [`crate::store::ResultStore`] needs, as a seam.
@@ -219,7 +219,12 @@ impl FaultyIo {
 
     /// Whether a [`Fault::KillAtByte`] has fired.
     pub fn is_killed(&self) -> bool {
-        self.state.lock().expect("fault state poisoned").killed
+        // Fault state is plain data — a panic mid-update cannot leave it
+        // logically torn, so a poisoned lock is still readable.
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .killed
     }
 
     fn dead() -> io::Error {
@@ -247,7 +252,7 @@ impl StoreIo for FaultyIo {
     }
 
     fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        let mut state = self.state.lock().expect("fault state poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.killed {
             return Err(Self::dead());
         }
@@ -261,7 +266,10 @@ impl StoreIo for FaultyIo {
                 if !state.killed && state.appended + bytes.len() as u64 > byte {
                     let partial = byte.saturating_sub(state.appended) as usize;
                     if partial > 0 {
-                        self.inner.append(path, &bytes[..partial])?;
+                        // partial < bytes.len() by the boundary check
+                        // above; fall back to the whole buffer if not.
+                        self.inner
+                            .append(path, bytes.get(..partial).unwrap_or(bytes))?;
                     }
                     state.appended += partial as u64;
                     state.killed = true;
@@ -281,7 +289,8 @@ impl StoreIo for FaultyIo {
                 }
                 Fault::ShortAppend { op: o, written } if o == op => {
                     let written = written.min(bytes.len());
-                    self.inner.append(path, &bytes[..written])?;
+                    self.inner
+                        .append(path, bytes.get(..written).unwrap_or(bytes))?;
                     state.appended += written as u64;
                     return Err(io::Error::new(
                         io::ErrorKind::Interrupted,

@@ -84,6 +84,7 @@ impl Combine {
             for (k, dst) in slab.chunks_exact_mut(out_len).enumerate() {
                 self.mlp
                     .forward_into(a.row(first_row + k), &mut y, &mut scratch)
+                    // lint: allow(unwrap) -- shape checked against in_dim before the parallel fan-out; no Result path out of the slab closure
                     .expect("row length validated against in_dim above");
                 dst.copy_from_slice(&y);
             }

@@ -69,6 +69,7 @@ pub fn coarsen(
         let cu = assignment.row(u as usize);
         let cv = assignment.row(v as usize);
         for (i, &cui) in cu.iter().enumerate() {
+            // lint: allow(float-cmp) -- exact-zero skip: only bit-pattern zeros are skippable work
             if cui == 0.0 {
                 continue;
             }
@@ -100,6 +101,7 @@ impl DiffPoolOutput {
             for j in 0..n {
                 if i != j && self.adjacency[(i, j)] >= threshold {
                     coo.push(j as u32, i as u32)
+                        // lint: allow(unwrap) -- i, j < adjacency.rows() = coo's vertex count by construction
                         .expect("cluster indices are in range");
                 }
             }

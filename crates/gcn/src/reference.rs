@@ -109,9 +109,9 @@ impl ReferenceExecutor {
     ) -> Result<Matrix, GcnError> {
         let combine = match role {
             PathRole::Embedding => model.combine(),
-            PathRole::Pool => model
-                .pool_combine()
-                .expect("pool path only runs for DiffPool"),
+            PathRole::Pool => model.pool_combine().ok_or_else(|| {
+                GcnError::InvalidModel("pool path requires a pooling model".into())
+            })?,
         };
         let kind = model.kind();
         let out = match kind.phase_order() {

@@ -76,7 +76,9 @@ impl AssembledBatch {
 
     /// Which component a global vertex id belongs to.
     pub fn component_of(&self, v: VertexId) -> Option<usize> {
-        if v >= *self.offsets.last().expect("nonempty offsets") {
+        // An empty offsets table (no components) locates nothing.
+        let &end = self.offsets.last()?;
+        if v >= end {
             return None;
         }
         Some(self.offsets.partition_point(|&o| o <= v) - 1)

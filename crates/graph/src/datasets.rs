@@ -19,7 +19,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::generator::{community_powerlaw, rmat, RmatParams};
 use crate::{Coo, Graph, GraphError, VertexId};
@@ -248,12 +248,15 @@ fn assembled_blocks(
     let mut assigned: usize = sizes.iter().sum();
     // Repair rounding drift by adjusting the largest block.
     while assigned > num_vertices {
-        let i = sizes
+        let Some(i) = sizes
             .iter()
             .enumerate()
             .max_by_key(|(_, &s)| s)
             .map(|(i, _)| i)
-            .expect("num_blocks >= 1");
+        else {
+            // No blocks to shrink — nothing left to rebalance.
+            break;
+        };
         if sizes[i] > 2 {
             sizes[i] -= 1;
             assigned -= 1;
@@ -287,7 +290,7 @@ fn assembled_blocks(
     let mut coo = Coo::new(num_vertices);
     let mut base: VertexId = 0;
     for (b, &size) in sizes.iter().enumerate() {
-        let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(budgets[b] * 2);
+        let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
         let size = size as VertexId;
         while seen.len() < budgets[b] {
             let x = base + rng.gen_range(0..size);
@@ -306,7 +309,7 @@ fn assembled_blocks(
     // Spill (only if the request exceeded total block capacity).
     let mut spilled = 0;
     let n = num_vertices as VertexId;
-    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
     while in_blocks + spilled < und_edges {
         let x = rng.gen_range(0..n);
         let y = rng.gen_range(0..n);

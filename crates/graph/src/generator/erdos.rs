@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::{Coo, Graph, GraphError, VertexId};
 
@@ -25,7 +25,7 @@ pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> Result<G
         });
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(num_edges * 2);
+    let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
     let mut coo = Coo::new(num_vertices);
     let n = num_vertices as VertexId;
     while seen.len() < num_edges {

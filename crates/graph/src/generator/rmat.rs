@@ -88,7 +88,7 @@ pub fn rmat(
     }
     let levels = usize::BITS - (num_vertices - 1).leading_zeros();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut seen = std::collections::HashSet::with_capacity(num_edges * 2);
+    let mut seen = std::collections::BTreeSet::new();
     let mut coo = Coo::new(num_vertices);
     // Cap the retry budget: R-MAT cores saturate, and beyond the cap we
     // fill in uniform edges to guarantee the exact requested size.

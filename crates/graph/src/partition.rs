@@ -102,7 +102,7 @@ pub(crate) fn interval_lookup(intervals: &[Interval], n: usize) -> impl Fn(Verte
 
 impl IntervalLookup {
     fn new(intervals: &[Interval], n: usize) -> Self {
-        if let Some(first) = intervals.first() {
+        if let (Some(first), Some(last)) = (intervals.first(), intervals.last()) {
             let width = first.end - first.start;
             let uniform = width > 0
                 && first.start == 0
@@ -110,9 +110,9 @@ impl IntervalLookup {
                 && intervals[..intervals.len() - 1]
                     .iter()
                     .all(|iv| iv.end - iv.start == width)
-                && intervals.last().unwrap().len() as u32 <= width;
+                && last.len() as u32 <= width;
             if uniform {
-                let limit = intervals.last().unwrap().end;
+                let limit = last.end;
                 return if width.is_power_of_two() {
                     IntervalLookup::UniformPow2 {
                         shift: width.trailing_zeros(),
@@ -175,11 +175,12 @@ impl SourceOccupancy {
         let csc_offsets = graph.csc().offsets();
         let mut offsets = Vec::with_capacity(k + 1);
         offsets.push(0usize);
+        let mut total = 0usize;
         for iv in intervals {
             let edges = csc_offsets[(iv.end as usize).min(n)] - csc_offsets[iv.start as usize];
-            offsets.push(offsets.last().unwrap() + edges);
+            total += edges;
+            offsets.push(total);
         }
-        let total = *offsets.last().unwrap();
 
         let ranges = hygcn_par::split_ranges(n, hygcn_par::num_threads());
         if ranges.len() <= 1 {

@@ -67,6 +67,7 @@ pub fn reorder(graph: &Graph, ordering: Ordering) -> Reordered {
     let mut coo = Coo::new(n);
     for (src, dst) in graph.edges() {
         coo.push(perm[src as usize], perm[dst as usize])
+            // lint: allow(unwrap) -- perm is a bijection on 0..n, so pushed ids stay in range
             .expect("permutation stays in range");
     }
     coo.dedup();

@@ -104,11 +104,13 @@ impl Sampler {
             if keep >= neighbors.len() {
                 for &src in neighbors {
                     coo.push(src, dst)
+                        // lint: allow(unwrap) -- src/dst are neighbor ids of the input graph, in range by construction
                         .expect("vertex ids come from a valid graph");
                 }
             } else if let SamplePolicy::Strided(stride) = policy {
                 for &src in neighbors.iter().step_by(stride.max(1)) {
                     coo.push(src, dst)
+                        // lint: allow(unwrap) -- src/dst are neighbor ids of the input graph, in range by construction
                         .expect("vertex ids come from a valid graph");
                 }
             } else {
@@ -117,6 +119,7 @@ impl Sampler {
                 let (kept, _) = scratch.partial_shuffle(&mut rng, keep);
                 for &src in kept.iter() {
                     coo.push(src, dst)
+                        // lint: allow(unwrap) -- src/dst are neighbor ids of the input graph, in range by construction
                         .expect("vertex ids come from a valid graph");
                 }
             }

@@ -51,10 +51,12 @@ impl WindowSet {
     fn from_lists(lists: Vec<Vec<EffectualWindow>>) -> Self {
         let mut offsets = Vec::with_capacity(lists.len() + 1);
         offsets.push(0usize);
+        let mut total = 0usize;
         for l in &lists {
-            offsets.push(offsets.last().unwrap() + l.len());
+            total += l.len();
+            offsets.push(total);
         }
-        let mut windows = Vec::with_capacity(*offsets.last().unwrap());
+        let mut windows = Vec::with_capacity(total);
         for l in lists {
             windows.extend(l);
         }

@@ -1,0 +1,475 @@
+//! Lint configuration: the `lint.toml` scope/allowlist file and the
+//! in-source `// lint: allow(rule) -- reason` pragma grammar.
+//!
+//! The TOML reader is a deliberate subset parser (the crate is
+//! dependency-free): it understands comments, `[table]` headers,
+//! `[[array-of-tables]]` headers, and `key = value` lines where value
+//! is a quoted string, an integer, or an array of quoted strings.
+//! Anything else is a hard error — a config typo must fail the run, not
+//! silently weaken an invariant.
+
+use std::fmt;
+
+/// The closed rule set: `(id, one-line description)`. Rule ids are the
+/// vocabulary of `--rule`, pragmas, and `lint.toml` allow entries.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "hash-collections",
+        "std HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet",
+    ),
+    (
+        "wall-clock",
+        "Instant/SystemTime reads are nondeterministic; confine timing to obs/bench/cli",
+    ),
+    (
+        "float-cmp",
+        "exact float ==/!= comparison; use an epsilon, bit compare, or justify with a pragma",
+    ),
+    (
+        "bare-cast",
+        "bare `as` cast to an integer type in a cost path; use the hygcn_mem::cast helpers",
+    ),
+    (
+        "unwrap",
+        "unwrap()/expect() in library code; return SimError/DseError or justify with a pragma",
+    ),
+    (
+        "panic-macro",
+        "panic!/todo!/unimplemented! in library code; return an error instead",
+    ),
+    (
+        "slice-index",
+        "bare slice indexing in a strict-index file; use .get()/.get_mut()",
+    ),
+    (
+        "unsafe-audit",
+        "unsafe requires an adjacent `// SAFETY:` comment and an audited-module listing",
+    ),
+    (
+        "bad-pragma",
+        "malformed lint pragma or unknown rule id in a pragma",
+    ),
+    (
+        "stale-pragma",
+        "a lint pragma that suppresses nothing; delete it",
+    ),
+    (
+        "stale-allow",
+        "a lint.toml allow entry that matches nothing; delete it",
+    ),
+];
+
+/// True when `id` is a member of the closed rule set.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule id being granted.
+    pub rule: String,
+    /// Workspace-relative path the grant applies to.
+    pub path: String,
+    /// Optional exact line pin.
+    pub line: Option<usize>,
+    /// Optional substring the offending source line must contain.
+    pub pattern: Option<String>,
+    /// Mandatory human justification.
+    pub reason: String,
+    /// Line of the entry header in `lint.toml` (for stale reports).
+    pub toml_line: usize,
+}
+
+/// Parsed `lint.toml`: rule scoping plus the allowlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Crates exempt from the determinism family
+    /// (`hash-collections`, `wall-clock`, `float-cmp`).
+    pub determinism_exempt: Vec<String>,
+    /// Crates exempt from the panic-freedom family
+    /// (`unwrap`, `panic-macro`).
+    pub panic_exempt: Vec<String>,
+    /// Files (workspace-relative) where `bare-cast` applies.
+    pub cost_paths: Vec<String>,
+    /// Files (workspace-relative) where `slice-index` applies.
+    pub strict_index: Vec<String>,
+    /// Files (workspace-relative) allowed to contain `unsafe`.
+    pub audited_unsafe: Vec<String>,
+    /// The justified allowlist.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Default for LintConfig {
+    /// The built-in policy used when no `lint.toml` exists: timing and
+    /// hashing stay the business of the observability/bench/CLI layer,
+    /// binaries may panic at top level, and no file-scoped rules apply
+    /// until the config names their files.
+    fn default() -> Self {
+        LintConfig {
+            determinism_exempt: vec!["obs".into(), "bench".into(), "cli".into()],
+            panic_exempt: vec!["cli".into()],
+            cost_paths: Vec::new(),
+            strict_index: Vec::new(),
+            audited_unsafe: Vec::new(),
+            allows: Vec::new(),
+        }
+    }
+}
+
+/// A config-file problem (parse error or invalid entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A parsed `key = value` right-hand side.
+enum TomlValue {
+    Str(String),
+    Int(usize),
+    StrArray(Vec<String>),
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<TomlValue, ConfigError> {
+    let raw = raw.trim();
+    if let Some(inner) = raw.strip_prefix('"') {
+        let Some(s) = inner.strip_suffix('"') else {
+            return Err(err(line, "unterminated string"));
+        };
+        if s.contains('"') {
+            return Err(err(line, "escapes/embedded quotes are not supported"));
+        }
+        return Ok(TomlValue::Str(s.to_string()));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let Some(body) = inner.strip_suffix(']') else {
+            return Err(err(line, "arrays must open and close on one line"));
+        };
+        let mut items = Vec::new();
+        for piece in body.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_value(piece, line)? {
+                TomlValue::Str(s) => items.push(s),
+                _ => return Err(err(line, "arrays may only contain strings")),
+            }
+        }
+        return Ok(TomlValue::StrArray(items));
+    }
+    match raw.parse::<usize>() {
+        Ok(n) => Ok(TomlValue::Int(n)),
+        Err(_) => Err(err(
+            line,
+            format!("unsupported value '{raw}' (string, integer, or string array)"),
+        )),
+    }
+}
+
+/// Strips a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `lint.toml` text into a [`LintConfig`]. Unknown tables, keys,
+/// rules, and entries missing a `reason` are hard errors.
+pub fn parse_config(text: &str) -> Result<LintConfig, ConfigError> {
+    let mut cfg = LintConfig {
+        determinism_exempt: Vec::new(),
+        panic_exempt: Vec::new(),
+        cost_paths: Vec::new(),
+        strict_index: Vec::new(),
+        audited_unsafe: Vec::new(),
+        allows: Vec::new(),
+    };
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Scope,
+        Allow,
+    }
+    let mut section = Section::None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish_allow_entry(&cfg, lineno)?;
+            cfg.allows.push(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                line: None,
+                pattern: None,
+                reason: String::new(),
+                toml_line: lineno,
+            });
+            section = Section::Allow;
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            finish_allow_entry(&cfg, lineno)?;
+            match name {
+                "scope" => section = Section::Scope,
+                other => return Err(err(lineno, format!("unknown table [{other}]"))),
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got '{line}'")));
+        };
+        let key = key.trim();
+        let value = parse_value(value, lineno)?;
+        match section {
+            Section::None => return Err(err(lineno, "keys must live under a table")),
+            Section::Scope => {
+                let TomlValue::StrArray(items) = value else {
+                    return Err(err(lineno, format!("[scope] {key} must be a string array")));
+                };
+                match key {
+                    "determinism_exempt" => cfg.determinism_exempt = items,
+                    "panic_exempt" => cfg.panic_exempt = items,
+                    "cost_paths" => cfg.cost_paths = items,
+                    "strict_index" => cfg.strict_index = items,
+                    "audited_unsafe" => cfg.audited_unsafe = items,
+                    other => return Err(err(lineno, format!("unknown [scope] key '{other}'"))),
+                }
+            }
+            Section::Allow => {
+                let Some(entry) = cfg.allows.last_mut() else {
+                    return Err(err(lineno, "allow key outside [[allow]]"));
+                };
+                match (key, value) {
+                    ("rule", TomlValue::Str(s)) => {
+                        if !known_rule(&s) {
+                            return Err(err(lineno, format!("unknown rule '{s}' in allow entry")));
+                        }
+                        entry.rule = s;
+                    }
+                    ("path", TomlValue::Str(s)) => entry.path = s,
+                    ("line", TomlValue::Int(n)) => entry.line = Some(n),
+                    ("pattern", TomlValue::Str(s)) => entry.pattern = Some(s),
+                    ("reason", TomlValue::Str(s)) => entry.reason = s,
+                    (other, _) => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown or mistyped allow key '{other}'"),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    finish_allow_entry(&cfg, text.lines().count() + 1)?;
+    Ok(cfg)
+}
+
+/// Validates the most recent `[[allow]]` entry once it is complete:
+/// rule and path are mandatory, and so is a non-empty reason — an
+/// allowlist without justifications is how invariants rot.
+fn finish_allow_entry(cfg: &LintConfig, at_line: usize) -> Result<(), ConfigError> {
+    if let Some(entry) = cfg.allows.last() {
+        if entry.rule.is_empty() {
+            return Err(err(at_line, "allow entry missing `rule`"));
+        }
+        if entry.path.is_empty() {
+            return Err(err(at_line, "allow entry missing `path`"));
+        }
+        if entry.reason.trim().is_empty() {
+            return Err(err(
+                at_line,
+                format!(
+                    "allow entry for '{}' at {} has no reason — justifications are mandatory",
+                    entry.rule, entry.path
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A parsed in-source pragma: `// lint: allow(rule[, rule]*) -- reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// The rule ids being suppressed.
+    pub rules: Vec<String>,
+    /// The mandatory justification text.
+    pub reason: String,
+}
+
+/// The outcome of scanning one comment for a pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaScan {
+    /// The comment carries no `lint:` marker at all.
+    NotAPragma,
+    /// A well-formed pragma.
+    Ok(Pragma),
+    /// The comment says `lint:` but the grammar or rule ids are wrong.
+    Malformed(String),
+}
+
+/// Scans one comment's text (delimiters included) for a pragma.
+///
+/// Grammar, after the comment opener:
+///
+/// ```text
+/// lint: allow(RULE[, RULE]*) -- REASON
+/// ```
+///
+/// `RULE` must be a member of the closed rule set and `REASON` must be
+/// non-empty — a suppression without a justification is itself a
+/// violation ([`PragmaScan::Malformed`] surfaces as `bad-pragma`).
+pub fn scan_pragma(comment: &str) -> PragmaScan {
+    // Strip comment delimiters and doc markers.
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start_matches('*')
+        .trim_end_matches('/')
+        .trim_end_matches('*')
+        .trim();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return PragmaScan::NotAPragma;
+    };
+    let rest = rest.trim();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return PragmaScan::Malformed("expected `allow(...)` after `lint:`".into());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return PragmaScan::Malformed("expected `(` after `allow`".into());
+    };
+    let Some((rule_list, rest)) = rest.split_once(')') else {
+        return PragmaScan::Malformed("unterminated rule list".into());
+    };
+    let mut rules = Vec::new();
+    for rule in rule_list.split(',') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            return PragmaScan::Malformed("empty rule id in allow list".into());
+        }
+        if !known_rule(rule) {
+            return PragmaScan::Malformed(format!("unknown rule '{rule}'"));
+        }
+        rules.push(rule.to_string());
+    }
+    if rules.is_empty() {
+        return PragmaScan::Malformed("empty rule list".into());
+    }
+    let rest = rest.trim_start();
+    let Some(reason) = rest.strip_prefix("--") else {
+        return PragmaScan::Malformed("expected `-- reason` after the rule list".into());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return PragmaScan::Malformed("pragma reason is mandatory".into());
+    }
+    PragmaScan::Ok(Pragma {
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scope_and_allows() {
+        let cfg = parse_config(
+            r#"
+# policy
+[scope]
+determinism_exempt = ["obs", "cli"] # trailing comment
+cost_paths = ["crates/core/src/analytical.rs"]
+
+[[allow]]
+rule = "unwrap"
+path = "crates/par/src/lib.rs"
+line = 112
+pattern = "join"
+reason = "worker panics propagate"
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.determinism_exempt, ["obs", "cli"]);
+        assert_eq!(cfg.cost_paths, ["crates/core/src/analytical.rs"]);
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].line, Some(112));
+        assert_eq!(cfg.allows[0].pattern.as_deref(), Some("join"));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let bad = "[[allow]]\nrule = \"unwrap\"\npath = \"x.rs\"\n";
+        let e = parse_config(bad).expect_err("missing reason must fail");
+        assert!(e.message.contains("no reason"), "{e}");
+    }
+
+    #[test]
+    fn unknown_rule_and_table_fail() {
+        assert!(parse_config("[[allow]]\nrule = \"nope\"\n").is_err());
+        assert!(parse_config("[mystery]\nx = 1\n").is_err());
+        assert!(parse_config("[scope]\nbogus = []\n").is_err());
+    }
+
+    #[test]
+    fn pragma_grammar() {
+        assert_eq!(scan_pragma("// plain comment"), PragmaScan::NotAPragma);
+        let p = scan_pragma("// lint: allow(unwrap) -- infallible by construction");
+        assert_eq!(
+            p,
+            PragmaScan::Ok(Pragma {
+                rules: vec!["unwrap".into()],
+                reason: "infallible by construction".into(),
+            })
+        );
+        let p = scan_pragma("/* lint: allow(unwrap, float-cmp) -- both fine */");
+        let PragmaScan::Ok(p) = p else {
+            panic!("multi-rule pragma must parse: {p:?}")
+        };
+        assert_eq!(p.rules, ["unwrap", "float-cmp"]);
+        assert!(matches!(
+            scan_pragma("// lint: allow(unwrap)"),
+            PragmaScan::Malformed(_)
+        ));
+        assert!(matches!(
+            scan_pragma("// lint: allow(unwrap) -- "),
+            PragmaScan::Malformed(_)
+        ));
+        assert!(matches!(
+            scan_pragma("// lint: allow(bogus-rule) -- reason"),
+            PragmaScan::Malformed(_)
+        ));
+        assert!(matches!(
+            scan_pragma("// lint: deny(unwrap) -- reason"),
+            PragmaScan::Malformed(_)
+        ));
+    }
+}

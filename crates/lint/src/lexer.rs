@@ -1,0 +1,484 @@
+//! A minimal Rust lexer — just enough structure for token-level lint
+//! rules.
+//!
+//! The lexer splits a source file into [`Token`]s (identifiers, numeric
+//! literals, string/char literals, lifetimes, punctuation) and
+//! [`Comment`]s, tracking line numbers throughout. It understands the
+//! lexical constructs that would otherwise produce false positives in a
+//! plain text scan:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, raw strings (`r"…"`, `r#"…"#` with
+//!   any number of hashes), and byte-string variants — so the word
+//!   `unwrap` inside a string never looks like a method call;
+//! * char literals vs lifetimes (`'a'` vs `'a`);
+//! * float literals vs field access / ranges (`1.5` vs `tuple.0` vs
+//!   `0..n`);
+//! * multi-char comparison operators (`==`, `!=`, `<=`, `>=`) emitted
+//!   as single tokens.
+//!
+//! It does **not** parse: rules pattern-match short token sequences,
+//! which is the deliberate fidelity/complexity trade of this crate (see
+//! the crate docs).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `unsafe`, `HashMap`).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `0.5f32`).
+    Float,
+    /// String, raw-string, byte-string, or C-string literal.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; `==` `!=` `<=` `>=` are one token, all else single.
+    Punct,
+}
+
+/// One lexed token: kind, byte range into the source, 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// One comment (line or block), with the delimiters included in `text`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The full comment text, `//`/`/*` delimiters included.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: usize,
+}
+
+/// A fully lexed file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated literals and stray bytes never abort the
+/// scan — the lexer resynchronizes so a lint run degrades to missing a
+/// token, not to skipping a file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    text: &'s str,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' | b'c' if self.raw_or_byte_string() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(b) => {
+                    while is_ident_cont(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => self.number(),
+                b'=' | b'!' | b'<' | b'>' if self.peek(1) == b'=' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"` when
+    /// the current position starts one; returns false to fall through
+    /// to ordinary ident lexing (`r`, `b`, `c` as identifier starts).
+    fn raw_or_byte_string(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let mut i = 0;
+        // Optional prefix letters (`b`, `r`, `br`, `cr`…, at most 2).
+        while i < 2 && matches!(self.peek(i), b'b' | b'c' | b'r') {
+            i += 1;
+        }
+        let mut hashes = 0;
+        while self.peek(i + hashes) == b'#' {
+            hashes += 1;
+        }
+        match self.peek(i + hashes) {
+            b'"' => {
+                for _ in 0..i + hashes + 1 {
+                    self.bump();
+                }
+                if hashes == 0 && !self.prefix_has_r(start, i) {
+                    // Plain (escaped) string with a b/c prefix.
+                    self.cooked_string_body();
+                } else {
+                    // Raw string: ends at `"` followed by `hashes` #s.
+                    loop {
+                        if self.pos >= self.src.len() {
+                            break;
+                        }
+                        if self.peek(0) == b'"' {
+                            let mut ok = true;
+                            for h in 0..hashes {
+                                if self.peek(1 + h) != b'#' {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                for _ in 0..hashes + 1 {
+                                    self.bump();
+                                }
+                                break;
+                            }
+                        }
+                        self.bump();
+                    }
+                }
+                self.push(TokKind::Str, start, line);
+                true
+            }
+            b'\'' if i == 1 && hashes == 0 && self.peek(0) == b'b' => {
+                // Byte literal b'x'.
+                self.bump();
+                self.char_literal_body();
+                self.push(TokKind::Char, start, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn prefix_has_r(&self, start: usize, len: usize) -> bool {
+        self.src[start..start + len].contains(&b'r')
+    }
+
+    fn string(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump();
+        self.cooked_string_body();
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// Consumes an escaped string body up to and including the closing
+    /// quote (the opening quote is already consumed).
+    fn cooked_string_body(&mut self) {
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a char-literal body after the opening `'`.
+    fn char_literal_body(&mut self) {
+        self.bump(); // opening '
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        // `'a'` / `'\n'` are chars; `'a` / `'static` are lifetimes.
+        let is_char =
+            self.peek(1) == b'\\' || (!is_ident_start(self.peek(1))) || self.peek(2) == b'\'';
+        if is_char {
+            self.char_literal_body();
+            self.push(TokKind::Char, start, line);
+        } else {
+            self.bump(); // '
+            while is_ident_cont(self.peek(0)) {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, start, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            self.push(TokKind::Int, start, line);
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // A `.` is part of the number only when followed by a digit
+        // (`1.5`) — not field access (`x.0` has an Ident before it, and
+        // `1.method()`/`0..n` keep the dot out of the literal).
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump();
+            if matches!(self.peek(0), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Type suffix (`1.0f32`, `42u64`) — f-suffixes force Float.
+        if self.peek(0) == b'f' && self.peek(1).is_ascii_digit() {
+            float = true;
+        }
+        while is_ident_cont(self.peek(0)) {
+            self.bump();
+        }
+        self.push(
+            if float { TokKind::Float } else { TokKind::Int },
+            start,
+            line,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let lexed = lex("let x = \"unwrap() HashMap\"; // unwrap\n/* HashSet */ y");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text("let x = \"unwrap() HashMap\"; // unwrap\n/* HashSet */ y"))
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " inside"#; unwrap"####;
+        let k = kinds(src);
+        assert!(k.contains(&(TokKind::Ident, "unwrap".to_string())));
+        assert!(k
+            .iter()
+            .any(|(kind, t)| *kind == TokKind::Str && t.contains("inside")));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let k = kinds("x: &'a str = 'b'; '\\n'");
+        assert!(k.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(k.contains(&(TokKind::Char, "'b'".to_string())));
+        assert!(k.contains(&(TokKind::Char, "'\\n'".to_string())));
+    }
+
+    #[test]
+    fn floats_vs_field_access_and_ranges() {
+        let k = kinds("a.0 + 1.5 + 2e9 + 0..n + 3.0f32 + 7u64");
+        assert!(k.contains(&(TokKind::Float, "1.5".to_string())));
+        assert!(k.contains(&(TokKind::Float, "2e9".to_string())));
+        assert!(k.contains(&(TokKind::Float, "3.0f32".to_string())));
+        assert!(k.contains(&(TokKind::Int, "7u64".to_string())));
+        assert!(k.contains(&(TokKind::Int, "0".to_string())));
+        // `a.0` stays Int `0`, not a float.
+        assert!(!k.contains(&(TokKind::Float, "0".to_string())));
+    }
+
+    #[test]
+    fn comparison_operators_fuse() {
+        let k = kinds("a == b != c <= d >= e = f");
+        let puncts: Vec<String> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "<=", ">=", "="]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ code");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[1].line, 2); // the string starts on 2
+        assert_eq!(lexed.tokens[2].line, 4); // b after the 2-line string
+    }
+
+    #[test]
+    fn byte_strings_and_literals() {
+        let k = kinds("b\"bytes\" b'x' c\"cstr\" br#\"raw\"# r\"plain\"");
+        assert_eq!(
+            k.iter().filter(|(kind, _)| *kind == TokKind::Str).count(),
+            4
+        );
+        assert_eq!(
+            k.iter().filter(|(kind, _)| *kind == TokKind::Char).count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! `hygcn-lint` — a dependency-free invariant checker for the HyGCN
+//! workspace.
+//!
+//! The repo's value proposition is a bit-identity contract: six
+//! backends, one result store, cache keys and golden snapshots that
+//! must never drift. This crate enforces the invariants *behind* that
+//! contract statically, as a closed rule set over a token-level scan
+//! (no `syn` — the build environment is offline and the checker must
+//! never be the thing that breaks the build):
+//!
+//! | family        | rules                                          |
+//! |---------------|------------------------------------------------|
+//! | determinism   | `hash-collections`, `wall-clock`, `float-cmp`  |
+//! | cast-safety   | `bare-cast` (cost-path files)                  |
+//! | panic-freedom | `unwrap`, `panic-macro`, `slice-index`         |
+//! | unsafe audit  | `unsafe-audit`                                 |
+//! | meta          | `bad-pragma`, `stale-pragma`, `stale-allow`    |
+//!
+//! ## Scope model
+//!
+//! The scan walks every `crates/*/src/**/*.rs` plus the root `src/`
+//! facade — library code only. Test code is exempt everywhere: blocks
+//! under `#[cfg(test)]`/`#[test]` attributes are skipped, and `tests/`,
+//! `benches/`, `examples/` trees are never walked. Rule applicability
+//! is configured in `lint.toml` ([`config::LintConfig`]): determinism
+//! rules exempt the crates whose business is timing and reporting
+//! (`obs`/`bench`/`cli`), panic-freedom exempts the binary crate,
+//! `bare-cast` and `slice-index` apply only to explicitly listed
+//! cost-path / strict-index files, and `unsafe` is legal only in
+//! audited modules.
+//!
+//! ## Suppression
+//!
+//! Two mechanisms, both requiring a mandatory justification:
+//!
+//! * in-source pragma, same line or the line above the finding:
+//!   `// lint: allow(rule[, rule]) -- reason`
+//! * a `[[allow]]` entry in `lint.toml` with `rule`, `path`, optional
+//!   `line`/`pattern` narrowing, and a `reason`.
+//!
+//! Suppressions are themselves checked: a pragma or allowlist entry
+//! that no longer matches anything is reported (`stale-pragma` /
+//! `stale-allow`), so the allowlist can only shrink as code heals.
+//!
+//! Output is stable: findings sort by `(path, line, rule)` and render
+//! identically across runs, in text or `--json` form. Token-level
+//! scanning trades type knowledge for zero dependencies — rules are
+//! written to over-approximate only where a pragma is cheap (see each
+//! rule's description in [`config::RULES`]).
+
+pub mod config;
+pub mod lexer;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use config::{parse_config, AllowEntry, LintConfig, Pragma, RULES};
+pub use scan::{crate_of, scan_source, FileCtx, Finding};
+
+/// The result of a workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Surviving findings, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Findings suppressed by `lint.toml` allow entries.
+    pub allowed: usize,
+}
+
+impl LintReport {
+    /// True when the workspace is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Stable text rendering: one `path:line: [rule] message` line per
+    /// finding, then a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} finding(s) across {} file(s) scanned ({} allowlisted)\n",
+            self.findings.len(),
+            self.files,
+            self.allowed
+        ));
+        out
+    }
+
+    /// Stable JSON rendering: a single object with scan counters and a
+    /// sorted findings array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files));
+        out.push_str(&format!("  \"allowlisted\": {},\n", self.allowed));
+        out.push_str(&format!("  \"findings_total\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                json_escape(f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message),
+                if i + 1 == self.findings.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Collects the workspace-relative paths of every library source file:
+/// `crates/*/src/**/*.rs` plus `src/**/*.rs`, sorted for determinism.
+/// `vendor/`, `target/`, crate `tests/`/`benches/`/`examples/` trees
+/// are never visited.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut rel_paths: Vec<String> = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, root, &mut rel_paths)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, root, &mut rel_paths)?;
+    }
+    if rel_paths.is_empty() {
+        return Err(format!(
+            "no Rust sources under {} (wrong --root?)",
+            root.display()
+        ));
+    }
+    rel_paths.sort();
+    Ok(rel_paths)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for path in children {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix: {e}"))?;
+            // Normalize to `/` so config paths are platform-stable.
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace under `root` with `cfg`, applying the
+/// allowlist and reporting stale entries. `rule_filter` (from
+/// `--rule`) keeps only findings of one rule.
+pub fn run_workspace(
+    root: &Path,
+    cfg: &LintConfig,
+    rule_filter: Option<&str>,
+) -> Result<LintReport, String> {
+    if let Some(rule) = rule_filter {
+        if !config::known_rule(rule) {
+            let known: Vec<&str> = RULES.iter().map(|(r, _)| *r).collect();
+            return Err(format!(
+                "unknown rule '{rule}' (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    let files = workspace_files(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut used_allow = vec![false; cfg.allows.len()];
+    let mut allowed = 0usize;
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let ctx = FileCtx {
+            path: rel,
+            crate_name: crate_of(rel),
+        };
+        for f in scan_source(ctx, &text, cfg) {
+            let mut suppressed = false;
+            for (idx, a) in cfg.allows.iter().enumerate() {
+                if allow_matches(a, &f, &lines) {
+                    used_allow[idx] = true;
+                    suppressed = true;
+                }
+            }
+            if suppressed {
+                allowed += 1;
+            } else {
+                findings.push(f);
+            }
+        }
+    }
+    for (idx, a) in cfg.allows.iter().enumerate() {
+        if !used_allow[idx] {
+            findings.push(Finding {
+                rule: "stale-allow",
+                path: "lint.toml".to_string(),
+                line: a.toml_line,
+                message: format!(
+                    "allow entry ({} at {}) matches nothing; delete it",
+                    a.rule, a.path
+                ),
+            });
+        }
+    }
+    if let Some(rule) = rule_filter {
+        findings.retain(|f| f.rule == rule);
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(LintReport {
+        findings,
+        files: files.len(),
+        allowed,
+    })
+}
+
+/// Whether one allowlist entry grants one finding.
+fn allow_matches(a: &AllowEntry, f: &Finding, file_lines: &[&str]) -> bool {
+    if a.rule != f.rule || a.path != f.path {
+        return false;
+    }
+    if let Some(line) = a.line {
+        if line != f.line {
+            return false;
+        }
+    }
+    if let Some(pattern) = &a.pattern {
+        let src_line = file_lines
+            .get(f.line.saturating_sub(1))
+            .copied()
+            .unwrap_or("");
+        if !src_line.contains(pattern.as_str()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Loads `lint.toml` from `root` (or the built-in default policy when
+/// absent) and scans. This is the CLI entry point.
+pub fn run_with_config_file(
+    root: &Path,
+    config_path: Option<&Path>,
+    rule_filter: Option<&str>,
+) -> Result<LintReport, String> {
+    let path = config_path
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if path.exists() {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        parse_config(&text).map_err(|e| e.to_string())?
+    } else if config_path.is_some() {
+        return Err(format!("config {} does not exist", path.display()));
+    } else {
+        LintConfig::default()
+    };
+    run_workspace(root, &cfg, rule_filter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renderings_are_stable_and_sorted() {
+        let report = LintReport {
+            findings: vec![
+                Finding {
+                    rule: "unwrap",
+                    path: "a.rs".into(),
+                    line: 3,
+                    message: "x".into(),
+                },
+                Finding {
+                    rule: "float-cmp",
+                    path: "a.rs".into(),
+                    line: 1,
+                    message: "quote \" in message".into(),
+                },
+            ],
+            files: 2,
+            allowed: 1,
+        };
+        let text = report.to_text();
+        assert!(text.contains("a.rs:3: [unwrap] x"));
+        assert!(text.contains("2 finding(s) across 2 file(s)"));
+        let json = report.to_json();
+        assert!(json.contains("\\\" in message"), "{json}");
+        assert!(json.contains("\"findings_total\": 2"));
+    }
+}

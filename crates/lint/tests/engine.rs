@@ -1,0 +1,196 @@
+//! Per-rule fixture coverage: every rule family has positive fixtures
+//! (all seeded violations detected, with exact lines) and negative
+//! fixtures (zero false positives), plus output-stability checks.
+
+use std::path::Path;
+
+use hygcn_lint::{scan_source, FileCtx, LintConfig, LintReport};
+
+/// Loads a fixture and scans it under `path` (which selects the crate
+/// scope and file-scoped rules).
+fn scan_fixture(fixture: &str, path: &str, cfg: &LintConfig) -> Vec<(String, usize)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(dir.join(fixture))
+        .unwrap_or_else(|e| panic!("fixture {fixture}: {e}"));
+    let mut found: Vec<(String, usize)> = scan_source(
+        FileCtx {
+            path,
+            crate_name: hygcn_lint::crate_of(path),
+        },
+        &src,
+        cfg,
+    )
+    .into_iter()
+    .map(|f| (f.rule.to_string(), f.line))
+    .collect();
+    found.sort();
+    found
+}
+
+fn fixture_cfg() -> LintConfig {
+    LintConfig {
+        cost_paths: vec![
+            "crates/core/src/cast_pos.rs".into(),
+            "crates/core/src/cast_neg.rs".into(),
+        ],
+        strict_index: vec![
+            "crates/dse/src/index_pos.rs".into(),
+            "crates/dse/src/index_neg.rs".into(),
+        ],
+        audited_unsafe: vec!["crates/mem/src/unsafe_ok.rs".into()],
+        ..LintConfig::default()
+    }
+}
+
+fn expect(fixture: &str, path: &str, want: &[(&str, usize)]) {
+    let got = scan_fixture(fixture, path, &fixture_cfg());
+    let want: Vec<(String, usize)> = want.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want, "fixture {fixture} scanned as {path}");
+}
+
+#[test]
+fn determinism_positive() {
+    expect(
+        "determinism_pos.rs",
+        "crates/core/src/determinism.rs",
+        &[
+            ("float-cmp", 19),
+            ("float-cmp", 23),
+            ("hash-collections", 3),
+            ("hash-collections", 4),
+            ("hash-collections", 7),
+            ("hash-collections", 11),
+            ("wall-clock", 5),
+            ("wall-clock", 9),
+            ("wall-clock", 14),
+            ("wall-clock", 15),
+        ],
+    );
+}
+
+#[test]
+fn determinism_negative_and_exempt_crates() {
+    expect("determinism_neg.rs", "crates/core/src/determinism.rs", &[]);
+    // The same violations scanned as an exempt crate are clean.
+    expect("determinism_pos.rs", "crates/obs/src/determinism.rs", &[]);
+    expect("determinism_pos.rs", "crates/bench/src/determinism.rs", &[]);
+}
+
+#[test]
+fn cast_positive_and_negative() {
+    expect(
+        "cast_pos.rs",
+        "crates/core/src/cast_pos.rs",
+        &[
+            ("bare-cast", 3),
+            ("bare-cast", 4),
+            ("bare-cast", 5),
+            ("bare-cast", 6),
+            ("bare-cast", 7),
+            ("bare-cast", 7),
+        ],
+    );
+    expect("cast_neg.rs", "crates/core/src/cast_neg.rs", &[]);
+    // Outside the configured cost paths the rule never fires.
+    expect("cast_pos.rs", "crates/core/src/not_a_cost_path.rs", &[]);
+}
+
+#[test]
+fn panic_positive_and_negative() {
+    expect(
+        "panic_pos.rs",
+        "crates/gcn/src/panic.rs",
+        &[
+            ("panic-macro", 9),
+            ("panic-macro", 14),
+            ("panic-macro", 16),
+            ("unwrap", 3),
+            ("unwrap", 4),
+        ],
+    );
+    expect("panic_neg.rs", "crates/gcn/src/panic.rs", &[]);
+    // The binary crate is exempt from panic-freedom.
+    expect("panic_pos.rs", "crates/cli/src/panic.rs", &[]);
+}
+
+#[test]
+fn unsafe_audit_positive_and_negative() {
+    // Documented + audited: clean.
+    expect("unsafe_neg.rs", "crates/mem/src/unsafe_ok.rs", &[]);
+    // Audited but undocumented: one finding (missing SAFETY).
+    expect(
+        "unsafe_pos.rs",
+        "crates/mem/src/unsafe_ok.rs",
+        &[("unsafe-audit", 4)],
+    );
+    // Unaudited and undocumented: both findings.
+    expect(
+        "unsafe_pos.rs",
+        "crates/mem/src/rogue.rs",
+        &[("unsafe-audit", 4), ("unsafe-audit", 4)],
+    );
+    // Documented but unaudited: still a finding.
+    expect(
+        "unsafe_neg.rs",
+        "crates/mem/src/rogue.rs",
+        &[("unsafe-audit", 6)],
+    );
+}
+
+#[test]
+fn slice_index_positive_and_negative() {
+    expect(
+        "index_pos.rs",
+        "crates/dse/src/index_pos.rs",
+        &[("slice-index", 3), ("slice-index", 4)],
+    );
+    expect("index_neg.rs", "crates/dse/src/index_neg.rs", &[]);
+    expect("index_pos.rs", "crates/dse/src/free.rs", &[]);
+}
+
+#[test]
+fn pragmas_suppress_and_go_stale() {
+    expect(
+        "pragma_mixed.rs",
+        "crates/core/src/pragma.rs",
+        &[("bad-pragma", 16), ("stale-pragma", 11), ("unwrap", 18)],
+    );
+}
+
+#[test]
+fn output_is_stable_and_sorted() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(dir.join("determinism_pos.rs")).expect("fixture");
+    let cfg = fixture_cfg();
+    let scan = |_: ()| {
+        scan_source(
+            FileCtx {
+                path: "crates/core/src/d.rs",
+                crate_name: "core",
+            },
+            &src,
+            &cfg,
+        )
+    };
+    let mut a = scan(());
+    let b = scan(());
+    assert_eq!(a, b, "scanning is deterministic");
+    a.sort_by(|x, y| (x.path.clone(), x.line, x.rule).cmp(&(y.path.clone(), y.line, y.rule)));
+    let report = LintReport {
+        findings: a,
+        files: 1,
+        allowed: 0,
+    };
+    let text = report.to_text();
+    let lines: Vec<&str> = text.lines().collect();
+    // Sorted by line within the file, summary last.
+    assert!(lines[0].starts_with("crates/core/src/d.rs:3:"), "{text}");
+    assert!(
+        lines[lines.len() - 1].starts_with("lint: 10 finding(s)"),
+        "{text}"
+    );
+    // JSON renders every finding and round-trips the counters.
+    let json = report.to_json();
+    assert!(json.contains("\"findings_total\": 10"));
+    assert_eq!(json.matches("\"rule\":").count(), 10);
+}

@@ -1,0 +1,16 @@
+// Fixture: casts that are NOT the truncation class, in a cost path.
+fn costs(n: u32, m: u64) -> f64 {
+    // Widening to float and the checked/helper idioms are fine.
+    let a = n as f64;
+    let b = m as f64;
+    let c = u64::from(n);
+    let d = u64::try_from(1usize).unwrap_or(u64::MAX);
+    a + b + (c + d) as f64
+}
+
+// `as` in a use-rename is not a cast.
+use std::collections as colls;
+
+fn alias() -> colls::BTreeMap<u8, u8> {
+    colls::BTreeMap::new()
+}

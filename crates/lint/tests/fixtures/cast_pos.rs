@@ -1,0 +1,8 @@
+// Fixture: bare int-target casts in a cost-path file.
+fn costs(x: f64, n: usize, b: u64) -> u64 {
+    let a = x as u64; // line 3: bare-cast (the PR-7 truncation class)
+    let c = n as u64; // line 4: bare-cast
+    let d = b as usize; // line 5: bare-cast
+    let e = x as u32; // line 6: bare-cast
+    a + c + d as u64 + e as u64 // line 7: bare-cast x2
+}

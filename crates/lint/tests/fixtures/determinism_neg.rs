@@ -1,0 +1,18 @@
+// Fixture: deterministic idioms that must NOT fire.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Instantiates the map. (The word "Instant" inside identifiers or
+/// comments — Instantiation, HashMap, unwrap — must not match.)
+fn build() -> BTreeMap<u32, BTreeSet<u32>> {
+    BTreeMap::new()
+}
+
+fn compare(x: f64, y: f64) -> bool {
+    // Epsilon comparison and integer comparison are fine.
+    (x - y).abs() < 1e-12 && (x as i64).pow(2) >= 0
+}
+
+fn strings() -> &'static str {
+    "HashMap HashSet Instant SystemTime == 0.0"
+}

@@ -1,0 +1,24 @@
+// Fixture: every determinism-family rule fires (scanned as a `core`
+// library file by the engine test; never compiled).
+use std::collections::HashMap; // line 3: hash-collections
+use std::collections::HashSet; // line 4: hash-collections
+use std::time::Instant; // line 5: wall-clock
+
+fn build() -> HashMap<u32, u32> {
+    // line 7: hash-collections
+    let started = Instant::now(); // line 9: wall-clock
+    let _ = started;
+    HashMap::new() // line 11: hash-collections
+}
+
+fn timed() -> std::time::SystemTime {
+    std::time::SystemTime::now() // lines 14+15: wall-clock
+}
+
+fn compare(x: f64) -> bool {
+    x == 0.5 // line 19: float-cmp
+}
+
+fn compare_ne(x: f64) -> bool {
+    1.0 != x // line 23: float-cmp
+}

@@ -1,0 +1,11 @@
+// Fixture: strict-index-clean idioms that must NOT fire.
+#[derive(Debug)]
+struct Wrap([u8; 4]);
+
+fn read(v: &[u32], i: usize) -> Option<u32> {
+    let w = Wrap([0; 4]);
+    let _ = w;
+    let lit = [1u32, 2, 3];
+    let _ = &lit;
+    v.get(i).copied()
+}

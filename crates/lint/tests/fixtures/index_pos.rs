@@ -1,0 +1,5 @@
+// Fixture: bare indexing in a strict-index file.
+fn read(v: &[u32], offsets: &[usize], i: usize) -> u32 {
+    let base = offsets[i + 1]; // line 3: slice-index
+    v[base] // line 4: slice-index
+}

@@ -1,0 +1,27 @@
+// Fixture: panic-free error handling that must NOT fire.
+fn takes(v: Option<u32>, r: Result<u32, String>) -> Result<u32, String> {
+    let a = v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default();
+    let b = r.map_err(|e| e)?;
+    Ok(a + b)
+}
+
+fn not_calls() {
+    // Identifier mentions without a `.ident(` shape are fine.
+    let unwrap = 1;
+    let expect = unwrap + 1;
+    let _ = expect;
+    // A path to the panic *module* is not the macro.
+    let _ = std::panic::catch_unwind(|| 0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if v.is_none() {
+            panic!("unreachable");
+        }
+    }
+}

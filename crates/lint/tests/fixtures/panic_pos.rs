@@ -1,0 +1,17 @@
+// Fixture: every panic-freedom violation class.
+fn takes(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap(); // line 3: unwrap
+    let b = r.expect("must exist"); // line 4: unwrap (expect form)
+    a + b
+}
+
+fn gives() -> u32 {
+    todo!() // line 9: panic-macro
+}
+
+fn boom(flag: bool) -> u32 {
+    if flag {
+        panic!("boom"); // line 14: panic-macro
+    }
+    unimplemented!() // line 16: panic-macro
+}

@@ -1,0 +1,19 @@
+// Fixture: pragma suppression, staleness, and malformed pragmas.
+fn suppressed(v: Option<u32>) -> u32 {
+    // lint: allow(unwrap) -- fixture: invariant documented here
+    v.unwrap()
+}
+
+fn trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // lint: allow(unwrap) -- fixture: same-line grant
+}
+
+// lint: allow(unwrap) -- fixture: suppresses nothing (line 11: stale-pragma)
+fn clean() -> u32 {
+    0
+}
+
+// lint: allow(unwrap) (line 16: bad-pragma, reason missing)
+fn unjustified(v: Option<u32>) -> u32 {
+    v.unwrap() // line 18: unwrap — the malformed pragma grants nothing
+}

@@ -1,0 +1,7 @@
+// Fixture: documented unsafe in an audited module must NOT fire.
+fn peek(v: &[u32], masked: usize) -> u32 {
+    debug_assert!(masked < v.len());
+    // SAFETY: `masked` is produced by an AND with `v.len() - 1` and the
+    // length is a validated power of two, so the index is in range.
+    unsafe { *v.get_unchecked(masked) }
+}

@@ -1,0 +1,5 @@
+// Fixture: unsafe without a SAFETY comment (scanned once as an
+// audited file — one finding — and once as unaudited — two findings).
+fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) } // line 4: unsafe-audit (no SAFETY)
+}

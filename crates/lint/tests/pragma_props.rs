@@ -1,0 +1,82 @@
+//! Property tests for the pragma grammar: well-formed pragmas always
+//! parse (whatever the spacing), and the two mandatory parts — a known
+//! rule id and a non-empty reason — can never be elided.
+
+use hygcn_lint::config::{scan_pragma, PragmaScan, RULES};
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+
+    /// Grammar round-trip: any spacing, any comment style, any rule
+    /// subset, any of a family of reasons — parses to exactly the
+    /// rules and the trimmed reason.
+    #[test]
+    fn well_formed_pragmas_parse(
+        rule_a in 0usize..8,
+        rule_b in 0usize..9,
+        sp in 0usize..4,
+        style in 0usize..3,
+        reason_pick in 0usize..4,
+        pad in 0usize..3,
+    ) {
+        let reasons = [
+            "invariant documented above",
+            "offsets always nonempty -- see constructor",
+            "bit-exact zero is the contract (paper §4.2)",
+            "a, b, (c) justified",
+        ];
+        let reason = reasons[reason_pick];
+        let gap = " ".repeat(sp);
+        let mut rules = vec![RULES[rule_a].0];
+        // rule_b == len(=9 max index 8)… a second distinct rule half the time.
+        if rule_b < 8 && RULES[rule_b].0 != rules[0] {
+            rules.push(RULES[rule_b].0);
+        }
+        let list = rules.join(&format!(",{gap}"));
+        let body = format!(
+            "lint:{gap}allow{gap}({list}){gap}--{gap}{reason}{}",
+            " ".repeat(pad)
+        );
+        let comment = match style {
+            0 => format!("// {body}"),
+            1 => format!("//! {body}"),
+            _ => format!("/* {body} */"),
+        };
+        let parsed = scan_pragma(&comment);
+        proptest::prop_assert!(
+            matches!(parsed, PragmaScan::Ok(_)),
+            "failed to parse {:?}: {:?}", comment, parsed
+        );
+        if let PragmaScan::Ok(p) = parsed {
+            proptest::prop_assert_eq!(&p.rules, &rules);
+            proptest::prop_assert_eq!(p.reason.as_str(), reason.trim());
+        }
+    }
+
+    /// Omitting the reason, emptying it, or naming an unknown rule is
+    /// always Malformed — never silently a no-op, never Ok.
+    #[test]
+    fn mandatory_parts_cannot_be_elided(rule in 0usize..11, sp in 0usize..3) {
+        let gap = " ".repeat(sp);
+        let id = RULES[rule].0;
+        for bad in [
+            format!("// lint:{gap}allow({id})"),
+            format!("// lint:{gap}allow({id}) --"),
+            format!("// lint:{gap}allow({id}) -- {gap}"),
+            format!("// lint:{gap}allow() -- reason"),
+            format!("// lint:{gap}allow(no-such-rule) -- reason"),
+            format!("// lint:{gap}deny({id}) -- reason"),
+            format!("// lint:{gap}allow {id} -- reason"),
+        ] {
+            proptest::prop_assert!(
+                matches!(scan_pragma(&bad), PragmaScan::Malformed(_)),
+                "{} must be malformed", bad
+            );
+        }
+        // And a comment with no `lint:` marker is never a pragma.
+        proptest::prop_assert_eq!(
+            scan_pragma(&format!("// {gap}plain allow({id}) -- words")),
+            PragmaScan::NotAPragma
+        );
+    }
+}

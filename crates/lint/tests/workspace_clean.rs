@@ -1,0 +1,65 @@
+//! The enforcement test: the workspace itself must scan clean under
+//! the committed `lint.toml` — zero violations, zero stale allowlist
+//! entries, every suppression justified. This is the meta-test the
+//! burn-down is pinned by: reintroducing a bare unwrap, an unaudited
+//! `unsafe`, a HashMap in a deterministic crate, or letting a
+//! `lint.toml` grant go stale fails `cargo test`.
+
+use std::path::Path;
+
+use hygcn_lint::{parse_config, run_workspace};
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_is_lint_clean_with_no_stale_allows() {
+    let root = workspace_root();
+    let toml =
+        std::fs::read_to_string(root.join("lint.toml")).expect("the workspace commits a lint.toml");
+    let cfg = parse_config(&toml).expect("committed lint.toml parses");
+    let report = run_workspace(root, &cfg, None).expect("workspace scan runs");
+    assert!(
+        report.clean(),
+        "workspace must be lint-clean (stale allows included):\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.files > 80,
+        "scan saw the whole workspace, not a subtree"
+    );
+}
+
+#[test]
+fn every_allowlist_entry_is_justified() {
+    let root = workspace_root();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml");
+    let cfg = parse_config(&toml).expect("parses");
+    for allow in &cfg.allows {
+        // parse_config already rejects empty reasons; pin that the
+        // committed entries carry real sentences, not placeholders.
+        assert!(
+            allow.reason.split_whitespace().count() >= 3,
+            "allow entry for {} at {} needs a real justification, got '{}'",
+            allow.rule,
+            allow.path,
+            allow.reason
+        );
+    }
+}
+
+#[test]
+fn rule_filter_rejects_unknown_rules() {
+    let err = run_workspace(
+        workspace_root(),
+        &hygcn_lint::LintConfig::default(),
+        Some("bogus"),
+    )
+    .expect_err("unknown rule must error");
+    assert!(err.contains("unknown rule"), "{err}");
+}

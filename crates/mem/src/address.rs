@@ -127,6 +127,7 @@ impl AddressMap {
     ) -> Self {
         match Self::try_new(scheme, channels, banks, row_bytes, burst_bytes) {
             Ok(map) => map,
+            // lint: allow(panic-macro) -- new() documents this panic; try_new is the fallible constructor
             Err(e) => panic!("invalid address geometry: {e}"),
         }
     }

@@ -1,0 +1,120 @@
+//! Checked numeric conversions for the cost paths.
+//!
+//! The lint's `bare-cast` rule denies `as <integer>` in the files
+//! listed under `[scope] cost_paths` in `lint.toml`: a bare cast
+//! truncates or wraps silently, and in an accounting model that bias
+//! compounds across millions of spans. Every conversion a cost path
+//! needs goes through one of these helpers instead, so the rounding
+//! or saturation behaviour is named at the call site and defined in
+//! exactly one place.
+//!
+//! All helpers are total: no panics, no `unsafe`, NaN and negative
+//! inputs map to zero, and out-of-range values saturate.
+
+/// Saturating `f64 → u64` with round-to-nearest, for folding the
+/// model's floating-point quantities into integer report fields. A
+/// bare `as u64` cast truncates toward zero silently — biasing every
+/// accounting total low by up to one unit per cast. NaN and negative
+/// inputs map to 0; values beyond `u64::MAX` saturate.
+#[inline]
+pub fn round_u64(x: f64) -> u64 {
+    if x.is_nan() || x <= 0.0 {
+        return 0;
+    }
+    let r = x.round();
+    if r >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        r as u64
+    }
+}
+
+/// Saturating `f64 → usize` with round-to-nearest — [`round_u64`] for
+/// count-shaped values (chunk counts, block counts).
+#[inline]
+pub fn round_usize(x: f64) -> usize {
+    if x.is_nan() || x <= 0.0 {
+        return 0;
+    }
+    let r = x.round();
+    if r >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        r as usize
+    }
+}
+
+/// Saturating `f64 → u64` truncating toward zero — for the places
+/// whose published numbers were defined by truncation (the platform
+/// baselines' byte totals) and must stay bit-identical. Prefer
+/// [`round_u64`] for new accounting.
+#[inline]
+pub fn trunc_u64(x: f64) -> u64 {
+    if x.is_nan() || x <= 0.0 {
+        return 0;
+    }
+    if x >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        x as u64
+    }
+}
+
+/// Lossless `usize → u64` widening, named so a cost path never needs
+/// a bare `as u64` even for the no-op direction.
+#[inline]
+pub fn widen_u64(v: usize) -> u64 {
+    // usize is at most 64 bits on every supported target.
+    v as u64
+}
+
+/// Lossless `u32 → usize` widening for index fields packed as `u32`.
+#[inline]
+pub fn idx(v: u32) -> usize {
+    // usize is at least 32 bits on every supported target.
+    v as usize
+}
+
+/// Saturating `u64 → usize` narrowing. On 64-bit targets this is
+/// lossless; on narrower ones an oversized value clamps instead of
+/// wrapping.
+#[inline]
+pub fn saturating_usize(v: u64) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_u64_saturates_and_zeros() {
+        assert_eq!(round_u64(f64::NAN), 0);
+        assert_eq!(round_u64(-3.0), 0);
+        assert_eq!(round_u64(2.5), 3);
+        assert_eq!(round_u64(2.4), 2);
+        assert_eq!(round_u64(1e300), u64::MAX);
+    }
+
+    #[test]
+    fn round_usize_matches_round_u64_in_range() {
+        for x in [0.0, 0.4, 0.6, 7.5, 1e9] {
+            assert_eq!(round_usize(x) as u64, round_u64(x));
+        }
+    }
+
+    #[test]
+    fn trunc_u64_truncates_toward_zero() {
+        assert_eq!(trunc_u64(2.999), 2);
+        assert_eq!(trunc_u64(f64::NAN), 0);
+        assert_eq!(trunc_u64(-1.0), 0);
+        assert_eq!(trunc_u64(1e300), u64::MAX);
+    }
+
+    #[test]
+    fn widening_is_identity() {
+        assert_eq!(widen_u64(12345), 12345u64);
+        assert_eq!(idx(77), 77usize);
+        assert_eq!(saturating_usize(42), 42usize);
+    }
+}

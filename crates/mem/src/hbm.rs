@@ -133,7 +133,7 @@ impl HbmConfig {
 
     /// Peak bandwidth in bytes per cycle (all channels).
     pub fn peak_bytes_per_cycle(&self) -> f64 {
-        (self.channels as u64 * self.burst_bytes / self.t_burst) as f64
+        (crate::cast::widen_u64(self.channels) * self.burst_bytes / self.t_burst) as f64
     }
 
     /// The address decoder for this geometry.
@@ -235,7 +235,7 @@ impl ChannelTimeline {
     #[inline]
     pub fn service(&mut self, seg: &Segment, now: u64) -> u64 {
         let bursts = (u64::from(seg.bytes) + (1u64 << self.burst_shift) - 1) >> self.burst_shift;
-        let bank = &mut self.banks[seg.bank as usize];
+        let bank = &mut self.banks[crate::cast::idx(seg.bank)];
         let mut ready = bank.ready.max(now);
         if bank.open_row != seg.row {
             // Activate (and precharge the old row) before the transfer.
@@ -285,7 +285,7 @@ impl ChannelTimeline {
             }
             let pick = pending
                 .iter()
-                .position(|s| self.banks[s.bank as usize].open_row == s.row)
+                .position(|s| self.banks[crate::cast::idx(s.bank)].open_row == s.row)
                 .unwrap_or(0);
             let seg = pending.remove(pick);
             done = done.max(self.service(&seg, now));

@@ -44,6 +44,7 @@
 
 pub mod address;
 pub mod buffer;
+pub mod cast;
 pub mod energy;
 pub mod hbm;
 pub mod request;

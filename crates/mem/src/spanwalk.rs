@@ -211,6 +211,25 @@ impl SpanWalker {
     }
 }
 
+/// The span walk's single audited escape hatch: an unchecked mutable
+/// index for decode-masked indices. Every caller derives `idx` by
+/// masking with `len - 1` (channel and bank counts are powers of two,
+/// validated at `AddressMap` construction), so the bound holds by
+/// construction; debug builds re-check it.
+///
+/// This is the only `unsafe` in the crate, kept behind one function so
+/// the proof obligation lives in exactly one place.
+#[inline(always)]
+fn masked_idx_mut<T>(slice: &mut [T], idx: usize) -> &mut T {
+    debug_assert!(
+        idx < slice.len(),
+        "masked index {idx} escaped its slice (len {})",
+        slice.len()
+    );
+    // SAFETY: idx is decode output masked to `len - 1`; see above.
+    unsafe { slice.get_unchecked_mut(idx) }
+}
+
 /// Walks one request's row-aligned spans with a scheme-specialized
 /// `decode` returning `(channel, bank, row)`, advancing the flat
 /// bank/bus/stats state exactly as `Hbm` would.
@@ -242,35 +261,28 @@ fn walk_spans(
         let bursts = ((span_end - addr) + (1u64 << burst_shift) - 1) >> burst_shift;
         let (channel, bank_in_channel, row) = decode(addr);
         let bank = channel * banks_per_channel + bank_in_channel;
-        debug_assert!(channel < stats.len() && bank < bank_row.len());
-        // SAFETY: `decode` masks the channel with `channels - 1` and the
-        // bank with `banks - 1` (both powers of two, validated at
-        // construction), and the arrays are sized `channels` resp.
-        // `channels * banks`, so every index is in range.
-        unsafe {
-            let ch = stats.get_unchecked_mut(channel);
-            let open_row = bank_row.get_unchecked_mut(bank);
-            let ready_at = bank_ready.get_unchecked_mut(bank);
-            let bus = bus_free.get_unchecked_mut(channel);
-            let mut ready = (*ready_at).max(now);
-            if *open_row != row {
-                ready += t_row;
-                *open_row = row;
-                ch.row_misses += 1;
-            } else {
-                ch.row_hits += 1;
-            }
-            let start = ready.max(*bus);
-            let burst_cycles = bursts * t_burst;
-            let finish = start + burst_cycles;
-            *bus = finish;
-            *ready_at = finish;
-            ch.bursts += bursts;
-            ch.busy_cycles += burst_cycles;
-            let span_done = finish + t_cas;
-            ch.last_completion = ch.last_completion.max(span_done);
-            *done = (*done).max(span_done);
+        let ch = masked_idx_mut(stats, channel);
+        let open_row = masked_idx_mut(bank_row, bank);
+        let ready_at = masked_idx_mut(bank_ready, bank);
+        let bus = masked_idx_mut(bus_free, channel);
+        let mut ready = (*ready_at).max(now);
+        if *open_row != row {
+            ready += t_row;
+            *open_row = row;
+            ch.row_misses += 1;
+        } else {
+            ch.row_hits += 1;
         }
+        let start = ready.max(*bus);
+        let burst_cycles = bursts * t_burst;
+        let finish = start + burst_cycles;
+        *bus = finish;
+        *ready_at = finish;
+        ch.bursts += bursts;
+        ch.busy_cycles += burst_cycles;
+        let span_done = finish + t_cas;
+        ch.last_completion = ch.last_completion.max(span_done);
+        *done = (*done).max(span_done);
         addr = span_end;
     }
 }

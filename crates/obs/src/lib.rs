@@ -68,7 +68,7 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The closed vocabulary of instrumented pipeline phases.
@@ -323,8 +323,16 @@ pub fn disable() {
 /// Clear all buffered spans, counters, and histograms. Does not change
 /// the enabled flag.
 pub fn reset() {
-    for shard in registry().lock().unwrap().iter() {
-        shard.events.lock().unwrap().clear();
+    for shard in registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        shard
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
     for c in &COUNTERS {
         c.store(0, Ordering::Relaxed);
@@ -334,7 +342,10 @@ pub fn reset() {
         PHASE_TOTAL_NS[i].store(0, Ordering::Relaxed);
         PHASE_MAX_NS[i].store(0, Ordering::Relaxed);
     }
-    eval_hists().lock().unwrap().clear();
+    eval_hists()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -380,21 +391,27 @@ impl Drop for SpanGuard {
         let dur_us = (dur.as_micros().min(u128::from(u64::MAX)) as u64).max(1);
         LOCAL.with(|local| {
             let mut slot = local.borrow_mut();
-            if slot.is_none() {
+            let (tid, shard) = slot.get_or_insert_with(|| {
                 let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
                 let shard = Arc::new(Shard {
                     events: Mutex::new(Vec::new()),
                 });
-                registry().lock().unwrap().push(Arc::clone(&shard));
-                *slot = Some((tid, shard));
-            }
-            let (tid, shard) = slot.as_ref().unwrap();
-            shard.events.lock().unwrap().push(SpanEvent {
-                phase,
-                ts_us,
-                dur_us,
-                tid: *tid,
+                registry()
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(Arc::clone(&shard));
+                (tid, shard)
             });
+            shard
+                .events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(SpanEvent {
+                    phase,
+                    ts_us,
+                    dur_us,
+                    tid: *tid,
+                });
         });
     }
 }
@@ -428,9 +445,11 @@ pub fn record_eval(backend: &str, latency: Duration) {
     } else {
         (63 - us.leading_zeros() as usize).min(EVAL_BUCKETS - 1)
     };
-    let mut hists = eval_hists().lock().unwrap();
-    let hist = match hists.iter_mut().find(|h| h.backend == backend) {
-        Some(h) => h,
+    let mut hists = eval_hists().lock().unwrap_or_else(PoisonError::into_inner);
+    // Position-then-index keeps the borrow local and avoids a
+    // last_mut unwrap after the push.
+    let pos = match hists.iter().position(|h| h.backend == backend) {
+        Some(p) => p,
         None => {
             hists.push(EvalHist {
                 backend: backend.to_string(),
@@ -440,9 +459,10 @@ pub fn record_eval(backend: &str, latency: Duration) {
                 max_us: 0,
                 buckets: [0; EVAL_BUCKETS],
             });
-            hists.last_mut().unwrap()
+            hists.len() - 1
         }
     };
+    let hist = &mut hists[pos];
     hist.count += 1;
     hist.total_us += us;
     hist.min_us = hist.min_us.min(us);
@@ -496,7 +516,10 @@ pub fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
         phases,
         counters,
-        evals: eval_hists().lock().unwrap().clone(),
+        evals: eval_hists()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone(),
     }
 }
 
@@ -504,8 +527,12 @@ pub fn snapshot() -> MetricsSnapshot {
 /// `(ts_us, tid)`. Aggregates in [`snapshot`] are unaffected.
 pub fn take_events() -> Vec<SpanEvent> {
     let mut out = Vec::new();
-    for shard in registry().lock().unwrap().iter() {
-        out.append(&mut shard.events.lock().unwrap());
+    for shard in registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        out.append(&mut shard.events.lock().unwrap_or_else(PoisonError::into_inner));
     }
     out.sort_by_key(|e| (e.ts_us, e.tid, e.phase as usize));
     out

@@ -109,7 +109,9 @@ where
             })
             .collect();
         for h in handles {
-            parts.push(h.join().expect("par_map_index worker panicked"));
+            // Re-raise a worker panic on the caller's thread with the
+            // original payload rather than a second, less useful panic.
+            parts.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
     });
     let mut out = Vec::with_capacity(n);

@@ -107,6 +107,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
             for (ri, crow) in slab.chunks_exact_mut(cols).enumerate() {
                 let arow = &a.row(first_row + ri)[kb..kend];
                 for (kk, &aik) in arow.iter().enumerate() {
+                    // lint: allow(float-cmp) -- exact-zero skip mirrors HyGCN sparsity elimination
                     if aik == 0.0 {
                         continue;
                     }

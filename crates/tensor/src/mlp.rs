@@ -168,6 +168,7 @@ impl Mlp {
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
+        // lint: allow(unwrap) -- constructors reject empty layer stacks, so last() always exists
         self.layers.last().expect("mlp is nonempty").out_dim()
     }
 
