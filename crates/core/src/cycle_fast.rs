@@ -1,48 +1,62 @@
 //! The `cycle-fast` backend: the cycle-accurate model on a precompiled
-//! event schedule.
+//! event schedule and a precompiled HBM span program.
 //!
 //! Same physics, faster machinery. Where [`Simulator::simulate`] plans
 //! every effectual window with an O(V+E) sweep per call and walks DRAM
-//! by materializing per-channel segment queues, this path:
+//! by decoding every request into per-channel segment queues, this path:
 //!
 //! * pulls window spans from the design point's [`EventSchedule`] —
 //!   backed by the graph's cached occupancy bitmaps, so repeated
 //!   evaluations of one graph (a campaign, a figure grid, a benchmark
 //!   loop) skip planning almost entirely;
-//! * advances the HBM timeline with [`SpanWalker`], which services each
-//!   request's row-aligned spans inline in one pass instead of staging
-//!   [`Segment`] queues — jumping event-to-event over precomputed spans
-//!   rather than interpreting a segment stream.
+//! * advances the HBM timeline by *replaying* a precompiled
+//!   [`SpanProgram`]: the address decode (row-aligned splitting plus
+//!   channel/bank/row extraction) runs once per design point, emitting
+//!   a flat channel-major tuple stream that [`SpanReplayer`] services
+//!   with SoA per-channel registers. Programs are cached on the graph
+//!   next to the occupancy index — keyed by the canonical config, model
+//!   kind, and feature length — so a warm evaluation never assembles,
+//!   orders, or decodes a request batch at all.
 //!
 //! ## Contract: bit-identical to `cycle`
 //!
 //! Every [`SimReport`] field — cycles, DRAM traffic, energy,
 //! `mem_channels`, timeline — equals [`Simulator::simulate`]'s output
 //! exactly (`tests/backends.rs` and `tests/oracle.rs` enforce this over
-//! a differential proptest corpus and the pinned figure grid). The two
+//! a differential proptest corpus and the pinned figure grid). The
 //! ingredients that make the equivalence exact:
 //!
 //! * bitmap-extracted windows have the same row spans as Algorithm 4's,
 //!   and the engine derives per-chunk edge counts from CSC offsets, so
 //!   the lost multiplicity is never missed;
-//! * the span walk is bit-identical to the staged channel drain under
-//!   the in-order controller (see [`hygcn_mem::spanwalk`]).
+//! * a program step's per-channel tuple run equals the staged model's
+//!   per-channel segment queue, and both controller policies — in-order
+//!   *and* FR-FCFS windowed row-hit promotion — act per channel over
+//!   that queue (see [`hygcn_mem::spanprog`]), so replay is
+//!   bit-identical to the staged drain for every controller;
+//! * sampling models run natively: the runtime [`Sampler`] is
+//!   deterministic in `(graph, seed, policy)`, so the sampled topology
+//!   is decoded per call like [`Simulator::simulate`] does (only the
+//!   graph-side program cache is skipped — the sampled graph is
+//!   throwaway).
 //!
-//! Design points the fast machinery cannot reproduce exactly delegate
-//! wholesale to [`Simulator::simulate`]: reordering controllers
-//! (FR-FCFS needs the staged queues) and sampling models (the sampled
-//! graph is rebuilt per call, so cached bitmaps would thrash on
-//! throwaway topology).
+//! The only remaining delegation to [`Simulator::simulate`] is an
+//! invalid HBM geometry, where the staged model's constructors are the
+//! authority on rejection semantics.
 //!
-//! [`Segment`]: hygcn_mem::address::Segment
-//! [`SpanWalker`]: hygcn_mem::SpanWalker
+//! [`SpanProgram`]: hygcn_mem::spanprog::SpanProgram
+//! [`SpanReplayer`]: hygcn_mem::spanprog::SpanReplayer
+//! [`Sampler`]: hygcn_graph::sampling::Sampler
+
+use std::sync::Arc;
 
 use hygcn_gcn::aggregate::SelfTerm;
 use hygcn_gcn::model::{GcnModel, ModelKind, DIFFPOOL_CLUSTERS};
+use hygcn_graph::sampling::Sampler;
 use hygcn_graph::Graph;
 use hygcn_mem::request::{MemRequest, RequestArena, RequestKind};
 use hygcn_mem::scheduler::AccessScheduler;
-use hygcn_mem::SpanWalker;
+use hygcn_mem::spanprog::{SpanProgram, SpanProgramBuilder, SpanReplayer};
 
 use crate::backend::SimBackend;
 use crate::config::{HyGcnConfig, PipelineMode};
@@ -93,13 +107,20 @@ pub fn simulate_fast(
 
     let kind = model.kind();
     let policy = cfg.sample_policy_override.unwrap_or(kind.sample_policy());
-    let walker = SpanWalker::new(&cfg.hbm);
-    let (Some(mut hbm), false) = (walker, policy.is_sampling()) else {
-        // Reordering controller or per-call sampled topology: the slow
-        // path is the only exact evaluator.
+    let Some(mut replayer) = SpanReplayer::new(&cfg.hbm) else {
+        // Invalid HBM geometry: the staged model's constructors are the
+        // authority on rejection semantics — delegate wholesale.
         return Simulator::new(cfg.clone()).simulate(graph, model);
     };
-    let g = graph;
+
+    // --- Sampling (runs on the engine's Sampler at runtime). ---
+    let sampled_storage;
+    let (g, presample_edges) = if policy.is_sampling() {
+        sampled_storage = Sampler::new(cfg.sample_seed).sample(graph, policy);
+        (&sampled_storage, graph.num_edges() as u64)
+    } else {
+        (graph, 0)
+    };
 
     let f_in = model.feature_len();
     let row_bytes = f_in * 4;
@@ -115,6 +136,7 @@ pub fn simulate_fast(
     let sched = EventSchedule::build(g, cfg, f_in);
     let intervals = sched.intervals();
     let nchunks = intervals.len();
+    let presample_per_chunk = presample_edges / intervals.len().max(1) as u64;
 
     let mode = match cfg.pipeline {
         PipelineMode::LatencyAware => SystolicMode::Independent,
@@ -124,7 +146,7 @@ pub fn simulate_fast(
     let clusters = DIFFPOOL_CLUSTERS as u64;
 
     // --- Per-chunk engine records (serial: the records are cheap once
-    // planning is precompiled, and the walk below is the long pole). ---
+    // planning is precompiled, and the replay below is the long pole). ---
     let mut arena = RequestArena::with_capacity(sched.total_windows() + 3 * nchunks);
     let mut aggs: Vec<ChunkAggregation> = Vec::with_capacity(nchunks);
     let mut combs: Vec<ChunkCombination> = Vec::with_capacity(nchunks);
@@ -135,7 +157,7 @@ pub fn simulate_fast(
             dst,
             f_in,
             include_self,
-            0, // no sampling on this path
+            presample_per_chunk,
             paths,
             &mut arena,
             sched.windows(i),
@@ -176,29 +198,107 @@ pub fn simulate_fast(
         act.comb_hbm_bytes += c.summary.total_bytes();
     }
 
-    // --- Timeline via the span walk. ---
-    let scheduler = AccessScheduler::new(cfg.coordination);
+    // --- Precompiled span program: decode once, replay every call. ---
+    let steps = match cfg.pipeline {
+        PipelineMode::None => 2 * nchunks,
+        PipelineMode::LatencyAware => nchunks,
+        PipelineMode::EnergyAware => nchunks + 1,
+    };
+    // The stream is a pure function of (graph, config, model kind,
+    // feature length); the key spells the non-graph half out in full —
+    // string-compared, so distinct configs can never collide — and the
+    // graph half is implicit in which graph's cache we consult. Sampled
+    // topology is rebuilt per call, so it never touches the cache.
+    let cache_key = (!policy.is_sampling())
+        .then(|| format!("span-program-v1;{};kind={kind:?};f_in={f_in}", cfg.canon()));
+    let cached = cache_key
+        .as_deref()
+        .and_then(|k| g.cached_plan(k))
+        .and_then(|p| p.downcast::<SpanProgram>().ok())
+        .filter(|p| p.matches(&cfg.hbm) && p.steps() == steps);
+    let program = match cached {
+        Some(p) => p,
+        None => {
+            let _obs = hygcn_obs::span(hygcn_obs::Phase::SpanProgramBuild);
+            // Same geometry validation as SpanReplayer::new, which
+            // succeeded above — but if the two ever diverge, delegate
+            // rather than panic.
+            let Some(mut builder) = SpanProgramBuilder::new(&cfg.hbm) else {
+                return Simulator::new(cfg.clone()).simulate(graph, model);
+            };
+            let scheduler = AccessScheduler::new(cfg.coordination);
+            let mut batch: Vec<MemRequest> = Vec::new();
+            let mut order_scratch: Vec<MemRequest> = Vec::new();
+            match cfg.pipeline {
+                PipelineMode::None => {
+                    for (i, dst) in intervals.iter().enumerate() {
+                        let spill_bytes = (dst.len() * row_bytes) as u64 * paths;
+                        let spill_addr = spill_base + u64::from(dst.start) * row_bytes as u64;
+                        batch.clear();
+                        batch.extend_from_slice(arena.slice(aggs[i].span));
+                        batch.push(MemRequest::write(
+                            RequestKind::OutputFeatures,
+                            spill_addr,
+                            spill_bytes as u32,
+                        ));
+                        scheduler.order_in_place(&mut batch, &mut order_scratch);
+                        builder.push_step(&batch);
+
+                        batch.clear();
+                        batch.extend_from_slice(arena.slice(combs[i].span));
+                        batch.push(MemRequest::read(
+                            RequestKind::InputFeatures,
+                            spill_addr,
+                            spill_bytes as u32,
+                        ));
+                        scheduler.order_in_place(&mut batch, &mut order_scratch);
+                        builder.push_step(&batch);
+                    }
+                }
+                PipelineMode::LatencyAware | PipelineMode::EnergyAware => {
+                    let same_chunk = cfg.pipeline == PipelineMode::LatencyAware;
+                    // EnergyAware has one more step than `aggs` entries
+                    // (drain step), so this cannot iterate `aggs`.
+                    #[allow(clippy::needless_range_loop)]
+                    for s in 0..steps {
+                        let comb_idx = if same_chunk {
+                            Some(s)
+                        } else {
+                            s.checked_sub(1)
+                        };
+                        batch.clear();
+                        if s < nchunks {
+                            batch.extend_from_slice(arena.slice(aggs[s].span));
+                        }
+                        if let Some(c) = comb_idx {
+                            batch.extend_from_slice(arena.slice(combs[c].span));
+                        }
+                        if !batch.is_empty() {
+                            scheduler.order_in_place(&mut batch, &mut order_scratch);
+                        }
+                        builder.push_step(&batch);
+                    }
+                }
+            }
+            let p = Arc::new(builder.finish());
+            if let Some(k) = &cache_key {
+                g.store_plan(k, Arc::clone(&p) as Arc<dyn std::any::Any + Send + Sync>);
+            }
+            p
+        }
+    };
+
+    // --- Timeline via span-program replay. ---
     let mut now = 0u64;
     let mut vertex_latency_weighted = 0f64;
     let mut timeline: Vec<ChunkTrace> = Vec::new();
-    let mut batch: Vec<MemRequest> = Vec::new();
-    let mut order_scratch: Vec<MemRequest> = Vec::new();
 
     match cfg.pipeline {
         PipelineMode::None => {
             for (i, dst) in intervals.iter().enumerate() {
                 let spill_bytes = (dst.len() * row_bytes) as u64 * paths;
-                let spill_addr = spill_base + u64::from(dst.start) * row_bytes as u64;
 
-                batch.clear();
-                batch.extend_from_slice(arena.slice(aggs[i].span));
-                batch.push(MemRequest::write(
-                    RequestKind::OutputFeatures,
-                    spill_addr,
-                    spill_bytes as u32,
-                ));
-                scheduler.order_in_place(&mut batch, &mut order_scratch);
-                let mem_a = hbm.service_batch(&batch, now);
+                let mem_a = replayer.replay_step(&program, 2 * i, now);
                 let step_a = aggs[i].compute_cycles.max(mem_a.saturating_sub(now));
                 if cfg.record_timeline {
                     timeline.push(ChunkTrace {
@@ -211,15 +311,7 @@ pub fn simulate_fast(
                 }
                 now += step_a;
 
-                batch.clear();
-                batch.extend_from_slice(arena.slice(combs[i].span));
-                batch.push(MemRequest::read(
-                    RequestKind::InputFeatures,
-                    spill_addr,
-                    spill_bytes as u32,
-                ));
-                scheduler.order_in_place(&mut batch, &mut order_scratch);
-                let mem_b = hbm.service_batch(&batch, now);
+                let mem_b = replayer.replay_step(&program, 2 * i + 1, now);
                 let step_b = combs[i].compute_cycles.max(mem_b.saturating_sub(now));
                 if cfg.record_timeline {
                     timeline.push(ChunkTrace {
@@ -237,34 +329,22 @@ pub fn simulate_fast(
             }
         }
         PipelineMode::LatencyAware | PipelineMode::EnergyAware => {
-            let same_chunk = cfg.pipeline == PipelineMode::LatencyAware;
-            let steps = if same_chunk { nchunks } else { nchunks + 1 };
             let mut agg_step_time = vec![0u64; nchunks];
             for s in 0..steps {
-                let comb_idx = if same_chunk {
+                let comb_idx = if cfg.pipeline == PipelineMode::LatencyAware {
                     Some(s)
                 } else {
                     s.checked_sub(1)
                 };
-                batch.clear();
-                if s < nchunks {
-                    batch.extend_from_slice(arena.slice(aggs[s].span));
-                }
-                if let Some(c) = comb_idx {
-                    batch.extend_from_slice(arena.slice(combs[c].span));
-                }
-                let mem_done = if batch.is_empty() {
-                    now
-                } else {
-                    scheduler.order_in_place(&mut batch, &mut order_scratch);
-                    hbm.service_batch(&batch, now)
-                };
+                let mem_done = replayer.replay_step(&program, s, now);
                 let compute_a = if s < nchunks {
                     aggs[s].compute_cycles
                 } else {
                     0
                 };
-                let compute_b = comb_idx.map_or(0, |c| combs[c].compute_cycles);
+                let compute_b = comb_idx
+                    .filter(|&c| c < nchunks)
+                    .map_or(0, |c| combs[c].compute_cycles);
                 let step = compute_a.max(compute_b).max(mem_done.saturating_sub(now));
                 if s < nchunks {
                     agg_step_time[s] = step;
@@ -302,7 +382,7 @@ pub fn simulate_fast(
     } else {
         0.0
     };
-    let stats = hbm.stats();
+    let stats = replayer.stats();
     let cycles = now.max(1);
     let time_s = cfg.cycles_to_seconds(cycles);
     Ok(SimReport {
@@ -311,7 +391,7 @@ pub fn simulate_fast(
         agg_compute_cycles: aggs.iter().map(|a| a.compute_cycles).sum(),
         comb_compute_cycles: combs.iter().map(|c| c.compute_cycles).sum(),
         mem: stats,
-        mem_channels: hbm.channel_stats(),
+        mem_channels: replayer.channel_stats(),
         bandwidth_utilization: stats.bandwidth_utilization(cycles, cfg.hbm.peak_bytes_per_cycle()),
         energy: EnergyBreakdown::from_activity(&act).with_static(time_s),
         avg_vertex_latency_cycles: vertex_latency_weighted / n.max(1) as f64,
@@ -385,19 +465,60 @@ mod tests {
     }
 
     #[test]
-    fn delegates_on_frfcfs_and_sampling() {
+    fn frfcfs_runs_natively_across_windows() {
+        // FR-FCFS no longer delegates: the span-program replay drives
+        // the windowed row-hit promotion itself, bit-identical to the
+        // staged drain for every window depth.
         let g = rmat(1024, 20_000, RmatParams::default(), 5)
             .unwrap()
             .with_feature_len(64);
-        // FR-FCFS: delegation must still be bit-identical (it *is* the
-        // slow path).
         let m = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        for window in [1usize, 4, 16, 64] {
+            let mut cfg = HyGcnConfig::default();
+            cfg.aggregation_buffer_bytes = 1 << 20; // several chunks
+            cfg.hbm.controller = ControllerPolicy::FrFcfs { window };
+            assert_identical(&g, &m, &cfg, &format!("frfcfs window {window}"));
+            // Warm pass: the cached program must replay identically.
+            assert_identical(&g, &m, &cfg, &format!("frfcfs window {window} warm"));
+        }
+    }
+
+    #[test]
+    fn sampling_runs_natively() {
+        // GraphSage samples at runtime; the fast path samples with the
+        // same deterministic Sampler and replays the decoded stream.
+        let g = rmat(1024, 20_000, RmatParams::default(), 5)
+            .unwrap()
+            .with_feature_len(64);
+        let gs = GcnModel::new(ModelKind::GraphSage, 64, 1).unwrap();
+        assert_identical(&g, &gs, &HyGcnConfig::default(), "sampling");
+        // Sampling combined with FR-FCFS — both former delegation holes
+        // at once.
         let mut cfg = HyGcnConfig::default();
         cfg.hbm.controller = ControllerPolicy::FrFcfs { window: 16 };
-        assert_identical(&g, &m, &cfg, "frfcfs delegation");
-        // GraphSage samples at runtime: same story.
-        let gs = GcnModel::new(ModelKind::GraphSage, 64, 1).unwrap();
-        assert_identical(&g, &gs, &HyGcnConfig::default(), "sampling delegation");
+        assert_identical(&g, &gs, &cfg, "sampling + frfcfs");
+        // And under a pipeline that exercises the spill path.
+        cfg.pipeline = PipelineMode::None;
+        assert_identical(&g, &gs, &cfg, "sampling + frfcfs + no pipeline");
+    }
+
+    #[test]
+    fn delegates_only_on_invalid_geometry() {
+        let g = preferential_attachment(256, 4, 1)
+            .unwrap()
+            .with_feature_len(32);
+        let m = GcnModel::new(ModelKind::Gcn, 32, 1).unwrap();
+        let mut cfg = HyGcnConfig::default();
+        cfg.hbm.channels = 6; // not a power of two
+                              // The fast machinery refuses the geometry up front ...
+        assert!(SpanReplayer::new(&cfg.hbm).is_none());
+        // ... and the delegated staged model stays the authority on
+        // rejection semantics: both paths fail identically (here, the
+        // address-map constructor's assertion).
+        let fast = std::panic::catch_unwind(|| simulate_fast(&cfg, &g, &m));
+        let slow = std::panic::catch_unwind(|| Simulator::new(cfg.clone()).simulate(&g, &m));
+        assert_eq!(fast.is_err(), slow.is_err());
+        assert!(fast.is_err());
     }
 
     #[test]
@@ -420,10 +541,28 @@ mod tests {
             .with_feature_len(128);
         let m = GcnModel::new(ModelKind::Gcn, 128, 1).unwrap();
         let cfg = HyGcnConfig::default();
-        // Second call hits the graph's occupancy-index cache; the report
-        // must not care.
+        // Second call hits the graph's occupancy-index and span-program
+        // caches; the report must not care.
         let first = simulate_fast(&cfg, &g, &m).unwrap();
         let second = simulate_fast(&cfg, &g, &m).unwrap();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn program_cache_discriminates_configs() {
+        // Alternating configs on one graph must not cross-contaminate:
+        // each keyed program replays its own stream.
+        let g = rmat(1200, 10_000, RmatParams::default(), 8)
+            .unwrap()
+            .with_feature_len(64);
+        let m = GcnModel::new(ModelKind::Gcn, 64, 1).unwrap();
+        let base = HyGcnConfig::default();
+        let mut frfcfs = HyGcnConfig::default();
+        frfcfs.hbm.controller = ControllerPolicy::FrFcfs { window: 4 };
+        let mut small_buf = HyGcnConfig::default();
+        small_buf.aggregation_buffer_bytes = 1 << 20;
+        for cfg in [&base, &frfcfs, &small_buf, &base, &frfcfs, &small_buf] {
+            assert_identical(&g, &m, cfg, "alternating configs");
+        }
     }
 }

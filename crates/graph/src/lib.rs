@@ -84,21 +84,32 @@ pub struct Graph {
     plan_cache: PlanCache,
 }
 
-/// Shared cache of derived planning structures (currently the
-/// per-chunking [`window::OccupancyIndex`]), keyed by interval
-/// boundaries.
+/// Shared cache of derived planning structures: the per-chunking
+/// [`window::OccupancyIndex`] keyed by interval boundaries, plus a
+/// generic string-keyed slot for caller-defined plans (the `cycle-fast`
+/// backend parks its precompiled span programs there, keyed by config
+/// canon + model kind + feature length — this crate cannot name those
+/// types, so the slot stores `Arc<dyn Any>`).
 ///
 /// The cache is *identity-transparent*: it never affects equality,
 /// hashing, or any observable graph property — entries are pure
 /// functions of the (immutable) topology, so clones share one cache via
 /// the `Arc` and a populated cache always agrees with an empty one.
 #[derive(Clone, Default)]
-struct PlanCache(std::sync::Arc<std::sync::Mutex<Vec<PlanCacheEntry>>>);
+struct PlanCache(std::sync::Arc<PlanCacheInner>);
+
+#[derive(Default)]
+struct PlanCacheInner {
+    occupancy: std::sync::Mutex<Vec<PlanCacheEntry>>,
+    keyed: std::sync::Mutex<Vec<KeyedPlanEntry>>,
+}
 
 type PlanCacheEntry = (
     Box<[partition::Interval]>,
     std::sync::Arc<window::OccupancyIndex>,
 );
+
+type KeyedPlanEntry = (String, std::sync::Arc<dyn std::any::Any + Send + Sync>);
 
 /// Distinct chunkings worth remembering per graph: campaigns mostly
 /// alternate between a couple of buffer sizes, and each entry can be
@@ -235,6 +246,7 @@ impl Graph {
         let mut cache = self
             .plan_cache
             .0
+            .occupancy
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((_, idx)) = cache.iter().find(|(k, _)| k.as_ref() == intervals) {
@@ -246,6 +258,48 @@ impl Graph {
         }
         cache.push((intervals.into(), std::sync::Arc::clone(&idx)));
         Some(idx)
+    }
+
+    /// Looks up a caller-defined derived plan stored under `key` (see
+    /// [`Graph::store_plan`]). Keys compare as full strings — no
+    /// hashing, so no collisions — and clones share the slot exactly
+    /// like [`Graph::occupancy_index`] entries.
+    pub fn cached_plan(
+        &self,
+        key: &str,
+    ) -> Option<std::sync::Arc<dyn std::any::Any + Send + Sync>> {
+        let cache = self
+            .plan_cache
+            .0
+            .keyed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        cache
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, plan)| std::sync::Arc::clone(plan))
+    }
+
+    /// Stores a caller-defined derived plan under `key`, replacing any
+    /// existing entry with the same key. The slot is bounded like the
+    /// occupancy cache ([`PLAN_CACHE_ENTRIES`] entries, FIFO eviction):
+    /// plans must be pure functions of the graph topology and the key,
+    /// so eviction only costs a rebuild, never correctness.
+    pub fn store_plan(&self, key: &str, plan: std::sync::Arc<dyn std::any::Any + Send + Sync>) {
+        let mut cache = self
+            .plan_cache
+            .0
+            .keyed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(entry) = cache.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = plan;
+            return;
+        }
+        if cache.len() >= PLAN_CACHE_ENTRIES {
+            cache.remove(0);
+        }
+        cache.push((key.to_owned(), plan));
     }
 
     /// A process-independent FNV-1a hash of the graph's *content*: vertex
@@ -379,6 +433,29 @@ mod tests {
             !std::sync::Arc::ptr_eq(&a, &again),
             "evicted entries are rebuilt, not resurrected"
         );
+    }
+
+    #[test]
+    fn keyed_plans_are_shared_bounded_and_replaceable() {
+        let g = toy();
+        assert!(g.cached_plan("a").is_none());
+        g.store_plan("a", std::sync::Arc::new(41u64));
+        // Clones share the slot; lookups downcast to the stored type.
+        let from_clone = g
+            .with_feature_len(64)
+            .cached_plan("a")
+            .expect("clone shares cache");
+        assert_eq!(*from_clone.downcast::<u64>().unwrap(), 41);
+        // Same key replaces in place.
+        g.store_plan("a", std::sync::Arc::new(42u64));
+        let v = g.cached_plan("a").unwrap().downcast::<u64>().unwrap();
+        assert_eq!(*v, 42);
+        // FIFO bound: PLAN_CACHE_ENTRIES fresh keys evict the oldest.
+        for i in 0..PLAN_CACHE_ENTRIES {
+            g.store_plan(&format!("fill-{i}"), std::sync::Arc::new(i));
+        }
+        assert!(g.cached_plan("a").is_none(), "oldest entry evicted");
+        assert!(g.cached_plan("fill-0").is_some());
     }
 
     #[test]

@@ -20,6 +20,18 @@
 //!   channel-major [`address::ChannelPartition`] that splits a request
 //!   batch into per-channel row-segment queues without steady-state
 //!   allocation.
+//! * [`spanprog`] — precompiled span programs: at schedule build time
+//!   the address decode runs once, emitting per timeline step a flat
+//!   channel-major stream of `(bank, row, bursts)` tuples that
+//!   [`spanprog::SpanReplayer`] replays with SoA per-channel registers
+//!   — bit-identical to the staged [`hbm::Hbm`] drain under **both**
+//!   controller policies (native FR-FCFS windowed row-hit promotion
+//!   ports verbatim to the per-channel tuple runs). Programs depend
+//!   only on the request stream and decode geometry, so one program
+//!   serves a whole timing/controller sweep; the `cycle-fast` backend
+//!   caches them on the graph keyed by canonical config + model kind +
+//!   feature length. See the [`spanprog`] module docs for the
+//!   build/replay contract.
 //! * [`scheduler`] — request-batch ordering: FCFS (the uncoordinated
 //!   baseline of Fig. 9(a)) vs the priority order
 //!   `edges > input features > weights > output features` of Fig. 9(b),
@@ -49,11 +61,13 @@ pub mod energy;
 pub mod hbm;
 pub mod request;
 pub mod scheduler;
+pub mod spanprog;
 pub mod spanwalk;
 pub mod stats;
 
 pub use address::{ChannelPartition, Segment};
 pub use hbm::{ChannelTimeline, Hbm, HbmConfig};
 pub use request::{MemRequest, RequestArena, RequestKind, RequestSpan, RequestSummary};
+pub use spanprog::{SpanProgram, SpanProgramBuilder, SpanReplayer};
 pub use spanwalk::SpanWalker;
 pub use stats::{ChannelStats, HbmStats, MemStats};

@@ -23,9 +23,13 @@
 //!   statistics fold by summation — both order-independent.
 //!
 //! [`ControllerPolicy::FrFcfs`] reorders within a per-channel lookahead
-//! window, which genuinely requires the staged queues; [`SpanWalker::new`]
-//! refuses such configs (returns `None`) so callers fall back to the
-//! full [`crate::hbm::Hbm`] model.
+//! window, which needs the per-channel queues materialized;
+//! [`SpanWalker::new`] refuses such configs (returns `None`). Callers
+//! that need FR-FCFS without the staged model use the precompiled
+//! [`crate::spanprog`] path, whose channel-major tuple runs *are* the
+//! per-channel queues — the `cycle-fast` backend replays those natively
+//! for every controller policy, keeping this walker as the
+//! on-the-fly-decode reference for the in-order case.
 
 use crate::address::MappingScheme;
 use crate::hbm::{ControllerPolicy, HbmConfig};

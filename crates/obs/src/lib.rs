@@ -41,6 +41,8 @@
 //! | `combination`      | Combination-engine chunk processing                  |
 //! | `hbm_walk`         | Staged HBM drain (cycle / seed timeline)             |
 //! | `span_walk`        | Flat `SpanWalker` drain (cycle-fast timeline)        |
+//! | `span_program_build` | One `SpanProgram` decode pass (cycle-fast cold)    |
+//! | `span_replay`      | One precompiled span-program step replay             |
 //! | `backend_eval`     | One `SimBackend::evaluate` call                      |
 //! | `campaign_batch`   | One fan-out batch inside `Campaign::run_points`      |
 //! | `store_open`       | `ResultStore::open` (scan, repair, quarantine)       |
@@ -91,6 +93,10 @@ pub enum Phase {
     HbmWalk,
     /// Flat `SpanWalker` drain (cycle-fast timeline walk).
     SpanWalk,
+    /// One span-program decode pass (cycle-fast cold path).
+    SpanProgramBuild,
+    /// One precompiled span-program step replay (cycle-fast warm path).
+    SpanReplay,
     /// One `SimBackend::evaluate` call, any backend.
     BackendEval,
     /// One fan-out batch inside `Campaign::run_points`.
@@ -108,7 +114,7 @@ pub enum Phase {
 }
 
 /// Number of [`Phase`] variants (array-table size).
-pub const N_PHASES: usize = 13;
+pub const N_PHASES: usize = 15;
 
 impl Phase {
     /// The stable snake_case name used in every export.
@@ -120,6 +126,8 @@ impl Phase {
             Phase::Combination => "combination",
             Phase::HbmWalk => "hbm_walk",
             Phase::SpanWalk => "span_walk",
+            Phase::SpanProgramBuild => "span_program_build",
+            Phase::SpanReplay => "span_replay",
             Phase::BackendEval => "backend_eval",
             Phase::CampaignBatch => "campaign_batch",
             Phase::StoreOpen => "store_open",
@@ -139,6 +147,8 @@ impl Phase {
             Phase::Combination,
             Phase::HbmWalk,
             Phase::SpanWalk,
+            Phase::SpanProgramBuild,
+            Phase::SpanReplay,
             Phase::BackendEval,
             Phase::CampaignBatch,
             Phase::StoreOpen,

@@ -220,6 +220,8 @@ fn trace_covers_at_least_six_distinct_phases() {
         "backend_eval",
         "schedule_build",
         "store_append",
+        "span_program_build",
+        "span_replay",
     ] {
         assert!(phases.contains(&must), "missing phase {must} in {phases:?}");
     }

@@ -11,8 +11,9 @@
 //! without fear: any timing drift, however small, fails here with the
 //! exact configuration that exposed it.
 //!
-//! A single `#[test]` in its own binary: the thread override is
-//! process-global, so no concurrent test may race it.
+//! The simulator sweep is the only test here that touches the
+//! process-global thread override; the span-program geometry sweep
+//! below never calls `simulate()`, so the two cannot race.
 
 #![allow(clippy::field_reassign_with_default)]
 
@@ -78,7 +79,14 @@ proptest! {
         seed in 0u64..1_000,
         sparsity in any::<bool>(),
         coordinated in any::<bool>(),
-        frfcfs in any::<bool>(),
+        // None = in-order; Some(w) = FR-FCFS with that reorder window.
+        frfcfs_window in prop_oneof![
+            Just(None),
+            Just(Some(1usize)),
+            Just(Some(4usize)),
+            Just(Some(16usize)),
+            Just(Some(64usize)),
+        ],
         chpow in 0u32..4, // channels 1/2/4/8
         small_aggbuf in any::<bool>(),
     ) {
@@ -94,8 +102,8 @@ proptest! {
             cfg.hbm = HbmConfig::hbm1_uncoordinated();
         }
         cfg.hbm.channels = 1 << chpow;
-        if frfcfs {
-            cfg.hbm.controller = hygcn_suite::mem::hbm::ControllerPolicy::FrFcfs { window: 16 };
+        if let Some(window) = frfcfs_window {
+            cfg.hbm.controller = hygcn_suite::mem::hbm::ControllerPolicy::FrFcfs { window };
         }
         if small_aggbuf {
             // Force several chunks so the pipeline actually interleaves.
@@ -113,15 +121,16 @@ proptest! {
             wl, kind, pipeline, n, density, feature_len, seed, sparsity, coordinated, 1 << chpow
         );
 
-        // The event-schedule backend — including its delegation paths
-        // (sampling models, FR-FCFS) — is bit-identical to both.
+        // The event-schedule backend — natively, with no delegation:
+        // sampling models replay a freshly decoded stream and FR-FCFS
+        // windows of every depth run on the span-program replayer.
         let fast =
             hygcn_suite::core::cycle_fast::simulate_fast(sim.config(), &graph, &model).unwrap();
         prop_assert_eq!(
             &serial,
             &fast,
-            "serial vs cycle-fast: {:?} {:?} {:?} n={} d={} f={} seed={} sparsity={} coord={} frfcfs={} ch={}",
-            wl, kind, pipeline, n, density, feature_len, seed, sparsity, coordinated, frfcfs, 1 << chpow
+            "serial vs cycle-fast: {:?} {:?} {:?} n={} d={} f={} seed={} sparsity={} coord={} frfcfs={:?} ch={}",
+            wl, kind, pipeline, n, density, feature_len, seed, sparsity, coordinated, frfcfs_window, 1 << chpow
         );
 
         for threads in [2usize, 8] {
@@ -142,5 +151,108 @@ proptest! {
         let misses: u64 = serial.mem_channels.iter().map(|c| c.row_misses).sum();
         prop_assert_eq!(hits, serial.mem.row_hits);
         prop_assert_eq!(misses, serial.mem.row_misses);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span-program replay vs the staged DRAM model, at arbitrary geometry.
+// ---------------------------------------------------------------------
+
+/// Multiplicative LCG for request streams (process-stable, seed-exact).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// A precompiled [`hygcn_suite::mem::SpanProgram`] replays
+    /// bit-identically to the staged `Hbm` drain for *arbitrary* valid
+    /// geometries, mappings, controllers, and timing — per-step
+    /// completion cycles and every statistics counter.
+    #[test]
+    fn span_program_replay_matches_staged_hbm_at_any_geometry(
+        chpow in 0u32..4,       // channels 1/2/4/8
+        bankpow in 0u32..5,     // banks 1/2/4/8/16
+        rowpow in 8u32..13,     // row 256..4096 B
+        burstpow in 4u32..7,    // burst 16/32/64 B
+        t_burst in 1u64..4,
+        t_row in 1u64..48,
+        t_cas in 0u64..24,
+        row_interleaved in any::<bool>(),
+        frfcfs_window in prop_oneof![
+            Just(None),
+            Just(Some(1usize)),
+            Just(Some(3usize)),
+            Just(Some(16usize)),
+            Just(Some(64usize)),
+        ],
+        seed in 1u64..100_000,
+    ) {
+        use hygcn_suite::mem::hbm::{ControllerPolicy, Hbm};
+        use hygcn_suite::mem::request::{MemRequest, RequestKind};
+        use hygcn_suite::mem::{SpanProgramBuilder, SpanReplayer};
+
+        let cfg = HbmConfig {
+            channels: 1 << chpow,
+            banks: 1 << bankpow,
+            row_bytes: 1 << rowpow,
+            burst_bytes: 1 << burstpow.min(rowpow),
+            t_burst,
+            t_row,
+            t_cas,
+            mapping: if row_interleaved {
+                hygcn_suite::mem::address::MappingScheme::RowInterleaved
+            } else {
+                hygcn_suite::mem::address::MappingScheme::ChannelInterleaved
+            },
+            controller: frfcfs_window
+                .map_or(ControllerPolicy::InOrder, |window| ControllerPolicy::FrFcfs { window }),
+        };
+
+        let mut rng = Lcg(seed);
+        let batches: Vec<Vec<MemRequest>> = [0usize, 1, 9, 120]
+            .iter()
+            .map(|&len| {
+                (0..len)
+                    .map(|_| {
+                        let kind = RequestKind::ALL[(rng.next() % 4) as usize];
+                        let addr = rng.next() % (1 << 30);
+                        let bytes = 1 + (rng.next() % 9000) as u32;
+                        if kind == RequestKind::OutputFeatures && rng.next().is_multiple_of(2) {
+                            MemRequest::write(kind, addr, bytes)
+                        } else {
+                            MemRequest::read(kind, addr, bytes)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut builder = SpanProgramBuilder::new(&cfg).expect("valid geometry");
+        for b in &batches {
+            builder.push_step(b);
+        }
+        let program = builder.finish();
+        prop_assert!(program.matches(&cfg));
+
+        let mut hbm = Hbm::new(cfg);
+        let mut replayer = SpanReplayer::new(&cfg).expect("valid geometry");
+        let mut now = 0;
+        for (step, b) in batches.iter().enumerate() {
+            let t_hbm = hbm.service_batch(b, now);
+            let t_replay = replayer.replay_step(&program, step, now);
+            prop_assert_eq!(t_hbm, t_replay, "step {} diverged: {:?}", step, cfg);
+            now = t_hbm + rng.next() % 64;
+        }
+        prop_assert_eq!(hbm.stats(), replayer.stats());
+        prop_assert_eq!(hbm.channel_stats(), replayer.channel_stats());
     }
 }
